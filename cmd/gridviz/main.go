@@ -1,0 +1,61 @@
+// Command gridviz renders the logical structures of the grid protocol:
+// the grid layouts of the paper's Figures 1 and 2 and the availability
+// state diagram of Figure 3.
+//
+// Usage:
+//
+//	gridviz -n 14          # Figure 1: the grid for N = 14
+//	gridviz -n 3           # Figure 2: the grid for N = 3
+//	gridviz -n 9 -chain    # Figure 3: the dynamic-grid Markov chain
+//	gridviz -n 14 -quorum 5  # a write quorum picked for coordinator hint 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"coterie/internal/coterie"
+	"coterie/internal/markov"
+	"coterie/internal/nodeset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gridviz: ")
+	var (
+		n      = flag.Int("n", 14, "number of replicas")
+		chain  = flag.Bool("chain", false, "render the Figure 3 Markov chain instead of the grid")
+		lambda = flag.Float64("lambda", 1, "failure rate (chain mode)")
+		mu     = flag.Float64("mu", 19, "repair rate (chain mode)")
+		quorum = flag.Int("quorum", -1, "also show the write quorum picked for this hint")
+	)
+	flag.Parse()
+	if *n < 1 {
+		log.Fatalf("need at least 1 replica, got %d", *n)
+	}
+
+	if *chain {
+		out, err := (markov.DynamicGridModel{N: *n, Lambda: *lambda, Mu: *mu}).RenderChain()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.WriteString(out)
+		return
+	}
+
+	V := nodeset.Range(1, nodeset.ID(*n+1)) // 1-based names, as in the paper's figures
+	g := coterie.Grid{}
+	os.Stdout.WriteString(g.Render(V))
+
+	if *quorum >= 0 {
+		wq, ok := g.WriteQuorum(V, V, *quorum)
+		if !ok {
+			log.Fatal("no write quorum exists")
+		}
+		rq, _ := g.ReadQuorum(V, V, *quorum)
+		fmt.Printf("\nread quorum (hint %d):  %v  (%d nodes)\n", *quorum, rq, rq.Len())
+		fmt.Printf("write quorum (hint %d): %v  (%d nodes)\n", *quorum, wq, wq.Len())
+	}
+}

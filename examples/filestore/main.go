@@ -1,0 +1,140 @@
+// Filestore: the paper's motivating scenario — a replicated file updated
+// with partial writes. Multiple clients patch disjoint regions through
+// different coordinators; a replica that misses a write is marked stale
+// with a desired version number and brought current asynchronously by the
+// propagation protocol, never blocking the writers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"coterie"
+)
+
+const fileSize = 64
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	initial := make([]byte, fileSize)
+	for i := range initial {
+		initial[i] = '.'
+	}
+	cluster, err := coterie.NewCluster(4, "file", initial, coterie.Options{
+		Replica: coterie.ReplicaConfig{PropagationRetry: 10 * time.Millisecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Four clients patch their own 16-byte regions, each through its local
+	// coordinator. On the 2x2 grid every write quorum is 3 of 4 nodes, so
+	// each write leaves one replica behind — marked stale, then repaired by
+	// propagation.
+	patches := []struct {
+		node coterie.NodeID
+		off  int
+		text string
+	}{
+		{0, 0, "alpha section"},
+		{1, 16, "beta section"},
+		{2, 32, "gamma section"},
+		{3, 48, "delta section"},
+	}
+	for _, p := range patches {
+		version, err := cluster.Coordinator(p.node).Write(ctx, coterie.Update{Offset: p.off, Data: []byte(p.text)})
+		if err != nil {
+			log.Fatalf("patch from %v: %v", p.node, err)
+		}
+		fmt.Printf("%v patched [%2d:%2d) -> version %d\n", p.node, p.off, p.off+len(p.text), version)
+	}
+
+	// A quorum read sees every patch even though no single write touched
+	// all replicas.
+	value, version, err := cluster.Coordinator(0).Read(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfile at version %d:\n%q\n", version, value)
+
+	// Wait for asynchronous propagation to bring every *stale-marked*
+	// replica current. A replica that simply missed a write's quorum (and
+	// was never marked stale) may lawfully lag behind, non-stale at an
+	// older version — the protocol repairs it the next time a write's
+	// quorum touches it, and quorum intersection keeps every read correct
+	// meanwhile.
+	waitNoStale(cluster, 5*time.Second)
+	fmt.Println("\nreplica states after propagation:")
+	report(cluster, version)
+
+	// Demonstrate lazy repair: a lagging replica catches up as soon as a
+	// later write's quorum includes it (it responds with an old version,
+	// gets marked stale, and propagation fixes it). Since every write
+	// quorum here is 3 of 4, *some* replica always trails the latest
+	// write — but laggards rotate rather than starve. Find the current
+	// laggard and run writes until it has moved forward.
+	laggard, lagVersion := slowestReplica(cluster)
+	for round := 0; round < 16; round++ {
+		if _, v := slowestReplica(cluster); v > lagVersion {
+			break
+		}
+		node := coterie.NodeID(round % 4)
+		if _, err := cluster.Coordinator(node).Write(ctx, coterie.Update{Offset: 63, Data: []byte{'!'}}); err != nil {
+			log.Fatal(err)
+		}
+		waitNoStale(cluster, 5*time.Second)
+	}
+	_, version, err = cluster.Coordinator(1).Read(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplica states after more writes (old laggard %v moved past version %d):\n", laggard, lagVersion)
+	report(cluster, version)
+}
+
+// slowestReplica returns the replica with the lowest version.
+func slowestReplica(cluster *coterie.Cluster) (coterie.NodeID, uint64) {
+	var slow coterie.NodeID
+	min := ^uint64(0)
+	for id := coterie.NodeID(0); id < 4; id++ {
+		if st := cluster.Replica(id).State(); st.Version < min {
+			min = st.Version
+			slow = id
+		}
+	}
+	return slow, min
+}
+
+// waitNoStale blocks until no replica carries the stale flag (or timeout).
+func waitNoStale(cluster *coterie.Cluster, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		any := false
+		for id := coterie.NodeID(0); id < 4; id++ {
+			if cluster.Replica(id).State().Stale {
+				any = true
+			}
+		}
+		if !any {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func report(cluster *coterie.Cluster, latest uint64) {
+	for id := coterie.NodeID(0); id < 4; id++ {
+		st := cluster.Replica(id).State()
+		v, _ := cluster.Replica(id).Value()
+		note := ""
+		if !st.Stale && st.Version < latest {
+			note = "  (lagging non-stale: repaired lazily by a future quorum)"
+		}
+		fmt.Printf("  %v: version %d stale=%v bytes=%q%s\n", id, st.Version, st.Stale, v[:13], note)
+	}
+}

@@ -1,0 +1,87 @@
+// Loadsharing: the structured-coterie selling point the epoch mechanism
+// preserves. Requests from different coordinators are served by different
+// quorums (the paper's quorum function takes the node name), so work
+// spreads across the cluster instead of hammering a primary — and with far
+// fewer messages per operation than majority voting on the same cluster.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"coterie"
+)
+
+func run(rule coterie.Rule, label string) {
+	ctx := context.Background()
+	cluster, err := coterie.NewCluster(25, "item", nil, coterie.Options{Rule: rule})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	cluster.Net.ResetStats()
+	const opsPerNode = 8
+	for i := 0; i < opsPerNode; i++ {
+		for id := coterie.NodeID(0); id < 25; id++ {
+			if _, err := cluster.Coordinator(id).Write(ctx, coterie.Update{Offset: int(id), Data: []byte{byte(i)}}); err != nil {
+				log.Fatalf("%s: write from %v: %v", label, id, err)
+			}
+			// Brief pause so asynchronous propagation keeps up; the
+			// message counts then reflect steady state (quorum traffic
+			// plus catch-up propagation) rather than a backlog storm.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// Let the final stale replicas converge before sampling counters.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		stale := false
+		for _, id := range cluster.Members.IDs() {
+			if cluster.Replica(id).State().Stale {
+				stale = true
+				break
+			}
+		}
+		if !stale {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stats := cluster.Net.Stats()
+	load := cluster.Net.Load()
+
+	var counts []int64
+	var min, max, total int64
+	min = 1 << 62
+	ids := cluster.Members.IDs()
+	for _, id := range ids {
+		n := load[id]
+		counts = append(counts, n)
+		total += n
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	writes := int64(25 * opsPerNode)
+	fmt.Printf("%-10s msgs/write=%.1f  served min/median/max per node = %d/%d/%d\n",
+		label, float64(stats.Messages)/float64(writes), min, counts[len(counts)/2], max)
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("200 writes on a 25-node cluster, one coordinator per node")
+	fmt.Println("(message counts include asynchronous catch-up propagation):")
+	fmt.Println()
+	run(coterie.GridRule(), "grid")         // write quorum 2*sqrt(25)-1 = 9
+	run(coterie.MajorityRule(), "majority") // write quorum 13
+	run(coterie.HierarchicalRule(), "hqc")  // quorum ~ 25^0.63 = 8
+	run(coterie.WheelRule(), "wheel")       // quorum 2, but every one hits the hub
+}

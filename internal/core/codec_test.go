@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/replica"
+	"coterie/internal/transport"
+	"coterie/internal/wire"
+)
+
+// codecOptions wires the binary codec into the cluster's network: every
+// request and reply round-trips through wire.Marshal/Unmarshal, proving
+// the full protocol is deployable over a byte-oriented network.
+func codecOptions() Options {
+	opts := fastOptions()
+	opts.Transport = []transport.Option{transport.WithCodec(
+		func(m transport.Message) ([]byte, error) { return wire.Marshal(m) },
+		func(b []byte) (transport.Message, error) { return wire.Unmarshal(b) },
+	)}
+	return opts
+}
+
+func TestClusterOverWireCodec(t *testing.T) {
+	c, err := NewCluster(9, "item", []byte("initial"), codecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := ctxT(t)
+
+	// Writes, reads, failures, epoch changes, propagation — the full
+	// lifecycle, every message crossing the codec boundary.
+	if _, err := c.Coordinator(0).Write(ctx, replica.Update{Offset: 0, Data: []byte("WIRE")}); err != nil {
+		t.Fatal(err)
+	}
+	v, ver, err := c.Coordinator(5).Read(ctx)
+	if err != nil || string(v) != "WIREial" || ver != 1 {
+		t.Fatalf("read %q@%d, %v", v, ver, err)
+	}
+
+	c.Crash(3)
+	if _, err := c.CheckEpoch(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Coordinator(1).Write(ctx, replica.Update{Offset: 7, Data: []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Restart(3)
+	res, err := c.CheckEpoch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Epoch.Equal(c.Members) {
+		t.Fatalf("epoch after rejoin: %+v", res)
+	}
+	waitUntil(t, 5*time.Second, func() bool {
+		st := c.Replica(3).State()
+		return !st.Stale && st.Version == 2
+	}, "propagation never completed over the codec")
+	v3, _ := c.Replica(3).Value()
+	if string(v3) != "WIREial2" {
+		t.Errorf("rejoined value %q", v3)
+	}
+}
+
+func TestGroupOverWireCodec(t *testing.T) {
+	g, err := NewGroup(4, []string{"a", "b"}, map[string][]byte{"a": []byte("A")}, codecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := ctxT(t)
+	if _, err := g.Coordinator("b", 1).Write(ctx, replica.Update{Data: []byte("bee")}); err != nil {
+		t.Fatal(err)
+	}
+	g.Crash(2)
+	if _, err := g.CheckEpochs(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range []string{"a", "b"} {
+		st := g.Replica(item, 0).State()
+		if st.EpochNum != 1 || st.Epoch.Contains(2) {
+			t.Errorf("item %q epoch: %+v", item, st)
+		}
+	}
+}
+
+func TestElectedClusterOverWireCodec(t *testing.T) {
+	ec, err := NewElectedCluster(5, "item", nil, codecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ec.Close()
+	ctx := ctxT(t)
+	leader, err := ec.ElectInitiator(ctx, 0)
+	if err != nil || leader != 4 {
+		t.Fatalf("leader = %v, %v", leader, err)
+	}
+	ec.Crash(1)
+	res, err := ec.CheckEpochElected(ctx)
+	if err != nil || res.Epoch.Contains(1) {
+		t.Fatalf("check: %+v, %v", res, err)
+	}
+	if _, err := ec.Coordinator(0).Write(ctx, replica.Update{Data: []byte("elected-wire")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecSurfacesUnsupportedMessages(t *testing.T) {
+	net := transport.NewNetwork(transport.WithCodec(
+		func(m transport.Message) ([]byte, error) { return wire.Marshal(m) },
+		func(b []byte) (transport.Message, error) { return wire.Unmarshal(b) },
+	))
+	net.Register(0, func(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+		return req, nil
+	})
+	net.Register(1, func(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+		return req, nil
+	})
+	// A non-encodable message must fail loudly, not silently bypass the
+	// wire boundary.
+	if _, err := net.Call(context.Background(), 0, 1, struct{ Oops int }{1}); err == nil {
+		t.Error("unsupported message crossed the codec")
+	}
+	// Encodable messages pass.
+	reply, err := net.Call(context.Background(), 0, 1, replica.StateQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.(replica.StateQuery); !ok {
+		t.Errorf("reply = %#v", reply)
+	}
+}

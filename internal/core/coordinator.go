@@ -1,0 +1,383 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/replica"
+	"coterie/internal/transport"
+)
+
+// Coordinator executes read and write operations on one data item on
+// behalf of a client, following the paper's Section 4 algorithms. A
+// coordinator is co-located with a replica of the item (the paper's "node
+// that initiated the operation"); its cached epoch list seeds quorum
+// selection, and responses carrying later epochs redirect it.
+//
+// A Coordinator is safe for concurrent use.
+type Coordinator struct {
+	item *replica.Item
+	net  *transport.Network
+	all  nodeset.Set // all nodes holding a replica of the item
+	opts Options
+}
+
+// NewCoordinator builds a coordinator around the local replica `item`.
+// all is the full replica set of the item.
+func NewCoordinator(item *replica.Item, net *transport.Network, all nodeset.Set, opts Options) *Coordinator {
+	return &Coordinator{item: item, net: net, all: all.Clone(), opts: opts.withDefaults()}
+}
+
+// Item returns the co-located replica.
+func (c *Coordinator) Item() *replica.Item { return c.item }
+
+// hint derives the quorum-function argument from the operation: primarily
+// the coordinator's name (the paper's quorum function takes the node name
+// so different coordinators draw different quorums) plus the sequence
+// number so one coordinator also rotates across its own operations.
+func hint(op replica.OpID) int {
+	return int(op.Coordinator)*131 + int(op.Seq)
+}
+
+// response pairs a replica's state with its node ID.
+type response struct {
+	node  nodeset.ID
+	state replica.StateReply
+}
+
+// lockRound multicasts a LockRequest to targets and collects the non-failed
+// state replies — the phase-1 "write-request" / read-request round.
+func (c *Coordinator) lockRound(ctx context.Context, op replica.OpID, targets nodeset.Set, mode replica.LockMode) []response {
+	resp, _ := c.lockRoundBusy(ctx, op, targets, mode)
+	return resp
+}
+
+// lockRoundBusy additionally reports the nodes that answered but could not
+// grant the lock in time (handler errors, typically lock contention) —
+// distinct from nodes whose calls failed outright (crashes, partitions).
+func (c *Coordinator) lockRoundBusy(ctx context.Context, op replica.OpID, targets nodeset.Set, mode replica.LockMode) ([]response, nodeset.Set) {
+	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+	defer cancel()
+	results := c.net.Multicast(callCtx, c.item.Self(), targets,
+		replica.Envelope{Item: c.item.Name(), Msg: replica.LockRequest{Op: op, Mode: mode}})
+	var out []response
+	var busy nodeset.Set
+	for id, r := range results {
+		if r.Err != nil {
+			if !errors.Is(r.Err, transport.ErrCallFailed) {
+				busy.Add(id)
+			}
+			continue
+		}
+		if st, ok := r.Reply.(replica.StateReply); ok {
+			out = append(out, response{node: id, state: st})
+		}
+	}
+	return out, busy
+}
+
+// classify analyzes a response set per the paper's write algorithm:
+// the maximum-epoch response, the responder set, the maximum version among
+// non-stale responses, the maximum desired version among stale responses,
+// and the good set (non-stale responders at the maximum version).
+type classification struct {
+	maxEpoch   replica.StateReply
+	responders nodeset.Set
+	maxVersion uint64
+	maxDesired uint64
+	hasGood    bool
+	good       nodeset.Set
+	stale      nodeset.Set
+	// recovering replicas answered but lost their stable state; they are
+	// excluded from every quorum computation (they can no longer witness
+	// past operations) until an epoch change readmits them.
+	recovering nodeset.Set
+	// bestGoodList is the recorded good list from the freshest participant,
+	// used by the safety-threshold extension.
+	bestGoodList nodeset.Set
+	bestGoodVer  uint64
+}
+
+func classify(responses []response) classification {
+	var cl classification
+	for _, r := range responses {
+		if r.state.Recovering {
+			cl.recovering.Add(r.node)
+			continue
+		}
+		cl.responders.Add(r.node)
+		if r.state.EpochNum >= cl.maxEpoch.EpochNum {
+			cl.maxEpoch = r.state
+		}
+		if r.state.Stale {
+			if r.state.Desired > cl.maxDesired {
+				cl.maxDesired = r.state.Desired
+			}
+		} else {
+			if !cl.hasGood || r.state.Version > cl.maxVersion {
+				cl.maxVersion = r.state.Version
+			}
+			cl.hasGood = true
+		}
+		if r.state.GoodVer >= cl.bestGoodVer && !r.state.Good.Empty() {
+			cl.bestGoodVer = r.state.GoodVer
+			cl.bestGoodList = r.state.Good
+		}
+	}
+	for _, r := range responses {
+		if !r.state.Recovering && !r.state.Stale && r.state.Version == cl.maxVersion && cl.hasGood {
+			cl.good.Add(r.node)
+		}
+	}
+	cl.stale = cl.responders.Diff(cl.good)
+	return cl
+}
+
+// currentReachable reports whether the classification proves a current
+// replica was contacted: some good replica exists and no stale responder
+// desires a higher version (paper, Section 4.1's max-dversion test).
+func (cl classification) currentReachable() bool {
+	return cl.hasGood && cl.maxVersion >= cl.maxDesired
+}
+
+// ack sends msg to every member of targets and reports the IDs that
+// acknowledged OK.
+func (c *Coordinator) ackRound(ctx context.Context, targets nodeset.Set, msg any) nodeset.Set {
+	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+	defer cancel()
+	results := c.net.Multicast(callCtx, c.item.Self(), targets, replica.Envelope{Item: c.item.Name(), Msg: msg})
+	var ok nodeset.Set
+	for id, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if ack, isAck := r.Reply.(replica.Ack); isAck && ack.OK {
+			ok.Add(id)
+		}
+	}
+	return ok
+}
+
+// abortAll releases every participant; failures are ignored (leases expire
+// or the termination resolver learns the recorded abort).
+func (c *Coordinator) abortAll(ctx context.Context, op replica.OpID, targets nodeset.Set) {
+	if targets.Empty() {
+		return
+	}
+	c.item.RecordDecision(op, false)
+	c.ackRound(ctx, targets, replica.Abort{Op: op})
+}
+
+// commitAll records the commit decision at the coordinator's replica (the
+// write-ahead step of the termination protocol) and then delivers it,
+// retrying stragglers. It returns the set of participants that
+// acknowledged; the rest resolve through the decision log.
+func (c *Coordinator) commitAll(ctx context.Context, op replica.OpID, targets nodeset.Set) nodeset.Set {
+	c.item.RecordDecision(op, true)
+	committed := nodeset.Set{}
+	remaining := targets.Clone()
+	for attempt := 0; attempt <= c.opts.CommitRetries && !remaining.Empty(); attempt++ {
+		acked := c.ackRound(ctx, remaining, replica.Commit{Op: op})
+		committed = committed.Union(acked)
+		remaining = remaining.Diff(acked)
+	}
+	return committed
+}
+
+// Write performs a partial write on the replicated data item (paper,
+// Section 4.1 and appendix). In the common, failure-free case it contacts
+// only a write quorum drawn from its epoch list; otherwise it falls back to
+// the paper's HeavyProcedure, polling all replicas. On success it returns
+// the version number the write produced.
+func (c *Coordinator) Write(ctx context.Context, u replica.Update) (uint64, error) {
+	if err := u.Validate(); err != nil {
+		return 0, err
+	}
+	op := c.item.NextOp()
+	local := c.item.State()
+
+	quorum, ok := c.opts.Rule.WriteQuorum(local.Epoch, local.Epoch, hint(op))
+	if !ok {
+		// The local epoch list admits no quorum at all (degenerate state);
+		// go heavy immediately.
+		return c.heavyWrite(ctx, op, u, nodeset.Set{})
+	}
+	responses := c.lockRound(ctx, op, quorum, replica.LockWrite)
+	cl := classify(responses)
+	if !cl.responders.Empty() && c.opts.Rule.IsWriteQuorum(cl.maxEpoch.Epoch, cl.responders) && cl.currentReachable() {
+		version, err := c.executeWrite(ctx, op, u, cl)
+		if err == nil {
+			return version, nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			// The commit phase started; retrying could apply the update
+			// twice. Surface the uncertain outcome instead.
+			return 0, err
+		}
+		// Prepare-stage conflict: nothing applied, locks released — fall
+		// through to the heavy procedure, as the paper does when the
+		// atomic action fails.
+	}
+	return c.heavyWrite(ctx, op, u, cl.responders)
+}
+
+// heavyWrite is the paper's HeavyProcedure: request permission from every
+// replica (re-polling is idempotent for nodes already locked by this op),
+// then either execute the write or abort.
+func (c *Coordinator) heavyWrite(ctx context.Context, op replica.OpID, u replica.Update, alreadyLocked nodeset.Set) (uint64, error) {
+	responses := c.lockRound(ctx, op, c.all, replica.LockWrite)
+	cl := classify(responses)
+	release := alreadyLocked.Union(cl.responders)
+	if cl.responders.Empty() ||
+		!c.opts.Rule.IsWriteQuorum(cl.maxEpoch.Epoch, cl.responders) ||
+		!cl.currentReachable() {
+		// "There is no reason to wait for possible epoch change because
+		// such an operation can succeed only if it can obtain a quorum as
+		// well." (paper, Section 4.1)
+		c.abortAll(ctx, op, release)
+		return 0, fmt.Errorf("%w: no write quorum with a current replica (epoch %d)", ErrUnavailable, cl.maxEpoch.EpochNum)
+	}
+	version, err := c.executeWrite(ctx, op, u, cl)
+	if err != nil {
+		c.abortAll(ctx, op, release)
+		return 0, err
+	}
+	// Release any first-round participants that did not respond this round.
+	if leftover := alreadyLocked.Diff(cl.responders); !leftover.Empty() {
+		c.abortAll(ctx, op, leftover)
+	}
+	return version, nil
+}
+
+// executeWrite runs the two-phase commit of a classified write: the good
+// responders apply the update (carrying the stale list for propagation),
+// the remaining responders are marked stale with the desired version the
+// good replicas will reach.
+func (c *Coordinator) executeWrite(ctx context.Context, op replica.OpID, u replica.Update, cl classification) (uint64, error) {
+	newVersion := cl.maxVersion + 1
+	goodSet := cl.good
+
+	prepared := c.ackRound(ctx, goodSet, replica.PrepareUpdate{
+		Op: op, Update: u, NewVersion: newVersion, StaleSet: cl.stale, GoodSet: goodSet,
+	})
+	if !prepared.Equal(goodSet) {
+		c.abortAll(ctx, op, cl.responders)
+		return 0, fmt.Errorf("%w: %d of %d good replicas failed to prepare", ErrConflict, goodSet.Len()-prepared.Len(), goodSet.Len())
+	}
+	if !cl.stale.Empty() {
+		preparedStale := c.ackRound(ctx, cl.stale, replica.PrepareStale{
+			Op: op, Desired: newVersion, GoodSet: goodSet,
+		})
+		if !preparedStale.Equal(cl.stale) {
+			c.abortAll(ctx, op, cl.responders)
+			return 0, fmt.Errorf("%w: stale-marking prepare incomplete", ErrConflict)
+		}
+	}
+	committed := c.commitAll(ctx, op, cl.responders)
+	if !goodSet.Subset(committed) {
+		// The update is not durably applied on the good set; the remaining
+		// prepared participants stay pinned until the decision reaches them
+		// (2PC's blocking window, inherited from [2]).
+		return 0, fmt.Errorf("%w: commit not acknowledged by all good replicas", ErrUnavailable)
+	}
+	c.applySafetyThreshold(ctx, op, u, newVersion, cl)
+	return newVersion, nil
+}
+
+// applySafetyThreshold implements the Section 4.1 extension: when fewer
+// than SafetyThreshold good replicas carry the new value, directly apply
+// the update to additional replicas recorded as good by the previous write.
+// No permission round is needed; a replica refuses if it is not current.
+func (c *Coordinator) applySafetyThreshold(ctx context.Context, op replica.OpID, u replica.Update, newVersion uint64, cl classification) {
+	need := c.opts.SafetyThreshold - cl.good.Len()
+	if c.opts.SafetyThreshold <= 0 || need <= 0 {
+		return
+	}
+	// Candidates: replicas the previous write recorded as good, not already
+	// written, minus stale-marked responders.
+	candidates := cl.bestGoodList.Diff(cl.good).Diff(cl.stale)
+	for _, id := range candidates.IDs() {
+		if need <= 0 {
+			return
+		}
+		callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+		reply, err := c.net.Call(callCtx, c.item.Self(), id, replica.Envelope{
+			Item: c.item.Name(),
+			Msg:  replica.ApplyDirect{Op: op, Update: u, NewVersion: newVersion, GoodSet: cl.good},
+		})
+		cancel()
+		if err == nil {
+			if ack, ok := reply.(replica.Ack); ok && ack.OK {
+				need--
+			}
+		}
+	}
+}
+
+// Read returns the most recent value of the data item (paper: "the read
+// protocol is similar to the write protocol except it does not update any
+// replicas"). It locks a read quorum shared, verifies a current replica
+// answered, fetches the value from it, and releases the locks.
+func (c *Coordinator) Read(ctx context.Context) (value []byte, version uint64, err error) {
+	op := c.item.NextOp()
+	local := c.item.State()
+
+	quorum, ok := c.opts.Rule.ReadQuorum(local.Epoch, local.Epoch, hint(op))
+	if !ok {
+		return c.heavyRead(ctx, op, nodeset.Set{})
+	}
+	responses := c.lockRound(ctx, op, quorum, replica.LockRead)
+	cl := classify(responses)
+	if !cl.responders.Empty() && c.opts.Rule.IsReadQuorum(cl.maxEpoch.Epoch, cl.responders) && cl.currentReachable() {
+		value, version, err = c.fetchBest(ctx, op, cl)
+		c.abortAll(ctx, op, cl.responders)
+		if err == nil {
+			return value, version, nil
+		}
+	}
+	return c.heavyRead(ctx, op, cl.responders)
+}
+
+// heavyRead polls all replicas, mirroring HeavyProcedure for reads.
+func (c *Coordinator) heavyRead(ctx context.Context, op replica.OpID, alreadyLocked nodeset.Set) ([]byte, uint64, error) {
+	responses := c.lockRound(ctx, op, c.all, replica.LockRead)
+	cl := classify(responses)
+	release := alreadyLocked.Union(cl.responders)
+	defer c.abortAll(ctx, op, release)
+	if cl.responders.Empty() ||
+		!c.opts.Rule.IsReadQuorum(cl.maxEpoch.Epoch, cl.responders) ||
+		!cl.currentReachable() {
+		return nil, 0, fmt.Errorf("%w: no read quorum with a current replica (epoch %d)", ErrUnavailable, cl.maxEpoch.EpochNum)
+	}
+	return c.fetchBest(ctx, op, cl)
+}
+
+// fetchBest retrieves the value from a good responder at the maximum
+// version, preferring the local replica to save a round trip.
+func (c *Coordinator) fetchBest(ctx context.Context, op replica.OpID, cl classification) ([]byte, uint64, error) {
+	target, ok := cl.good.Min()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: no current replica in quorum", ErrUnavailable)
+	}
+	if cl.good.Contains(c.item.Self()) {
+		target = c.item.Self()
+	}
+	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+	defer cancel()
+	reply, err := c.net.Call(callCtx, c.item.Self(), target, replica.Envelope{
+		Item: c.item.Name(), Msg: replica.FetchValue{Op: op},
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: value fetch from %v failed", ErrUnavailable, target)
+	}
+	vr, ok := reply.(replica.ValueReply)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: unexpected fetch reply %T", reply)
+	}
+	if vr.Version != cl.maxVersion {
+		return nil, 0, fmt.Errorf("core: fetched version %d, expected %d", vr.Version, cl.maxVersion)
+	}
+	return vr.Value, vr.Version, nil
+}

@@ -1,0 +1,86 @@
+// Package core implements the paper's primary contribution: the general
+// dynamic structured coterie protocol of Section 4 — write and read
+// operations that collect quorums over the *current epoch*, mark
+// unreachable or outdated replicas stale instead of updating them
+// synchronously, and an asynchronous epoch-checking operation that adjusts
+// the epoch to reflect detected failures and repairs.
+//
+// The three pillars (paper, Sections 1 and 4):
+//
+//   - Coterie rule over an ordered set. Quorums are computed from the epoch
+//     list by a deterministic rule (coterie.Rule), not from a static network
+//     layout, so the logical structure follows the epoch.
+//   - Epochs. A new epoch must contain a write quorum of its predecessor and
+//     is installed atomically on all of its members, which makes the current
+//     epoch unique (Lemma 1) and lets any operation that reaches one member
+//     reconstruct the structure.
+//   - Partial writes via stale marking. A write updates the current replicas
+//     it reached and marks the others stale with a desired version number;
+//     good replicas propagate the missing updates asynchronously
+//     (replica.Item's propagation worker), so no synchronous reconciliation
+//     is ever needed and different coordinators can use different quorums.
+package core
+
+import (
+	"errors"
+	"time"
+
+	"coterie/internal/coterie"
+	"coterie/internal/replica"
+	"coterie/internal/transport"
+)
+
+// ErrUnavailable is returned when an operation cannot assemble the quorum
+// and current replica it needs — the paper's "failure" result. The caller
+// may retry after failures heal or after the next epoch change.
+var ErrUnavailable = errors.New("core: data item unavailable")
+
+// ErrConflict is returned when an operation repeatedly lost lock races with
+// concurrent operations. The data may well be available; the caller should
+// back off and retry.
+var ErrConflict = errors.New("core: operation aborted after lock conflicts")
+
+// Options configures coordinators.
+type Options struct {
+	// Rule is the coterie rule imposed on epoch lists. Default: the grid
+	// protocol with the partial-column optimization (coterie.Grid{}).
+	Rule coterie.Rule
+	// CallTimeout bounds each RPC round (phase-1 lock collection, prepare,
+	// commit). Default 2s.
+	CallTimeout time.Duration
+	// CommitRetries is how many times a commit decision is re-sent to a
+	// participant whose ack did not arrive. Default 3.
+	CommitRetries int
+	// SafetyThreshold enables the Section 4.1 extension when > 0: a write
+	// finding fewer than SafetyThreshold good replicas directly applies the
+	// update to additional recorded-good replicas so that at least that
+	// many replicas hold the new value before the write returns.
+	SafetyThreshold int
+	// Replica configures the per-node replica behavior.
+	Replica replica.Config
+	// Transport options are applied to the cluster's network — e.g.
+	// transport.WithCodec to force every message through a wire codec, or
+	// transport.WithLatency to inject delays.
+	Transport []transport.Option
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rule == nil {
+		o.Rule = coterie.Grid{}
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 2 * time.Second
+	}
+	if o.CommitRetries == 0 {
+		o.CommitRetries = 3
+	}
+	if o.Replica.LockLease == 0 {
+		// An unprepared lock hold must survive the slowest possible path
+		// from its phase-1 grant to the prepare that pins it: up to one
+		// full heavy-procedure lock round plus prepare delivery. A lease
+		// at or below CallTimeout expires exactly when a straggler burns
+		// the whole round, aborting healthy writes.
+		o.Replica.LockLease = 4 * o.CallTimeout
+	}
+	return o
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/replica"
+)
+
+// CheckResult reports the outcome of one epoch-checking run.
+type CheckResult struct {
+	// Changed is true when a new epoch was installed.
+	Changed bool
+	// Epoch and EpochNum describe the epoch after the run (installed or
+	// confirmed current).
+	Epoch    nodeset.Set
+	EpochNum uint64
+	// Stale lists the members of the new epoch that were marked stale.
+	Stale nodeset.Set
+}
+
+// CheckEpoch runs one epoch check from this coordinator. It returns
+// ErrUnavailable when the reachable replicas do not include a write quorum
+// of the newest epoch, in which case the epoch (and the data item) stays
+// unavailable until more replicas return.
+func (c *Coordinator) CheckEpoch(ctx context.Context) (CheckResult, error) {
+	// Round 0: lock-free poll of all replicas.
+	states := c.pollAll(ctx)
+	return c.checkEpochFromPoll(ctx, states)
+}
+
+// checkEpochFromPoll continues an epoch check from already-collected poll
+// responses. Grouped epoch management (Group.CheckEpochs) shares one poll
+// round across all items on the same node set and feeds each item's slice
+// of it here.
+func (c *Coordinator) checkEpochFromPoll(ctx context.Context, states []response) (CheckResult, error) {
+	cl := classify(states)
+	if cl.responders.Empty() {
+		return CheckResult{}, fmt.Errorf("%w: no replica reachable", ErrUnavailable)
+	}
+	if cl.responders.Equal(cl.maxEpoch.Epoch) && uniformEpoch(states, cl.maxEpoch.EpochNum) && cl.recovering.Empty() {
+		// No failures detected (every member of the newest epoch answered),
+		// no repairs (nobody outside it answered), and no amnesiac replicas
+		// awaiting readmission: nothing to do.
+		return CheckResult{Epoch: cl.maxEpoch.Epoch, EpochNum: cl.maxEpoch.EpochNum}, nil
+	}
+
+	// A change is needed. Lock the candidate members — the responders plus
+	// any recovering replicas, which join the new epoch as stale members —
+	// and re-validate against their fresh states. Replicas that answered
+	// the poll but could not grant the lock in time are merely busy (e.g.
+	// with an in-flight propagation), not failed — retry the locking phase
+	// a few times before concluding the quorum is gone.
+	op := c.item.NextOp()
+	var locked []response
+	var lcl classification
+	for attempt := 0; ; attempt++ {
+		var busy nodeset.Set
+		locked, busy = c.lockRoundBusy(ctx, op, cl.responders.Union(cl.recovering), replica.LockWrite)
+		lcl = classify(locked)
+		if !lcl.responders.Empty() && c.opts.Rule.IsWriteQuorum(lcl.maxEpoch.Epoch, lcl.responders) {
+			break
+		}
+		c.abortAll(ctx, op, lcl.responders.Union(lcl.recovering))
+		if busy.Empty() || attempt >= 2 || ctx.Err() != nil {
+			return CheckResult{}, fmt.Errorf("%w: reachable replicas hold no write quorum of epoch %d",
+				ErrUnavailable, lcl.maxEpoch.EpochNum)
+		}
+	}
+	release := lcl.responders.Union(lcl.recovering)
+	newEpoch := lcl.responders.Union(lcl.recovering)
+	if newEpoch.Equal(lcl.maxEpoch.Epoch) && uniformEpoch(locked, lcl.maxEpoch.EpochNum) && lcl.recovering.Empty() {
+		// The anomaly healed while we were locking.
+		c.abortAll(ctx, op, release)
+		return CheckResult{Epoch: lcl.maxEpoch.Epoch, EpochNum: lcl.maxEpoch.EpochNum}, nil
+	}
+	if !lcl.currentReachable() {
+		// No replica provably current among the candidates ("if
+		// max-version >= max-dversion" in the paper's CheckEpoch): leave
+		// the epoch alone; a later check may reach the current replica.
+		c.abortAll(ctx, op, release)
+		return CheckResult{}, fmt.Errorf("%w: no current replica among reachable ones", ErrUnavailable)
+	}
+
+	newNum := lcl.maxEpoch.EpochNum + 1
+	staleSet := newEpoch.Diff(lcl.good)
+	prepared := c.ackRound(ctx, newEpoch, replica.PrepareEpoch{
+		Op: op, Epoch: newEpoch, EpochNum: newNum, Good: lcl.good, MaxVersion: lcl.maxVersion,
+	})
+	if !prepared.Equal(newEpoch) {
+		c.abortAll(ctx, op, release)
+		return CheckResult{}, fmt.Errorf("%w: epoch prepare incomplete (%d/%d)", ErrConflict, prepared.Len(), newEpoch.Len())
+	}
+	committed := c.commitAll(ctx, op, newEpoch)
+	if !c.opts.Rule.IsWriteQuorum(newEpoch, committed) {
+		// Not enough members adopted the epoch for it to be recognized;
+		// stragglers hold pinned locks until the decision reaches them.
+		return CheckResult{}, fmt.Errorf("%w: epoch commit incomplete", ErrUnavailable)
+	}
+	return CheckResult{Changed: true, Epoch: newEpoch, EpochNum: newNum, Stale: staleSet}, nil
+}
+
+// pollAll sends a lock-free StateQuery to every replica holder.
+func (c *Coordinator) pollAll(ctx context.Context) []response {
+	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+	defer cancel()
+	results := c.net.Multicast(callCtx, c.item.Self(), c.all,
+		replica.Envelope{Item: c.item.Name(), Msg: replica.StateQuery{}})
+	var out []response
+	for id, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if st, ok := r.Reply.(replica.StateReply); ok {
+			out = append(out, response{node: id, state: st})
+		}
+	}
+	return out
+}
+
+// uniformEpoch reports whether every response carries the given epoch
+// number.
+func uniformEpoch(responses []response, num uint64) bool {
+	for _, r := range responses {
+		if r.state.EpochNum != num {
+			return false
+		}
+	}
+	return true
+}

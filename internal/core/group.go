@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/replica"
+	"coterie/internal/transport"
+)
+
+// Group is a set of nodes replicating several data items together. Reads
+// and writes remain per item, but epoch management is amortized over the
+// whole group: one lock-free poll round covers every item, and only items
+// whose membership view actually changed pay for the locked epoch-change
+// rounds (paper, Section 2: "the epoch management can be done per this
+// whole group of data... the overhead is amortized over several data
+// items, whereas if epoch management is bundled with writes it must be
+// done separately for each data item").
+type Group struct {
+	Net     *transport.Network
+	Members nodeset.Set
+	Items   []string
+	opts    Options
+
+	nodes  map[nodeset.ID]*replica.Node
+	coords map[string]map[nodeset.ID]*Coordinator
+}
+
+// NewGroup creates n nodes, each replicating every named item. initial
+// maps item names to initial values (missing entries start empty).
+func NewGroup(n int, items []string, initial map[string][]byte, opts Options) (*Group, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: group needs at least one node, got %d", n)
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("core: group needs at least one item")
+	}
+	seen := make(map[string]bool, len(items))
+	for _, item := range items {
+		if seen[item] {
+			return nil, fmt.Errorf("core: duplicate item %q", item)
+		}
+		seen[item] = true
+	}
+	g := &Group{
+		Net:     transport.NewNetwork(opts.withDefaults().Transport...),
+		Members: nodeset.Range(0, nodeset.ID(n)),
+		Items:   append([]string(nil), items...),
+		opts:    opts.withDefaults(),
+		nodes:   make(map[nodeset.ID]*replica.Node),
+		coords:  make(map[string]map[nodeset.ID]*Coordinator),
+	}
+	sort.Strings(g.Items)
+	for _, item := range g.Items {
+		g.coords[item] = make(map[nodeset.ID]*Coordinator)
+	}
+	for _, id := range g.Members.IDs() {
+		node := replica.NewNode(id, g.Net, g.opts.Replica)
+		g.nodes[id] = node
+		for _, item := range g.Items {
+			it, err := node.AddItem(item, g.Members, initial[item])
+			if err != nil {
+				return nil, err
+			}
+			g.coords[item][id] = NewCoordinator(it, g.Net, g.Members, g.opts)
+		}
+	}
+	return g, nil
+}
+
+// Coordinator returns the coordinator for item co-located with node id.
+func (g *Group) Coordinator(item string, id nodeset.ID) *Coordinator {
+	return g.coords[item][id]
+}
+
+// Replica returns node id's replica of item.
+func (g *Group) Replica(item string, id nodeset.ID) *replica.Item {
+	n := g.nodes[id]
+	if n == nil {
+		return nil
+	}
+	return n.Item(item)
+}
+
+// Crash fails a node for every item it replicates.
+func (g *Group) Crash(id nodeset.ID) { g.Net.Crash(id) }
+
+// Restart revives a node.
+func (g *Group) Restart(id nodeset.ID) { g.Net.Restart(id) }
+
+// UpMembers returns the reachable members.
+func (g *Group) UpMembers() nodeset.Set { return g.Net.UpNodes().Intersect(g.Members) }
+
+// CheckEpochs runs one amortized epoch check over the whole group from the
+// given initiator: a single GroupStateQuery round polls every item's state
+// on every node, and items whose view changed run their (per-item) epoch
+// change. It returns per-item results; items that failed their change get
+// a nil entry and contribute to err (the last failure).
+func (g *Group) CheckEpochs(ctx context.Context, initiator nodeset.ID) (map[string]CheckResult, error) {
+	node := g.nodes[initiator]
+	if node == nil {
+		return nil, fmt.Errorf("core: unknown initiator %v", initiator)
+	}
+	callCtx, cancel := context.WithTimeout(ctx, g.opts.CallTimeout)
+	results := g.Net.Multicast(callCtx, initiator, g.Members, replica.GroupStateQuery{})
+	cancel()
+
+	// Slice the group poll per item.
+	perItem := make(map[string][]response, len(g.Items))
+	for id, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		gr, ok := r.Reply.(replica.GroupStateReply)
+		if !ok {
+			continue
+		}
+		for item, st := range gr.States {
+			perItem[item] = append(perItem[item], response{node: id, state: st})
+		}
+	}
+
+	out := make(map[string]CheckResult, len(g.Items))
+	var firstErr error
+	for _, item := range g.Items {
+		co := g.coords[item][initiator]
+		res, err := co.checkEpochFromPoll(ctx, perItem[item])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: item %q: %w", item, err)
+			}
+			continue
+		}
+		out[item] = res
+	}
+	return out, firstErr
+}
+
+// Close stops every node's background work.
+func (g *Group) Close() {
+	for _, n := range g.nodes {
+		n.Close()
+	}
+}

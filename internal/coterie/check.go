@@ -1,0 +1,81 @@
+package coterie
+
+import (
+	"fmt"
+
+	"coterie/internal/nodeset"
+)
+
+// CheckIntersection exhaustively verifies the coterie intersection
+// properties of a rule over V: no two disjoint sets may both include write
+// quorums, and no read quorum may be disjoint from a write quorum. Because
+// the quorum predicates are monotone, it suffices to check every subset S
+// of V against its complement V∖S. The check is exponential in |V| and is
+// intended for tests with |V| ≲ 16.
+func CheckIntersection(r Rule, V nodeset.Set) error {
+	ids := V.IDs()
+	n := len(ids)
+	if n > 24 {
+		return fmt.Errorf("coterie: CheckIntersection limited to 24 nodes, got %d", n)
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		var s nodeset.Set
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s.Add(ids[i])
+			}
+		}
+		comp := V.Diff(s)
+		if r.IsWriteQuorum(V, s) && r.IsWriteQuorum(V, comp) {
+			return fmt.Errorf("coterie %s: disjoint write quorums within %v and %v", r.Name(), s, comp)
+		}
+		if r.IsReadQuorum(V, s) && r.IsWriteQuorum(V, comp) {
+			return fmt.Errorf("coterie %s: read quorum %v disjoint from write quorum in %v", r.Name(), s, comp)
+		}
+	}
+	return nil
+}
+
+// CheckMonotone verifies on random supersets that the quorum predicates are
+// monotone: if S includes a quorum, so does any superset. The protocols
+// depend on monotonicity — a coordinator that collects more responses than
+// a minimal quorum must still be recognized as holding one.
+func CheckMonotone(r Rule, V, S nodeset.Set) error {
+	if !S.Subset(V) {
+		S = S.Intersect(V)
+	}
+	grown := S.Union(V) // maximal superset within V
+	if r.IsReadQuorum(V, S) && !r.IsReadQuorum(V, grown) {
+		return fmt.Errorf("coterie %s: read predicate not monotone at %v", r.Name(), S)
+	}
+	if r.IsWriteQuorum(V, S) && !r.IsWriteQuorum(V, grown) {
+		return fmt.Errorf("coterie %s: write predicate not monotone at %v", r.Name(), S)
+	}
+	return nil
+}
+
+// CheckConstruction verifies that the quorums a rule constructs from avail
+// actually satisfy the corresponding predicates and stay within avail ∩ V.
+func CheckConstruction(r Rule, V, avail nodeset.Set, hint int) error {
+	if q, ok := r.ReadQuorum(V, avail, hint); ok {
+		if !q.Subset(avail.Intersect(V)) {
+			return fmt.Errorf("coterie %s: read quorum %v escapes avail∩V", r.Name(), q)
+		}
+		if !r.IsReadQuorum(V, q) {
+			return fmt.Errorf("coterie %s: constructed read quorum %v rejected by predicate", r.Name(), q)
+		}
+	} else if r.IsReadQuorum(V, avail) {
+		return fmt.Errorf("coterie %s: read quorum exists in %v but construction failed", r.Name(), avail)
+	}
+	if q, ok := r.WriteQuorum(V, avail, hint); ok {
+		if !q.Subset(avail.Intersect(V)) {
+			return fmt.Errorf("coterie %s: write quorum %v escapes avail∩V", r.Name(), q)
+		}
+		if !r.IsWriteQuorum(V, q) {
+			return fmt.Errorf("coterie %s: constructed write quorum %v rejected by predicate", r.Name(), q)
+		}
+	} else if r.IsWriteQuorum(V, avail) {
+		return fmt.Errorf("coterie %s: write quorum exists in %v but construction failed", r.Name(), avail)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Package coterie implements coterie rules: deterministic functions that,
+// given an arbitrary ordered set of nodes V, decide whether a set S includes
+// a read or write quorum over V, and that construct concrete quorums.
+//
+// A coterie over V (paper, Section 3) is a pair of antichains W (write
+// quorums) and R (read quorums) of subsets of V such that any two write
+// quorums intersect and any read quorum intersects any write quorum. The
+// dynamic protocols in this module never enumerate coteries explicitly;
+// they rely on a coterie rule — coterie-rule(V, S) in the paper — evaluated
+// against the current epoch list, plus a quorum function that yields a
+// concrete quorum for a coordinator (paper, Section 4).
+//
+// Implementations provided:
+//
+//   - Grid: the grid protocol of Cheung, Ammar and Ahamad (paper, Section 5),
+//     including the Neuman partial-column optimization.
+//   - Majority: Gifford-style voting with one vote per node.
+//   - Hierarchical: Kumar's hierarchical quorum consensus over a ternary tree.
+//   - ROWA: read-one/write-all.
+//
+// All rules are pure and deterministic: every node evaluating a rule against
+// the same epoch list V reaches the same conclusions, which is what lets the
+// epoch mechanism re-impose logical structure after membership changes.
+package coterie
+
+import "coterie/internal/nodeset"
+
+// Rule decides quorum membership over an arbitrary ordered node set and
+// constructs concrete quorums. Implementations must be deterministic
+// functions of their arguments.
+//
+// For both predicates, S is interpreted as S ∩ V: members of S outside V
+// never help form a quorum.
+type Rule interface {
+	// Name identifies the rule, e.g. "grid".
+	Name() string
+
+	// IsReadQuorum reports whether S includes a read quorum over V.
+	IsReadQuorum(V, S nodeset.Set) bool
+
+	// IsWriteQuorum reports whether S includes a write quorum over V.
+	IsWriteQuorum(V, S nodeset.Set) bool
+
+	// ReadQuorum returns a read quorum over V drawn from avail ∩ V.
+	// hint selects among alternative quorums for load sharing (the paper's
+	// quorum function takes the coordinator's node name; callers typically
+	// pass a value derived from it). Returns ok=false if avail contains no
+	// read quorum.
+	ReadQuorum(V, avail nodeset.Set, hint int) (q nodeset.Set, ok bool)
+
+	// WriteQuorum is ReadQuorum's analogue for write quorums.
+	WriteQuorum(V, avail nodeset.Set, hint int) (q nodeset.Set, ok bool)
+}
+
+// positiveMod returns x mod m in [0, m), for m > 0.
+func positiveMod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

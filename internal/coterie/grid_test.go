@@ -1,0 +1,378 @@
+package coterie
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coterie/internal/nodeset"
+)
+
+func TestDefineGrid(t *testing.T) {
+	cases := []struct {
+		n       int
+		m, cols int
+		b       int
+	}{
+		{1, 1, 1, 0},
+		{2, 1, 2, 0},
+		{3, 2, 2, 1}, // the paper's Figure 2 grid
+		{4, 2, 2, 0},
+		{5, 2, 3, 1},
+		{6, 2, 3, 0},
+		{7, 3, 3, 2},
+		{9, 3, 3, 0},
+		{12, 3, 4, 0},
+		{14, 4, 4, 2}, // the paper's Figure 1 grid
+		{15, 4, 4, 1},
+		{16, 4, 4, 0},
+		{20, 4, 5, 0},
+		{24, 5, 5, 1},
+		{30, 5, 6, 0},
+		{100, 10, 10, 0},
+	}
+	for _, c := range cases {
+		g := DefineGrid(c.n)
+		if g.M != c.m || g.N != c.cols || g.B != c.b {
+			t.Errorf("DefineGrid(%d) = %v, want %dx%d(-%d)", c.n, g, c.m, c.cols, c.b)
+		}
+	}
+}
+
+func TestDefineGridInvariants(t *testing.T) {
+	for n := 1; n <= 2000; n++ {
+		g := DefineGrid(n)
+		if g.Positions() != n {
+			t.Fatalf("N=%d: positions %d != N", n, g.Positions())
+		}
+		if g.B >= g.N {
+			t.Fatalf("N=%d: b=%d >= columns=%d", n, g.B, g.N)
+		}
+		if g.M > g.N || g.N-g.M > 1 {
+			t.Fatalf("N=%d: dims %dx%d not near-square with m<=n", n, g.M, g.N)
+		}
+		if g.M*g.N < n {
+			t.Fatalf("N=%d: grid %v too small", n, g)
+		}
+		// Write quorum size m+n should be near the 2*sqrt(N) optimum.
+		if float64(g.M+g.N) > 2*math.Sqrt(float64(n))+2 {
+			t.Fatalf("N=%d: m+n=%d far from 2sqrt(N)", n, g.M+g.N)
+		}
+	}
+}
+
+func TestDefineGridNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if g := DefineGrid(n); g != (GridShape{}) {
+			t.Errorf("DefineGrid(%d) = %v, want zero", n, g)
+		}
+	}
+}
+
+func TestColumnHeight(t *testing.T) {
+	g := DefineGrid(14) // 4x4 with 2 unoccupied in columns 3,4 of the bottom row
+	want := []int{4, 4, 3, 3}
+	for j := 1; j <= 4; j++ {
+		if h := g.ColumnHeight(j); h != want[j-1] {
+			t.Errorf("ColumnHeight(%d) = %d, want %d", j, h, want[j-1])
+		}
+	}
+	if g.ColumnHeight(0) != 0 || g.ColumnHeight(5) != 0 {
+		t.Error("ColumnHeight out of range != 0")
+	}
+}
+
+func TestGridShapeString(t *testing.T) {
+	if s := DefineGrid(9).String(); s != "3x3" {
+		t.Errorf("String = %q", s)
+	}
+	if s := DefineGrid(3).String(); s != "2x2(-1)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// figure1 is the paper's 14-node universe, named 1..14 as in Figure 1.
+func figure1() nodeset.Set { return nodeset.Range(1, 15) }
+
+func TestGridPosition(t *testing.T) {
+	V := figure1()
+	g := Grid{}
+	cases := []struct {
+		id       nodeset.ID
+		row, col int
+	}{
+		{1, 1, 1}, {2, 1, 2}, {4, 1, 4}, {5, 2, 1}, {11, 3, 3}, {13, 4, 1}, {14, 4, 2},
+	}
+	for _, c := range cases {
+		row, col, ok := g.Position(V, c.id)
+		if !ok || row != c.row || col != c.col {
+			t.Errorf("Position(%v) = (%d,%d,%v), want (%d,%d)", c.id, row, col, ok, c.row, c.col)
+		}
+	}
+	if _, _, ok := g.Position(V, 99); ok {
+		t.Error("Position of non-member ok")
+	}
+}
+
+// TestPaperFigure1WriteQuorum reproduces the paper's worked example: over
+// the 14-node grid, {1, 6, 3, 7, 11, 4} is a write quorum because {1,6,3,4}
+// covers every column and {3,7,11} covers all physical nodes of column 3.
+func TestPaperFigure1WriteQuorum(t *testing.T) {
+	V := figure1()
+	g := Grid{}
+	q := nodeset.New(1, 6, 3, 7, 11, 4)
+	if !g.IsWriteQuorum(V, q) {
+		t.Fatalf("paper example %v not a write quorum", q)
+	}
+	if !g.IsReadQuorum(V, q) {
+		t.Fatalf("paper example %v not a read quorum", q)
+	}
+	// Without node 11 the column is no longer fully covered.
+	q.Remove(11)
+	if g.IsWriteQuorum(V, q) {
+		t.Fatalf("%v should not be a write quorum", q)
+	}
+	if !g.IsReadQuorum(V, q) {
+		t.Fatalf("%v should still be a read quorum", q)
+	}
+	// Dropping the only column-2 representative kills the read quorum too.
+	q.Remove(6)
+	if g.IsReadQuorum(V, q) {
+		t.Fatalf("%v should not be a read quorum", q)
+	}
+}
+
+// TestStrictGridFigure2 checks the paper's Figure 2 claim: in the N = 3
+// grid, under the pre-optimization (strict) rule all three nodes are needed
+// to collect a write quorum.
+func TestStrictGridFigure2(t *testing.T) {
+	V := nodeset.Range(1, 4)
+	strict := Grid{Strict: true}
+	for mask := 0; mask < 8; mask++ {
+		var s nodeset.Set
+		for i := 0; i < 3; i++ {
+			if mask&(1<<i) != 0 {
+				s.Add(nodeset.ID(i + 1))
+			}
+		}
+		got := strict.IsWriteQuorum(V, s)
+		want := s.Len() == 3
+		if got != want {
+			t.Errorf("strict IsWriteQuorum(%v) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// TestOptimizedGridN3 checks the Neuman optimization on the N = 3 grid:
+// node 2 alone fills column 2, so {1,2} and {2,3} are write quorums while
+// {1,3} is not.
+func TestOptimizedGridN3(t *testing.T) {
+	V := nodeset.Range(1, 4)
+	g := Grid{}
+	if !g.IsWriteQuorum(V, nodeset.New(1, 2)) {
+		t.Error("{1,2} should be a write quorum with the partial-column optimization")
+	}
+	if !g.IsWriteQuorum(V, nodeset.New(2, 3)) {
+		t.Error("{2,3} should be a write quorum")
+	}
+	if g.IsWriteQuorum(V, nodeset.New(1, 3)) {
+		t.Error("{1,3} lacks a column-2 representative")
+	}
+	if g.IsWriteQuorum(V, nodeset.New(2)) {
+		t.Error("{2} alone covers no column-1 representative")
+	}
+}
+
+func TestGridEmptyUniverse(t *testing.T) {
+	g := Grid{}
+	var V nodeset.Set
+	if g.IsReadQuorum(V, nodeset.New(1)) || g.IsWriteQuorum(V, nodeset.New(1)) {
+		t.Error("quorum over empty universe")
+	}
+	if _, ok := g.ReadQuorum(V, nodeset.New(1), 0); ok {
+		t.Error("ReadQuorum over empty universe ok")
+	}
+	if _, ok := g.WriteQuorum(V, nodeset.New(1), 0); ok {
+		t.Error("WriteQuorum over empty universe ok")
+	}
+}
+
+func TestGridMembersOutsideVIgnored(t *testing.T) {
+	V := nodeset.Range(0, 9)
+	g := Grid{}
+	// Enough foreign nodes to look like a quorum by count, but only one is in V.
+	s := nodeset.New(0, 100, 101, 102, 103, 104)
+	if g.IsReadQuorum(V, s) {
+		t.Error("foreign nodes counted toward read quorum")
+	}
+}
+
+func TestGridQuorumSizes(t *testing.T) {
+	// For a perfect square N the read quorum has sqrt(N) members and the
+	// write quorum 2*sqrt(N)-1 (paper, Section 1).
+	for _, n := range []int{4, 9, 16, 25, 36, 49} {
+		V := nodeset.Range(0, nodeset.ID(n))
+		g := Grid{}
+		root := int(math.Sqrt(float64(n)))
+		rq, ok := g.ReadQuorum(V, V, 0)
+		if !ok || rq.Len() != root {
+			t.Errorf("N=%d: read quorum %v (len %d), want %d", n, rq, rq.Len(), root)
+		}
+		wq, ok := g.WriteQuorum(V, V, 0)
+		if !ok || wq.Len() != 2*root-1 {
+			t.Errorf("N=%d: write quorum len %d, want %d", n, wq.Len(), 2*root-1)
+		}
+	}
+}
+
+func TestGridWriteQuorumUnderFailures(t *testing.T) {
+	V := nodeset.Range(0, 9) // 3x3
+	g := Grid{}
+	// Fail one node: a write quorum must avoid it.
+	for _, down := range V.IDs() {
+		avail := V.Clone()
+		avail.Remove(down)
+		q, ok := g.WriteQuorum(V, avail, 3)
+		if !ok {
+			t.Fatalf("no write quorum with only %v down", down)
+		}
+		if q.Contains(down) {
+			t.Fatalf("write quorum %v contains down node %v", q, down)
+		}
+		if !g.IsWriteQuorum(V, q) {
+			t.Fatalf("constructed quorum %v invalid", q)
+		}
+	}
+	// Fail a full column (0,3,6): no write quorum exists — and no read quorum.
+	avail := V.Diff(nodeset.New(0, 3, 6))
+	if _, ok := g.WriteQuorum(V, avail, 0); ok {
+		t.Error("write quorum despite dead column")
+	}
+	if _, ok := g.ReadQuorum(V, avail, 0); ok {
+		t.Error("read quorum despite dead column")
+	}
+}
+
+func TestGridHintSpreadsLoad(t *testing.T) {
+	V := nodeset.Range(0, 9)
+	g := Grid{}
+	seen := map[string]bool{}
+	for hint := 0; hint < 9; hint++ {
+		q, ok := g.WriteQuorum(V, V, hint)
+		if !ok {
+			t.Fatal("no quorum")
+		}
+		seen[q.String()] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("only %d distinct write quorums across hints, want >= 3", len(seen))
+	}
+}
+
+func TestGridIntersectionProperty(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 9, 12, 14} {
+		V := nodeset.Range(0, nodeset.ID(n))
+		for _, g := range []Rule{Grid{}, Grid{Strict: true}} {
+			if err := CheckIntersection(g, V); err != nil {
+				t.Errorf("N=%d: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestGridConstructionMatchesPredicate(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(20)
+		V := nodeset.Range(0, nodeset.ID(n))
+		var avail nodeset.Set
+		for _, id := range V.IDs() {
+			if r.Intn(100) < 70 {
+				avail.Add(id)
+			}
+		}
+		if err := CheckConstruction(Grid{}, V, avail, r.Int()); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckMonotone(Grid{}, V, avail); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: a strict write quorum is always an optimized write quorum
+// (the optimization only enlarges the set of quorums).
+func TestQuickStrictImpliesOptimized(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(16)
+		V := nodeset.Range(0, nodeset.ID(n))
+		var s nodeset.Set
+		for _, id := range V.IDs() {
+			if r.Intn(2) == 0 {
+				s.Add(id)
+			}
+		}
+		strict := Grid{Strict: true}
+		opt := Grid{}
+		if strict.IsWriteQuorum(V, s) && !opt.IsWriteQuorum(V, s) {
+			return false
+		}
+		// A write quorum is always a read quorum in the grid protocol.
+		if opt.IsWriteQuorum(V, s) && !opt.IsReadQuorum(V, s) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quorums constructed over sparse universes (non-contiguous IDs)
+// behave identically to dense ones — the rule depends only on order.
+func TestQuickOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		dense := nodeset.Range(0, nodeset.ID(n))
+		// Sparse universe with the same cardinality.
+		var sparse nodeset.Set
+		next := 0
+		for i := 0; i < n; i++ {
+			next += 1 + r.Intn(10)
+			sparse.Add(nodeset.ID(next))
+		}
+		sparseIDs := sparse.IDs()
+		// Random subset, mapped across both universes by position.
+		var sd, ss nodeset.Set
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				sd.Add(nodeset.ID(i))
+				ss.Add(sparseIDs[i])
+			}
+		}
+		g := Grid{}
+		return g.IsWriteQuorum(dense, sd) == g.IsWriteQuorum(sparse, ss) &&
+			g.IsReadQuorum(dense, sd) == g.IsReadQuorum(sparse, ss)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridRender(t *testing.T) {
+	out := Grid{}.Render(figure1())
+	if !strings.Contains(out, "4x4(-2)") {
+		t.Errorf("Render missing shape: %q", out)
+	}
+	if !strings.Contains(out, "--") {
+		t.Errorf("Render missing unoccupied marker: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Errorf("Render produced %d lines, want 5", len(lines))
+	}
+}

@@ -1,0 +1,144 @@
+package coterie
+
+import "coterie/internal/nodeset"
+
+// Hierarchical is Kumar's hierarchical quorum consensus (paper, reference
+// [10]) — the other structured coterie protocol the paper cites. The nodes
+// of V, in increasing name order, are the leaves of a balanced tree with
+// branching factor Degree (default 3); at each internal node the leaf range
+// splits into near-equal contiguous parts. A quorum at an internal node is
+// a majority of child quorums; a quorum at a leaf is the leaf's node.
+//
+// Read and write quorums coincide in basic HQC; for |V| = 3^k the quorum
+// size is |V|^0.63, between the grid's √N reads and 2√N−1 writes. Because
+// majorities of majorities intersect level by level, any two quorums
+// intersect, so the rule forms a coterie.
+type Hierarchical struct {
+	// Degree is the branching factor; values < 2 select the default of 3.
+	Degree int
+}
+
+var _ Rule = Hierarchical{}
+
+// Name implements Rule.
+func (h Hierarchical) Name() string { return "hierarchical" }
+
+func (h Hierarchical) degree() int {
+	if h.Degree < 2 {
+		return 3
+	}
+	return h.Degree
+}
+
+// children splits the leaf range [lo, hi) into at most Degree near-equal
+// contiguous parts and returns their boundaries.
+func (h Hierarchical) children(lo, hi int) []int {
+	n := hi - lo
+	d := h.degree()
+	if d > n {
+		d = n
+	}
+	bounds := make([]int, 0, d+1)
+	for c := 0; c <= d; c++ {
+		bounds = append(bounds, lo+c*n/d)
+	}
+	return bounds
+}
+
+// hasQuorum reports whether present (indexed by leaf position) contains a
+// quorum of the subtree spanning leaf positions [lo, hi).
+func (h Hierarchical) hasQuorum(present []bool, lo, hi int) bool {
+	if hi-lo == 1 {
+		return present[lo]
+	}
+	bounds := h.children(lo, hi)
+	k := len(bounds) - 1
+	got := 0
+	for c := 0; c < k; c++ {
+		if h.hasQuorum(present, bounds[c], bounds[c+1]) {
+			got++
+		}
+	}
+	return got >= k/2+1
+}
+
+// IsReadQuorum implements Rule.
+func (h Hierarchical) IsReadQuorum(V, S nodeset.Set) bool {
+	n := V.Len()
+	if n == 0 {
+		return false
+	}
+	present := make([]bool, n)
+	for _, id := range S.Intersect(V).IDs() {
+		k, _ := V.OrderedNumber(id)
+		present[k-1] = true
+	}
+	return h.hasQuorum(present, 0, n)
+}
+
+// IsWriteQuorum implements Rule. Basic HQC uses the same quorums for reads
+// and writes.
+func (h Hierarchical) IsWriteQuorum(V, S nodeset.Set) bool {
+	return h.IsReadQuorum(V, S)
+}
+
+// buildQuorum assembles a quorum of the subtree [lo, hi) from available
+// leaves, rotating child preference by hint for load sharing. It appends
+// chosen leaf positions to q and reports success. Because it tries every
+// child, it finds a quorum exactly when one exists.
+func (h Hierarchical) buildQuorum(avail []bool, lo, hi, hint int, q *[]int) bool {
+	if hi-lo == 1 {
+		if !avail[lo] {
+			return false
+		}
+		*q = append(*q, lo)
+		return true
+	}
+	bounds := h.children(lo, hi)
+	k := len(bounds) - 1
+	need := k/2 + 1
+	got := 0
+	for i := 0; i < k && got < need; i++ {
+		c := positiveMod(hint+i, k)
+		mark := len(*q)
+		if h.buildQuorum(avail, bounds[c], bounds[c+1], hint/k, q) {
+			got++
+		} else {
+			*q = (*q)[:mark]
+		}
+	}
+	return got >= need
+}
+
+// quorum constructs a concrete quorum from avail ∩ V.
+func (h Hierarchical) quorum(V, avail nodeset.Set, hint int) (nodeset.Set, bool) {
+	n := V.Len()
+	if n == 0 {
+		return nodeset.Set{}, false
+	}
+	leaves := make([]bool, n)
+	for _, id := range avail.Intersect(V).IDs() {
+		k, _ := V.OrderedNumber(id)
+		leaves[k-1] = true
+	}
+	var picks []int
+	if !h.buildQuorum(leaves, 0, n, hint, &picks) {
+		return nodeset.Set{}, false
+	}
+	var q nodeset.Set
+	for _, p := range picks {
+		id, _ := V.Nth(p + 1)
+		q.Add(id)
+	}
+	return q, true
+}
+
+// ReadQuorum implements Rule.
+func (h Hierarchical) ReadQuorum(V, avail nodeset.Set, hint int) (nodeset.Set, bool) {
+	return h.quorum(V, avail, hint)
+}
+
+// WriteQuorum implements Rule.
+func (h Hierarchical) WriteQuorum(V, avail nodeset.Set, hint int) (nodeset.Set, bool) {
+	return h.quorum(V, avail, hint)
+}

@@ -1,0 +1,83 @@
+package coterie
+
+import "coterie/internal/nodeset"
+
+// Majority is the voting coterie rule with one vote per node (Gifford's
+// weighted voting in its simplest configuration, paper Section 1). For a
+// node set V of size n it requires
+//
+//	write quorum: ⌊n/2⌋ + 1 nodes
+//	read quorum:  n + 1 − writeQuorum nodes
+//
+// so any two write quorums intersect and any read quorum intersects any
+// write quorum. ReadFraction can skew the split toward cheaper reads: the
+// write threshold becomes max(⌊n/2⌋+1, n+1−r) for a read threshold r.
+type Majority struct {
+	// ReadQuorumSize, if positive, fixes the read threshold for a set of
+	// size n to min(ReadQuorumSize, n); the write threshold adjusts to
+	// keep the intersection property. Zero selects the balanced split.
+	ReadQuorumSize int
+}
+
+var _ Rule = Majority{}
+
+// Name implements Rule.
+func (m Majority) Name() string { return "majority" }
+
+// Thresholds returns the read and write quorum sizes for a set of n nodes.
+func (m Majority) Thresholds(n int) (read, write int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	write = n/2 + 1
+	read = n + 1 - write
+	if m.ReadQuorumSize > 0 {
+		read = m.ReadQuorumSize
+		if read > n {
+			read = n
+		}
+		if w := n + 1 - read; w > write {
+			write = w
+		}
+	}
+	return read, write
+}
+
+// IsReadQuorum implements Rule.
+func (m Majority) IsReadQuorum(V, S nodeset.Set) bool {
+	r, _ := m.Thresholds(V.Len())
+	return r > 0 && S.Intersect(V).Len() >= r
+}
+
+// IsWriteQuorum implements Rule.
+func (m Majority) IsWriteQuorum(V, S nodeset.Set) bool {
+	_, w := m.Thresholds(V.Len())
+	return w > 0 && S.Intersect(V).Len() >= w
+}
+
+// pick returns size members of avail ∩ V starting at a hint-dependent
+// offset, wrapping around, for load sharing.
+func pickRotated(V, avail nodeset.Set, size, hint int) (nodeset.Set, bool) {
+	candidates := avail.Intersect(V).IDs()
+	if size <= 0 || len(candidates) < size {
+		return nodeset.Set{}, false
+	}
+	var q nodeset.Set
+	start := positiveMod(hint, len(candidates))
+	for i := 0; i < size; i++ {
+		q.Add(candidates[(start+i)%len(candidates)])
+	}
+	return q, true
+}
+
+// ReadQuorum implements Rule.
+func (m Majority) ReadQuorum(V, avail nodeset.Set, hint int) (nodeset.Set, bool) {
+	r, _ := m.Thresholds(V.Len())
+	return pickRotated(V, avail, r, hint)
+}
+
+// WriteQuorum implements Rule.
+func (m Majority) WriteQuorum(V, avail nodeset.Set, hint int) (nodeset.Set, bool) {
+	_, w := m.Thresholds(V.Len())
+	return pickRotated(V, avail, w, hint)
+}

@@ -1,0 +1,40 @@
+package coterie
+
+import "coterie/internal/nodeset"
+
+// ROWA is the read-one/write-all coterie rule: any single node is a read
+// quorum and only the full set V is a write quorum. It gives the cheapest
+// possible reads but makes the data item unavailable for update after a
+// single failure — the paper (Section 2) notes the epoch mechanism is not
+// suited to this discipline because one failure then blocks the epoch
+// change itself; it is included as a baseline for the message-cost and
+// availability comparisons.
+type ROWA struct{}
+
+var _ Rule = ROWA{}
+
+// Name implements Rule.
+func (ROWA) Name() string { return "rowa" }
+
+// IsReadQuorum implements Rule.
+func (ROWA) IsReadQuorum(V, S nodeset.Set) bool {
+	return !V.Empty() && S.Intersects(V)
+}
+
+// IsWriteQuorum implements Rule.
+func (ROWA) IsWriteQuorum(V, S nodeset.Set) bool {
+	return !V.Empty() && V.Subset(S)
+}
+
+// ReadQuorum implements Rule.
+func (ROWA) ReadQuorum(V, avail nodeset.Set, hint int) (nodeset.Set, bool) {
+	return pickRotated(V, avail, 1, hint)
+}
+
+// WriteQuorum implements Rule.
+func (ROWA) WriteQuorum(V, avail nodeset.Set, hint int) (nodeset.Set, bool) {
+	if V.Empty() || !V.Subset(avail) {
+		return nodeset.Set{}, false
+	}
+	return V.Clone(), true
+}

@@ -1,0 +1,257 @@
+package coterie
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coterie/internal/nodeset"
+)
+
+func TestMajorityThresholds(t *testing.T) {
+	m := Majority{}
+	cases := []struct{ n, r, w int }{
+		{1, 1, 1}, {2, 1, 2}, {3, 2, 2}, {4, 2, 3}, {5, 3, 3}, {9, 5, 5}, {10, 5, 6},
+	}
+	for _, c := range cases {
+		r, w := m.Thresholds(c.n)
+		if r != c.r || w != c.w {
+			t.Errorf("Thresholds(%d) = (%d,%d), want (%d,%d)", c.n, r, w, c.r, c.w)
+		}
+	}
+	if r, w := m.Thresholds(0); r != 0 || w != 0 {
+		t.Errorf("Thresholds(0) = (%d,%d)", r, w)
+	}
+}
+
+func TestMajorityReadSkew(t *testing.T) {
+	m := Majority{ReadQuorumSize: 1}
+	r, w := m.Thresholds(9)
+	if r != 1 || w != 9 {
+		t.Errorf("skewed Thresholds(9) = (%d,%d), want (1,9)", r, w)
+	}
+	// Read size capped at n.
+	r, w = m.Thresholds(3)
+	if r != 1 || w != 3 {
+		t.Errorf("skewed Thresholds(3) = (%d,%d), want (1,3)", r, w)
+	}
+	// Skew larger than balanced read leaves the balanced write threshold.
+	m = Majority{ReadQuorumSize: 8}
+	r, w = m.Thresholds(9)
+	if r != 8 || w != 5 {
+		t.Errorf("Thresholds(9) with r=8: (%d,%d), want (8,5)", r, w)
+	}
+}
+
+func TestMajorityQuorums(t *testing.T) {
+	V := nodeset.Range(0, 9)
+	m := Majority{}
+	if !m.IsWriteQuorum(V, nodeset.Range(0, 5)) {
+		t.Error("5 of 9 not a write quorum")
+	}
+	if m.IsWriteQuorum(V, nodeset.Range(0, 4)) {
+		t.Error("4 of 9 is a write quorum")
+	}
+	// Members outside V do not count.
+	s := nodeset.New(0, 1, 100, 101, 102)
+	if m.IsWriteQuorum(V, s) {
+		t.Error("foreign nodes counted")
+	}
+	q, ok := m.WriteQuorum(V, V, 7)
+	if !ok || q.Len() != 5 {
+		t.Errorf("WriteQuorum = %v, %v", q, ok)
+	}
+}
+
+func TestMajorityHintRotation(t *testing.T) {
+	V := nodeset.Range(0, 6)
+	m := Majority{}
+	q0, _ := m.WriteQuorum(V, V, 0)
+	q3, _ := m.WriteQuorum(V, V, 3)
+	if q0.Equal(q3) {
+		t.Error("hints 0 and 3 picked identical quorums")
+	}
+	// Negative hints are valid.
+	if _, ok := m.WriteQuorum(V, V, -5); !ok {
+		t.Error("negative hint failed")
+	}
+}
+
+func TestROWA(t *testing.T) {
+	V := nodeset.Range(0, 4)
+	r := ROWA{}
+	if !r.IsReadQuorum(V, nodeset.New(2)) {
+		t.Error("single node not a read quorum")
+	}
+	if r.IsWriteQuorum(V, nodeset.Range(0, 3)) {
+		t.Error("partial set is a write quorum")
+	}
+	if !r.IsWriteQuorum(V, V) {
+		t.Error("full set not a write quorum")
+	}
+	// Write quorum exists only when every node is available.
+	if _, ok := r.WriteQuorum(V, nodeset.Range(0, 3), 0); ok {
+		t.Error("write quorum despite failure")
+	}
+	q, ok := r.WriteQuorum(V, V, 0)
+	if !ok || !q.Equal(V) {
+		t.Errorf("WriteQuorum = %v, %v", q, ok)
+	}
+	rq, ok := r.ReadQuorum(V, nodeset.New(3), 0)
+	if !ok || rq.Len() != 1 {
+		t.Errorf("ReadQuorum = %v, %v", rq, ok)
+	}
+}
+
+func TestHierarchicalQuorumSizes(t *testing.T) {
+	h := Hierarchical{}
+	// For N = 9 (two ternary levels) the quorum is 2 groups x 2 nodes = 4.
+	V := nodeset.Range(0, 9)
+	q, ok := h.ReadQuorum(V, V, 0)
+	if !ok || q.Len() != 4 {
+		t.Errorf("HQC quorum over 9 = %v (len %d), want 4", q, q.Len())
+	}
+	// For N = 27, 2x2x2 = 8 = 27^0.63.
+	V = nodeset.Range(0, 27)
+	q, ok = h.ReadQuorum(V, V, 0)
+	if !ok || q.Len() != 8 {
+		t.Errorf("HQC quorum over 27 len %d, want 8", q.Len())
+	}
+}
+
+func TestHierarchicalIntersection(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 9, 10, 13} {
+		V := nodeset.Range(0, nodeset.ID(n))
+		if err := CheckIntersection(Hierarchical{}, V); err != nil {
+			t.Errorf("N=%d: %v", n, err)
+		}
+	}
+}
+
+func TestHierarchicalDegree(t *testing.T) {
+	h := Hierarchical{Degree: 5}
+	V := nodeset.Range(0, 5)
+	q, ok := h.ReadQuorum(V, V, 0)
+	if !ok || q.Len() != 3 { // majority of 5 leaves
+		t.Errorf("degree-5 quorum = %v", q)
+	}
+	if err := CheckIntersection(h, V); err != nil {
+		t.Error(err)
+	}
+	// Degree below 2 falls back to the default.
+	if (Hierarchical{Degree: 1}).degree() != 3 {
+		t.Error("degree fallback broken")
+	}
+}
+
+func TestHierarchicalFailures(t *testing.T) {
+	h := Hierarchical{}
+	V := nodeset.Range(0, 9)
+	// Kill one whole ternary group: quorums must still exist from the
+	// remaining two groups.
+	avail := V.Diff(nodeset.Range(0, 3))
+	q, ok := h.WriteQuorum(V, avail, 0)
+	if !ok {
+		t.Fatal("no quorum with one group down")
+	}
+	if q.Intersects(nodeset.Range(0, 3)) {
+		t.Errorf("quorum %v uses down nodes", q)
+	}
+	// Kill two whole groups: impossible.
+	if _, ok := h.WriteQuorum(V, nodeset.Range(6, 9), 0); ok {
+		t.Error("quorum with two groups down")
+	}
+}
+
+func TestAllRulesIntersectionSmallN(t *testing.T) {
+	rules := []Rule{Grid{}, Grid{Strict: true}, Majority{}, Majority{ReadQuorumSize: 1}, Hierarchical{}, ROWA{}}
+	for _, r := range rules {
+		for n := 1; n <= 8; n++ {
+			V := nodeset.Range(0, nodeset.ID(n))
+			if err := CheckIntersection(r, V); err != nil {
+				t.Errorf("%s N=%d: %v", r.Name(), n, err)
+			}
+		}
+	}
+}
+
+func TestAllRulesConstruction(t *testing.T) {
+	rules := []Rule{Grid{}, Grid{Strict: true}, Majority{}, Hierarchical{}, ROWA{}}
+	r := rand.New(rand.NewSource(7))
+	for _, rule := range rules {
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + r.Intn(15)
+			V := nodeset.Range(0, nodeset.ID(n))
+			var avail nodeset.Set
+			for _, id := range V.IDs() {
+				if r.Intn(100) < 75 {
+					avail.Add(id)
+				}
+			}
+			if err := CheckConstruction(rule, V, avail, r.Int()); err != nil {
+				t.Fatalf("%s: %v", rule.Name(), err)
+			}
+		}
+	}
+}
+
+func TestEmptyUniverseAllRules(t *testing.T) {
+	var V nodeset.Set
+	for _, r := range []Rule{Grid{}, Majority{}, Hierarchical{}, ROWA{}} {
+		if r.IsReadQuorum(V, nodeset.New(1)) || r.IsWriteQuorum(V, nodeset.New(1)) {
+			t.Errorf("%s: quorum over empty universe", r.Name())
+		}
+		if _, ok := r.WriteQuorum(V, nodeset.New(1), 0); ok {
+			t.Errorf("%s: constructed quorum over empty universe", r.Name())
+		}
+	}
+}
+
+func TestCheckIntersectionRejectsTooLarge(t *testing.T) {
+	if err := CheckIntersection(Grid{}, nodeset.Range(0, 30)); err == nil {
+		t.Error("CheckIntersection accepted 30 nodes")
+	}
+}
+
+// brokenRule violates write-write intersection on purpose so the checker's
+// failure path is itself tested.
+type brokenRule struct{ Majority }
+
+func (brokenRule) Name() string { return "broken" }
+func (b brokenRule) IsWriteQuorum(V, S nodeset.Set) bool {
+	return S.Intersect(V).Len() >= 1
+}
+
+func TestCheckIntersectionDetectsViolation(t *testing.T) {
+	if err := CheckIntersection(brokenRule{}, nodeset.Range(0, 4)); err == nil {
+		t.Error("checker missed a non-intersecting rule")
+	}
+}
+
+// Property: for random universes and subsets, all rules agree that a
+// constructed write quorum passes the read predicate's requirements where
+// the protocol requires it (grid and majority write quorums include read
+// quorums; HQC quorums are identical).
+func TestQuickWriteImpliesRead(t *testing.T) {
+	rules := []Rule{Grid{}, Majority{}, Hierarchical{}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(14)
+		V := nodeset.Range(0, nodeset.ID(n))
+		var s nodeset.Set
+		for _, id := range V.IDs() {
+			if r.Intn(2) == 0 {
+				s.Add(id)
+			}
+		}
+		for _, rule := range rules {
+			if rule.IsWriteQuorum(V, s) && !rule.IsReadQuorum(V, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+package coterie
+
+import (
+	"math/rand"
+	"testing"
+
+	"coterie/internal/nodeset"
+)
+
+func TestWheelQuorums(t *testing.T) {
+	V := nodeset.Range(0, 5) // hub 0, rim {1,2,3,4}
+	w := Wheel{}
+	if !w.IsWriteQuorum(V, nodeset.New(0, 3)) {
+		t.Error("{hub, rim} not a quorum")
+	}
+	if w.IsWriteQuorum(V, nodeset.New(0)) {
+		t.Error("hub alone is a quorum")
+	}
+	if w.IsWriteQuorum(V, nodeset.New(1, 2, 3)) {
+		t.Error("partial rim is a quorum")
+	}
+	if !w.IsWriteQuorum(V, nodeset.Range(1, 5)) {
+		t.Error("full rim not a quorum")
+	}
+	// Foreign nodes ignored.
+	if w.IsWriteQuorum(V, nodeset.New(0, 100)) {
+		t.Error("foreign partner counted")
+	}
+}
+
+func TestWheelSingleNode(t *testing.T) {
+	V := nodeset.New(7)
+	w := Wheel{}
+	if !w.IsWriteQuorum(V, nodeset.New(7)) {
+		t.Error("single node not its own quorum")
+	}
+	q, ok := w.WriteQuorum(V, V, 0)
+	if !ok || !q.Equal(V) {
+		t.Errorf("quorum = %v, %v", q, ok)
+	}
+}
+
+func TestWheelConstruction(t *testing.T) {
+	V := nodeset.Range(0, 6)
+	w := Wheel{}
+	// Common case: hub + one partner, rotating with hint.
+	seen := map[string]bool{}
+	for hint := 0; hint < 5; hint++ {
+		q, ok := w.WriteQuorum(V, V, hint)
+		if !ok || q.Len() != 2 || !q.Contains(0) {
+			t.Fatalf("hint %d: quorum %v, %v", hint, q, ok)
+		}
+		seen[q.String()] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("hints reached %d distinct partners, want 5", len(seen))
+	}
+	// Hub down: full rim.
+	avail := V.Clone()
+	avail.Remove(0)
+	q, ok := w.WriteQuorum(V, avail, 0)
+	if !ok || !q.Equal(avail) {
+		t.Errorf("hub-down quorum = %v, %v", q, ok)
+	}
+	// Hub down plus one rim member down: nothing.
+	avail.Remove(3)
+	if _, ok := w.WriteQuorum(V, avail, 0); ok {
+		t.Error("quorum with hub and a rim member down")
+	}
+}
+
+func TestWheelIntersectionAndConstructionProperties(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		V := nodeset.Range(0, nodeset.ID(n))
+		if err := CheckIntersection(Wheel{}, V); err != nil {
+			t.Errorf("N=%d: %v", n, err)
+		}
+	}
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(12)
+		V := nodeset.Range(0, nodeset.ID(n))
+		var avail nodeset.Set
+		for _, id := range V.IDs() {
+			if r.Intn(100) < 70 {
+				avail.Add(id)
+			}
+		}
+		if err := CheckConstruction(Wheel{}, V, avail, r.Int()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDefineGridRatio(t *testing.T) {
+	cases := []struct {
+		n       int
+		k       float64
+		m, cols int
+	}{
+		{16, 1, 4, 4},
+		{16, 4, 8, 2},    // tall: cheap reads (2 columns)
+		{16, 0.25, 2, 8}, // wide: cheap writes per column
+		{16, 100, 16, 1}, // degenerate: a single column = ROWA-for-writes
+		{9, 1, 3, 3},
+		{5, 2, 3, 2},
+	}
+	for _, c := range cases {
+		g := DefineGridRatio(c.n, c.k)
+		if g.M != c.m || g.N != c.cols {
+			t.Errorf("DefineGridRatio(%d, %g) = %v, want %dx%d", c.n, c.k, g, c.m, c.cols)
+		}
+		if g.Positions() != c.n {
+			t.Errorf("DefineGridRatio(%d, %g): positions %d", c.n, c.k, g.Positions())
+		}
+	}
+	// k <= 0 falls back to the near-square rule.
+	if DefineGridRatio(9, 0) != DefineGrid(9) {
+		t.Error("k=0 fallback broken")
+	}
+	if DefineGridRatio(0, 1) != (GridShape{}) {
+		t.Error("n=0 not zero shape")
+	}
+}
+
+func TestColumnHeightGeneralShapes(t *testing.T) {
+	// 16 nodes at k=4: 8x2 grid, columns of 8 each.
+	g := DefineGridRatio(16, 4)
+	if g.ColumnHeight(1) != 8 || g.ColumnHeight(2) != 8 {
+		t.Errorf("8x2 heights = %d,%d", g.ColumnHeight(1), g.ColumnHeight(2))
+	}
+	// 5 nodes at k=2: 3x2 with one gap; col 1 holds rows 1..3 (nodes 1,3,5),
+	// col 2 holds nodes 2,4.
+	g = DefineGridRatio(5, 2)
+	if g.ColumnHeight(1) != 3 || g.ColumnHeight(2) != 2 {
+		t.Errorf("3x2(-1) heights = %d,%d", g.ColumnHeight(1), g.ColumnHeight(2))
+	}
+	// Sum of heights equals the node count for many shapes.
+	for _, n := range []int{3, 7, 12, 20} {
+		for _, k := range []float64{0.3, 1, 2.5, 6} {
+			g := DefineGridRatio(n, k)
+			total := 0
+			for j := 1; j <= g.N; j++ {
+				total += g.ColumnHeight(j)
+			}
+			if total != n {
+				t.Errorf("n=%d k=%g: heights sum to %d", n, k, total)
+			}
+		}
+	}
+}
+
+func TestRatioGridIntersection(t *testing.T) {
+	for _, k := range []float64{0.25, 0.5, 2, 4} {
+		for n := 1; n <= 10; n++ {
+			V := nodeset.Range(0, nodeset.ID(n))
+			if err := CheckIntersection(Grid{Ratio: k}, V); err != nil {
+				t.Errorf("k=%g N=%d: %v", k, n, err)
+			}
+		}
+	}
+}
+
+func TestRatioGridConstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(16)
+		k := []float64{0.25, 0.5, 2, 4}[r.Intn(4)]
+		V := nodeset.Range(0, nodeset.ID(n))
+		var avail nodeset.Set
+		for _, id := range V.IDs() {
+			if r.Intn(100) < 75 {
+				avail.Add(id)
+			}
+		}
+		if err := CheckConstruction(Grid{Ratio: k}, V, avail, r.Int()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRatioTradesReadCostForWriteAvailability pins the paper's Section 5
+// claim: "Increasing k, one makes reads more efficient and writes less
+// available." Read quorums shrink with k (fewer columns); the probability
+// that some column is fully up — the write quorum's hard part — falls as
+// columns get taller. (Write quorum *size* is symmetric in k and minimal
+// at the square, which is why the paper keeps k near 1.)
+func TestRatioTradesReadCostForWriteAvailability(t *testing.T) {
+	const n, p = 36, 0.9
+	// P(at least one column fully up), columns independent.
+	fullColumnProb := func(shape GridShape) float64 {
+		noneFull := 1.0
+		for j := 1; j <= shape.N; j++ {
+			q := 1.0
+			for i := 0; i < shape.ColumnHeight(j); i++ {
+				q *= p
+			}
+			noneFull *= 1 - q
+		}
+		return 1 - noneFull
+	}
+	V := nodeset.Range(0, nodeset.ID(n))
+	prevRead := 1 << 30
+	prevFull := 2.0
+	for _, k := range []float64{0.25, 1, 4, 16} {
+		g := Grid{Ratio: k}
+		rq, ok := g.ReadQuorum(V, V, 0)
+		if !ok {
+			t.Fatalf("k=%g: no read quorum", k)
+		}
+		if rq.Len() > prevRead {
+			t.Errorf("k=%g: read quorum grew to %d", k, rq.Len())
+		}
+		fc := fullColumnProb(DefineGridRatio(n, k))
+		if fc > prevFull {
+			t.Errorf("k=%g: full-column probability rose to %g", k, fc)
+		}
+		prevRead, prevFull = rq.Len(), fc
+	}
+}

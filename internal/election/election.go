@@ -1,0 +1,162 @@
+// Package election implements the bully election algorithm
+// (Garcia-Molina, the paper's reference [7]) used to choose the node
+// responsible for initiating epoch-checking operations (paper, Section
+// 4.3: "a simple solution is to elect a site responsible for initiating
+// all epoch checkings. A new election would be started by any node
+// noticing that epoch checking has not run for a while").
+//
+// The algorithm elects the highest-named reachable node: an initiator
+// probes every higher-named member; if none answers it announces itself as
+// coordinator to the others, otherwise it hands the election to the
+// highest responder, which repeats the procedure. Under crash-stop
+// failures and symmetric partitions every partition elects its own leader
+// — which is safe for epoch checking, since the epoch-change quorum
+// requirement serializes the checks that matter (Lemma 1).
+package election
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/transport"
+)
+
+// Probe asks a higher-named node whether it is alive and willing to take
+// over the election.
+type Probe struct{ From nodeset.ID }
+
+// TakeOver asks the recipient to run the election itself and reply with
+// the resulting leader.
+type TakeOver struct{ From nodeset.ID }
+
+// Announce declares Leader the elected coordinator.
+type Announce struct{ Leader nodeset.ID }
+
+// AliveReply acknowledges a Probe.
+type AliveReply struct{ From nodeset.ID }
+
+// LeaderReply answers a TakeOver with the election outcome.
+type LeaderReply struct{ Leader nodeset.ID }
+
+// AnnounceAck acknowledges an Announce.
+type AnnounceAck struct{}
+
+// Elector is one node's participant in the bully election.
+type Elector struct {
+	self    nodeset.ID
+	members nodeset.Set
+	net     *transport.Network
+	timeout time.Duration
+
+	mu     sync.Mutex
+	leader nodeset.ID
+	known  bool
+}
+
+// New creates an elector for self among members and registers its message
+// types on the mux. timeout bounds each probe round (default 1s if zero).
+func New(self nodeset.ID, members nodeset.Set, net *transport.Network, mux *transport.Mux, timeout time.Duration) *Elector {
+	if timeout == 0 {
+		timeout = time.Second
+	}
+	e := &Elector{self: self, members: members.Clone(), net: net, timeout: timeout}
+	mux.HandleType(Probe{}, e.handle)
+	mux.HandleType(TakeOver{}, e.handle)
+	mux.HandleType(Announce{}, e.handle)
+	return e
+}
+
+// Leader returns the last announced leader, if any election has completed.
+func (e *Elector) Leader() (nodeset.ID, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.leader, e.known
+}
+
+// handle processes election messages addressed to this node.
+func (e *Elector) handle(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+	switch m := req.(type) {
+	case Probe:
+		return AliveReply{From: e.self}, nil
+	case TakeOver:
+		leader, err := e.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return LeaderReply{Leader: leader}, nil
+	case Announce:
+		e.mu.Lock()
+		e.leader = m.Leader
+		e.known = true
+		e.mu.Unlock()
+		return AnnounceAck{}, nil
+	default:
+		return nil, fmt.Errorf("election: unexpected message %T", req)
+	}
+}
+
+// Run starts an election from this node and returns the elected leader.
+// The leader is announced to every reachable member before Run returns.
+func (e *Elector) Run(ctx context.Context) (nodeset.ID, error) {
+	higher := nodeset.Set{}
+	for _, id := range e.members.IDs() {
+		if id > e.self {
+			higher.Add(id)
+		}
+	}
+	if !higher.Empty() {
+		probeCtx, cancel := context.WithTimeout(ctx, e.timeout)
+		results := e.net.Multicast(probeCtx, e.self, higher, Probe{From: e.self})
+		cancel()
+		var best nodeset.ID
+		found := false
+		for id, r := range results {
+			if r.Err == nil {
+				if _, ok := r.Reply.(AliveReply); ok && (!found || id > best) {
+					best, found = id, true
+				}
+			}
+		}
+		if found {
+			// Hand the election to the highest responder; it may know
+			// still-higher live nodes we cannot name (none under our
+			// symmetric failure model, but the recursion keeps the
+			// algorithm faithful).
+			callCtx, cancel := context.WithTimeout(ctx, e.timeout)
+			reply, err := e.net.Call(callCtx, e.self, best, TakeOver{From: e.self})
+			cancel()
+			if err == nil {
+				if lr, ok := reply.(LeaderReply); ok {
+					e.mu.Lock()
+					e.leader, e.known = lr.Leader, true
+					e.mu.Unlock()
+					return lr.Leader, nil
+				}
+			}
+			// The would-be leader died mid-election: retry from scratch
+			// without it.
+			e2 := &Elector{self: e.self, members: e.members.Diff(nodeset.New(best)), net: e.net, timeout: e.timeout}
+			leader, err2 := e2.Run(ctx)
+			if err2 != nil {
+				return 0, err2
+			}
+			e.mu.Lock()
+			e.leader, e.known = leader, true
+			e.mu.Unlock()
+			return leader, nil
+		}
+	}
+	// No higher node answered: this node is the coordinator.
+	e.mu.Lock()
+	e.leader, e.known = e.self, true
+	e.mu.Unlock()
+	lower := e.members.Clone()
+	lower.Remove(e.self)
+	annCtx, cancel := context.WithTimeout(ctx, e.timeout)
+	e.net.Multicast(annCtx, e.self, lower, Announce{Leader: e.self})
+	cancel()
+	return e.self, nil
+}

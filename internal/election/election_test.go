@@ -1,0 +1,168 @@
+package election
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/transport"
+)
+
+func newElectors(t *testing.T, n int) (*transport.Network, []*Elector) {
+	t.Helper()
+	net := transport.NewNetwork()
+	members := nodeset.Range(0, nodeset.ID(n))
+	electors := make([]*Elector, n)
+	for i := 0; i < n; i++ {
+		mux := transport.NewMux()
+		electors[i] = New(nodeset.ID(i), members, net, mux, 200*time.Millisecond)
+		net.Register(nodeset.ID(i), mux.Handler())
+	}
+	return net, electors
+}
+
+func TestElectHighestWhenAllUp(t *testing.T) {
+	_, es := newElectors(t, 5)
+	leader, err := es[0].Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != 4 {
+		t.Errorf("leader = %v, want n4", leader)
+	}
+	// Everyone learned the result.
+	for i, e := range es {
+		got, known := e.Leader()
+		if !known || got != 4 {
+			t.Errorf("node %d: leader %v known=%v", i, got, known)
+		}
+	}
+}
+
+func TestSelfElectionWhenHighest(t *testing.T) {
+	_, es := newElectors(t, 3)
+	leader, err := es[2].Run(context.Background())
+	if err != nil || leader != 2 {
+		t.Errorf("leader = %v, err = %v", leader, err)
+	}
+}
+
+func TestElectSkipsCrashedNodes(t *testing.T) {
+	net, es := newElectors(t, 5)
+	net.Crash(4)
+	net.Crash(3)
+	leader, err := es[0].Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != 2 {
+		t.Errorf("leader = %v, want n2", leader)
+	}
+}
+
+func TestReElectionAfterLeaderCrash(t *testing.T) {
+	net, es := newElectors(t, 4)
+	if leader, _ := es[1].Run(context.Background()); leader != 3 {
+		t.Fatalf("first leader %v", leader)
+	}
+	net.Crash(3)
+	leader, err := es[1].Run(context.Background())
+	if err != nil || leader != 2 {
+		t.Errorf("re-elected leader = %v, err = %v", leader, err)
+	}
+}
+
+func TestPartitionedElections(t *testing.T) {
+	net, es := newElectors(t, 6)
+	if err := net.Partition(nodeset.New(0, 1, 2), nodeset.New(3, 4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	lo, err := es[0].Run(context.Background())
+	if err != nil || lo != 2 {
+		t.Errorf("low partition leader = %v, err = %v", lo, err)
+	}
+	hi, err := es[3].Run(context.Background())
+	if err != nil || hi != 5 {
+		t.Errorf("high partition leader = %v, err = %v", hi, err)
+	}
+	// Members of each partition learned their own leader only.
+	if got, _ := es[1].Leader(); got != 2 {
+		t.Errorf("node 1 leader = %v", got)
+	}
+	if got, _ := es[4].Leader(); got != 5 {
+		t.Errorf("node 4 leader = %v", got)
+	}
+}
+
+func TestLeaderUnknownInitially(t *testing.T) {
+	_, es := newElectors(t, 2)
+	if _, known := es[0].Leader(); known {
+		t.Error("leader known before any election")
+	}
+}
+
+func TestSingleNodeElection(t *testing.T) {
+	_, es := newElectors(t, 1)
+	leader, err := es[0].Run(context.Background())
+	if err != nil || leader != 0 {
+		t.Errorf("leader = %v, err = %v", leader, err)
+	}
+}
+
+func TestLeaderDiesBetweenProbeAndTakeOver(t *testing.T) {
+	// The highest node answers the probe and then crashes before the
+	// TakeOver reaches it: the initiator must retry without it and elect
+	// the next-highest node. A one-shot trace trap times the crash.
+	var crash func()
+	var armed atomic.Bool
+	armed.Store(true)
+	net := transport.NewNetwork(transport.WithTrace(func(e transport.TraceEvent) {
+		if e.To == 3 && e.Err == nil {
+			if _, ok := e.Request.(Probe); ok && armed.CompareAndSwap(true, false) {
+				crash()
+			}
+		}
+	}))
+	crash = func() { net.Crash(3) }
+	members := nodeset.Range(0, 4)
+	electors := make([]*Elector, 4)
+	for i := 0; i < 4; i++ {
+		mux := transport.NewMux()
+		electors[i] = New(nodeset.ID(i), members, net, mux, 200*time.Millisecond)
+		net.Register(nodeset.ID(i), mux.Handler())
+	}
+	leader, err := electors[0].Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != 2 {
+		t.Errorf("leader = %v, want n2 (n3 died mid-election)", leader)
+	}
+}
+
+func TestMuxRejectsUnknownType(t *testing.T) {
+	net := transport.NewNetwork()
+	mux := transport.NewMux()
+	mux.HandleType(Probe{}, func(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+		return AliveReply{}, nil
+	})
+	net.Register(0, mux.Handler())
+	net.Register(1, mux.Handler())
+	if _, err := net.Call(context.Background(), 0, 1, "unrouted"); err == nil {
+		t.Error("unrouted message accepted")
+	}
+	if _, err := net.Call(context.Background(), 0, 1, Probe{}); err != nil {
+		t.Errorf("routed message failed: %v", err)
+	}
+}
+
+func TestMuxNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	transport.NewMux().HandleType(Probe{}, nil)
+}

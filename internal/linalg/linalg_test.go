@@ -1,0 +1,184 @@
+package linalg
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := []float64{3, -4}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != -4 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+	a := [][]float64{{2, 1}, {1, -1}}
+	b := []float64{5, 1}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Errorf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{7, 9}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 9 || x[1] != 7 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("no error for singular matrix")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("rhs length mismatch accepted")
+	}
+	if _, err := Solve([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, -1}}
+	b := []float64{5, 1}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 2 || a[1][1] != -1 || b[0] != 5 {
+		t.Error("Solve mutated its inputs")
+	}
+}
+
+func randomSystem(r *rand.Rand, n int) ([][]float64, []float64, []float64) {
+	// Build a well-conditioned system from a known solution.
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = r.NormFloat64()
+		}
+		a[i][i] += float64(n) // diagonal dominance
+		for j := range a[i] {
+			b[i] += a[i][j] * xTrue[j]
+		}
+	}
+	return a, b, xTrue
+}
+
+func TestQuickSolveRandomSystems(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		a, b, xTrue := randomSystem(r, n)
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveBigMatchesFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a, b, xTrue := randomSystem(r, 8)
+	xb, err := SolveBig(BigMatrix(a, 128), BigVector(b, 128), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xb {
+		got, _ := xb[i].Float64()
+		if math.Abs(got-xTrue[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, got, xTrue[i])
+		}
+	}
+}
+
+func TestSolveBigSmallComponentPrecision(t *testing.T) {
+	// A system whose solution has a 1e-20 component next to a ~1
+	// component: x + y = 1 + 1e-20; x = 1. float64 rounds the small part
+	// away; big.Float at 192 bits must retain it.
+	one := new(big.Float).SetPrec(192).SetInt64(1)
+	tiny := new(big.Float).SetPrec(192).SetFloat64(1e-20)
+	sum := new(big.Float).SetPrec(192).Add(one, tiny)
+	a := [][]*big.Float{
+		{new(big.Float).SetInt64(1), new(big.Float).SetInt64(1)},
+		{new(big.Float).SetInt64(1), new(big.Float).SetInt64(0)},
+	}
+	b := []*big.Float{sum, one}
+	x, err := SolveBig(a, b, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := x[1].Float64()
+	if math.Abs(got-1e-20) > 1e-26 {
+		t.Errorf("small component = %g, want 1e-20", got)
+	}
+}
+
+func TestSolveBigSingular(t *testing.T) {
+	a := BigMatrix([][]float64{{1, 1}, {1, 1}}, 64)
+	if _, err := SolveBig(a, BigVector([]float64{1, 1}, 64), 64); err == nil {
+		t.Error("no error for singular matrix")
+	}
+}
+
+func TestSolveBigShapeErrors(t *testing.T) {
+	if _, err := SolveBig(nil, nil, 64); err == nil {
+		t.Error("empty system accepted")
+	}
+	a := BigMatrix([][]float64{{1, 2}}, 64)
+	if _, err := SolveBig(a, BigVector([]float64{1}, 64), 64); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestSolveBigLowPrecisionRaised(t *testing.T) {
+	a := BigMatrix([][]float64{{2}}, 64)
+	x, err := SolveBig(a, BigVector([]float64{4}, 64), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := x[0].Float64(); got != 2 {
+		t.Errorf("x = %v", got)
+	}
+}

@@ -1,0 +1,169 @@
+// Package markov builds and solves the continuous-time Markov chains of the
+// paper's availability analysis (Section 6) and provides closed-form
+// availability expressions for the baseline protocols.
+//
+// The site model of availability assumes reliable links, independent
+// Poisson failures (rate λ) and repairs (rate μ) at every node, and
+// instantaneous operations; epoch checking runs between any two consecutive
+// failure/repair events. Under these assumptions the system state evolves
+// as a CTMC whose stationary distribution yields the long-run availability
+// by the classical global-balance technique.
+package markov
+
+import (
+	"fmt"
+	"math/big"
+
+	"coterie/internal/linalg"
+)
+
+// DefaultPrec is the big.Float precision (mantissa bits) used when solving
+// chains unless the caller overrides it. 192 bits comfortably resolves the
+// 1e-14 unavailabilities of Table 1.
+const DefaultPrec uint = 192
+
+// Chain is a finite continuous-time Markov chain under construction.
+// States are dense integers 0..n-1; transition rates accumulate, so calling
+// AddRate twice for the same pair sums the rates.
+type Chain struct {
+	n     int
+	rates map[[2]int]float64
+}
+
+// NewChain returns a chain with n states and no transitions.
+func NewChain(n int) *Chain {
+	return &Chain{n: n, rates: make(map[[2]int]float64)}
+}
+
+// Len returns the number of states.
+func (c *Chain) Len() int { return c.n }
+
+// AddRate adds a transition from state i to state j at the given rate.
+// Self-loops and non-positive rates are ignored (they do not affect the
+// stationary distribution).
+func (c *Chain) AddRate(i, j int, rate float64) {
+	if i < 0 || i >= c.n || j < 0 || j >= c.n {
+		panic(fmt.Sprintf("markov: transition %d->%d outside [0,%d)", i, j, c.n))
+	}
+	if i == j || rate <= 0 {
+		return
+	}
+	c.rates[[2]int{i, j}] += rate
+}
+
+// Rate returns the accumulated rate from i to j.
+func (c *Chain) Rate(i, j int) float64 { return c.rates[[2]int{i, j}] }
+
+// Transitions invokes fn for every transition in unspecified order.
+func (c *Chain) Transitions(fn func(i, j int, rate float64)) {
+	for k, r := range c.rates {
+		fn(k[0], k[1], r)
+	}
+}
+
+// generator builds the transposed generator matrix Qᵀ with the final row
+// replaced by the normalization constraint Σπ = 1, and the matching
+// right-hand side (0, …, 0, 1). Solving this system yields the stationary
+// distribution π with πQ = 0.
+func (c *Chain) generator() (a [][]float64, b []float64) {
+	n := c.n
+	a = make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for k, r := range c.rates {
+		i, j := k[0], k[1]
+		a[j][i] += r // Qᵀ[j][i] = Q[i][j]
+		a[i][i] -= r // diagonal of Q lands on Qᵀ's diagonal too
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	b = make([]float64, n)
+	b[n-1] = 1
+	return a, b
+}
+
+// Stationary solves for the stationary distribution in float64 arithmetic.
+func (c *Chain) Stationary() ([]float64, error) {
+	a, b := c.generator()
+	return linalg.Solve(a, b)
+}
+
+// StationaryBig solves for the stationary distribution in big.Float
+// arithmetic at the given precision (0 selects DefaultPrec).
+func (c *Chain) StationaryBig(prec uint) ([]*big.Float, error) {
+	if prec == 0 {
+		prec = DefaultPrec
+	}
+	a, b := c.generator()
+	return linalg.SolveBig(linalg.BigMatrix(a, prec), linalg.BigVector(b, prec), prec)
+}
+
+// MeanHittingTimes returns, for every state, the expected time until the
+// chain first enters any of the target states (zero for the targets
+// themselves). For a CTMC the hitting times h satisfy
+//
+//	h_i = 0                                   i ∈ targets
+//	h_i = 1/λ_i + Σ_j (q_ij/λ_i) · h_j        otherwise
+//
+// with λ_i the state's total exit rate. States that cannot reach a target
+// make the system singular, which surfaces as an error.
+func (c *Chain) MeanHittingTimes(targets []int) ([]float64, error) {
+	isTarget := make([]bool, c.n)
+	for _, t := range targets {
+		if t < 0 || t >= c.n {
+			return nil, fmt.Errorf("markov: target state %d outside [0,%d)", t, c.n)
+		}
+		isTarget[t] = true
+	}
+	// Build the linear system over non-target states:
+	// λ_i·h_i − Σ_{j∉targets} q_ij·h_j = 1.
+	idx := make([]int, 0, c.n)
+	pos := make([]int, c.n)
+	for i := 0; i < c.n; i++ {
+		pos[i] = -1
+		if !isTarget[i] {
+			pos[i] = len(idx)
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return make([]float64, c.n), nil
+	}
+	m := len(idx)
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for r := range a {
+		a[r] = make([]float64, m)
+		b[r] = 1
+	}
+	for k, rate := range c.rates {
+		i, j := k[0], k[1]
+		if isTarget[i] {
+			continue
+		}
+		a[pos[i]][pos[i]] += rate // λ_i on the diagonal
+		if !isTarget[j] {
+			a[pos[i]][pos[j]] -= rate
+		}
+	}
+	h, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: hitting times unsolvable (absorbing region?): %w", err)
+	}
+	out := make([]float64, c.n)
+	for r, i := range idx {
+		out[i] = h[r]
+	}
+	return out, nil
+}
+
+// SumBig adds the probabilities of the listed states.
+func SumBig(pi []*big.Float, states []int) *big.Float {
+	sum := new(big.Float).SetPrec(pi[0].Prec())
+	for _, s := range states {
+		sum.Add(sum, pi[s])
+	}
+	return sum
+}

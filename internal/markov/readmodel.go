@@ -1,0 +1,146 @@
+package markov
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// DynamicGridReadModel carries out the read-availability analysis the
+// paper omits ("We omit the analysis for read availability which is
+// completely analogous", Section 6), for the same strict-grid dynamic
+// protocol as Figure 3.
+//
+// Write availability only depends on *how many* of a blocked 3-node
+// epoch's members are up (all three are needed), but read availability
+// depends on *which*: the 3-node grid is
+//
+//	a b
+//	c -
+//
+// and a read quorum must cover both columns — member b (the sole column-2
+// node) plus a or c. The unavailable region therefore tracks the exact
+// up-subset s ⊊ {a,b,c} of epoch members along with z, the up count among
+// the N−3 outsiders:
+//
+//	A_k      k = 3..N                 available (epoch = up-set)
+//	U_{s,z}  s ⊊ {a,b,c}, z = 0..N−3  write-blocked; read-available iff
+//	                                  b ∈ s and s ∩ {a,c} ≠ ∅
+//
+// Collapsing s to |s| recovers exactly the Figure 3 chain, so this model's
+// write unavailability must equal DynamicGridModel's — a structural
+// cross-check the tests exploit.
+type DynamicGridReadModel struct {
+	N      int
+	Lambda float64
+	Mu     float64
+}
+
+// Position bits for the blocked epoch's members in name order: member 1 is
+// a (1,1), member 2 is b (1,2) — the critical column-2 node — member 3 is
+// c (2,1).
+const (
+	bitA = 1 << 0
+	bitB = 1 << 1
+	bitC = 1 << 2
+	full = bitA | bitB | bitC
+)
+
+func (m DynamicGridReadModel) availIndex(k int) int { return k - 3 }
+
+// unavailIndex enumerates the 7 proper subsets s (0..6, skipping full=7)
+// times the z dimension.
+func (m DynamicGridReadModel) unavailIndex(s, z int) int {
+	return (m.N - 2) + s*(m.N-2) + z
+}
+
+// States returns the chain size: (N−2) available + 7(N−2) unavailable.
+func (m DynamicGridReadModel) States() int { return 8 * (m.N - 2) }
+
+// readAvailableBlocked reports whether the blocked epoch's up-subset still
+// contains a read quorum of the strict 3-node grid.
+func readAvailableBlocked(s int) bool {
+	return s&bitB != 0 && s&(bitA|bitC) != 0
+}
+
+// Chain constructs the CTMC.
+func (m DynamicGridReadModel) Chain() (*Chain, error) {
+	if m.N < 4 {
+		return nil, fmt.Errorf("markov: read model needs N >= 4, got %d", m.N)
+	}
+	if m.Lambda <= 0 || m.Mu <= 0 {
+		return nil, fmt.Errorf("markov: rates must be positive (lambda=%g, mu=%g)", m.Lambda, m.Mu)
+	}
+	N, l, u := m.N, m.Lambda, m.Mu
+	c := NewChain(m.States())
+
+	for k := 3; k <= N; k++ {
+		if k < N {
+			c.AddRate(m.availIndex(k), m.availIndex(k+1), float64(N-k)*u)
+		}
+		if k > 3 {
+			c.AddRate(m.availIndex(k), m.availIndex(k-1), float64(k)*l)
+		}
+	}
+	// A_3 → one specific member fails: the three single-failure subsets
+	// are equally likely, each at rate λ.
+	c.AddRate(m.availIndex(3), m.unavailIndex(full&^bitA, 0), l)
+	c.AddRate(m.availIndex(3), m.unavailIndex(full&^bitB, 0), l)
+	c.AddRate(m.availIndex(3), m.unavailIndex(full&^bitC, 0), l)
+
+	for s := 0; s < full; s++ {
+		for z := 0; z <= N-3; z++ {
+			from := m.unavailIndex(s, z)
+			for _, bit := range []int{bitA, bitB, bitC} {
+				if s&bit != 0 {
+					c.AddRate(from, m.unavailIndex(s&^bit, z), l)
+				} else if s|bit == full {
+					// Last member repairs: new epoch of 3+z nodes.
+					c.AddRate(from, m.availIndex(3+z), u)
+				} else {
+					c.AddRate(from, m.unavailIndex(s|bit, z), u)
+				}
+			}
+			if z > 0 {
+				c.AddRate(from, m.unavailIndex(s, z-1), float64(z)*l)
+			}
+			if z < N-3 {
+				c.AddRate(from, m.unavailIndex(s, z+1), float64(N-3-z)*u)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Unavailabilities returns the stationary write and read unavailability.
+func (m DynamicGridReadModel) Unavailabilities(prec uint) (write, read *big.Float, err error) {
+	c, err := m.Chain()
+	if err != nil {
+		return nil, nil, err
+	}
+	pi, err := c.StationaryBig(prec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var writeStates, readStates []int
+	for s := 0; s < full; s++ {
+		for z := 0; z <= m.N-3; z++ {
+			idx := m.unavailIndex(s, z)
+			writeStates = append(writeStates, idx)
+			if !readAvailableBlocked(s) {
+				readStates = append(readStates, idx)
+			}
+		}
+	}
+	return SumBig(pi, writeStates), SumBig(pi, readStates), nil
+}
+
+// UnavailabilitiesFloat is Unavailabilities converted to float64.
+func (m DynamicGridReadModel) UnavailabilitiesFloat(prec uint) (write, read float64, err error) {
+	w, r, err := m.Unavailabilities(prec)
+	if err != nil {
+		return 0, 0, err
+	}
+	wf, _ := w.Float64()
+	rf, _ := r.Float64()
+	return wf, rf, nil
+}

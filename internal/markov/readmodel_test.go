@@ -1,0 +1,128 @@
+package markov
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestReadModelWriteSideMatchesFigure3 is the structural cross-check: the
+// read model's finer state space must collapse to exactly the Figure 3
+// chain on the write side.
+func TestReadModelWriteSideMatchesFigure3(t *testing.T) {
+	for _, tc := range []struct {
+		n          int
+		lambda, mu float64
+	}{
+		{9, 1, 19},
+		{6, 1, 3},
+		{12, 1, 19},
+		{4, 1, 2},
+	} {
+		coarse, err := DynamicGridModel{N: tc.n, Lambda: tc.lambda, Mu: tc.mu}.UnavailabilityFloat(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write, _, err := DynamicGridReadModel{N: tc.n, Lambda: tc.lambda, Mu: tc.mu}.UnavailabilitiesFloat(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(write-coarse) / coarse; rel > 1e-9 {
+			t.Errorf("N=%d λ=%g μ=%g: read-model write %.8g vs Figure 3 %.8g (rel %.2g)",
+				tc.n, tc.lambda, tc.mu, write, coarse, rel)
+		}
+	}
+}
+
+func TestReadAvailabilityBetterThanWrite(t *testing.T) {
+	// Reads survive some write-blocked states (b plus one of a/c up), so
+	// read unavailability is strictly smaller.
+	for _, n := range []int{6, 9} {
+		write, read, err := DynamicGridReadModel{N: n, Lambda: 1, Mu: 3}.UnavailabilitiesFloat(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if read <= 0 || read >= write {
+			t.Errorf("N=%d: read %.5g not in (0, write=%.5g)", n, read, write)
+		}
+	}
+}
+
+func TestReadAvailableBlockedPredicate(t *testing.T) {
+	cases := map[int]bool{
+		0:           false, // nobody up
+		bitA:        false, // column 2 uncovered
+		bitB:        false, // column 1 uncovered
+		bitC:        false,
+		bitA | bitC: false, // column 2 uncovered
+		bitA | bitB: true,
+		bitB | bitC: true,
+	}
+	for s, want := range cases {
+		if got := readAvailableBlocked(s); got != want {
+			t.Errorf("s=%03b: %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestReadModelErrors(t *testing.T) {
+	if _, err := (DynamicGridReadModel{N: 3, Lambda: 1, Mu: 1}).Chain(); err == nil {
+		t.Error("N=3 accepted")
+	}
+	if _, err := (DynamicGridReadModel{N: 9, Lambda: 0, Mu: 1}).Chain(); err == nil {
+		t.Error("lambda=0 accepted")
+	}
+	if _, _, err := (DynamicGridReadModel{N: 2, Lambda: 1, Mu: 1}).Unavailabilities(0); err == nil {
+		t.Error("Unavailabilities accepted bad model")
+	}
+}
+
+func TestReadModelStatesCount(t *testing.T) {
+	m := DynamicGridReadModel{N: 9, Lambda: 1, Mu: 19}
+	c, err := m.Chain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != m.States() || m.States() != 8*(9-2) {
+		t.Errorf("states = %d, want %d", c.Len(), 8*(9-2))
+	}
+}
+
+func TestSweep(t *testing.T) {
+	points, err := Sweep(9, []float64{3, 9, 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	prev := SweepPoint{DynamicGrid: math.Inf(1), StaticGrid: math.Inf(1)}
+	for _, pt := range points {
+		// All unavailabilities decrease as nodes get more reliable.
+		if pt.DynamicGrid >= prev.DynamicGrid || pt.StaticGrid >= prev.StaticGrid {
+			t.Errorf("non-decreasing series at ratio %g", pt.MuOverLambda)
+		}
+		// Ordering at every point: dynamic read <= dynamic write <<
+		// static grid; dynamic voting <= dynamic grid; rowa worst.
+		if pt.DynamicRead > pt.DynamicGrid {
+			t.Errorf("ratio %g: read %.3g > write %.3g", pt.MuOverLambda, pt.DynamicRead, pt.DynamicGrid)
+		}
+		if pt.DynamicGrid >= pt.StaticGrid {
+			t.Errorf("ratio %g: dynamic %.3g >= static %.3g", pt.MuOverLambda, pt.DynamicGrid, pt.StaticGrid)
+		}
+		if pt.DynVoting > pt.DynamicGrid {
+			t.Errorf("ratio %g: voting %.3g > grid %.3g", pt.MuOverLambda, pt.DynVoting, pt.DynamicGrid)
+		}
+		if pt.ROWA <= pt.StaticGrid {
+			t.Errorf("ratio %g: rowa %.3g not worst", pt.MuOverLambda, pt.ROWA)
+		}
+		prev = pt
+	}
+	if _, err := Sweep(9, []float64{0}); err == nil {
+		t.Error("zero ratio accepted")
+	}
+	out := FormatSweep(9, points)
+	if !strings.Contains(out, "N = 9") || !strings.Contains(out, "dyn-grid") {
+		t.Errorf("FormatSweep output: %q", out)
+	}
+}

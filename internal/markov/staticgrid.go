@@ -1,0 +1,95 @@
+package markov
+
+import (
+	"math"
+
+	"coterie/internal/coterie"
+)
+
+// Static-protocol availability under the site model reduces to a Bernoulli
+// calculation: in steady state each node is up independently with
+// probability p = μ/(λ+μ), and the system is available exactly when the
+// up-set includes a quorum over the full (static) node set.
+
+// StaticGridWriteAvailability returns the probability that the up-set
+// contains a write quorum of an m×n grid with b unoccupied positions
+// (bottom row, right-justified), each physical node up independently with
+// probability p.
+//
+// Columns are independent, so with
+//
+//	a_j = P(column j fully up) = p^h_j
+//	c_j = P(column j covered)  = 1 − (1−p)^h_j
+//
+// (h_j the column's physical height) the availability is
+//
+//	P(all covered, ≥1 full) = Π c_j − Π (c_j − a_j).
+//
+// With strict set, columns shortened by unoccupied positions can never be
+// "full" (a_j = 0 for them), matching the pre-optimization rule used by the
+// paper's Table 1 and by Cheung et al. for the static protocol.
+func StaticGridWriteAvailability(shape coterie.GridShape, p float64, strict bool) float64 {
+	if shape.M <= 0 || shape.N <= 0 {
+		return 0
+	}
+	allCovered := 1.0
+	noneFull := 1.0
+	for j := 1; j <= shape.N; j++ {
+		h := shape.ColumnHeight(j)
+		if h == 0 {
+			return 0 // a column with no physical nodes can never be covered
+		}
+		cj := 1 - math.Pow(1-p, float64(h))
+		aj := math.Pow(p, float64(h))
+		if strict && h < shape.M {
+			aj = 0
+		}
+		allCovered *= cj
+		noneFull *= cj - aj
+	}
+	return allCovered - noneFull
+}
+
+// StaticGridReadAvailability returns the probability that the up-set
+// contains a read quorum (a representative of every column).
+func StaticGridReadAvailability(shape coterie.GridShape, p float64) float64 {
+	if shape.M <= 0 || shape.N <= 0 {
+		return 0
+	}
+	avail := 1.0
+	for j := 1; j <= shape.N; j++ {
+		h := shape.ColumnHeight(j)
+		if h == 0 {
+			return 0
+		}
+		avail *= 1 - math.Pow(1-p, float64(h))
+	}
+	return avail
+}
+
+// StaticGridWriteUnavailability is 1 − StaticGridWriteAvailability; the
+// static values sit around 1e-4, well within float64 resolution.
+func StaticGridWriteUnavailability(shape coterie.GridShape, p float64, strict bool) float64 {
+	return 1 - StaticGridWriteAvailability(shape, p, strict)
+}
+
+// BestStaticGrid searches all exact factorizations m×n = N (and, when
+// includeSlack is set, the near-square shapes with unoccupied positions)
+// for the dimensions minimizing write unavailability at probability p. It
+// reproduces the "best dimensions" column of Table 1.
+func BestStaticGrid(n int, p float64, strict bool) (coterie.GridShape, float64) {
+	best := coterie.GridShape{}
+	bestU := math.Inf(1)
+	consider := func(s coterie.GridShape) {
+		u := StaticGridWriteUnavailability(s, p, strict)
+		if u < bestU {
+			best, bestU = s, u
+		}
+	}
+	for m := 1; m <= n; m++ {
+		if n%m == 0 {
+			consider(coterie.GridShape{M: m, N: n / m, B: 0})
+		}
+	}
+	return best, bestU
+}

@@ -1,0 +1,296 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coterie/internal/coterie"
+	"coterie/internal/nodeset"
+)
+
+// TestPaperTable1Static verifies the static-grid column of the paper's
+// Table 1 to the printed precision (0.01e-6), including the best-dimension
+// search.
+func TestPaperTable1Static(t *testing.T) {
+	want := []struct {
+		n, m, cols int
+		unavailE6  float64
+	}{
+		{9, 3, 3, 3268.59},
+		{12, 3, 4, 912.25},
+		{15, 3, 5, 683.60},
+		{16, 4, 4, 1208.75},
+		{20, 4, 5, 250.82},
+		{24, 4, 6, 78.23},
+		{30, 5, 6, 135.90},
+	}
+	p := PaperTable1Params().P()
+	if math.Abs(p-0.95) > 1e-15 {
+		t.Fatalf("p = %v, want 0.95", p)
+	}
+	for _, w := range want {
+		shape, u := BestStaticGrid(w.n, p, true)
+		if shape.M != w.m || shape.N != w.cols {
+			t.Errorf("N=%d: best shape %v, want %dx%d", w.n, shape, w.m, w.cols)
+		}
+		if math.Abs(u*1e6-w.unavailE6) > 0.005 {
+			t.Errorf("N=%d: static unavailability %.2fe-6, want %.2fe-6", w.n, u*1e6, w.unavailE6)
+		}
+	}
+}
+
+// TestPaperTable1Dynamic verifies the dynamic-grid column against the
+// paper's printed values (within 1.5% — the paper prints 2-4 significant
+// digits).
+func TestPaperTable1Dynamic(t *testing.T) {
+	want := map[int]float64{
+		9:  0.18e-6,
+		12: 0.6e-10,
+		15: 1.564e-14,
+	}
+	for n, wu := range want {
+		m := DynamicGridModel{N: n, Lambda: 1, Mu: 19}
+		u, err := m.UnavailabilityFloat(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(u-wu)/wu > 0.02 {
+			t.Errorf("N=%d: dynamic unavailability %.4g, want %.4g", n, u, wu)
+		}
+	}
+	// N=16 is reported "negligible": well below the N=15 value.
+	m := DynamicGridModel{N: 16, Lambda: 1, Mu: 19}
+	u, err := m.UnavailabilityFloat(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u >= 1e-14 || u <= 0 {
+		t.Errorf("N=16: %.4g, want (0, 1e-14)", u)
+	}
+}
+
+func TestTable1EndToEnd(t *testing.T) {
+	rows, err := Table1(PaperTable1Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(rows))
+	}
+	// The improvement is "several orders of magnitude" for every row.
+	for _, r := range rows {
+		if r.DynamicUF64 <= 0 {
+			t.Errorf("N=%d: non-positive dynamic unavailability %g", r.N, r.DynamicUF64)
+		}
+		if r.StaticU/r.DynamicUF64 < 1e3 {
+			t.Errorf("N=%d: improvement only %.1fx", r.N, r.StaticU/r.DynamicUF64)
+		}
+	}
+	out := FormatTable1(rows)
+	for _, frag := range []string{"3x3", "3268.59", "5x6", "Dynamic Grid"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatTable1 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestStaticGridAgainstEnumeration cross-checks the closed form against a
+// brute-force evaluation of the coterie predicate over all up-sets.
+func TestStaticGridAgainstEnumeration(t *testing.T) {
+	p := 0.95
+	for _, tc := range []struct {
+		n      int
+		strict bool
+	}{
+		{4, true}, {4, false}, {5, true}, {5, false},
+		{6, true}, {9, true}, {9, false}, {12, true}, {7, false}, {3, true}, {3, false},
+	} {
+		shape := coterie.DefineGrid(tc.n)
+		rule := coterie.Grid{Strict: tc.strict}
+		V := nodeset.Range(0, nodeset.ID(tc.n))
+		ids := V.IDs()
+		exact := 0.0
+		for mask := 0; mask < 1<<tc.n; mask++ {
+			var up nodeset.Set
+			prob := 1.0
+			for i := 0; i < tc.n; i++ {
+				if mask&(1<<i) != 0 {
+					up.Add(ids[i])
+					prob *= p
+				} else {
+					prob *= 1 - p
+				}
+			}
+			if rule.IsWriteQuorum(V, up) {
+				exact += prob
+			}
+		}
+		formula := StaticGridWriteAvailability(shape, p, tc.strict)
+		if math.Abs(formula-exact) > 1e-12 {
+			t.Errorf("N=%d strict=%v: formula %.12f vs enumeration %.12f",
+				tc.n, tc.strict, formula, exact)
+		}
+	}
+}
+
+func TestStaticGridReadAgainstEnumeration(t *testing.T) {
+	p := 0.9
+	for _, n := range []int{3, 5, 9} {
+		shape := coterie.DefineGrid(n)
+		rule := coterie.Grid{}
+		V := nodeset.Range(0, nodeset.ID(n))
+		ids := V.IDs()
+		exact := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			var up nodeset.Set
+			prob := 1.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					up.Add(ids[i])
+					prob *= p
+				} else {
+					prob *= 1 - p
+				}
+			}
+			if rule.IsReadQuorum(V, up) {
+				exact += prob
+			}
+		}
+		formula := StaticGridReadAvailability(shape, p)
+		if math.Abs(formula-exact) > 1e-12 {
+			t.Errorf("N=%d: read formula %.12f vs enumeration %.12f", n, formula, exact)
+		}
+	}
+}
+
+func TestStaticGridDegenerate(t *testing.T) {
+	if StaticGridWriteAvailability(coterie.GridShape{}, 0.9, false) != 0 {
+		t.Error("zero shape available")
+	}
+	if StaticGridReadAvailability(coterie.GridShape{}, 0.9) != 0 {
+		t.Error("zero shape read-available")
+	}
+	// Single node: availability = p.
+	s := coterie.GridShape{M: 1, N: 1}
+	if math.Abs(StaticGridWriteAvailability(s, 0.7, false)-0.7) > 1e-15 {
+		t.Error("1x1 grid availability != p")
+	}
+}
+
+func TestOptimizedStaticGridAtLeastStrict(t *testing.T) {
+	for n := 2; n <= 40; n++ {
+		shape := coterie.DefineGrid(n)
+		opt := StaticGridWriteAvailability(shape, 0.95, false)
+		strict := StaticGridWriteAvailability(shape, 0.95, true)
+		if opt < strict-1e-15 {
+			t.Errorf("N=%d: optimization reduced availability (%.9f < %.9f)", n, opt, strict)
+		}
+	}
+}
+
+func TestDynamicGridModelErrors(t *testing.T) {
+	if _, err := (DynamicGridModel{N: 3, Lambda: 1, Mu: 19}).Chain(); err == nil {
+		t.Error("N=3 accepted")
+	}
+	if _, err := (DynamicGridModel{N: 9, Lambda: 0, Mu: 19}).Chain(); err == nil {
+		t.Error("lambda=0 accepted")
+	}
+	if _, err := (DynamicGridModel{N: 9, Lambda: 1, Mu: -1}).Chain(); err == nil {
+		t.Error("mu<0 accepted")
+	}
+}
+
+// TestDynamicGridChainAgainstSimulation validates the analytic chain by
+// simulating its own transition structure and comparing long-run
+// unavailable fractions. Uses a high lambda so unavailability is large
+// enough to measure by simulation.
+func TestDynamicGridChainAgainstSimulation(t *testing.T) {
+	model := DynamicGridModel{N: 6, Lambda: 1, Mu: 3}
+	c, err := model.Chain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := model.UnavailabilityFloat(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monte-Carlo over the CTMC itself.
+	type edge struct {
+		to   int
+		rate float64
+	}
+	out := make([][]edge, c.Len())
+	c.Transitions(func(i, j int, rate float64) {
+		out[i] = append(out[i], edge{j, rate})
+	})
+	isUnavail := func(s int) bool { return s >= model.N-2 }
+	r := rand.New(rand.NewSource(1))
+	state := model.N - 3 // A_N
+	tUnavail, tTotal := 0.0, 0.0
+	for step := 0; step < 2_000_000; step++ {
+		total := 0.0
+		for _, e := range out[state] {
+			total += e.rate
+		}
+		dt := r.ExpFloat64() / total
+		tTotal += dt
+		if isUnavail(state) {
+			tUnavail += dt
+		}
+		x := r.Float64() * total
+		for _, e := range out[state] {
+			x -= e.rate
+			if x <= 0 {
+				state = e.to
+				break
+			}
+		}
+	}
+	got := tUnavail / tTotal
+	if math.Abs(got-analytic)/analytic > 0.15 {
+		t.Errorf("simulated unavailability %.4g vs analytic %.4g", got, analytic)
+	}
+}
+
+func TestRenderChain(t *testing.T) {
+	m := DynamicGridModel{N: 5, Lambda: 1, Mu: 19}
+	out, err := m.RenderChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"A(5,5,0)", "A(3,3,0)", "U(2,3,0)", "U(0,3,2)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("RenderChain missing %q:\n%s", frag, out)
+		}
+	}
+	if _, err := (DynamicGridModel{N: 2, Lambda: 1, Mu: 1}).RenderChain(); err == nil {
+		t.Error("RenderChain accepted N=2")
+	}
+}
+
+func TestDynamicGridStatesCount(t *testing.T) {
+	m := DynamicGridModel{N: 9, Lambda: 1, Mu: 19}
+	c, err := m.Chain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != m.States() || m.States() != 4*(9-2) {
+		t.Errorf("states = %d, want %d", c.Len(), 4*(9-2))
+	}
+}
+
+func TestDynamicGridMonotoneInN(t *testing.T) {
+	prev := math.Inf(1)
+	for n := 4; n <= 14; n++ {
+		u, err := DynamicGridModel{N: n, Lambda: 1, Mu: 19}.UnavailabilityFloat(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u <= 0 || u >= prev {
+			t.Errorf("N=%d: unavailability %.4g not decreasing (prev %.4g)", n, u, prev)
+		}
+		prev = u
+	}
+}

@@ -1,0 +1,62 @@
+package nodeset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format for a Set: a uvarint word count followed by that many
+// little-endian 64-bit words. Trailing zero words are trimmed before
+// encoding, so equal sets always encode to identical bytes — epoch lists
+// piggybacked on protocol messages stay canonical and tiny (paper,
+// footnote 1).
+
+// ErrTruncated is returned by Decode when the input ends mid-value.
+var ErrTruncated = errors.New("nodeset: truncated encoding")
+
+// trim returns s.words without trailing zero words.
+func (s Set) trim() []uint64 {
+	words := s.words
+	for len(words) > 0 && words[len(words)-1] == 0 {
+		words = words[:len(words)-1]
+	}
+	return words
+}
+
+// AppendEncode appends the canonical encoding of s to dst and returns the
+// extended slice.
+func (s Set) AppendEncode(dst []byte) []byte {
+	words := s.trim()
+	dst = binary.AppendUvarint(dst, uint64(len(words)))
+	for _, w := range words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// Encode returns the canonical binary encoding of s.
+func (s Set) Encode() []byte {
+	return s.AppendEncode(nil)
+}
+
+// Decode parses a set from the front of b, returning the set and the number
+// of bytes consumed.
+func Decode(b []byte) (Set, int, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return Set{}, 0, ErrTruncated
+	}
+	if n > MaxNodes/wordBits {
+		return Set{}, 0, fmt.Errorf("nodeset: encoded word count %d exceeds maximum", n)
+	}
+	need := k + int(n)*8
+	if len(b) < need {
+		return Set{}, 0, ErrTruncated
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(b[k+i*8:])
+	}
+	return Set{words: words}, need, nil
+}

@@ -1,0 +1,313 @@
+// Package nodeset provides node identifiers and ordered node sets for
+// replica-control protocols.
+//
+// All protocols in this module assume that every node replicating a data
+// item has a name and that names are linearly ordered (paper, Section 1).
+// Set represents such an ordered set of node names backed by a bit vector,
+// matching the paper's implementation note that "sets of nodes can be
+// encoded very tightly as, for instance, a binary vector" (footnote 1).
+package nodeset
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// ID is the name of a node. IDs are small non-negative integers; the linear
+// order on IDs is the numeric order. The zero ID is a valid node name.
+type ID int
+
+// String returns the conventional textual form of an ID, e.g. "n3".
+func (id ID) String() string { return fmt.Sprintf("n%d", int(id)) }
+
+// MaxNodes bounds the universe of node IDs a Set can hold. 4096 nodes is
+// far beyond any replication degree the protocols target while keeping the
+// bit-vector representation small.
+const MaxNodes = 4096
+
+const wordBits = 64
+
+// Set is an ordered set of node IDs backed by a bit vector. The zero value
+// is an empty set ready to use. Sets are value types: methods that modify
+// the receiver use pointer receivers; all others work on copies safely.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set containing the given IDs.
+func New(ids ...ID) Set {
+	var s Set
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Range returns the set {lo, lo+1, ..., hi-1}. It panics if lo > hi.
+func Range(lo, hi ID) Set {
+	if lo > hi {
+		panic(fmt.Sprintf("nodeset: invalid range [%d, %d)", lo, hi))
+	}
+	var s Set
+	for id := lo; id < hi; id++ {
+		s.Add(id)
+	}
+	return s
+}
+
+func checkID(id ID) {
+	if id < 0 || id >= MaxNodes {
+		panic(fmt.Sprintf("nodeset: ID %d out of range [0, %d)", int(id), MaxNodes))
+	}
+}
+
+// Add inserts id into the set.
+func (s *Set) Add(id ID) {
+	checkID(id)
+	w := int(id) / wordBits
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(id) % wordBits)
+}
+
+// Remove deletes id from the set. Removing an absent ID is a no-op.
+func (s *Set) Remove(id ID) {
+	checkID(id)
+	w := int(id) / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(id) % wordBits)
+	}
+}
+
+// Contains reports whether id is a member of the set.
+func (s Set) Contains(id ID) bool {
+	if id < 0 || id >= MaxNodes {
+		return false
+	}
+	w := int(id) / wordBits
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<(uint(id)%wordBits)) != 0
+}
+
+// Len returns the number of members.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	words := make([]uint64, len(s.words))
+	copy(words, s.words)
+	return Set{words: words}
+}
+
+// Equal reports whether s and t have the same members.
+func (s Set) Equal(t Set) bool {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(t.words) {
+			b = t.words[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		if i < len(s.words) {
+			words[i] |= s.words[i]
+		}
+		if i < len(t.words) {
+			words[i] |= t.words[i]
+		}
+	}
+	return Set{words: words}
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = s.words[i] & t.words[i]
+	}
+	return Set{words: words}
+}
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set {
+	words := make([]uint64, len(s.words))
+	for i := range words {
+		words[i] = s.words[i]
+		if i < len(t.words) {
+			words[i] &^= t.words[i]
+		}
+	}
+	return Set{words: words}
+}
+
+// Subset reports whether every member of s is also in t.
+func (s Set) Subset(t Set) bool {
+	for i, w := range s.words {
+		var u uint64
+		if i < len(t.words) {
+			u = t.words[i]
+		}
+		if w&^u != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s Set) Intersects(t Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IDs returns the members in increasing order.
+func (s Set) IDs() []ID {
+	ids := make([]ID, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			ids = append(ids, ID(wi*wordBits+b))
+			w &= w - 1
+		}
+	}
+	return ids
+}
+
+// OrderedNumber returns the 1-based position of id in the increasing order
+// of the set's members — the paper's ordered-number(V, s) function — and
+// true, or 0 and false if id is not a member.
+func (s Set) OrderedNumber(id ID) (int, bool) {
+	if !s.Contains(id) {
+		return 0, false
+	}
+	w := int(id) / wordBits
+	pos := 1
+	for i := 0; i < w; i++ {
+		pos += bits.OnesCount64(s.words[i])
+	}
+	pos += bits.OnesCount64(s.words[w] & ((1 << (uint(id) % wordBits)) - 1))
+	return pos, true
+}
+
+// Nth returns the n-th member (1-based) in increasing order, and true, or
+// 0 and false if n is out of range.
+func (s Set) Nth(n int) (ID, bool) {
+	if n < 1 {
+		return 0, false
+	}
+	remaining := n
+	for wi, w := range s.words {
+		c := bits.OnesCount64(w)
+		if remaining > c {
+			remaining -= c
+			continue
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			remaining--
+			if remaining == 0 {
+				return ID(wi*wordBits + b), true
+			}
+			w &= w - 1
+		}
+	}
+	return 0, false
+}
+
+// Min returns the smallest member and true, or 0 and false for the empty set.
+func (s Set) Min() (ID, bool) {
+	for wi, w := range s.words {
+		if w != 0 {
+			return ID(wi*wordBits + bits.TrailingZeros64(w)), true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the largest member and true, or 0 and false for the empty set.
+func (s Set) Max() (ID, bool) {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return ID(wi*wordBits + 63 - bits.LeadingZeros64(w)), true
+		}
+	}
+	return 0, false
+}
+
+// String renders the set as "{n0, n3, n7}". Members appear in increasing
+// order.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.IDs() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(id.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// FromIDs builds a set from a slice of IDs, ignoring duplicates.
+func FromIDs(ids []ID) Set {
+	return New(ids...)
+}
+
+// SortIDs sorts a slice of IDs in increasing order, in place, and returns it.
+func SortIDs(ids []ID) []ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

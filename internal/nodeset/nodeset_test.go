@@ -1,0 +1,377 @@
+package nodeset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndContains(t *testing.T) {
+	s := New(1, 3, 7)
+	for _, id := range []ID{1, 3, 7} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%v) = false, want true", id)
+		}
+	}
+	for _, id := range []ID{0, 2, 4, 8, 100} {
+		if s.Contains(id) {
+			t.Errorf("Contains(%v) = true, want false", id)
+		}
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(1)
+	if s.Contains(-1) {
+		t.Error("Contains(-1) = true")
+	}
+	if s.Contains(MaxNodes) {
+		t.Error("Contains(MaxNodes) = true")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatalf("zero Set not empty: len=%d", s.Len())
+	}
+	s.Add(5)
+	if !s.Contains(5) || s.Len() != 1 {
+		t.Fatalf("after Add(5): contains=%v len=%d", s.Contains(5), s.Len())
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	var s Set
+	s.Add(10)
+	s.Add(10) // duplicate add is idempotent
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	s.Remove(10)
+	if s.Contains(10) {
+		t.Error("Contains(10) after Remove")
+	}
+	s.Remove(10) // removing absent id is a no-op
+	s.Remove(99) // beyond allocated words is a no-op
+	if !s.Empty() {
+		t.Error("set not empty after removals")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) did not panic")
+		}
+	}()
+	var s Set
+	s.Add(-1)
+}
+
+func TestRange(t *testing.T) {
+	s := Range(2, 6)
+	want := []ID{2, 3, 4, 5}
+	got := s.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+	if !Range(3, 3).Empty() {
+		t.Error("Range(3,3) not empty")
+	}
+}
+
+func TestRangePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Range(5, 2) did not panic")
+		}
+	}()
+	Range(5, 2)
+}
+
+func TestLenAcrossWords(t *testing.T) {
+	s := New(0, 63, 64, 127, 128)
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+}
+
+func TestUnionIntersectDiff(t *testing.T) {
+	a := New(1, 2, 3, 70)
+	b := New(3, 4, 70, 200)
+
+	if got := a.Union(b); !got.Equal(New(1, 2, 3, 4, 70, 200)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(New(3, 70)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); !got.Equal(New(1, 2)) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := b.Diff(a); !got.Equal(New(4, 200)) {
+		t.Errorf("Diff = %v", got)
+	}
+}
+
+func TestEqualDifferentWordLengths(t *testing.T) {
+	a := New(1)
+	b := New(1, 200)
+	b.Remove(200) // b now has extra zero words
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("sets with different backing lengths compare unequal")
+	}
+}
+
+func TestSubsetIntersects(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 2, 3)
+	if !a.Subset(b) {
+		t.Error("a.Subset(b) = false")
+	}
+	if b.Subset(a) {
+		t.Error("b.Subset(a) = true")
+	}
+	if !a.Subset(a) {
+		t.Error("a.Subset(a) = false")
+	}
+	var empty Set
+	if !empty.Subset(a) {
+		t.Error("empty.Subset(a) = false")
+	}
+	if !a.Intersects(b) {
+		t.Error("a.Intersects(b) = false")
+	}
+	if a.Intersects(New(5, 300)) {
+		t.Error("disjoint sets report Intersects")
+	}
+	if empty.Intersects(a) {
+		t.Error("empty.Intersects(a) = true")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := New(1, 2)
+	b := a.Clone()
+	b.Add(3)
+	if a.Contains(3) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestOrderedNumber(t *testing.T) {
+	s := New(5, 10, 64, 130)
+	cases := []struct {
+		id   ID
+		want int
+		ok   bool
+	}{
+		{5, 1, true}, {10, 2, true}, {64, 3, true}, {130, 4, true},
+		{7, 0, false}, {0, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := s.OrderedNumber(c.id)
+		if got != c.want || ok != c.ok {
+			t.Errorf("OrderedNumber(%v) = %d,%v want %d,%v", c.id, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestNthInverseOfOrderedNumber(t *testing.T) {
+	s := New(3, 9, 64, 65, 200)
+	for n := 1; n <= s.Len(); n++ {
+		id, ok := s.Nth(n)
+		if !ok {
+			t.Fatalf("Nth(%d) not ok", n)
+		}
+		k, ok := s.OrderedNumber(id)
+		if !ok || k != n {
+			t.Errorf("OrderedNumber(Nth(%d)) = %d,%v", n, k, ok)
+		}
+	}
+	if _, ok := s.Nth(0); ok {
+		t.Error("Nth(0) ok")
+	}
+	if _, ok := s.Nth(s.Len() + 1); ok {
+		t.Error("Nth(len+1) ok")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := New(42, 7, 300)
+	if min, ok := s.Min(); !ok || min != 7 {
+		t.Errorf("Min = %v,%v", min, ok)
+	}
+	if max, ok := s.Max(); !ok || max != 300 {
+		t.Errorf("Max = %v,%v", max, ok)
+	}
+	var empty Set
+	if _, ok := empty.Min(); ok {
+		t.Error("empty Min ok")
+	}
+	if _, ok := empty.Max(); ok {
+		t.Error("empty Max ok")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(0, 3).String(); got != "{n0, n3}" {
+		t.Errorf("String = %q", got)
+	}
+	var empty Set
+	if got := empty.String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Set{
+		{},
+		New(0),
+		New(63, 64),
+		New(1, 2, 3, 100, 1000),
+		Range(0, 70),
+	}
+	for _, s := range cases {
+		b := s.Encode()
+		got, n, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", s, err)
+		}
+		if n != len(b) {
+			t.Errorf("Decode consumed %d of %d bytes", n, len(b))
+		}
+		if !got.Equal(s) {
+			t.Errorf("round trip: got %v want %v", got, s)
+		}
+	}
+}
+
+func TestEncodeCanonical(t *testing.T) {
+	a := New(1)
+	b := New(1, 500)
+	b.Remove(500)
+	if string(a.Encode()) != string(b.Encode()) {
+		t.Error("equal sets encode differently")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	// Word count claims more data than present.
+	b := New(70).Encode()
+	if _, _, err := Decode(b[:len(b)-1]); err == nil {
+		t.Error("Decode of truncated input succeeded")
+	}
+	// Absurd word count.
+	huge := []byte{0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := Decode(huge); err == nil {
+		t.Error("Decode of oversized count succeeded")
+	}
+}
+
+func TestDecodeTrailingBytesIgnored(t *testing.T) {
+	s := New(9, 70)
+	b := append(s.Encode(), 0xAA, 0xBB)
+	got, n, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b)-2 {
+		t.Errorf("consumed %d, want %d", n, len(b)-2)
+	}
+	if !got.Equal(s) {
+		t.Errorf("got %v want %v", got, s)
+	}
+}
+
+func TestSortIDs(t *testing.T) {
+	ids := []ID{5, 1, 3}
+	SortIDs(ids)
+	if ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Errorf("SortIDs = %v", ids)
+	}
+}
+
+func TestFromIDsDeduplicates(t *testing.T) {
+	s := FromIDs([]ID{2, 2, 4})
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+func randomSet(r *rand.Rand) Set {
+	var s Set
+	n := r.Intn(40)
+	for i := 0; i < n; i++ {
+		s.Add(ID(r.Intn(256)))
+	}
+	return s
+}
+
+// Property: set algebra laws hold for random sets.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		u := a.Union(b)
+		i := a.Intersect(b)
+		// |A∪B| + |A∩B| == |A| + |B|
+		if u.Len()+i.Len() != a.Len()+b.Len() {
+			return false
+		}
+		// A\B ∪ A∩B == A
+		if !a.Diff(b).Union(i).Equal(a) {
+			return false
+		}
+		// A ⊆ A∪B and A∩B ⊆ A
+		return a.Subset(u) && i.Subset(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encode/decode round-trips for random sets.
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r)
+		got, n, err := Decode(s.Encode())
+		return err == nil && n == len(s.Encode()) && got.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OrderedNumber enumerates 1..Len in increasing ID order.
+func TestQuickOrderedNumber(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r)
+		ids := s.IDs()
+		for i, id := range ids {
+			k, ok := s.OrderedNumber(id)
+			if !ok || k != i+1 {
+				return false
+			}
+			back, ok := s.Nth(k)
+			if !ok || back != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

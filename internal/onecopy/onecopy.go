@@ -1,0 +1,229 @@
+// Package onecopy records operation histories and checks them for one-copy
+// serializability — the paper's consistency criterion (Section 3): the
+// concurrent execution of operations on replicated data must be equivalent
+// to a serial execution of those operations on non-replicated data.
+//
+// The protocols under test expose the serialization order directly: every
+// committed write produces a unique version number, and every read reports
+// the version it observed. A history is one-copy serializable — in fact
+// linearizable — iff
+//
+//  1. committed writes carry distinct, gap-free version numbers;
+//  2. version order refines real-time order (an operation that finished
+//     before another started cannot be serialized after it);
+//  3. every read returns exactly the value produced by replaying the
+//     writes with versions ≤ the version it reports.
+//
+// Real time is modeled with a logical clock: Begin stamps an operation's
+// invocation, EndWrite/EndRead its response.
+package onecopy
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"coterie/internal/replica"
+)
+
+// Kind distinguishes history events.
+type Kind int
+
+const (
+	// KindWrite is a committed write.
+	KindWrite Kind = iota
+	// KindRead is a completed read.
+	KindRead
+	// KindMaybeWrite is a write whose outcome is unknown: the operation
+	// returned an error after its commit phase may have started (e.g. the
+	// coordinator lost contact mid-2PC). It may occupy a version number
+	// the recorder never learned, so the checker treats it as a wildcard
+	// when validating version continuity and skips value replay for reads
+	// whose prefix it might intersect.
+	KindMaybeWrite
+)
+
+// Event is one completed operation in a history.
+type Event struct {
+	Kind    Kind
+	Start   uint64 // logical invocation time
+	End     uint64 // logical response time
+	Version uint64 // version produced (write) or observed (read)
+	Update  replica.Update
+	Value   []byte // value returned (read)
+}
+
+// Recorder accumulates a history. It is safe for concurrent use.
+type Recorder struct {
+	initial []byte
+	clock   atomic.Uint64
+	mu      sync.Mutex
+	events  []Event
+}
+
+// NewRecorder starts a history over a data item with the given initial
+// value.
+func NewRecorder(initial []byte) *Recorder {
+	cp := make([]byte, len(initial))
+	copy(cp, initial)
+	return &Recorder{initial: cp}
+}
+
+// Begin stamps an operation invocation and returns the stamp.
+func (r *Recorder) Begin() uint64 { return r.clock.Add(1) }
+
+// EndWrite records a committed write that produced version v.
+func (r *Recorder) EndWrite(start uint64, v uint64, u replica.Update) {
+	end := r.clock.Add(1)
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: KindWrite, Start: start, End: end, Version: v, Update: u})
+	r.mu.Unlock()
+}
+
+// EndMaybeWrite records a write whose outcome is unknown (errored after
+// the commit phase may have begun).
+func (r *Recorder) EndMaybeWrite(start uint64, u replica.Update) {
+	end := r.clock.Add(1)
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: KindMaybeWrite, Start: start, End: end, Update: u})
+	r.mu.Unlock()
+}
+
+// EndRead records a completed read that observed version v with the given
+// value.
+func (r *Recorder) EndRead(start uint64, v uint64, value []byte) {
+	end := r.clock.Add(1)
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: KindRead, Start: start, End: end, Version: v, Value: cp})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded history.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Check verifies the recorded history. A nil result means the history is
+// one-copy serializable.
+func (r *Recorder) Check() error {
+	return CheckHistory(r.initial, r.Events())
+}
+
+// CheckHistory verifies an explicit history against an initial value.
+//
+// Histories may contain KindMaybeWrite events; each can account for at
+// most one version gap in the definite writes, and reads whose version
+// prefix includes a gap skip the value-replay check (their bytes cannot be
+// reconstructed without knowing the uncertain writes' contents).
+func CheckHistory(initial []byte, events []Event) error {
+	var writes, reads []Event
+	maybes := 0
+	for _, e := range events {
+		switch e.Kind {
+		case KindWrite:
+			writes = append(writes, e)
+		case KindRead:
+			reads = append(reads, e)
+		case KindMaybeWrite:
+			maybes++
+		default:
+			return fmt.Errorf("onecopy: unknown event kind %d", e.Kind)
+		}
+	}
+
+	// (1) Unique write versions; gaps only where uncertain writes could
+	// have landed.
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Version < writes[j].Version })
+	maxVersion := uint64(0)
+	byVersion := make(map[uint64]int, len(writes))
+	for i, w := range writes {
+		if w.Version == 0 {
+			return fmt.Errorf("onecopy: committed write with version 0")
+		}
+		if _, dup := byVersion[w.Version]; dup {
+			return fmt.Errorf("onecopy: two committed writes share version %d", w.Version)
+		}
+		byVersion[w.Version] = i
+		if w.Version > maxVersion {
+			maxVersion = w.Version
+		}
+	}
+	for _, rd := range reads {
+		if rd.Version > maxVersion {
+			maxVersion = rd.Version
+		}
+	}
+	gaps := int(maxVersion) - len(writes)
+	if gaps < 0 || gaps > maybes {
+		return fmt.Errorf("onecopy: %d version gaps below v%d but only %d uncertain writes", gaps, maxVersion, maybes)
+	}
+
+	// (2a) Write version order refines real-time order.
+	for i := range writes {
+		for j := range writes {
+			if writes[i].End < writes[j].Start && writes[i].Version > writes[j].Version {
+				return fmt.Errorf("onecopy: write v%d finished before write v%d started but serializes after it",
+					writes[i].Version, writes[j].Version)
+			}
+		}
+	}
+
+	// Replay values along the definite prefix: values[v] is valid while
+	// versions 1..v are all definite.
+	definitePrefix := uint64(0)
+	for definitePrefix < maxVersion {
+		if _, ok := byVersion[definitePrefix+1]; !ok {
+			break
+		}
+		definitePrefix++
+	}
+	values := make([][]byte, definitePrefix+1)
+	values[0] = append([]byte(nil), initial...)
+	cur := append([]byte(nil), initial...)
+	for v := uint64(1); v <= definitePrefix; v++ {
+		cur = applyUpdate(cur, writes[byVersion[v]].Update)
+		values[v] = append([]byte(nil), cur...)
+	}
+
+	for _, rd := range reads {
+		// (3) Value replay, when the full prefix is known.
+		if rd.Version <= definitePrefix && !bytes.Equal(rd.Value, values[rd.Version]) {
+			return fmt.Errorf("onecopy: read at version %d returned %q, replay gives %q",
+				rd.Version, rd.Value, values[rd.Version])
+		}
+		// (2b) Reads respect real-time order against committed writes.
+		for _, w := range writes {
+			if w.End < rd.Start && rd.Version < w.Version {
+				return fmt.Errorf("onecopy: read observed v%d but write v%d had already completed", rd.Version, w.Version)
+			}
+			if rd.End < w.Start && rd.Version >= w.Version {
+				return fmt.Errorf("onecopy: read observed v%d before write v%d started", rd.Version, w.Version)
+			}
+		}
+		// (2c) Reads respect real-time order against reads (monotonicity).
+		for _, rd2 := range reads {
+			if rd.End < rd2.Start && rd.Version > rd2.Version {
+				return fmt.Errorf("onecopy: read observed v%d after an earlier read observed v%d", rd2.Version, rd.Version)
+			}
+		}
+	}
+	return nil
+}
+
+// applyUpdate mirrors replica's update semantics for replay.
+func applyUpdate(value []byte, u replica.Update) []byte {
+	end := u.Offset + len(u.Data)
+	if end > len(value) {
+		grown := make([]byte, end)
+		copy(grown, value)
+		value = grown
+	}
+	copy(value[u.Offset:], u.Data)
+	return value
+}

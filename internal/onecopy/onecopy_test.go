@@ -1,0 +1,243 @@
+package onecopy
+
+import (
+	"strings"
+	"testing"
+
+	"coterie/internal/replica"
+)
+
+func TestEmptyHistoryValid(t *testing.T) {
+	r := NewRecorder([]byte("x"))
+	if err := r.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialHistoryValid(t *testing.T) {
+	r := NewRecorder(nil)
+	s := r.Begin()
+	r.EndWrite(s, 1, replica.Update{Offset: 0, Data: []byte("a")})
+	s = r.Begin()
+	r.EndRead(s, 1, []byte("a"))
+	s = r.Begin()
+	r.EndWrite(s, 2, replica.Update{Offset: 1, Data: []byte("b")})
+	s = r.Begin()
+	r.EndRead(s, 2, []byte("ab"))
+	if err := r.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateVersionDetected(t *testing.T) {
+	events := []Event{
+		{Kind: KindWrite, Start: 1, End: 2, Version: 1, Update: replica.Update{Data: []byte("a")}},
+		{Kind: KindWrite, Start: 3, End: 4, Version: 1, Update: replica.Update{Data: []byte("b")}},
+	}
+	if err := CheckHistory(nil, events); err == nil || !strings.Contains(err.Error(), "share version") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVersionGapDetected(t *testing.T) {
+	events := []Event{
+		{Kind: KindWrite, Start: 1, End: 2, Version: 2, Update: replica.Update{Data: []byte("a")}},
+	}
+	if err := CheckHistory(nil, events); err == nil {
+		t.Error("gap accepted")
+	}
+}
+
+func TestWriteRealTimeViolationDetected(t *testing.T) {
+	// Write v2 completed before write v1 started.
+	events := []Event{
+		{Kind: KindWrite, Start: 5, End: 6, Version: 1, Update: replica.Update{Data: []byte("a")}},
+		{Kind: KindWrite, Start: 1, End: 2, Version: 2, Update: replica.Update{Data: []byte("b")}},
+	}
+	if err := CheckHistory(nil, events); err == nil || !strings.Contains(err.Error(), "serializes after") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStaleReadDetected(t *testing.T) {
+	// The read starts after write v1 completed but observes v0.
+	events := []Event{
+		{Kind: KindWrite, Start: 1, End: 2, Version: 1, Update: replica.Update{Data: []byte("a")}},
+		{Kind: KindRead, Start: 3, End: 4, Version: 0, Value: nil},
+	}
+	if err := CheckHistory(nil, events); err == nil || !strings.Contains(err.Error(), "already completed") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFutureReadDetected(t *testing.T) {
+	// The read finished before write v1 started yet observed v1.
+	events := []Event{
+		{Kind: KindRead, Start: 1, End: 2, Version: 1, Value: []byte("a")},
+		{Kind: KindWrite, Start: 3, End: 4, Version: 1, Update: replica.Update{Data: []byte("a")}},
+	}
+	if err := CheckHistory(nil, events); err == nil || !strings.Contains(err.Error(), "before write") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWrongValueDetected(t *testing.T) {
+	events := []Event{
+		{Kind: KindWrite, Start: 1, End: 2, Version: 1, Update: replica.Update{Data: []byte("a")}},
+		{Kind: KindRead, Start: 3, End: 4, Version: 1, Value: []byte("z")},
+	}
+	if err := CheckHistory(nil, events); err == nil || !strings.Contains(err.Error(), "replay gives") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReadVersionBeyondWritesDetected(t *testing.T) {
+	events := []Event{
+		{Kind: KindRead, Start: 1, End: 2, Version: 3, Value: nil},
+	}
+	if err := CheckHistory(nil, events); err == nil {
+		t.Error("phantom version accepted")
+	}
+}
+
+func TestNonMonotonicReadsDetected(t *testing.T) {
+	events := []Event{
+		{Kind: KindWrite, Start: 1, End: 2, Version: 1, Update: replica.Update{Data: []byte("a")}},
+		{Kind: KindRead, Start: 3, End: 4, Version: 1, Value: []byte("a")},
+		// hmm: second read starts after the first ended but sees v0, while
+		// no write constrains it directly (write ended before both).
+		{Kind: KindRead, Start: 5, End: 6, Version: 0, Value: nil},
+	}
+	if err := CheckHistory(nil, events); err == nil {
+		t.Error("non-monotonic reads accepted")
+	}
+}
+
+func TestConcurrentOpsAnyOrderValid(t *testing.T) {
+	// Two overlapping writes may serialize either way.
+	events := []Event{
+		{Kind: KindWrite, Start: 1, End: 10, Version: 2, Update: replica.Update{Offset: 0, Data: []byte("x")}},
+		{Kind: KindWrite, Start: 2, End: 9, Version: 1, Update: replica.Update{Offset: 1, Data: []byte("y")}},
+		{Kind: KindRead, Start: 11, End: 12, Version: 2, Value: []byte("xy")},
+	}
+	if err := CheckHistory(nil, events); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadOfInitialValue(t *testing.T) {
+	events := []Event{
+		{Kind: KindRead, Start: 1, End: 2, Version: 0, Value: []byte("init")},
+	}
+	if err := CheckHistory([]byte("init"), events); err != nil {
+		t.Error(err)
+	}
+	bad := []Event{{Kind: KindRead, Start: 1, End: 2, Version: 0, Value: []byte("other")}}
+	if err := CheckHistory([]byte("init"), bad); err == nil {
+		t.Error("wrong initial value accepted")
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	if err := CheckHistory(nil, []Event{{Kind: Kind(9)}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRecorderCopiesValues(t *testing.T) {
+	r := NewRecorder(nil)
+	s := r.Begin()
+	buf := []byte("a")
+	r.EndWrite(s, 1, replica.Update{Data: buf})
+	s = r.Begin()
+	val := []byte("a")
+	r.EndRead(s, 1, val)
+	val[0] = 'z' // mutating the caller's buffer must not corrupt history
+	if err := r.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaybeWriteExcusesOneGap(t *testing.T) {
+	// A committed write at v2 with v1 missing: invalid alone, valid with
+	// one uncertain write.
+	gap := []Event{
+		{Kind: KindWrite, Start: 3, End: 4, Version: 2, Update: replica.Update{Data: []byte("b")}},
+	}
+	if err := CheckHistory(nil, gap); err == nil {
+		t.Error("gap accepted without maybe-write")
+	}
+	withMaybe := append([]Event{
+		{Kind: KindMaybeWrite, Start: 1, End: 2, Update: replica.Update{Data: []byte("a")}},
+	}, gap...)
+	if err := CheckHistory(nil, withMaybe); err != nil {
+		t.Errorf("gap with maybe-write rejected: %v", err)
+	}
+	// Two gaps, one maybe: still invalid.
+	twoGaps := append([]Event{
+		{Kind: KindMaybeWrite, Start: 1, End: 2, Update: replica.Update{Data: []byte("a")}},
+	}, Event{Kind: KindWrite, Start: 5, End: 6, Version: 3, Update: replica.Update{Data: []byte("c")}})
+	if err := CheckHistory(nil, twoGaps); err == nil {
+		t.Error("two gaps excused by one maybe-write")
+	}
+}
+
+func TestMaybeWriteSkipsValueCheckPastGap(t *testing.T) {
+	// Read at v2 where v1 is a gap: the value cannot be validated, so any
+	// bytes pass; but the version bound still applies.
+	events := []Event{
+		{Kind: KindMaybeWrite, Start: 1, End: 2},
+		{Kind: KindWrite, Start: 3, End: 4, Version: 2, Update: replica.Update{Data: []byte("b")}},
+		{Kind: KindRead, Start: 5, End: 6, Version: 2, Value: []byte("anything")},
+	}
+	if err := CheckHistory(nil, events); err != nil {
+		t.Errorf("unverifiable read rejected: %v", err)
+	}
+	// A read below the gap still has its value checked.
+	events = append(events, Event{Kind: KindRead, Start: 7, End: 8, Version: 0, Value: []byte("wrong")})
+	if err := CheckHistory(nil, events); err == nil {
+		t.Error("stale read past completed write accepted")
+	}
+}
+
+func TestMaybeWriteReadBeyondAllVersions(t *testing.T) {
+	// A read claiming v1 with no definite writes: valid only if a maybe
+	// write exists to account for it.
+	read := []Event{{Kind: KindRead, Start: 3, End: 4, Version: 1, Value: []byte("x")}}
+	if err := CheckHistory(nil, read); err == nil {
+		t.Error("phantom version accepted")
+	}
+	withMaybe := append([]Event{{Kind: KindMaybeWrite, Start: 1, End: 2}}, read...)
+	if err := CheckHistory(nil, withMaybe); err != nil {
+		t.Errorf("read of uncertain write rejected: %v", err)
+	}
+}
+
+func TestWriteVersionZeroRejected(t *testing.T) {
+	events := []Event{{Kind: KindWrite, Start: 1, End: 2, Version: 0}}
+	if err := CheckHistory(nil, events); err == nil {
+		t.Error("version-0 write accepted")
+	}
+}
+
+func TestRecorderMaybeWrite(t *testing.T) {
+	r := NewRecorder(nil)
+	s := r.Begin()
+	r.EndMaybeWrite(s, replica.Update{Data: []byte("?")})
+	s = r.Begin()
+	r.EndWrite(s, 2, replica.Update{Offset: 1, Data: []byte("b")})
+	if err := r.Check(); err != nil {
+		t.Errorf("recorder maybe-write history rejected: %v", err)
+	}
+}
+
+func TestUpdateExtensionReplay(t *testing.T) {
+	// Updates beyond the current length zero-fill, matching the store.
+	events := []Event{
+		{Kind: KindWrite, Start: 1, End: 2, Version: 1, Update: replica.Update{Offset: 3, Data: []byte("z")}},
+		{Kind: KindRead, Start: 3, End: 4, Version: 1, Value: []byte{'a', 0, 0, 'z'}},
+	}
+	if err := CheckHistory([]byte("a"), events); err != nil {
+		t.Error(err)
+	}
+}

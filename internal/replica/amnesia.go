@@ -1,0 +1,57 @@
+package replica
+
+import "coterie/internal/nodeset"
+
+// Crash amnesia. The paper's fail-stop model implicitly assumes stable
+// storage: a node that returns remembers its version number, stale flag
+// and epoch. If a replica instead loses its state (disk loss, rebuild),
+// it must NOT simply rejoin with zeroed state — quorum intersection only
+// yields one-copy serializability because overlap nodes *witness* earlier
+// operations, and an amnesiac overlap node would silently un-witness a
+// committed write, letting a later quorum read stale data.
+//
+// The safe protocol, implemented here: an amnesiac replica marks itself
+// *recovering*. While recovering it still answers lock and state requests
+// (so an epoch change can include it) but flags the reply; coordinators
+// exclude recovering replicas from every quorum computation and from
+// good/stale classification. The next successful epoch change — which by
+// Lemma 1 contacts a write quorum of the current epoch and therefore
+// learns the true current state — admits the replica as a stale member
+// with the epoch's desired version, and ordinary propagation rebuilds it
+// (the update log cannot reach version 0, so a snapshot ships). Only then
+// does the replica count again.
+
+// Amnesia simulates total loss of the replica's stable state: value,
+// version, flags, epoch view, staged transactions, decision log and lock
+// table all reset, and the replica enters the recovering state.
+func (it *Item) Amnesia() {
+	it.mu.Lock()
+	it.store = NewStore(nil, it.cfg.MaxLog)
+	it.stale = false
+	it.desired = 0
+	it.epoch = nodeset.Set{}
+	it.epochNum = 0
+	it.good = nodeset.Set{}
+	it.goodVer = 0
+	it.staged = make(map[OpID]*staged)
+	it.propOp = OpID{}
+	it.decisions = nil
+	it.decisionOrder = nil
+	it.recovering = true
+	it.mu.Unlock()
+
+	// The lock table was volatile too: drop every hold so waiters proceed
+	// against the fresh (recovering) replica.
+	it.lock.resetHolders()
+
+	it.propMu.Lock()
+	it.pending = nodeset.Set{}
+	it.propMu.Unlock()
+}
+
+// Recovering reports whether the replica is quarantined after amnesia.
+func (it *Item) Recovering() bool {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.recovering
+}

@@ -1,0 +1,120 @@
+package replica
+
+import (
+	"context"
+	"time"
+
+	"coterie/internal/transport"
+)
+
+// Two-phase-commit termination. The paper relies on atomic commitment from
+// [2] without spelling out recovery; a production implementation needs a
+// way for a participant that prepared an action — and therefore holds its
+// replica lock pinned — to learn the outcome when the coordinator's
+// commit/abort never arrives (lost message, coordinator crash).
+//
+// The mechanism here is a standard coordinator-log termination protocol:
+//
+//   - the coordinator durably records its decision at its co-located
+//     replica (RecordDecision) before distributing it;
+//   - every replica runs a resolver that notices staged actions older than
+//     ResolveAfter and asks the coordinator's replica for the decision
+//     (DecisionQuery), then commits or aborts locally.
+//
+// If the coordinator node stays unreachable the participant remains
+// blocked — 2PC's inherent window — but any recovery or heal resolves it.
+
+// maxDecisions bounds the per-replica decision log; old entries are
+// evicted FIFO. An evicted decision can no longer resolve a participant,
+// but participants query within seconds while the log holds hours of
+// operations.
+const maxDecisions = 8192
+
+// RecordDecision logs the outcome of an operation this node coordinated.
+func (it *Item) RecordDecision(op OpID, commit bool) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.decisions == nil {
+		it.decisions = make(map[OpID]bool)
+	}
+	if _, exists := it.decisions[op]; !exists {
+		it.decisionOrder = append(it.decisionOrder, op)
+		if len(it.decisionOrder) > maxDecisions {
+			evict := it.decisionOrder[0]
+			it.decisionOrder = it.decisionOrder[1:]
+			delete(it.decisions, evict)
+		}
+	}
+	it.decisions[op] = commit
+}
+
+// handleDecisionQuery answers a participant's termination query.
+func (it *Item) handleDecisionQuery(m DecisionQuery) (transport.Message, error) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	commit, known := it.decisions[m.Op]
+	return DecisionReply{Known: known, Commit: commit}, nil
+}
+
+// resolveLoop periodically scans staged 2PC actions and resolves the ones
+// whose coordinator has gone quiet.
+func (it *Item) resolveLoop() {
+	defer it.wg.Done()
+	ticker := time.NewTicker(it.cfg.ResolveInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-it.closed:
+			return
+		case <-ticker.C:
+			it.resolveStale()
+		}
+	}
+}
+
+// resolveStale queries the coordinator of every sufficiently old staged
+// action and applies the learned decision.
+func (it *Item) resolveStale() {
+	cutoff := time.Now().Add(-it.cfg.ResolveAfter)
+	it.mu.Lock()
+	var pending []OpID
+	for op, st := range it.staged {
+		if st.preparedAt.Before(cutoff) {
+			pending = append(pending, op)
+		}
+	}
+	it.mu.Unlock()
+
+	for _, op := range pending {
+		if op.Coordinator == it.self {
+			// Local coordinator: consult the log directly.
+			it.mu.Lock()
+			commit, known := it.decisions[op]
+			it.mu.Unlock()
+			if known {
+				it.applyDecision(op, commit)
+			}
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), it.cfg.PropagationCallTimeout)
+		reply, err := it.net.Call(ctx, it.self, op.Coordinator, Envelope{Item: it.name, Msg: DecisionQuery{Op: op}})
+		cancel()
+		if err != nil {
+			continue // coordinator unreachable; stay blocked
+		}
+		dr, ok := reply.(DecisionReply)
+		if !ok || !dr.Known {
+			continue
+		}
+		it.applyDecision(op, dr.Commit)
+	}
+}
+
+// applyDecision commits or aborts a staged action locally.
+func (it *Item) applyDecision(op OpID, commit bool) {
+	if commit {
+		_, _ = it.handleCommit(Commit{Op: op})
+	} else {
+		_, _ = it.handleAbort(Abort{Op: op})
+	}
+}

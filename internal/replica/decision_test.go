@@ -1,0 +1,186 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDecisionLogRecordAndQuery(t *testing.T) {
+	h := newHarness(t, 2, nil, Config{})
+	o := h.item(0).NextOp()
+	h.item(0).RecordDecision(o, true)
+	reply := h.call(t, 1, 0, DecisionQuery{Op: o}).(DecisionReply)
+	if !reply.Known || !reply.Commit {
+		t.Errorf("reply = %+v", reply)
+	}
+	// Unknown op.
+	reply = h.call(t, 1, 0, DecisionQuery{Op: h.item(0).NextOp()}).(DecisionReply)
+	if reply.Known {
+		t.Errorf("unknown op reported known: %+v", reply)
+	}
+	// Abort decision.
+	o2 := h.item(0).NextOp()
+	h.item(0).RecordDecision(o2, false)
+	reply = h.call(t, 1, 0, DecisionQuery{Op: o2}).(DecisionReply)
+	if !reply.Known || reply.Commit {
+		t.Errorf("abort reply = %+v", reply)
+	}
+}
+
+func TestDecisionLogEviction(t *testing.T) {
+	h := newHarness(t, 1, nil, Config{})
+	it := h.item(0)
+	first := it.NextOp()
+	it.RecordDecision(first, true)
+	for i := 0; i < maxDecisions; i++ {
+		it.RecordDecision(it.NextOp(), true)
+	}
+	it.mu.Lock()
+	_, known := it.decisions[first]
+	size := len(it.decisions)
+	it.mu.Unlock()
+	if known {
+		t.Error("oldest decision not evicted")
+	}
+	if size > maxDecisions {
+		t.Errorf("decision log grew to %d", size)
+	}
+}
+
+func TestDecisionLogIdempotentRecord(t *testing.T) {
+	h := newHarness(t, 1, nil, Config{})
+	it := h.item(0)
+	o := it.NextOp()
+	it.RecordDecision(o, true)
+	it.RecordDecision(o, true)
+	it.mu.Lock()
+	n := len(it.decisionOrder)
+	it.mu.Unlock()
+	if n != 1 {
+		t.Errorf("duplicate records created %d order entries", n)
+	}
+}
+
+// TestResolverCommitsAbandonedPrepare is the termination protocol end to
+// end: a participant prepared an update, the coordinator recorded "commit"
+// but its Commit message never arrived; the resolver must learn the
+// decision and apply the write.
+func TestResolverCommitsAbandonedPrepare(t *testing.T) {
+	cfg := Config{
+		LockLease:       200 * time.Millisecond,
+		ResolveInterval: 20 * time.Millisecond,
+		ResolveAfter:    50 * time.Millisecond,
+	}
+	h := newHarness(t, 2, nil, cfg)
+	o := h.item(0).NextOp()
+	h.call(t, 0, 1, LockRequest{Op: o, Mode: LockWrite})
+	if ack := h.call(t, 0, 1, PrepareUpdate{Op: o, Update: Update{Data: []byte("t")}, NewVersion: 1}).(Ack); !ack.OK {
+		t.Fatalf("prepare: %s", ack.Reason)
+	}
+	// Coordinator decides commit but "crashes" before delivering it.
+	h.item(0).RecordDecision(o, true)
+
+	waitFor(t, 3*time.Second, func() bool {
+		_, v := h.item(1).Value()
+		return v == 1
+	}, "resolver never committed the abandoned prepare")
+	if h.item(1).lock.holderCount() != 0 {
+		t.Error("lock still held after resolution")
+	}
+}
+
+// TestResolverAbortsAbandonedPrepare mirrors the abort decision.
+func TestResolverAbortsAbandonedPrepare(t *testing.T) {
+	cfg := Config{
+		LockLease:       200 * time.Millisecond,
+		ResolveInterval: 20 * time.Millisecond,
+		ResolveAfter:    50 * time.Millisecond,
+	}
+	h := newHarness(t, 2, nil, cfg)
+	o := h.item(0).NextOp()
+	h.call(t, 0, 1, LockRequest{Op: o, Mode: LockWrite})
+	if ack := h.call(t, 0, 1, PrepareUpdate{Op: o, Update: Update{Data: []byte("t")}, NewVersion: 1}).(Ack); !ack.OK {
+		t.Fatalf("prepare: %s", ack.Reason)
+	}
+	h.item(0).RecordDecision(o, false)
+
+	waitFor(t, 3*time.Second, func() bool {
+		return h.item(1).lock.holderCount() == 0
+	}, "resolver never aborted the abandoned prepare")
+	if _, v := h.item(1).Value(); v != 0 {
+		t.Errorf("aborted write applied: version %d", v)
+	}
+}
+
+// TestResolverWaitsWhileCoordinatorUnknown: no decision recorded — the
+// participant must stay prepared (blocked), never guessing.
+func TestResolverWaitsWhileCoordinatorUnknown(t *testing.T) {
+	cfg := Config{
+		LockLease:       100 * time.Millisecond,
+		ResolveInterval: 15 * time.Millisecond,
+		ResolveAfter:    30 * time.Millisecond,
+	}
+	h := newHarness(t, 2, nil, cfg)
+	o := h.item(0).NextOp()
+	h.call(t, 0, 1, LockRequest{Op: o, Mode: LockWrite})
+	if ack := h.call(t, 0, 1, PrepareUpdate{Op: o, Update: Update{Data: []byte("t")}, NewVersion: 1}).(Ack); !ack.OK {
+		t.Fatalf("prepare: %s", ack.Reason)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if !h.item(1).lock.heldBy(o, lockExclusive) {
+		t.Error("participant unblocked without a decision")
+	}
+	if _, v := h.item(1).Value(); v != 0 {
+		t.Error("participant applied without a decision")
+	}
+}
+
+// TestResolverThroughCrashedCoordinator: the coordinator node is down when
+// the resolver first asks; once it restarts, the recorded decision flows.
+func TestResolverThroughCrashedCoordinator(t *testing.T) {
+	cfg := Config{
+		LockLease:              200 * time.Millisecond,
+		ResolveInterval:        20 * time.Millisecond,
+		ResolveAfter:           40 * time.Millisecond,
+		PropagationCallTimeout: 100 * time.Millisecond,
+	}
+	h := newHarness(t, 2, nil, cfg)
+	o := h.item(0).NextOp()
+	h.call(t, 0, 1, LockRequest{Op: o, Mode: LockWrite})
+	if ack := h.call(t, 0, 1, PrepareUpdate{Op: o, Update: Update{Data: []byte("t")}, NewVersion: 1}).(Ack); !ack.OK {
+		t.Fatalf("prepare: %s", ack.Reason)
+	}
+	h.item(0).RecordDecision(o, true)
+	h.net.Crash(0)
+	time.Sleep(120 * time.Millisecond)
+	if _, v := h.item(1).Value(); v != 0 {
+		t.Error("resolved through a crashed coordinator")
+	}
+	h.net.Restart(0)
+	waitFor(t, 3*time.Second, func() bool {
+		_, v := h.item(1).Value()
+		return v == 1
+	}, "resolution never completed after coordinator restart")
+}
+
+// TestLocalCoordinatorSelfResolves: the coordinator's own replica staged an
+// action and the decision is in its local log.
+func TestLocalCoordinatorSelfResolves(t *testing.T) {
+	cfg := Config{
+		LockLease:       200 * time.Millisecond,
+		ResolveInterval: 20 * time.Millisecond,
+		ResolveAfter:    40 * time.Millisecond,
+	}
+	h := newHarness(t, 1, nil, cfg)
+	it := h.item(0)
+	o := it.NextOp()
+	h.call(t, 0, 0, LockRequest{Op: o, Mode: LockWrite})
+	if ack := h.call(t, 0, 0, PrepareUpdate{Op: o, Update: Update{Data: []byte("x")}, NewVersion: 1}).(Ack); !ack.OK {
+		t.Fatalf("prepare: %s", ack.Reason)
+	}
+	it.RecordDecision(o, true)
+	waitFor(t, 3*time.Second, func() bool {
+		_, v := it.Value()
+		return v == 1
+	}, "local self-resolution never happened")
+}

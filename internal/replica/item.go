@@ -1,0 +1,450 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/transport"
+)
+
+// Config tunes a replica's timing behavior. The zero value selects the
+// defaults below.
+type Config struct {
+	// LockLease bounds how long an unprepared lock hold survives without
+	// the coordinator completing the operation (lost replies, coordinator
+	// crashes). Prepared 2PC participants are exempt. Default 2s.
+	LockLease time.Duration
+	// MaxLog caps the update-log length kept for propagation; beyond it,
+	// propagation falls back to snapshots. Default 1024; negative means
+	// unbounded.
+	MaxLog int
+	// PropagationRetry is the pause before re-offering propagation after
+	// "already-recovering" or a failed call (the paper's pause(some-time)).
+	// Default 25ms.
+	PropagationRetry time.Duration
+	// PropagationCallTimeout bounds each propagation RPC. Default 1s.
+	PropagationCallTimeout time.Duration
+	// ResolveInterval is how often the 2PC termination resolver scans for
+	// staged actions abandoned by their coordinator. Default 500ms.
+	ResolveInterval time.Duration
+	// ResolveAfter is how old a staged action must be before the resolver
+	// queries its coordinator for the decision. Default 2x LockLease.
+	ResolveAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.LockLease == 0 {
+		c.LockLease = 2 * time.Second
+	}
+	if c.MaxLog == 0 {
+		c.MaxLog = 1024
+	}
+	if c.PropagationRetry == 0 {
+		c.PropagationRetry = 25 * time.Millisecond
+	}
+	if c.PropagationCallTimeout == 0 {
+		c.PropagationCallTimeout = time.Second
+	}
+	if c.ResolveInterval == 0 {
+		c.ResolveInterval = 500 * time.Millisecond
+	}
+	if c.ResolveAfter == 0 {
+		c.ResolveAfter = 2 * c.LockLease
+	}
+	return c
+}
+
+type stagedKind int
+
+const (
+	stagedUpdate stagedKind = iota
+	stagedReplace
+	stagedStale
+	stagedEpoch
+)
+
+// staged is a prepared-but-uncommitted 2PC action.
+type staged struct {
+	kind       stagedKind
+	preparedAt time.Time
+	update     Update
+	value      []byte
+	newVersion uint64
+	staleSet   nodeset.Set
+	desired    uint64
+	epoch      nodeset.Set
+	epochNum   uint64
+	good       nodeset.Set
+	goodVer    uint64
+	maxVersion uint64
+}
+
+// Item is one replica of one data item living on one node. It owns the
+// replica's protocol state — version number, desired version number,
+// stale-data flag, epoch number and epoch list (paper, Section 4) — plus
+// the versioned store, the replica lock, staged 2PC actions, and the
+// propagation worker that pushes updates to stale replicas.
+type Item struct {
+	name string
+	self nodeset.ID
+	net  *transport.Network
+	cfg  Config
+	lock *itemLock
+
+	mu       sync.Mutex
+	store    *Store
+	stale    bool
+	desired  uint64
+	epoch    nodeset.Set
+	epochNum uint64
+	good     nodeset.Set // recorded good list (safety-threshold extension)
+	goodVer  uint64      // version the good list corresponds to
+	staged   map[OpID]*staged
+	propOp   OpID // operation currently allowed to propagate into this replica
+
+	// Coordinator decision log for 2PC termination (see decision.go).
+	decisions     map[OpID]bool
+	decisionOrder []OpID
+
+	// recovering marks a replica that lost its stable state (amnesia.go);
+	// it is excluded from quorums until an epoch change readmits it.
+	recovering bool
+
+	opSeq atomic.Uint64
+
+	propMu      sync.Mutex
+	pending     nodeset.Set
+	propRunning bool
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newItem(name string, self nodeset.ID, members nodeset.Set, initial []byte, net *transport.Network, cfg Config) *Item {
+	cfg = cfg.withDefaults()
+	it := &Item{
+		name:   name,
+		self:   self,
+		net:    net,
+		cfg:    cfg,
+		lock:   newItemLock(cfg.LockLease),
+		store:  NewStore(initial, cfg.MaxLog),
+		epoch:  members.Clone(),
+		staged: make(map[OpID]*staged),
+		closed: make(chan struct{}),
+	}
+	it.wg.Add(1)
+	go it.resolveLoop()
+	return it
+}
+
+// Name returns the data item's name.
+func (it *Item) Name() string { return it.name }
+
+// Self returns the hosting node's ID.
+func (it *Item) Self() nodeset.ID { return it.self }
+
+// NextOp mints a fresh operation ID coordinated by this node.
+func (it *Item) NextOp() OpID {
+	return OpID{Coordinator: it.self, Seq: it.opSeq.Add(1)}
+}
+
+// State returns the replica's current protocol state.
+func (it *Item) State() StateReply {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.stateLocked()
+}
+
+func (it *Item) stateLocked() StateReply {
+	return StateReply{
+		Node:       it.self,
+		Version:    it.store.Version(),
+		Desired:    it.desired,
+		Stale:      it.stale,
+		Epoch:      it.epoch.Clone(),
+		EpochNum:   it.epochNum,
+		Good:       it.good.Clone(),
+		GoodVer:    it.goodVer,
+		Recovering: it.recovering,
+	}
+}
+
+// Value returns a copy of the replica's value and its version. It reflects
+// whatever this replica holds, current or not; protocol-level reads go
+// through a coordinator.
+func (it *Item) Value() ([]byte, uint64) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.store.Snapshot()
+}
+
+// Handle processes one protocol message addressed to this item.
+func (it *Item) Handle(ctx context.Context, from nodeset.ID, msg any) (transport.Message, error) {
+	switch m := msg.(type) {
+	case StateQuery:
+		return it.State(), nil
+	case LockRequest:
+		return it.handleLock(ctx, m)
+	case FetchValue:
+		return it.handleFetch(m)
+	case PrepareUpdate:
+		return it.handlePrepareUpdate(m)
+	case PrepareReplace:
+		return it.handlePrepareReplace(m)
+	case PrepareStale:
+		return it.handlePrepareStale(m)
+	case PrepareEpoch:
+		return it.handlePrepareEpoch(m)
+	case Commit:
+		return it.handleCommit(m)
+	case Abort:
+		return it.handleAbort(m)
+	case ApplyDirect:
+		return it.handleApplyDirect(ctx, m)
+	case PropagationOffer:
+		return it.handlePropagationOffer(ctx, m)
+	case PropagationData:
+		return it.handlePropagationData(m)
+	case DecisionQuery:
+		return it.handleDecisionQuery(m)
+	default:
+		return nil, fmt.Errorf("replica %v/%s: unknown message %T", it.self, it.name, msg)
+	}
+}
+
+func (it *Item) handleLock(ctx context.Context, m LockRequest) (transport.Message, error) {
+	mode := lockShared
+	if m.Mode == LockWrite {
+		mode = lockExclusive
+	}
+	if err := it.lock.acquire(ctx, m.Op, mode); err != nil {
+		return nil, fmt.Errorf("replica %v/%s: lock for %v: %w", it.self, it.name, m.Op, err)
+	}
+	return it.State(), nil
+}
+
+func (it *Item) handleFetch(m FetchValue) (transport.Message, error) {
+	if !it.lock.heldBy(m.Op, lockShared) {
+		return nil, fmt.Errorf("replica %v/%s: fetch without lock by %v", it.self, it.name, m.Op)
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	value, version := it.store.Snapshot()
+	return ValueReply{Value: value, Version: version}, nil
+}
+
+// requirePinned checks the exclusive hold and pins it for 2PC.
+func (it *Item) requirePinned(op OpID) *Ack {
+	if !it.lock.heldBy(op, lockExclusive) {
+		return &Ack{Reason: "not exclusive lock holder"}
+	}
+	if !it.lock.pin(op) {
+		return &Ack{Reason: "lock lease expired"}
+	}
+	return nil
+}
+
+func (it *Item) handlePrepareUpdate(m PrepareUpdate) (transport.Message, error) {
+	if err := m.Update.Validate(); err != nil {
+		return Ack{Reason: err.Error()}, nil
+	}
+	if refusal := it.requirePinned(m.Op); refusal != nil {
+		return *refusal, nil
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.recovering {
+		return Ack{Reason: "replica is recovering from state loss"}, nil
+	}
+	if it.stale {
+		return Ack{Reason: "replica is stale"}, nil
+	}
+	if it.store.Version()+1 != m.NewVersion {
+		return Ack{Reason: fmt.Sprintf("version %d cannot advance to %d", it.store.Version(), m.NewVersion)}, nil
+	}
+	it.staged[m.Op] = &staged{
+		kind:       stagedUpdate,
+		preparedAt: time.Now(),
+		update:     m.Update.clone(),
+		newVersion: m.NewVersion,
+		staleSet:   m.StaleSet.Clone(),
+		good:       m.GoodSet.Clone(),
+		goodVer:    m.NewVersion,
+	}
+	return Ack{OK: true}, nil
+}
+
+func (it *Item) handlePrepareReplace(m PrepareReplace) (transport.Message, error) {
+	if refusal := it.requirePinned(m.Op); refusal != nil {
+		return *refusal, nil
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.recovering {
+		return Ack{Reason: "replica is recovering from state loss"}, nil
+	}
+	if m.NewVersion <= it.store.Version() {
+		return Ack{Reason: fmt.Sprintf("replace version %d not beyond %d", m.NewVersion, it.store.Version())}, nil
+	}
+	value := make([]byte, len(m.Value))
+	copy(value, m.Value)
+	it.staged[m.Op] = &staged{
+		kind:       stagedReplace,
+		preparedAt: time.Now(),
+		value:      value,
+		newVersion: m.NewVersion,
+		staleSet:   m.StaleSet.Clone(),
+		good:       m.GoodSet.Clone(),
+		goodVer:    m.NewVersion,
+	}
+	return Ack{OK: true}, nil
+}
+
+func (it *Item) handlePrepareStale(m PrepareStale) (transport.Message, error) {
+	if refusal := it.requirePinned(m.Op); refusal != nil {
+		return *refusal, nil
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.recovering {
+		return Ack{Reason: "replica is recovering from state loss"}, nil
+	}
+	it.staged[m.Op] = &staged{kind: stagedStale, preparedAt: time.Now(), desired: m.Desired, good: m.GoodSet.Clone(), goodVer: m.Desired}
+	return Ack{OK: true}, nil
+}
+
+func (it *Item) handlePrepareEpoch(m PrepareEpoch) (transport.Message, error) {
+	if refusal := it.requirePinned(m.Op); refusal != nil {
+		return *refusal, nil
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if m.EpochNum <= it.epochNum {
+		return Ack{Reason: fmt.Sprintf("epoch %d not newer than %d", m.EpochNum, it.epochNum)}, nil
+	}
+	if !m.Epoch.Contains(it.self) {
+		return Ack{Reason: "node not a member of the proposed epoch"}, nil
+	}
+	it.staged[m.Op] = &staged{
+		kind:       stagedEpoch,
+		preparedAt: time.Now(),
+		epoch:      m.Epoch.Clone(),
+		epochNum:   m.EpochNum,
+		good:       m.Good.Clone(),
+		maxVersion: m.MaxVersion,
+	}
+	return Ack{OK: true}, nil
+}
+
+func (it *Item) handleCommit(m Commit) (transport.Message, error) {
+	it.mu.Lock()
+	st, ok := it.staged[m.Op]
+	if !ok {
+		it.mu.Unlock()
+		// Lock-only participant (e.g. a read): commit just releases.
+		it.lock.release(m.Op)
+		return Ack{OK: true}, nil
+	}
+	delete(it.staged, m.Op)
+	var propagateTo nodeset.Set
+	switch st.kind {
+	case stagedUpdate:
+		if it.store.Version()+1 != st.newVersion || it.stale {
+			// Unreachable while the exclusive lock is held from prepare to
+			// commit; refuse rather than corrupt the replica.
+			it.mu.Unlock()
+			it.lock.release(m.Op)
+			return Ack{Reason: "staged update no longer applicable"}, nil
+		}
+		it.store.Apply(st.update)
+		it.stale = false
+		it.desired = 0
+		it.good = st.good
+		it.goodVer = st.goodVer
+		propagateTo = st.staleSet
+	case stagedReplace:
+		it.store.InstallSnapshot(st.value, st.newVersion)
+		it.stale = false
+		it.desired = 0
+		it.good = st.good
+		it.goodVer = st.goodVer
+		propagateTo = st.staleSet
+	case stagedStale:
+		it.stale = true
+		it.desired = st.desired
+		it.good = st.good
+		it.goodVer = st.goodVer
+	case stagedEpoch:
+		it.epoch = st.epoch
+		it.epochNum = st.epochNum
+		it.good = st.good
+		it.goodVer = st.maxVersion
+		it.recovering = false // an epoch change readmits an amnesiac replica
+		if st.good.Contains(it.self) {
+			it.stale = false
+			it.desired = 0
+			propagateTo = st.epoch.Diff(st.good)
+		} else {
+			it.stale = true
+			it.desired = st.maxVersion
+		}
+	}
+	it.mu.Unlock()
+	it.lock.release(m.Op)
+	if !propagateTo.Empty() {
+		it.enqueuePropagation(propagateTo)
+	}
+	return Ack{OK: true}, nil
+}
+
+// handleApplyDirect implements the safety-threshold extension's
+// unsolicited write: lock, verify the replica is current as of exactly the
+// preceding version, apply, release. No separate permission or commit
+// round is involved (paper, Section 4.1).
+func (it *Item) handleApplyDirect(ctx context.Context, m ApplyDirect) (transport.Message, error) {
+	if err := m.Update.Validate(); err != nil {
+		return Ack{Reason: err.Error()}, nil
+	}
+	if err := it.lock.acquire(ctx, m.Op, lockExclusive); err != nil {
+		return nil, fmt.Errorf("replica %v/%s: direct-apply lock: %w", it.self, it.name, err)
+	}
+	defer it.lock.release(m.Op)
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.recovering {
+		return Ack{Reason: "replica is recovering from state loss"}, nil
+	}
+	if it.stale {
+		return Ack{Reason: "replica is stale"}, nil
+	}
+	if it.store.Version()+1 != m.NewVersion {
+		return Ack{Reason: fmt.Sprintf("version %d cannot advance to %d", it.store.Version(), m.NewVersion)}, nil
+	}
+	it.store.Apply(m.Update)
+	it.good = m.GoodSet.Clone()
+	it.goodVer = m.NewVersion
+	return Ack{OK: true}, nil
+}
+
+func (it *Item) handleAbort(m Abort) (transport.Message, error) {
+	it.mu.Lock()
+	delete(it.staged, m.Op)
+	it.mu.Unlock()
+	it.lock.release(m.Op)
+	return Ack{OK: true}, nil
+}
+
+// Close stops the propagation worker and waits for it to exit.
+func (it *Item) Close() {
+	select {
+	case <-it.closed:
+	default:
+		close(it.closed)
+	}
+	it.wg.Wait()
+}

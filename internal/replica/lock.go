@@ -1,0 +1,310 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"coterie/internal/nodeset"
+)
+
+// OpID identifies one protocol operation (a read, write, propagation or
+// epoch check) across the cluster: the coordinator's node plus a
+// coordinator-local sequence number. The zero OpID is reserved.
+type OpID struct {
+	Coordinator nodeset.ID
+	Seq         uint64
+}
+
+func (op OpID) String() string {
+	return fmt.Sprintf("%v#%d", op.Coordinator, op.Seq)
+}
+
+// IsZero reports whether op is the reserved zero value.
+func (op OpID) IsZero() bool { return op == OpID{} }
+
+// lockMode distinguishes shared (read) from exclusive (write) holds.
+type lockMode int
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+type holder struct {
+	mode     lockMode
+	deadline time.Time // lease expiry; zero when pinned or leases disabled
+	pinned   bool      // pinned holders (prepared 2PC participants) never expire
+}
+
+type waiter struct {
+	op        OpID
+	mode      lockMode
+	upgrade   bool // op already holds shared and wants exclusive
+	cancelled bool
+	ready     chan struct{} // closed when granted
+}
+
+// itemLock is the per-replica lock of the paper's protocols. Reads take it
+// shared, writes and epoch checks exclusive. Acquisition blocks until the
+// lock is granted or the context ends, and is FIFO-fair: a steady stream of
+// propagation offers cannot starve a queued write request.
+//
+// Lock holds acquired in the request phase carry a lease: if the
+// coordinator disappears before preparing (lost reply, coordinator crash),
+// the hold lazily expires once the lease passes, so a lost message cannot
+// wedge the replica forever. Preparing a 2PC action pins the hold — a
+// prepared participant must block until the coordinator resolves the
+// transaction (the classic 2PC window the paper inherits from [2]).
+type itemLock struct {
+	mu      sync.Mutex
+	holders map[OpID]*holder
+	waiters []*waiter
+	lease   time.Duration
+}
+
+func newItemLock(lease time.Duration) *itemLock {
+	return &itemLock{holders: make(map[OpID]*holder), lease: lease}
+}
+
+func (l *itemLock) newDeadline() time.Time {
+	if l.lease <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(l.lease)
+}
+
+// expireLocked drops unpinned holders whose lease has passed. Caller holds mu.
+func (l *itemLock) expireLocked(now time.Time) {
+	for op, h := range l.holders {
+		if !h.pinned && !h.deadline.IsZero() && now.After(h.deadline) {
+			delete(l.holders, op)
+		}
+	}
+}
+
+// nextExpiryLocked returns the earliest lease deadline among current
+// holders, or zero if none applies. Caller holds mu.
+func (l *itemLock) nextExpiryLocked() time.Time {
+	var min time.Time
+	for _, h := range l.holders {
+		if h.pinned || h.deadline.IsZero() {
+			continue
+		}
+		if min.IsZero() || h.deadline.Before(min) {
+			min = h.deadline
+		}
+	}
+	return min
+}
+
+// grantableLocked reports whether op could hold in mode alongside the
+// current holders. Caller holds mu.
+func (l *itemLock) grantableLocked(op OpID, mode lockMode) bool {
+	for other, h := range l.holders {
+		if other == op {
+			continue
+		}
+		if mode == lockExclusive || h.mode == lockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatchLocked grants queued waiters in FIFO order: the front waiter is
+// granted when compatible with the holders; consecutive shared waiters are
+// granted together. Caller holds mu.
+func (l *itemLock) dispatchLocked() {
+	l.expireLocked(time.Now())
+	for len(l.waiters) > 0 {
+		w := l.waiters[0]
+		if w.cancelled {
+			l.waiters = l.waiters[1:]
+			continue
+		}
+		if w.upgrade {
+			// Upgrade: wait until op is the only holder.
+			if len(l.holders) == 1 {
+				if h, ok := l.holders[w.op]; ok {
+					h.mode = lockExclusive
+					h.deadline = l.newDeadline()
+					l.waiters = l.waiters[1:]
+					close(w.ready)
+					continue
+				}
+			}
+			// The upgrading op lost its hold (lease expiry): treat as a
+			// fresh exclusive acquisition.
+			if _, ok := l.holders[w.op]; !ok {
+				w.upgrade = false
+				continue
+			}
+			return
+		}
+		if !l.grantableLocked(w.op, w.mode) {
+			return
+		}
+		l.holders[w.op] = &holder{mode: w.mode, deadline: l.newDeadline()}
+		l.waiters = l.waiters[1:]
+		close(w.ready)
+		// After an exclusive grant nothing else fits; for shared grants the
+		// loop continues and admits following shared waiters.
+		if w.mode == lockExclusive {
+			return
+		}
+	}
+}
+
+// acquire blocks until the lock is granted to op or ctx ends. Re-acquiring
+// by the same op succeeds immediately (refreshing the lease) and upgrades
+// shared to exclusive if requested — the paper's HeavyProcedure re-polls
+// nodes already locked by the same operation.
+func (l *itemLock) acquire(ctx context.Context, op OpID, mode lockMode) error {
+	if op.IsZero() {
+		return fmt.Errorf("replica: zero OpID cannot lock")
+	}
+	l.mu.Lock()
+	l.expireLocked(time.Now())
+	if h, ok := l.holders[op]; ok {
+		if mode != lockExclusive || h.mode == lockExclusive {
+			h.deadline = l.newDeadline()
+			l.mu.Unlock()
+			return nil
+		}
+		// Shared-to-exclusive upgrade.
+		if l.grantableLocked(op, lockExclusive) {
+			h.mode = lockExclusive
+			h.deadline = l.newDeadline()
+			l.mu.Unlock()
+			return nil
+		}
+		return l.waitLocked(ctx, &waiter{op: op, mode: lockExclusive, upgrade: true, ready: make(chan struct{})})
+	}
+	if len(l.waiters) == 0 && l.grantableLocked(op, mode) {
+		l.holders[op] = &holder{mode: mode, deadline: l.newDeadline()}
+		l.mu.Unlock()
+		return nil
+	}
+	return l.waitLocked(ctx, &waiter{op: op, mode: mode, ready: make(chan struct{})})
+}
+
+// waitLocked enqueues w and blocks until it is granted or ctx ends. It is
+// entered with mu held and returns with mu released.
+func (l *itemLock) waitLocked(ctx context.Context, w *waiter) error {
+	l.waiters = append(l.waiters, w)
+	l.dispatchLocked()
+	expiry := l.nextExpiryLocked()
+	l.mu.Unlock()
+
+	var timer *time.Timer
+	var timeC <-chan time.Time
+	armTimer := func(at time.Time) {
+		if at.IsZero() {
+			return
+		}
+		d := time.Until(at)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		timer = time.NewTimer(d)
+		timeC = timer.C
+	}
+	armTimer(expiry)
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+
+	for {
+		select {
+		case <-w.ready:
+			return nil
+		case <-ctx.Done():
+			l.mu.Lock()
+			select {
+			case <-w.ready:
+				// Granted concurrently with cancellation: keep the grant;
+				// the coordinator's abort will release it.
+				l.mu.Unlock()
+				return nil
+			default:
+			}
+			w.cancelled = true
+			l.dispatchLocked()
+			l.mu.Unlock()
+			return ctx.Err()
+		case <-timeC:
+			// A lease may have expired: re-dispatch and re-arm.
+			if timer != nil {
+				timer.Stop()
+				timer, timeC = nil, nil
+			}
+			l.mu.Lock()
+			l.dispatchLocked()
+			expiry := l.nextExpiryLocked()
+			l.mu.Unlock()
+			armTimer(expiry)
+			if timeC == nil {
+				// No leases pending: fall back to a coarse poll so an
+				// unexpected state cannot hang us forever.
+				armTimer(time.Now().Add(50 * time.Millisecond))
+			}
+		}
+	}
+}
+
+// pin marks op's hold as a prepared 2PC participant: the lease stops
+// applying. Returns false if op no longer holds the lock.
+func (l *itemLock) pin(op OpID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked(time.Now())
+	h, ok := l.holders[op]
+	if !ok {
+		return false
+	}
+	h.pinned = true
+	h.deadline = time.Time{}
+	return true
+}
+
+// release drops op's hold. Releasing a non-held lock is a no-op, so
+// duplicate aborts are harmless.
+func (l *itemLock) release(op OpID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.holders[op]; ok {
+		delete(l.holders, op)
+	}
+	l.dispatchLocked()
+}
+
+// resetHolders drops every current hold (volatile lock state lost on
+// amnesia) and lets queued waiters acquire against the fresh replica.
+func (l *itemLock) resetHolders() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.holders = make(map[OpID]*holder)
+	l.dispatchLocked()
+}
+
+// heldBy reports whether op currently holds the lock in at least the given
+// mode.
+func (l *itemLock) heldBy(op OpID, mode lockMode) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked(time.Now())
+	h, ok := l.holders[op]
+	return ok && (mode == lockShared || h.mode == lockExclusive)
+}
+
+// holderCount returns the number of current holders (tests).
+func (l *itemLock) holderCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked(time.Now())
+	return len(l.holders)
+}

@@ -1,0 +1,202 @@
+package replica
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"coterie/internal/nodeset"
+)
+
+func op(n nodeset.ID, seq uint64) OpID { return OpID{Coordinator: n, Seq: seq} }
+
+func TestLockExclusiveBlocks(t *testing.T) {
+	l := newItemLock(0)
+	ctx := context.Background()
+	if err := l.acquire(ctx, op(1, 1), lockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if err := l.acquire(ctx2, op(2, 1), lockExclusive); err == nil {
+		t.Fatal("second exclusive acquire succeeded")
+	}
+	l.release(op(1, 1))
+	if err := l.acquire(ctx, op(2, 1), lockExclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockSharedCoexist(t *testing.T) {
+	l := newItemLock(0)
+	ctx := context.Background()
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.acquire(ctx, op(1, i), lockShared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.holderCount() != 3 {
+		t.Errorf("holders = %d", l.holderCount())
+	}
+	// A writer must wait for all readers.
+	ctx2, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if err := l.acquire(ctx2, op(2, 1), lockExclusive); err == nil {
+		t.Fatal("exclusive acquired alongside readers")
+	}
+	for i := uint64(1); i <= 3; i++ {
+		l.release(op(1, i))
+	}
+	if err := l.acquire(ctx, op(2, 1), lockExclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockReentrantAndUpgrade(t *testing.T) {
+	l := newItemLock(0)
+	ctx := context.Background()
+	o := op(1, 1)
+	if err := l.acquire(ctx, o, lockShared); err != nil {
+		t.Fatal(err)
+	}
+	// Re-acquire shared: idempotent.
+	if err := l.acquire(ctx, o, lockShared); err != nil {
+		t.Fatal(err)
+	}
+	if l.holderCount() != 1 {
+		t.Errorf("holders = %d", l.holderCount())
+	}
+	// Upgrade to exclusive while sole holder.
+	if err := l.acquire(ctx, o, lockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if !l.heldBy(o, lockExclusive) {
+		t.Error("upgrade did not take effect")
+	}
+	// Exclusive re-acquire as shared request stays exclusive.
+	if err := l.acquire(ctx, o, lockShared); err != nil {
+		t.Fatal(err)
+	}
+	if !l.heldBy(o, lockExclusive) {
+		t.Error("re-acquire downgraded the lock")
+	}
+}
+
+func TestLockUpgradeBlockedByOtherReader(t *testing.T) {
+	l := newItemLock(0)
+	ctx := context.Background()
+	if err := l.acquire(ctx, op(1, 1), lockShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.acquire(ctx, op(2, 1), lockShared); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if err := l.acquire(ctx2, op(1, 1), lockExclusive); err == nil {
+		t.Fatal("upgrade succeeded with a second reader present")
+	}
+}
+
+func TestLockZeroOpRejected(t *testing.T) {
+	l := newItemLock(0)
+	if err := l.acquire(context.Background(), OpID{}, lockShared); err == nil {
+		t.Error("zero OpID accepted")
+	}
+}
+
+func TestLockReleaseUnknownNoop(t *testing.T) {
+	l := newItemLock(0)
+	l.release(op(9, 9)) // must not panic or corrupt
+	if l.holderCount() != 0 {
+		t.Error("phantom holder")
+	}
+}
+
+func TestLockLeaseExpiry(t *testing.T) {
+	l := newItemLock(30 * time.Millisecond)
+	ctx := context.Background()
+	if err := l.acquire(ctx, op(1, 1), lockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	// A competitor blocked on the lock gets it once the lease passes.
+	start := time.Now()
+	if err := l.acquire(ctx, op(2, 1), lockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("lease expired too early")
+	}
+	if l.heldBy(op(1, 1), lockShared) {
+		t.Error("expired holder still held")
+	}
+}
+
+func TestLockPinPreventsExpiry(t *testing.T) {
+	l := newItemLock(20 * time.Millisecond)
+	ctx := context.Background()
+	o := op(1, 1)
+	if err := l.acquire(ctx, o, lockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if !l.pin(o) {
+		t.Fatal("pin failed")
+	}
+	ctx2, cancel := context.WithTimeout(ctx, 80*time.Millisecond)
+	defer cancel()
+	if err := l.acquire(ctx2, op(2, 1), lockExclusive); err == nil {
+		t.Fatal("pinned lock was stolen")
+	}
+	if !l.heldBy(o, lockExclusive) {
+		t.Error("pinned holder lost the lock")
+	}
+}
+
+func TestLockPinAfterExpiryFails(t *testing.T) {
+	l := newItemLock(15 * time.Millisecond)
+	o := op(1, 1)
+	if err := l.acquire(context.Background(), o, lockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	if l.pin(o) {
+		t.Error("pin succeeded after lease expiry")
+	}
+}
+
+func TestLockContention(t *testing.T) {
+	l := newItemLock(0)
+	const writers = 8
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				o := op(nodeset.ID(w), uint64(i+1))
+				if err := l.acquire(context.Background(), o, lockExclusive); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++ // protected by the item lock itself
+				l.release(o)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != writers*50 {
+		t.Errorf("counter = %d, want %d (lock failed to exclude)", counter, writers*50)
+	}
+}
+
+func TestOpIDString(t *testing.T) {
+	o := op(3, 7)
+	if o.String() != "n3#7" {
+		t.Errorf("String = %q", o.String())
+	}
+	if o.IsZero() || !(OpID{}).IsZero() {
+		t.Error("IsZero wrong")
+	}
+}

@@ -1,0 +1,116 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/transport"
+)
+
+// Node hosts the replicas living on one network node, one Item per data
+// item, and dispatches incoming protocol messages to them. A node can
+// replicate any number of items; epoch state is per item (paper, Section 3),
+// though the epoch-checking coordinator may sweep a whole group of items to
+// amortize its polling (paper, Section 2).
+type Node struct {
+	self nodeset.ID
+	net  *transport.Network
+	cfg  Config
+
+	mu    sync.RWMutex
+	items map[string]*Item
+}
+
+// NewNode creates a node and registers its message handler with the
+// network.
+func NewNode(self nodeset.ID, net *transport.Network, cfg Config) *Node {
+	n := &Node{self: self, net: net, cfg: cfg, items: make(map[string]*Item)}
+	net.Register(self, n.handle)
+	return n
+}
+
+// Self returns the node's ID.
+func (n *Node) Self() nodeset.ID { return n.self }
+
+// AddItem creates this node's replica of a data item. members is the full
+// replica set of the item (the initial epoch — "originally all replicas of
+// the data item form the current epoch", paper Section 1); initial is the
+// starting value, identical on every replica.
+func (n *Node) AddItem(name string, members nodeset.Set, initial []byte) (*Item, error) {
+	if !members.Contains(n.self) {
+		return nil, fmt.Errorf("replica: node %v not in member set %v of item %q", n.self, members, name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.items[name]; ok {
+		return nil, fmt.Errorf("replica: item %q already exists on node %v", name, n.self)
+	}
+	it := newItem(name, n.self, members, initial, n.net, n.cfg)
+	n.items[name] = it
+	return it, nil
+}
+
+// Item returns this node's replica of the named item, or nil.
+func (n *Node) Item(name string) *Item {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.items[name]
+}
+
+// Items returns the names of all items replicated on this node.
+func (n *Node) Items() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	names := make([]string, 0, len(n.items))
+	for name := range n.items {
+		names = append(names, name)
+	}
+	return names
+}
+
+// handle is the node's transport handler: route the envelope to its item,
+// or answer node-level queries directly.
+func (n *Node) handle(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+	switch m := req.(type) {
+	case GroupStateQuery:
+		return n.groupState(), nil
+	case Envelope:
+		it := n.Item(m.Item)
+		if it == nil {
+			return nil, fmt.Errorf("replica: node %v has no replica of item %q", n.self, m.Item)
+		}
+		return it.Handle(ctx, from, m.Msg)
+	default:
+		return nil, fmt.Errorf("replica: node %v: unexpected message %T", n.self, req)
+	}
+}
+
+// groupState snapshots every hosted item's state.
+func (n *Node) groupState() GroupStateReply {
+	n.mu.RLock()
+	items := make([]*Item, 0, len(n.items))
+	for _, it := range n.items {
+		items = append(items, it)
+	}
+	n.mu.RUnlock()
+	reply := GroupStateReply{States: make(map[string]StateReply, len(items))}
+	for _, it := range items {
+		reply.States[it.Name()] = it.State()
+	}
+	return reply
+}
+
+// Close stops all items' background work.
+func (n *Node) Close() {
+	n.mu.RLock()
+	items := make([]*Item, 0, len(n.items))
+	for _, it := range n.items {
+		items = append(items, it)
+	}
+	n.mu.RUnlock()
+	for _, it := range items {
+		it.Close()
+	}
+}

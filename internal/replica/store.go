@@ -1,0 +1,108 @@
+package replica
+
+import "fmt"
+
+// Store is the versioned value of one replica plus the update log used for
+// asynchronous propagation. Version v is the state after the first v
+// committed writes; the log holds the updates for a suffix of versions so a
+// current replica can bring a stale one up to date by shipping only the
+// missing updates ("propagates missing updates to the target node", paper
+// Section 4.2). When the log has been truncated past what a target needs,
+// propagation falls back to a full snapshot.
+//
+// Store does no locking; the owning Item serializes access.
+type Store struct {
+	value   []byte
+	version uint64
+	log     []Update // log[i] produced version logBase+1+i
+	logBase uint64   // version before the first logged update
+	maxLog  int      // log entries retained; <=0 means unbounded
+}
+
+// NewStore returns a store at version 0 holding the given initial value
+// (which may be nil) and retaining at most maxLog update-log entries
+// (<= 0 for unbounded).
+func NewStore(initial []byte, maxLog int) *Store {
+	v := make([]byte, len(initial))
+	copy(v, initial)
+	return &Store{value: v, maxLog: maxLog}
+}
+
+// Version returns the replica's version number.
+func (s *Store) Version() uint64 { return s.version }
+
+// Value returns a copy of the current value.
+func (s *Store) Value() []byte {
+	out := make([]byte, len(s.value))
+	copy(out, s.value)
+	return out
+}
+
+// Len returns the current value's length in bytes.
+func (s *Store) Len() int { return len(s.value) }
+
+// Apply applies one committed update, increments the version, and logs the
+// update. It returns the new version.
+func (s *Store) Apply(u Update) uint64 {
+	s.value = u.apply(s.value)
+	s.version++
+	s.log = append(s.log, u.clone())
+	s.trim()
+	return s.version
+}
+
+func (s *Store) trim() {
+	if s.maxLog > 0 && len(s.log) > s.maxLog {
+		drop := len(s.log) - s.maxLog
+		s.logBase += uint64(drop)
+		s.log = append([]Update(nil), s.log[drop:]...)
+	}
+}
+
+// UpdatesSince returns the updates that advance a replica from version v to
+// the current version, oldest first, and ok=true; ok=false means the log no
+// longer reaches back to v and the caller must ship a snapshot instead.
+func (s *Store) UpdatesSince(v uint64) ([]Update, bool) {
+	if v > s.version {
+		return nil, false
+	}
+	if v < s.logBase {
+		return nil, false
+	}
+	out := make([]Update, 0, s.version-v)
+	for i := v - s.logBase; i < uint64(len(s.log)); i++ {
+		out = append(out, s.log[i].clone())
+	}
+	return out, true
+}
+
+// Snapshot returns a copy of the value and its version.
+func (s *Store) Snapshot() ([]byte, uint64) {
+	return s.Value(), s.version
+}
+
+// InstallUpdates replays propagated updates on top of the current version.
+// from must equal the current version (the updates' predecessor state).
+func (s *Store) InstallUpdates(from uint64, ups []Update) error {
+	if from != s.version {
+		return fmt.Errorf("replica: updates start at version %d, store at %d", from, s.version)
+	}
+	for _, u := range ups {
+		s.Apply(u)
+	}
+	return nil
+}
+
+// InstallSnapshot replaces the value wholesale, resetting the log to start
+// at the snapshot version.
+func (s *Store) InstallSnapshot(value []byte, version uint64) {
+	s.value = make([]byte, len(value))
+	copy(s.value, value)
+	s.version = version
+	s.log = nil
+	s.logBase = version
+}
+
+// LogLen returns the number of retained log entries (for tests and
+// introspection).
+func (s *Store) LogLen() int { return len(s.log) }

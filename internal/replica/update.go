@@ -1,0 +1,53 @@
+// Package replica implements one replica of a replicated data item: its
+// protocol state (version number, desired version, stale flag, epoch number
+// and epoch list — paper, Section 4), a versioned store supporting partial
+// writes with an update log for asynchronous propagation, a lock manager,
+// and the message handlers for the write, propagation and epoch-checking
+// protocols of the paper's appendix.
+package replica
+
+import (
+	"fmt"
+)
+
+// Update is a partial write: it overwrites len(Data) bytes of the data item
+// starting at Offset, extending the item (zero-filled) if it was shorter.
+// The data item is modeled as a byte-addressable object — a file in the
+// paper's motivating example — so a write touches a portion of the item
+// rather than replacing it (paper, Sections 1 and 3).
+type Update struct {
+	Offset int
+	Data   []byte
+}
+
+// Validate reports whether the update is well-formed.
+func (u Update) Validate() error {
+	if u.Offset < 0 {
+		return fmt.Errorf("replica: negative update offset %d", u.Offset)
+	}
+	return nil
+}
+
+// apply returns value with u applied, reusing value's storage when the
+// update fits.
+func (u Update) apply(value []byte) []byte {
+	end := u.Offset + len(u.Data)
+	if end > len(value) {
+		grown := make([]byte, end)
+		copy(grown, value)
+		value = grown
+	}
+	copy(value[u.Offset:], u.Data)
+	return value
+}
+
+// clone returns a deep copy, so staged updates cannot alias caller buffers.
+func (u Update) clone() Update {
+	data := make([]byte, len(u.Data))
+	copy(data, u.Data)
+	return Update{Offset: u.Offset, Data: data}
+}
+
+func (u Update) String() string {
+	return fmt.Sprintf("update[%d:+%d]", u.Offset, len(u.Data))
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"coterie/internal/coterie"
+	"coterie/internal/markov"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 1, Lambda: 1, Mu: 1, Horizon: 10},
+		{N: 5, Lambda: 0, Mu: 1, Horizon: 10},
+		{N: 5, Lambda: 1, Mu: -1, Horizon: 10},
+		{N: 5, Lambda: 1, Mu: 1, Horizon: 0},
+		{N: 3, Lambda: 1, Mu: 1, Horizon: 10, Model: ModelPaper},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	cfg := Config{N: 6, Lambda: 1, Mu: 3, Horizon: 500, Seed: 42, Model: ModelProtocol}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 43
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+// TestPaperModelMatchesMarkov is the simulator's calibration: under the
+// Figure 3 assumptions the long-run write unavailability must match the
+// chain's stationary value. High lambda keeps the target measurable.
+func TestPaperModelMatchesMarkov(t *testing.T) {
+	model := markov.DynamicGridModel{N: 6, Lambda: 1, Mu: 3}
+	want, err := model.UnavailabilityFloat(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{N: 6, Lambda: 1, Mu: 3, Horizon: 150_000, Seed: 7, Model: ModelPaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.WriteUnavailFrac-want) / want; rel > 0.1 {
+		t.Errorf("simulated %.5g vs analytic %.5g (rel err %.2f)", res.WriteUnavailFrac, want, rel)
+	}
+}
+
+// TestProtocolModelVsPaperModel pins down the ablation both ways. The
+// paper's chain assumes every epoch of ≥ 4 nodes tolerates one failure,
+// but DefineGrid(5) = 2x3 with an unoccupied position leaves a column with
+// a single physical node, so a 5-node epoch blocks when that node fails.
+// Every shrink trajectory from N ≥ 6 passes through epoch size 5, making
+// the protocol-exact unavailability *higher* than the paper model's in a
+// failure-heavy regime. Conversely at N = 5 itself, the partial-column
+// optimization lets 3-node epochs survive most failures and eases
+// recovery, so protocol-exact comes out *lower*.
+func TestProtocolModelVsPaperModel(t *testing.T) {
+	run := func(n int, m Model) float64 {
+		t.Helper()
+		res, err := Run(Config{N: n, Lambda: 1, Mu: 3, Horizon: 100_000, Seed: 3, Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WriteUnavailFrac
+	}
+	if proto, paper := run(9, ModelProtocol), run(9, ModelPaper); proto <= paper {
+		t.Errorf("N=9: expected protocol-exact (%.5g) worse than paper model (%.5g): size-5 epochs block",
+			proto, paper)
+	}
+	if proto, paper := run(5, ModelProtocol), run(5, ModelPaper); proto >= paper {
+		t.Errorf("N=5: expected protocol-exact (%.5g) better than paper model (%.5g): optimization eases recovery",
+			proto, paper)
+	}
+}
+
+// TestOptimizationImprovesProtocolAvailability compares the protocol-exact
+// simulation under the strict grid rule against the optimized one: the
+// partial-column optimization only adds quorums, so it cannot hurt.
+func TestOptimizationImprovesProtocolAvailability(t *testing.T) {
+	for _, n := range []int{5, 9} {
+		strict, err := Run(Config{N: n, Lambda: 1, Mu: 3, Horizon: 100_000, Seed: 6, Model: ModelProtocol, Rule: coterie.Grid{Strict: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Run(Config{N: n, Lambda: 1, Mu: 3, Horizon: 100_000, Seed: 6, Model: ModelProtocol, Rule: coterie.Grid{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.WriteUnavailFrac > strict.WriteUnavailFrac*1.05+1e-9 {
+			t.Errorf("N=%d: optimized (%.5g) worse than strict (%.5g)", n, opt.WriteUnavailFrac, strict.WriteUnavailFrac)
+		}
+	}
+}
+
+func TestReadAvailabilityAtLeastWrite(t *testing.T) {
+	res, err := Run(Config{N: 9, Lambda: 1, Mu: 2, Horizon: 50_000, Seed: 11, Model: ModelProtocol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadUnavailFrac > res.WriteUnavailFrac+1e-12 {
+		t.Errorf("read unavailability %.5g exceeds write %.5g", res.ReadUnavailFrac, res.WriteUnavailFrac)
+	}
+}
+
+func TestPeriodicCheckingDegradesAvailability(t *testing.T) {
+	// Rare epoch checks let failures accumulate: unavailability grows.
+	fast, err := Run(Config{N: 9, Lambda: 1, Mu: 3, Horizon: 100_000, Seed: 2, Model: ModelProtocol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(Config{N: 9, Lambda: 1, Mu: 3, Horizon: 100_000, Seed: 2, Model: ModelProtocol, CheckEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.WriteUnavailFrac <= fast.WriteUnavailFrac {
+		t.Errorf("periodic checks (%.5g) not worse than instantaneous (%.5g)",
+			slow.WriteUnavailFrac, fast.WriteUnavailFrac)
+	}
+	// But still far better than never adapting at all (static).
+	static := markov.StaticGridWriteUnavailability(coterie.DefineGrid(9), 3.0/4.0, true)
+	if slow.WriteUnavailFrac >= static {
+		t.Errorf("periodic dynamic (%.5g) not better than static (%.5g)", slow.WriteUnavailFrac, static)
+	}
+}
+
+func TestMajorityRuleSimulation(t *testing.T) {
+	res, err := Run(Config{N: 7, Lambda: 1, Mu: 3, Horizon: 50_000, Seed: 9, Model: ModelProtocol, Rule: coterie.Majority{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpochChanges == 0 {
+		t.Error("no epoch changes in a long run")
+	}
+	if res.WriteUnavailFrac <= 0 || res.WriteUnavailFrac >= 0.5 {
+		t.Errorf("implausible unavailability %.5g", res.WriteUnavailFrac)
+	}
+}
+
+func TestResultBookkeeping(t *testing.T) {
+	res, err := Run(Config{N: 6, Lambda: 1, Mu: 3, Horizon: 10_000, Seed: 1, Model: ModelProtocol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time < 10_000*0.999 {
+		t.Errorf("Time = %g", res.Time)
+	}
+	if res.Events == 0 || res.EpochChanges == 0 {
+		t.Errorf("no activity: %+v", res)
+	}
+	if res.MinEpochSize > res.FinalEpochSize || res.MinEpochSize < 1 {
+		t.Errorf("epoch size bookkeeping: %+v", res)
+	}
+	if res.WriteUnavailable > res.Time || res.ReadUnavailable > res.Time {
+		t.Errorf("unavailable time exceeds total: %+v", res)
+	}
+}
+
+func TestAmnesiaValidation(t *testing.T) {
+	if _, err := Run(Config{N: 6, Lambda: 1, Mu: 3, Horizon: 10, AmnesiaFraction: -0.1, Model: ModelProtocol}); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := Run(Config{N: 6, Lambda: 1, Mu: 3, Horizon: 10, AmnesiaFraction: 0.5, Model: ModelPaper}); err == nil {
+		t.Error("amnesia with paper model accepted")
+	}
+}
+
+// TestAmnesiaDegradesAvailability: storage loss on repair strictly hurts,
+// and more of it hurts more.
+func TestAmnesiaDegradesAvailability(t *testing.T) {
+	run := func(frac float64) float64 {
+		t.Helper()
+		res, err := Run(Config{N: 9, Lambda: 1, Mu: 3, Horizon: 60_000, Seed: 8, Model: ModelProtocol, AmnesiaFraction: frac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WriteUnavailFrac
+	}
+	none, some, lots := run(0), run(0.2), run(0.8)
+	if some <= none {
+		t.Errorf("amnesia 0.2 (%.5g) not worse than none (%.5g)", some, none)
+	}
+	if lots <= some {
+		t.Errorf("amnesia 0.8 (%.5g) not worse than 0.2 (%.5g)", lots, some)
+	}
+}
+
+// TestAmnesiaDataLossDetection: with storage loss enabled and a long
+// enough horizon, the system eventually hits the absorbing state where the
+// replicas that witnessed the latest version are gone — detected and
+// timestamped, after which writes never recover.
+func TestAmnesiaDataLossDetection(t *testing.T) {
+	// A failure-heavy regime so the absorbing state arrives within a short
+	// horizon; at the paper's p = 0.95 the same fate just takes longer.
+	res, err := Run(Config{N: 9, Lambda: 1, Mu: 3, Horizon: 50_000, Seed: 2, Model: ModelProtocol, AmnesiaFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DataLost {
+		t.Fatal("no data loss over a 5e4 horizon with 30% amnesia at p=0.75")
+	}
+	if res.DataLossTime <= 0 || res.DataLossTime >= res.Time {
+		t.Errorf("loss time %g outside run", res.DataLossTime)
+	}
+	// After the loss, writes are down for the rest of the run; the overall
+	// write unavailability must reflect that tail.
+	minTail := (res.Time - res.DataLossTime) / res.Time
+	if res.WriteUnavailFrac < minTail*0.999 {
+		t.Errorf("unavailability %.4g below post-loss tail %.4g", res.WriteUnavailFrac, minTail)
+	}
+	// Without amnesia, no loss.
+	clean, err := Run(Config{N: 9, Lambda: 1, Mu: 3, Horizon: 50_000, Seed: 2, Model: ModelProtocol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.DataLost {
+		t.Error("data loss without amnesia")
+	}
+}
+
+// TestAmnesiaZeroMatchesBaseline: fraction 0 must be byte-identical to the
+// plain protocol model (the amnesia machinery must not perturb the RNG
+// stream or the transition logic).
+func TestAmnesiaZeroMatchesBaseline(t *testing.T) {
+	a, err := Run(Config{N: 6, Lambda: 1, Mu: 3, Horizon: 20_000, Seed: 4, Model: ModelProtocol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{N: 6, Lambda: 1, Mu: 3, Horizon: 20_000, Seed: 4, Model: ModelProtocol, AmnesiaFraction: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("baseline perturbed:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestHighRepairRateNearPerfect(t *testing.T) {
+	res, err := Run(Config{N: 9, Lambda: 1, Mu: 1000, Horizon: 20_000, Seed: 4, Model: ModelProtocol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteUnavailFrac > 1e-3 {
+		t.Errorf("unavailability %.5g with mu/lambda=1000", res.WriteUnavailFrac)
+	}
+}

@@ -1,0 +1,159 @@
+package staticgrid
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/replica"
+)
+
+func fastOpts() Options {
+	return Options{CallTimeout: 400 * time.Millisecond}
+}
+
+func newTestCluster(t *testing.T, n int, initial []byte) *Cluster {
+	t.Helper()
+	c, err := NewCluster(n, "item", initial, fastOpts(), replica.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestStaticWriteRead(t *testing.T) {
+	c := newTestCluster(t, 9, []byte("init"))
+	ver, err := c.Coordinator(0).Write(ctxT(t), []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 {
+		t.Errorf("version = %d", ver)
+	}
+	v, rver, err := c.Coordinator(4).Read(ctxT(t))
+	if err != nil || string(v) != "hello" || rver != 1 {
+		t.Errorf("read %q@%d, %v", v, rver, err)
+	}
+}
+
+func TestStaticTotalWriteOverwrites(t *testing.T) {
+	c := newTestCluster(t, 9, nil)
+	if _, err := c.Coordinator(0).Write(ctxT(t), []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Coordinator(5).Write(ctxT(t), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	v, ver, err := c.Coordinator(8).Read(ctxT(t))
+	if err != nil || string(v) != "b" || ver != 2 {
+		t.Errorf("read %q@%d, %v", v, ver, err)
+	}
+}
+
+func TestStaticDifferentCoordinatorsDifferentQuorums(t *testing.T) {
+	// The static protocol's selling point: load sharing. Distinct
+	// coordinators draw distinct quorums (hint = node name).
+	c := newTestCluster(t, 9, nil)
+	c.Net.ResetStats()
+	for id := nodeset.ID(0); id < 9; id++ {
+		if _, err := c.Coordinator(id).Write(ctxT(t), []byte{byte(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := c.Net.Load()
+	// Every node should have served some requests.
+	for _, id := range c.Members.IDs() {
+		if load[id] == 0 {
+			t.Errorf("node %v served no requests: load sharing broken (%v)", id, load)
+		}
+	}
+}
+
+func TestStaticToleratesNonQuorumFailures(t *testing.T) {
+	c := newTestCluster(t, 9, nil)
+	c.Crash(4)
+	c.Crash(8)
+	if _, err := c.Coordinator(0).Write(ctxT(t), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := c.Coordinator(1).Read(ctxT(t))
+	if err != nil || string(v) != "ok" {
+		t.Errorf("read %q, %v", v, err)
+	}
+}
+
+func TestStaticUnavailableAfterColumnLoss(t *testing.T) {
+	// The contrast with the dynamic protocol: a dead column is fatal and
+	// stays fatal regardless of how many other nodes are up.
+	c := newTestCluster(t, 9, nil)
+	for _, id := range []nodeset.ID{0, 3, 6} {
+		c.Crash(id)
+	}
+	if _, err := c.Coordinator(1).Write(ctxT(t), []byte("x")); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("write err = %v", err)
+	}
+	if _, _, err := c.Coordinator(1).Read(ctxT(t)); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("read err = %v", err)
+	}
+	// Repairing a column member restores availability (static recovery).
+	c.Restart(3)
+	if _, err := c.Coordinator(1).Write(ctxT(t), []byte("back")); err != nil {
+		t.Errorf("write after repair: %v", err)
+	}
+}
+
+func TestStaticN3NeedsAllNodes(t *testing.T) {
+	// Figure 2: with the strict rule, the 3-node grid needs all three
+	// nodes for a write.
+	c := newTestCluster(t, 3, nil)
+	if _, err := c.Coordinator(0).Write(ctxT(t), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(2)
+	if _, err := c.Coordinator(0).Write(ctxT(t), []byte("w")); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("write err = %v", err)
+	}
+}
+
+func TestStaticReadRepairlessStaleness(t *testing.T) {
+	// A node missed a write (different quorum); a later read that includes
+	// it still returns the latest version via max-version selection.
+	c := newTestCluster(t, 4, nil)
+	if _, err := c.Coordinator(0).Write(ctxT(t), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Find a node that missed the write.
+	var missed nodeset.ID = 255
+	for _, id := range c.Members.IDs() {
+		if st := c.Replica(id).State(); st.Version == 0 {
+			missed = id
+			break
+		}
+	}
+	if missed == 255 {
+		t.Skip("write reached all nodes")
+	}
+	v, ver, err := c.Coordinator(missed).Read(ctxT(t))
+	if err != nil || string(v) != "v1" || ver != 1 {
+		t.Errorf("read from node that missed the write: %q@%d, %v", v, ver, err)
+	}
+}
+
+func TestStaticClusterErrors(t *testing.T) {
+	if _, err := NewCluster(0, "x", nil, Options{}, replica.Config{}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	c := newTestCluster(t, 4, nil)
+	if c.Replica(99) != nil {
+		t.Error("unknown replica non-nil")
+	}
+}

@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"coterie/internal/nodeset"
+)
+
+// Mux routes incoming messages to sub-handlers by the message's concrete
+// type, letting several protocol layers (replica management, elections,
+// application traffic) share one node endpoint.
+type Mux struct {
+	mu     sync.RWMutex
+	routes map[reflect.Type]Handler
+}
+
+// NewMux returns an empty Mux.
+func NewMux() *Mux {
+	return &Mux{routes: make(map[reflect.Type]Handler)}
+}
+
+// HandleType registers h for messages with the same concrete type as
+// sample. Registering a type twice replaces the handler.
+func (m *Mux) HandleType(sample Message, h Handler) {
+	if h == nil {
+		panic("transport: nil handler in Mux.HandleType")
+	}
+	m.mu.Lock()
+	m.routes[reflect.TypeOf(sample)] = h
+	m.mu.Unlock()
+}
+
+// Handler returns the dispatching handler to register with a Network.
+func (m *Mux) Handler() Handler {
+	return func(ctx context.Context, from nodeset.ID, req Message) (Message, error) {
+		m.mu.RLock()
+		h := m.routes[reflect.TypeOf(req)]
+		m.mu.RUnlock()
+		if h == nil {
+			return nil, fmt.Errorf("transport: no route for message %T", req)
+		}
+		return h(ctx, from, req)
+	}
+}

@@ -1,0 +1,401 @@
+// Package transport provides the simulated network the replication
+// protocols run on: RPC-style request/response messaging between nodes with
+// crash-stop failures, network partitions, optional latency injection, and
+// per-node message accounting.
+//
+// The paper's system model (Section 3) assumes RPC communication in which
+// the notification RPC.CallFailed is returned to the sender when a message
+// cannot be delivered, and fail-stop nodes and links. ErrCallFailed is that
+// notification; a call fails when the caller or callee is crashed or the
+// two are separated by a partition. Multicast capability is "not required
+// but desirable" — Multicast here fans calls out concurrently but counts
+// point-to-point messages, so message-cost experiments reflect a network
+// without hardware multicast.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coterie/internal/nodeset"
+)
+
+// ErrCallFailed is the RPC.CallFailed notification: the request or its
+// reply could not be delivered. Protocol code distinguishes it from
+// application-level errors returned by handlers.
+var ErrCallFailed = errors.New("transport: call failed")
+
+// Message is an RPC payload. Concrete protocols define their own typed
+// request and response structs.
+type Message interface{}
+
+// Handler processes one request at a node and returns the reply. Handlers
+// may issue further calls on the same network, but must not hold locks that
+// the nested calls' handlers need.
+type Handler func(ctx context.Context, from nodeset.ID, req Message) (Message, error)
+
+// Stats counts network traffic. A completed call costs two messages
+// (request and reply); a failed call costs at most one.
+type Stats struct {
+	Calls       int64 // calls attempted
+	FailedCalls int64 // calls that ended in ErrCallFailed
+	Messages    int64 // point-to-point messages delivered
+}
+
+// Network is an in-process simulated network. The zero value is not usable;
+// use NewNetwork.
+type Network struct {
+	mu        sync.RWMutex
+	nodes     map[nodeset.ID]*endpoint
+	partition map[nodeset.ID]int // partition group; absent = group 0
+	latency   func(r *rand.Rand) time.Duration
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+	encode    func(Message) ([]byte, error)
+	decode    func([]byte) (Message, error)
+	trace     func(TraceEvent)
+
+	calls       atomic.Int64
+	failedCalls atomic.Int64
+	messages    atomic.Int64
+
+	loadMu sync.Mutex
+	load   map[nodeset.ID]int64 // requests served per node
+}
+
+type endpoint struct {
+	handler Handler
+	up      atomic.Bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency injects a per-message delay sampled by fn. The sampler runs
+// under the network's RNG lock and must be fast.
+func WithLatency(fn func(r *rand.Rand) time.Duration) Option {
+	return func(n *Network) { n.latency = fn }
+}
+
+// WithSeed seeds the network's internal RNG (latency sampling). The default
+// seed is 1 for reproducibility.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// TraceEvent describes one completed (or failed) call for observability.
+type TraceEvent struct {
+	From, To nodeset.ID
+	Request  Message
+	Reply    Message
+	Err      error
+	Elapsed  time.Duration
+}
+
+// WithTrace installs a hook invoked after every call completes. The hook
+// runs on the caller's goroutine and must be fast and non-blocking; it
+// must not issue calls on the same network. Useful for protocol debugging
+// and message-flow assertions in tests.
+func WithTrace(fn func(TraceEvent)) Option {
+	return func(n *Network) { n.trace = fn }
+}
+
+// WithCodec passes every request and reply through an encode/decode pair,
+// as a real network would. The simulation normally hands Go values across
+// directly; enabling a codec proves the whole protocol is wire-encodable
+// and surfaces any state that silently depended on sharing memory.
+// Encode/decode failures are returned to the caller as errors (they are
+// programming errors, not network failures).
+func WithCodec(encode func(Message) ([]byte, error), decode func([]byte) (Message, error)) Option {
+	return func(n *Network) {
+		n.encode, n.decode = encode, decode
+	}
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(opts ...Option) *Network {
+	n := &Network{
+		nodes:     make(map[nodeset.ID]*endpoint),
+		partition: make(map[nodeset.ID]int),
+		rng:       rand.New(rand.NewSource(1)),
+		load:      make(map[nodeset.ID]int64),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Register attaches a handler for node id. The node starts up. Registering
+// an already-registered id replaces its handler (supporting node restarts
+// with fresh state).
+func (n *Network) Register(id nodeset.ID, h Handler) {
+	if h == nil {
+		panic("transport: nil handler")
+	}
+	ep := &endpoint{handler: h}
+	ep.up.Store(true)
+	n.mu.Lock()
+	n.nodes[id] = ep
+	n.mu.Unlock()
+}
+
+// Crash marks a node down: all calls to or from it fail until Restart.
+// Crashing an unknown or already-down node is a no-op.
+func (n *Network) Crash(id nodeset.ID) {
+	n.mu.RLock()
+	ep := n.nodes[id]
+	n.mu.RUnlock()
+	if ep != nil {
+		ep.up.Store(false)
+	}
+}
+
+// Restart marks a node up again. Its handler state is whatever the handler
+// closure holds; crash-amnesia versus stable storage is the handler's
+// concern.
+func (n *Network) Restart(id nodeset.ID) {
+	n.mu.RLock()
+	ep := n.nodes[id]
+	n.mu.RUnlock()
+	if ep != nil {
+		ep.up.Store(true)
+	}
+}
+
+// IsUp reports whether the node is registered and not crashed.
+func (n *Network) IsUp(id nodeset.ID) bool {
+	n.mu.RLock()
+	ep := n.nodes[id]
+	n.mu.RUnlock()
+	return ep != nil && ep.up.Load()
+}
+
+// Partition splits the network into the given groups: nodes in different
+// groups cannot communicate. Nodes not mentioned in any group form an
+// implicit extra group. Overlapping groups are rejected.
+func (n *Network) Partition(groups ...nodeset.Set) error {
+	seen := nodeset.Set{}
+	for _, g := range groups {
+		if seen.Intersects(g) {
+			return fmt.Errorf("transport: overlapping partition groups at %v", seen.Intersect(g))
+		}
+		seen = seen.Union(g)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[nodeset.ID]int)
+	for gi, g := range groups {
+		for _, id := range g.IDs() {
+			n.partition[id] = gi + 1
+		}
+	}
+	return nil
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.partition = make(map[nodeset.ID]int)
+	n.mu.Unlock()
+}
+
+// reachable reports whether a and b are in the same partition group.
+func (n *Network) reachable(a, b nodeset.ID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.partition[a] == n.partition[b]
+}
+
+func (n *Network) sleepLatency(ctx context.Context) error {
+	if n.latency == nil {
+		return nil
+	}
+	n.rngMu.Lock()
+	d := n.latency(n.rng)
+	n.rngMu.Unlock()
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Call sends req from one node to another and waits for the reply. It
+// returns ErrCallFailed when delivery is impossible (crashed endpoint,
+// partition, unknown node); handler errors pass through unchanged.
+func (n *Network) Call(ctx context.Context, from, to nodeset.ID, req Message) (Message, error) {
+	if n.trace != nil {
+		start := time.Now()
+		reply, err := n.call(ctx, from, to, req)
+		n.trace(TraceEvent{From: from, To: to, Request: req, Reply: reply, Err: err, Elapsed: time.Since(start)})
+		return reply, err
+	}
+	return n.call(ctx, from, to, req)
+}
+
+func (n *Network) call(ctx context.Context, from, to nodeset.ID, req Message) (Message, error) {
+	n.calls.Add(1)
+	fail := func() (Message, error) {
+		n.failedCalls.Add(1)
+		return nil, ErrCallFailed
+	}
+
+	n.mu.RLock()
+	src, srcOK := n.nodes[from]
+	dst, dstOK := n.nodes[to]
+	n.mu.RUnlock()
+	if !srcOK || !dstOK || !src.up.Load() || !dst.up.Load() || !n.reachable(from, to) {
+		return fail()
+	}
+	if err := n.sleepLatency(ctx); err != nil {
+		return fail()
+	}
+	// Re-check on "arrival".
+	if !dst.up.Load() || !n.reachable(from, to) {
+		return fail()
+	}
+	n.messages.Add(1)
+	n.loadMu.Lock()
+	n.load[to]++
+	n.loadMu.Unlock()
+
+	if n.encode != nil {
+		req, err := n.transcode(req)
+		if err != nil {
+			return nil, fmt.Errorf("transport: request codec: %w", err)
+		}
+		reply, err := dst.handler(ctx, from, req)
+		if err != nil {
+			return nil, err
+		}
+		reply, err = n.transcode(reply)
+		if err != nil {
+			return nil, fmt.Errorf("transport: reply codec: %w", err)
+		}
+		return n.finishCall(ctx, src, dst, from, to, reply)
+	}
+
+	reply, err := dst.handler(ctx, from, req)
+	if err != nil {
+		return nil, err
+	}
+	return n.finishCall(ctx, src, dst, from, to, reply)
+}
+
+// transcode round-trips a message through the configured codec.
+func (n *Network) transcode(msg Message) (Message, error) {
+	buf, err := n.encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	return n.decode(buf)
+}
+
+// finishCall models the reply's journey back to the caller.
+func (n *Network) finishCall(ctx context.Context, src, dst *endpoint, from, to nodeset.ID, reply Message) (Message, error) {
+	if err := n.sleepLatency(ctx); err != nil {
+		n.failedCalls.Add(1)
+		return nil, ErrCallFailed
+	}
+	// The reply must travel back.
+	if !src.up.Load() || !dst.up.Load() || !n.reachable(from, to) {
+		n.failedCalls.Add(1)
+		return nil, ErrCallFailed
+	}
+	n.messages.Add(1)
+	return reply, nil
+}
+
+// Result is one node's outcome within a Multicast.
+type Result struct {
+	Reply Message
+	Err   error
+}
+
+// Multicast calls every target concurrently and collects all outcomes,
+// indexed by target. It always waits for every call to finish.
+func (n *Network) Multicast(ctx context.Context, from nodeset.ID, targets nodeset.Set, req Message) map[nodeset.ID]Result {
+	ids := targets.IDs()
+	out := make(map[nodeset.ID]Result, len(ids))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id nodeset.ID) {
+			defer wg.Done()
+			reply, err := n.Call(ctx, from, id, req)
+			mu.Lock()
+			out[id] = Result{Reply: reply, Err: err}
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Calls:       n.calls.Load(),
+		FailedCalls: n.failedCalls.Load(),
+		Messages:    n.messages.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters and per-node load.
+func (n *Network) ResetStats() {
+	n.calls.Store(0)
+	n.failedCalls.Store(0)
+	n.messages.Store(0)
+	n.loadMu.Lock()
+	n.load = make(map[nodeset.ID]int64)
+	n.loadMu.Unlock()
+}
+
+// Load returns a copy of the per-node served-request counters, the basis of
+// the load-sharing experiments.
+func (n *Network) Load() map[nodeset.ID]int64 {
+	n.loadMu.Lock()
+	defer n.loadMu.Unlock()
+	out := make(map[nodeset.ID]int64, len(n.load))
+	for k, v := range n.load {
+		out[k] = v
+	}
+	return out
+}
+
+// Nodes returns the set of registered node IDs.
+func (n *Network) Nodes() nodeset.Set {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var s nodeset.Set
+	for id := range n.nodes {
+		s.Add(id)
+	}
+	return s
+}
+
+// UpNodes returns the set of registered, non-crashed node IDs.
+func (n *Network) UpNodes() nodeset.Set {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var s nodeset.Set
+	for id, ep := range n.nodes {
+		if ep.up.Load() {
+			s.Add(id)
+		}
+	}
+	return s
+}

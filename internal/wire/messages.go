@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"coterie/internal/election"
+	"coterie/internal/replica"
+)
+
+// appendMessage encodes tag + payload for one message.
+func appendMessage(b []byte, msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case replica.Envelope:
+		inner, err := appendMessage(nil, m.Msg)
+		if err != nil {
+			return nil, fmt.Errorf("wire: envelope for %q: %w", m.Item, err)
+		}
+		b = append(b, tagEnvelope)
+		b = putString(b, m.Item)
+		return putBytes(b, inner), nil
+	case replica.StateQuery:
+		return append(b, tagStateQuery), nil
+	case replica.GroupStateQuery:
+		return append(b, tagGroupStateQuery), nil
+	case replica.GroupStateReply:
+		b = append(b, tagGroupStateReply)
+		b = putUvarint(b, uint64(len(m.States)))
+		names := make([]string, 0, len(m.States))
+		for name := range m.States {
+			names = append(names, name)
+		}
+		sort.Strings(names) // canonical order
+		for _, name := range names {
+			b = putString(b, name)
+			b = putStateReply(b, m.States[name])
+		}
+		return b, nil
+	case replica.LockRequest:
+		b = append(b, tagLockRequest)
+		b = putOp(b, m.Op)
+		return putUvarint(b, uint64(m.Mode)), nil
+	case replica.StateReply:
+		return putStateReply(append(b, tagStateReply), m), nil
+	case replica.FetchValue:
+		return putOp(append(b, tagFetchValue), m.Op), nil
+	case replica.ValueReply:
+		b = append(b, tagValueReply)
+		b = putBytes(b, m.Value)
+		return putUvarint(b, m.Version), nil
+	case replica.PrepareUpdate:
+		b = append(b, tagPrepareUpdate)
+		b = putOp(b, m.Op)
+		b = putUpdate(b, m.Update)
+		b = putUvarint(b, m.NewVersion)
+		b = putSet(b, m.StaleSet)
+		return putSet(b, m.GoodSet), nil
+	case replica.PrepareStale:
+		b = append(b, tagPrepareStale)
+		b = putOp(b, m.Op)
+		b = putUvarint(b, m.Desired)
+		return putSet(b, m.GoodSet), nil
+	case replica.PrepareReplace:
+		b = append(b, tagPrepareReplace)
+		b = putOp(b, m.Op)
+		b = putBytes(b, m.Value)
+		b = putUvarint(b, m.NewVersion)
+		b = putSet(b, m.StaleSet)
+		return putSet(b, m.GoodSet), nil
+	case replica.ApplyDirect:
+		b = append(b, tagApplyDirect)
+		b = putOp(b, m.Op)
+		b = putUpdate(b, m.Update)
+		b = putUvarint(b, m.NewVersion)
+		return putSet(b, m.GoodSet), nil
+	case replica.PrepareEpoch:
+		b = append(b, tagPrepareEpoch)
+		b = putOp(b, m.Op)
+		b = putSet(b, m.Epoch)
+		b = putUvarint(b, m.EpochNum)
+		b = putSet(b, m.Good)
+		return putUvarint(b, m.MaxVersion), nil
+	case replica.Commit:
+		return putOp(append(b, tagCommit), m.Op), nil
+	case replica.Abort:
+		return putOp(append(b, tagAbort), m.Op), nil
+	case replica.Ack:
+		b = append(b, tagAck)
+		b = putBool(b, m.OK)
+		return putString(b, m.Reason), nil
+	case replica.DecisionQuery:
+		return putOp(append(b, tagDecisionQuery), m.Op), nil
+	case replica.DecisionReply:
+		b = append(b, tagDecisionReply)
+		b = putBool(b, m.Known)
+		return putBool(b, m.Commit), nil
+	case replica.PropagationOffer:
+		b = append(b, tagPropagationOffer)
+		b = putOp(b, m.Op)
+		return putUvarint(b, m.Version), nil
+	case replica.PropagationReply:
+		b = append(b, tagPropagationReply)
+		b = putUvarint(b, uint64(m.Status))
+		return putUvarint(b, m.TargetVersion), nil
+	case replica.PropagationData:
+		b = append(b, tagPropagationData)
+		b = putOp(b, m.Op)
+		b = putUvarint(b, m.FromVersion)
+		b = putUvarint(b, uint64(len(m.Updates)))
+		for _, u := range m.Updates {
+			b = putUpdate(b, u)
+		}
+		b = putBool(b, m.HasSnapshot)
+		b = putBytes(b, m.Snapshot)
+		return putUvarint(b, m.SnapVersion), nil
+	case election.Probe:
+		return putUvarint(append(b, tagProbe), uint64(m.From)), nil
+	case election.TakeOver:
+		return putUvarint(append(b, tagTakeOver), uint64(m.From)), nil
+	case election.Announce:
+		return putUvarint(append(b, tagAnnounce), uint64(m.Leader)), nil
+	case election.AliveReply:
+		return putUvarint(append(b, tagAliveReply), uint64(m.From)), nil
+	case election.LeaderReply:
+		return putUvarint(append(b, tagLeaderReply), uint64(m.Leader)), nil
+	case election.AnnounceAck:
+		return append(b, tagAnnounceAck), nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported message type %T", msg)
+	}
+}
+
+// decodeMessage decodes one message from the front of b, returning the
+// bytes consumed.
+func decodeMessage(b []byte) (any, int, error) {
+	if len(b) == 0 {
+		return nil, 0, ErrTruncated
+	}
+	r := &reader{b: b, pos: 1}
+	var msg any
+	switch b[0] {
+	case tagEnvelope:
+		item := r.str()
+		inner := r.bytes()
+		if r.err != nil {
+			break
+		}
+		innerMsg, n, err := decodeMessage(inner)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wire: envelope payload: %w", err)
+		}
+		if n != len(inner) {
+			return nil, 0, fmt.Errorf("wire: envelope payload has %d trailing bytes", len(inner)-n)
+		}
+		msg = replica.Envelope{Item: item, Msg: innerMsg}
+	case tagStateQuery:
+		msg = replica.StateQuery{}
+	case tagGroupStateQuery:
+		msg = replica.GroupStateQuery{}
+	case tagGroupStateReply:
+		n := r.uvarint()
+		if n > uint64(len(b)) { // each entry needs at least one byte
+			r.fail(ErrTruncated)
+			break
+		}
+		states := make(map[string]replica.StateReply, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			name := r.str()
+			states[name] = r.stateReply()
+		}
+		msg = replica.GroupStateReply{States: states}
+	case tagLockRequest:
+		op := r.op()
+		mode := r.uvarint()
+		if mode > uint64(replica.LockWrite) {
+			r.fail(fmt.Errorf("wire: invalid lock mode %d", mode))
+			break
+		}
+		msg = replica.LockRequest{Op: op, Mode: replica.LockMode(mode)}
+	case tagStateReply:
+		msg = r.stateReply()
+	case tagFetchValue:
+		msg = replica.FetchValue{Op: r.op()}
+	case tagValueReply:
+		msg = replica.ValueReply{Value: r.bytes(), Version: r.uvarint()}
+	case tagPrepareUpdate:
+		msg = replica.PrepareUpdate{
+			Op: r.op(), Update: r.update(), NewVersion: r.uvarint(),
+			StaleSet: r.set(), GoodSet: r.set(),
+		}
+	case tagPrepareStale:
+		msg = replica.PrepareStale{Op: r.op(), Desired: r.uvarint(), GoodSet: r.set()}
+	case tagPrepareReplace:
+		msg = replica.PrepareReplace{
+			Op: r.op(), Value: r.bytes(), NewVersion: r.uvarint(),
+			StaleSet: r.set(), GoodSet: r.set(),
+		}
+	case tagApplyDirect:
+		msg = replica.ApplyDirect{Op: r.op(), Update: r.update(), NewVersion: r.uvarint(), GoodSet: r.set()}
+	case tagPrepareEpoch:
+		msg = replica.PrepareEpoch{
+			Op: r.op(), Epoch: r.set(), EpochNum: r.uvarint(),
+			Good: r.set(), MaxVersion: r.uvarint(),
+		}
+	case tagCommit:
+		msg = replica.Commit{Op: r.op()}
+	case tagAbort:
+		msg = replica.Abort{Op: r.op()}
+	case tagAck:
+		msg = replica.Ack{OK: r.boolean(), Reason: r.str()}
+	case tagDecisionQuery:
+		msg = replica.DecisionQuery{Op: r.op()}
+	case tagDecisionReply:
+		msg = replica.DecisionReply{Known: r.boolean(), Commit: r.boolean()}
+	case tagPropagationOffer:
+		msg = replica.PropagationOffer{Op: r.op(), Version: r.uvarint()}
+	case tagPropagationReply:
+		status := r.uvarint()
+		if status > uint64(replica.PropIAmCurrent) {
+			r.fail(fmt.Errorf("wire: invalid propagation status %d", status))
+			break
+		}
+		msg = replica.PropagationReply{Status: replica.PropStatus(status), TargetVersion: r.uvarint()}
+	case tagPropagationData:
+		op := r.op()
+		from := r.uvarint()
+		count := r.uvarint()
+		if count > uint64(len(b)) {
+			r.fail(ErrTruncated)
+			break
+		}
+		updates := make([]replica.Update, 0, count)
+		for i := uint64(0); i < count && r.err == nil; i++ {
+			updates = append(updates, r.update())
+		}
+		msg = replica.PropagationData{
+			Op: op, FromVersion: from, Updates: updates,
+			HasSnapshot: r.boolean(), Snapshot: r.bytes(), SnapVersion: r.uvarint(),
+		}
+	case tagProbe:
+		msg = election.Probe{From: r.node()}
+	case tagTakeOver:
+		msg = election.TakeOver{From: r.node()}
+	case tagAnnounce:
+		msg = election.Announce{Leader: r.node()}
+	case tagAliveReply:
+		msg = election.AliveReply{From: r.node()}
+	case tagLeaderReply:
+		msg = election.LeaderReply{Leader: r.node()}
+	case tagAnnounceAck:
+		msg = election.AnnounceAck{}
+	default:
+		return nil, 0, fmt.Errorf("wire: unknown tag %d", b[0])
+	}
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	return msg, r.pos, nil
+}
