@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet race bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs every benchmark for a single iteration — a fast compile-
+# and-run sanity pass, not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# bench produces benchstat-comparable numbers for the tracked hot paths
+# (see README "Benchmarks" for methodology).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1Dynamic|BenchmarkSimAvailability' -benchmem -count=5 -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkQuorumMessages' -benchmem -count=5 -benchtime=50x .
+
+ci: vet build race bench-smoke

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"coterie/internal/coterie"
 	"coterie/internal/nodeset"
 	"coterie/internal/replica"
 	"coterie/internal/transport"
@@ -22,12 +23,29 @@ type Coordinator struct {
 	net  *transport.Network
 	all  nodeset.Set // all nodes holding a replica of the item
 	opts Options
+	// layouts caches the compiled quorum layout of the current epoch so the
+	// hot-path quorum checks run allocation-free (see coterie.Layout). The
+	// cache invalidates itself whenever a response carries a newer epoch.
+	layouts *coterie.Cache
 }
 
 // NewCoordinator builds a coordinator around the local replica `item`.
 // all is the full replica set of the item.
 func NewCoordinator(item *replica.Item, net *transport.Network, all nodeset.Set, opts Options) *Coordinator {
-	return &Coordinator{item: item, net: net, all: all.Clone(), opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	return &Coordinator{
+		item:    item,
+		net:     net,
+		all:     all.Clone(),
+		opts:    opts,
+		layouts: coterie.NewCache(opts.Rule),
+	}
+}
+
+// layout returns the compiled quorum layout of the given epoch, served from
+// the coordinator's epoch-keyed cache.
+func (c *Coordinator) layout(epochNum uint64, epoch nodeset.Set) *coterie.Layout {
+	return c.layouts.For(epochNum, epoch)
 }
 
 // Item returns the co-located replica.
@@ -198,7 +216,7 @@ func (c *Coordinator) Write(ctx context.Context, u replica.Update) (uint64, erro
 	op := c.item.NextOp()
 	local := c.item.State()
 
-	quorum, ok := c.opts.Rule.WriteQuorum(local.Epoch, local.Epoch, hint(op))
+	quorum, ok := c.layout(local.EpochNum, local.Epoch).WriteQuorum(local.Epoch, hint(op))
 	if !ok {
 		// The local epoch list admits no quorum at all (degenerate state);
 		// go heavy immediately.
@@ -206,7 +224,7 @@ func (c *Coordinator) Write(ctx context.Context, u replica.Update) (uint64, erro
 	}
 	responses := c.lockRound(ctx, op, quorum, replica.LockWrite)
 	cl := classify(responses)
-	if !cl.responders.Empty() && c.opts.Rule.IsWriteQuorum(cl.maxEpoch.Epoch, cl.responders) && cl.currentReachable() {
+	if !cl.responders.Empty() && c.layout(cl.maxEpoch.EpochNum, cl.maxEpoch.Epoch).IsWriteQuorum(cl.responders) && cl.currentReachable() {
 		version, err := c.executeWrite(ctx, op, u, cl)
 		if err == nil {
 			return version, nil
@@ -231,7 +249,7 @@ func (c *Coordinator) heavyWrite(ctx context.Context, op replica.OpID, u replica
 	cl := classify(responses)
 	release := alreadyLocked.Union(cl.responders)
 	if cl.responders.Empty() ||
-		!c.opts.Rule.IsWriteQuorum(cl.maxEpoch.Epoch, cl.responders) ||
+		!c.layout(cl.maxEpoch.EpochNum, cl.maxEpoch.Epoch).IsWriteQuorum(cl.responders) ||
 		!cl.currentReachable() {
 		// "There is no reason to wait for possible epoch change because
 		// such an operation can succeed only if it can obtain a quorum as
@@ -324,13 +342,13 @@ func (c *Coordinator) Read(ctx context.Context) (value []byte, version uint64, e
 	op := c.item.NextOp()
 	local := c.item.State()
 
-	quorum, ok := c.opts.Rule.ReadQuorum(local.Epoch, local.Epoch, hint(op))
+	quorum, ok := c.layout(local.EpochNum, local.Epoch).ReadQuorum(local.Epoch, hint(op))
 	if !ok {
 		return c.heavyRead(ctx, op, nodeset.Set{})
 	}
 	responses := c.lockRound(ctx, op, quorum, replica.LockRead)
 	cl := classify(responses)
-	if !cl.responders.Empty() && c.opts.Rule.IsReadQuorum(cl.maxEpoch.Epoch, cl.responders) && cl.currentReachable() {
+	if !cl.responders.Empty() && c.layout(cl.maxEpoch.EpochNum, cl.maxEpoch.Epoch).IsReadQuorum(cl.responders) && cl.currentReachable() {
 		value, version, err = c.fetchBest(ctx, op, cl)
 		c.abortAll(ctx, op, cl.responders)
 		if err == nil {
@@ -347,7 +365,7 @@ func (c *Coordinator) heavyRead(ctx context.Context, op replica.OpID, alreadyLoc
 	release := alreadyLocked.Union(cl.responders)
 	defer c.abortAll(ctx, op, release)
 	if cl.responders.Empty() ||
-		!c.opts.Rule.IsReadQuorum(cl.maxEpoch.Epoch, cl.responders) ||
+		!c.layout(cl.maxEpoch.EpochNum, cl.maxEpoch.Epoch).IsReadQuorum(cl.responders) ||
 		!cl.currentReachable() {
 		return nil, 0, fmt.Errorf("%w: no read quorum with a current replica (epoch %d)", ErrUnavailable, cl.maxEpoch.EpochNum)
 	}

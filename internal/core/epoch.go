@@ -59,7 +59,7 @@ func (c *Coordinator) checkEpochFromPoll(ctx context.Context, states []response)
 		var busy nodeset.Set
 		locked, busy = c.lockRoundBusy(ctx, op, cl.responders.Union(cl.recovering), replica.LockWrite)
 		lcl = classify(locked)
-		if !lcl.responders.Empty() && c.opts.Rule.IsWriteQuorum(lcl.maxEpoch.Epoch, lcl.responders) {
+		if !lcl.responders.Empty() && c.layout(lcl.maxEpoch.EpochNum, lcl.maxEpoch.Epoch).IsWriteQuorum(lcl.responders) {
 			break
 		}
 		c.abortAll(ctx, op, lcl.responders.Union(lcl.recovering))
@@ -93,7 +93,9 @@ func (c *Coordinator) checkEpochFromPoll(ctx context.Context, states []response)
 		return CheckResult{}, fmt.Errorf("%w: epoch prepare incomplete (%d/%d)", ErrConflict, prepared.Len(), newEpoch.Len())
 	}
 	committed := c.commitAll(ctx, op, newEpoch)
-	if !c.opts.Rule.IsWriteQuorum(newEpoch, committed) {
+	// Keyed by the new epoch's number: this both checks the commit round and
+	// warms the cache for the first operations on the epoch just installed.
+	if !c.layout(newNum, newEpoch).IsWriteQuorum(committed) {
 		// Not enough members adopted the epoch for it to be recognized;
 		// stragglers hold pinned locks until the decision reaches them.
 		return CheckResult{}, fmt.Errorf("%w: epoch commit incomplete", ErrUnavailable)

@@ -157,15 +157,12 @@ func (g Grid) Position(V nodeset.Set, id nodeset.ID) (row, col int, ok bool) {
 func (g Grid) columnCover(V, S nodeset.Set) (shape GridShape, covered []int) {
 	shape = g.shape(V.Len())
 	covered = make([]int, shape.N+1) // 1-based; covered[j] = rows of col j present
-	rowSeen := make(map[int]bool)
+	posSeen := make(map[int]bool)    // keyed by the position index k itself
 	for _, id := range S.Intersect(V).IDs() {
 		k, _ := V.OrderedNumber(id)
-		i := (k-1)/shape.N + 1
-		j := (k-1)%shape.N + 1
-		key := i*(shape.N+1) + j
-		if !rowSeen[key] {
-			rowSeen[key] = true
-			covered[j]++
+		if !posSeen[k] {
+			posSeen[k] = true
+			covered[(k-1)%shape.N+1]++
 		}
 	}
 	return shape, covered

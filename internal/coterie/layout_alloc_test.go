@@ -1,0 +1,78 @@
+package coterie
+
+import (
+	"testing"
+
+	"coterie/internal/nodeset"
+)
+
+// TestLayoutQuorumChecksDoNotAllocate is the ISSUE's zero-allocation gate:
+// once a Layout is compiled, IsReadQuorum and IsWriteQuorum must run
+// without heap allocations for every specialized rule. The simulator and
+// coordinator call these on every event/round; an allocation here
+// multiplies into millions per run.
+func TestLayoutQuorumChecksDoNotAllocate(t *testing.T) {
+	V := nodeset.Range(0, 25)
+	// A read-but-not-write quorum drives both predicates through their
+	// longest paths (every column inspected, no early exit).
+	partial := nodeset.Range(0, 25)
+	partial.Remove(3)
+	partial.Remove(8)
+	full := nodeset.Range(0, 25)
+	var sink bool
+
+	for _, rule := range []Rule{Grid{}, Grid{Strict: true}, Grid{Ratio: 2}, Hierarchical{}, Wheel{}, Majority{}, ROWA{}} {
+		layout := Compile(rule, V)
+		for _, tc := range []struct {
+			name string
+			fn   func()
+		}{
+			{"IsReadQuorum/partial", func() { sink = layout.IsReadQuorum(partial) }},
+			{"IsReadQuorum/full", func() { sink = layout.IsReadQuorum(full) }},
+			{"IsWriteQuorum/partial", func() { sink = layout.IsWriteQuorum(partial) }},
+			{"IsWriteQuorum/full", func() { sink = layout.IsWriteQuorum(full) }},
+		} {
+			if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+				t.Errorf("%s: %s allocates %.1f objects per call, want 0", rule.Name(), tc.name, allocs)
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkLayoutIsWriteQuorum measures the compiled write-quorum check
+// against the uncompiled rule on the same inputs, N=25.
+func BenchmarkLayoutIsWriteQuorum(b *testing.B) {
+	V := nodeset.Range(0, 25)
+	S := nodeset.Range(0, 25)
+	S.Remove(7)
+	for _, rule := range []Rule{Grid{}, Hierarchical{}, Majority{}} {
+		layout := Compile(rule, V)
+		b.Run("compiled/"+rule.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = layout.IsWriteQuorum(S)
+			}
+		})
+		b.Run("naive/"+rule.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = rule.IsWriteQuorum(V, S)
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures one-off layout compilation — the cost paid per
+// epoch change, amortized across every check until the next change.
+func BenchmarkCompile(b *testing.B) {
+	V := nodeset.Range(0, 25)
+	for _, rule := range []Rule{Grid{}, Hierarchical{}, Wheel{}} {
+		b.Run(rule.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = Compile(rule, V)
+			}
+		})
+	}
+}

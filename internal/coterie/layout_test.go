@@ -1,0 +1,203 @@
+package coterie
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"coterie/internal/nodeset"
+)
+
+// layoutCases is the number of random cases each rule's property test
+// draws. The ISSUE acceptance bar is 10_000 per rule.
+const layoutCases = 10_000
+
+// randomSet draws a subset of 0..universe-1 where every ID is included
+// independently with probability density.
+func randomSet(rng *rand.Rand, universe int, density float64) nodeset.Set {
+	var s nodeset.Set
+	for id := 0; id < universe; id++ {
+		if rng.Float64() < density {
+			s.Add(nodeset.ID(id))
+		}
+	}
+	return s
+}
+
+// randomEpoch draws an epoch of exactly size members from 0..universe-1.
+func randomEpoch(rng *rand.Rand, universe, size int) nodeset.Set {
+	perm := rng.Perm(universe)
+	var v nodeset.Set
+	for _, id := range perm[:size] {
+		v.Add(nodeset.ID(id))
+	}
+	return v
+}
+
+// TestLayoutMatchesRules is the compiled-layout equivalence property test:
+// for random epochs (sizes 1..64, drawn from a larger ID universe so
+// candidate sets contain non-members) and random candidate/availability
+// sets, every Layout method must agree exactly — same predicate, same ok,
+// same constructed set — with the naive rule it was compiled from.
+func TestLayoutMatchesRules(t *testing.T) {
+	rules := []Rule{
+		Grid{},
+		Grid{Strict: true},
+		Grid{Ratio: 2},
+		Grid{Strict: true, Ratio: 0.5},
+		Hierarchical{},
+		Wheel{},
+		Majority{},
+		ROWA{},
+	}
+	for _, rule := range rules {
+		rule := rule
+		t.Run(fmt.Sprintf("%s-strict=%v", rule.Name(), rule), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(0x1a40))
+			const universe = 96 // epochs use at most 64 of these IDs
+			for i := 0; i < layoutCases; i++ {
+				size := 1 + rng.Intn(64)
+				V := randomEpoch(rng, universe, size)
+				layout := Compile(rule, V)
+
+				// Candidate sets are drawn over the whole universe: S ∩ V
+				// semantics must hold with members outside V present. The
+				// density sweep exercises both sparse sets (quorum misses)
+				// and dense sets (quorum hits).
+				density := []float64{0.2, 0.5, 0.8, 0.95}[i%4]
+				S := randomSet(rng, universe, density)
+				avail := randomSet(rng, universe, density)
+				hint := rng.Intn(4096) - 64
+
+				if got, want := layout.IsReadQuorum(S), rule.IsReadQuorum(V, S); got != want {
+					t.Fatalf("case %d: IsReadQuorum mismatch: layout %v, rule %v\nV=%v\nS=%v",
+						i, got, want, V, S)
+				}
+				if got, want := layout.IsWriteQuorum(S), rule.IsWriteQuorum(V, S); got != want {
+					t.Fatalf("case %d: IsWriteQuorum mismatch: layout %v, rule %v\nV=%v\nS=%v",
+						i, got, want, V, S)
+				}
+				gq, gok := layout.ReadQuorum(avail, hint)
+				wq, wok := rule.ReadQuorum(V, avail, hint)
+				if gok != wok || !gq.Equal(wq) {
+					t.Fatalf("case %d: ReadQuorum mismatch: layout (%v,%v), rule (%v,%v)\nV=%v\navail=%v hint=%d",
+						i, gq, gok, wq, wok, V, avail, hint)
+				}
+				if gok {
+					if !gq.Subset(V.Intersect(avail)) {
+						t.Fatalf("case %d: read quorum %v not within avail ∩ V", i, gq)
+					}
+					if !rule.IsReadQuorum(V, gq) {
+						t.Fatalf("case %d: constructed read quorum %v fails the rule predicate", i, gq)
+					}
+				}
+				gq, gok = layout.WriteQuorum(avail, hint)
+				wq, wok = rule.WriteQuorum(V, avail, hint)
+				if gok != wok || !gq.Equal(wq) {
+					t.Fatalf("case %d: WriteQuorum mismatch: layout (%v,%v), rule (%v,%v)\nV=%v\navail=%v hint=%d",
+						i, gq, gok, wq, wok, V, avail, hint)
+				}
+				if gok {
+					if !gq.Subset(V.Intersect(avail)) {
+						t.Fatalf("case %d: write quorum %v not within avail ∩ V", i, gq)
+					}
+					if !rule.IsWriteQuorum(V, gq) {
+						t.Fatalf("case %d: constructed write quorum %v fails the rule predicate", i, gq)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLayoutEmptyEpoch pins the degenerate cases: nothing is a quorum over
+// an empty epoch and no quorum is constructible.
+func TestLayoutEmptyEpoch(t *testing.T) {
+	for _, rule := range []Rule{Grid{}, Grid{Strict: true}, Hierarchical{}, Wheel{}, Majority{}, ROWA{}} {
+		layout := Compile(rule, nodeset.Set{})
+		any := nodeset.New(1, 2, 3)
+		if layout.IsReadQuorum(any) || layout.IsWriteQuorum(any) {
+			t.Errorf("%s: quorum over empty epoch", rule.Name())
+		}
+		if _, ok := layout.ReadQuorum(any, 0); ok {
+			t.Errorf("%s: read quorum constructed over empty epoch", rule.Name())
+		}
+		if _, ok := layout.WriteQuorum(any, 0); ok {
+			t.Errorf("%s: write quorum constructed over empty epoch", rule.Name())
+		}
+	}
+}
+
+// fancyRule is an uncompiled rule exercising the fallback path.
+type fancyRule struct{ Majority }
+
+func (fancyRule) Name() string { return "fancy" }
+
+// TestLayoutFallback verifies rules without a specialized compiled form
+// still behave identically through the Layout adapter.
+func TestLayoutFallback(t *testing.T) {
+	rule := fancyRule{}
+	V := nodeset.Range(0, 7)
+	layout := Compile(rule, V)
+	S := nodeset.New(0, 1, 2, 3)
+	if layout.IsWriteQuorum(S) != rule.IsWriteQuorum(V, S) {
+		t.Error("fallback IsWriteQuorum diverges")
+	}
+	q1, ok1 := layout.WriteQuorum(V, 3)
+	q2, ok2 := rule.WriteQuorum(V, V, 3)
+	if ok1 != ok2 || !q1.Equal(q2) {
+		t.Error("fallback WriteQuorum diverges")
+	}
+	if layout.Rule().Name() != "fancy" {
+		t.Errorf("Rule() = %q", layout.Rule().Name())
+	}
+	if !layout.Epoch().Equal(V) {
+		t.Error("Epoch() != V")
+	}
+}
+
+// TestLayoutEpochIsolated verifies the compiled layout is decoupled from
+// the caller's set: mutating the set passed to Compile must not corrupt
+// the layout.
+func TestLayoutEpochIsolated(t *testing.T) {
+	V := nodeset.Range(0, 9)
+	layout := Compile(Grid{}, V)
+	before := layout.IsWriteQuorum(nodeset.Range(0, 9))
+	V.Remove(0)
+	V.Remove(1)
+	after := layout.IsWriteQuorum(nodeset.Range(0, 9))
+	if !before || !after {
+		t.Error("layout affected by caller mutation of the epoch set")
+	}
+}
+
+// TestCacheReuseAndInvalidate verifies the epoch-keyed cache contract: the
+// same (epoch number, member set) pair reuses the compiled layout, any
+// change recompiles, and Invalidate forces a recompile.
+func TestCacheReuseAndInvalidate(t *testing.T) {
+	cache := NewCache(Grid{})
+	e5 := nodeset.Range(0, 5)
+	l1 := cache.For(7, e5)
+	if l2 := cache.For(7, e5); l2 != l1 {
+		t.Error("same epoch number and members recompiled")
+	}
+	// Same number, different members (cannot happen under Lemma 1, but the
+	// cache must not serve a stale layout regardless).
+	if l3 := cache.For(7, nodeset.Range(0, 4)); l3 == l1 {
+		t.Error("different members reused stale layout")
+	}
+	if l4 := cache.For(8, e5); l4 == l1 {
+		t.Error("different epoch number reused stale layout")
+	}
+	l5 := cache.For(8, e5)
+	cache.Invalidate()
+	if l6 := cache.For(8, e5); l6 == l5 {
+		t.Error("Invalidate did not drop the cached layout")
+	}
+	// The served layout must be correct for its epoch.
+	l := cache.For(9, nodeset.Range(0, 9))
+	if !l.IsWriteQuorum(nodeset.Range(0, 9)) {
+		t.Error("cached layout gives wrong answer")
+	}
+}

@@ -1,0 +1,58 @@
+package coterie
+
+import (
+	"sync"
+
+	"coterie/internal/nodeset"
+)
+
+// Cache memoizes the compiled Layout of the current epoch.
+//
+// The invalidation rule is the one the epoch mechanism gives for free: a
+// layout is valid exactly as long as its epoch number. Epoch numbers
+// increase monotonically per data item and the current epoch is unique
+// (paper, Lemma 1), so an equal (number, member-set) pair identifies the
+// same logical structure and the cached layout can be reused; any other
+// pair recompiles. The cache keeps the latest epoch only — protocols
+// evaluate quorums almost exclusively against the current epoch, and a
+// stale-epoch lookup is a one-off recompile, not a correctness hazard.
+//
+// A Cache is safe for concurrent use.
+type Cache struct {
+	rule Rule
+
+	mu       sync.Mutex
+	valid    bool
+	epochNum uint64
+	layout   *Layout
+}
+
+// NewCache returns an empty cache compiling layouts of rule.
+func NewCache(rule Rule) *Cache {
+	return &Cache{rule: rule}
+}
+
+// Rule returns the rule whose layouts the cache compiles.
+func (c *Cache) Rule() Rule { return c.rule }
+
+// For returns the compiled layout of the given epoch, reusing the cached
+// one when both the epoch number and the member set match.
+func (c *Cache) For(epochNum uint64, epoch nodeset.Set) *Layout {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.valid && c.epochNum == epochNum && c.layout.Epoch().Equal(epoch) {
+		return c.layout
+	}
+	c.layout = Compile(c.rule, epoch)
+	c.epochNum = epochNum
+	c.valid = true
+	return c.layout
+}
+
+// Invalidate drops the cached layout, forcing the next For to recompile.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	c.valid = false
+	c.layout = nil
+	c.mu.Unlock()
+}

@@ -101,39 +101,124 @@ func SolveBig(a [][]*big.Float, b []*big.Float, prec uint) ([]*big.Float, error)
 		}
 		m[i][n] = new(big.Float).SetPrec(prec).Set(b[i])
 	}
+	return solveAugmentedBig(m, prec)
+}
 
-	tmp := new(big.Float).SetPrec(prec)
+// SolveBigFromFloat64 solves a·x = b in big.Float arithmetic at the given
+// precision, building the working system directly from float64 inputs. It
+// is equivalent to SolveBig(BigMatrix(a, prec), BigVector(b, prec), prec)
+// without materializing the intermediate big.Float matrix — the form the
+// Markov solvers use on their float64 generator matrices.
+func SolveBigFromFloat64(a [][]float64, b []float64, prec uint) ([]*big.Float, error) {
+	if prec < 64 {
+		prec = 64
+	}
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("linalg: empty system")
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: dimension mismatch: %d rows, %d rhs", n, len(b))
+	}
+	// The systems this entry point serves (Markov generators) are sparse,
+	// so most entries are exactly zero: they all alias one shared zero
+	// value, and the solver copies an entry out of the alias only when
+	// fill-in actually writes to it.
+	zero := new(big.Float).SetPrec(prec)
+	m := make([][]*big.Float, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = make([]*big.Float, n+1)
+		for j := 0; j < n; j++ {
+			if a[i][j] == 0 {
+				m[i][j] = zero
+			} else {
+				m[i][j] = new(big.Float).SetPrec(prec).SetFloat64(a[i][j])
+			}
+		}
+		if b[i] == 0 {
+			m[i][n] = zero
+		} else {
+			m[i][n] = new(big.Float).SetPrec(prec).SetFloat64(b[i])
+		}
+	}
+	return solveAugmentedBigShared(m, prec, zero)
+}
+
+// solveAugmentedBig runs Gaussian elimination with partial pivoting over
+// the augmented matrix m (n rows of n+1 entries), consuming m.
+func solveAugmentedBig(m [][]*big.Float, prec uint) ([]*big.Float, error) {
+	return solveAugmentedBigShared(m, prec, nil)
+}
+
+// solveAugmentedBigShared is solveAugmentedBig with copy-on-write aliasing:
+// entries of m may alias the single shared value zero (always holding exact
+// zero); any entry about to be written is first replaced by a fresh value.
+func solveAugmentedBigShared(m [][]*big.Float, prec uint, zero *big.Float) ([]*big.Float, error) {
+	n := len(m)
+
+	// The generator matrices this solver exists for (Markov global-balance
+	// systems) are sparse: a handful of transitions per state plus one dense
+	// normalization row. Elimination therefore skips zero multipliers and
+	// zero pivot-row entries — exact zeros contribute nothing to the update
+	// — which keeps the work proportional to the actual fill-in instead of
+	// n³ big.Float operations. The scratch values below are reused across
+	// iterations so the loop itself performs no transient allocations.
+	absPivot := new(big.Float).SetPrec(prec)
+	absCand := new(big.Float).SetPrec(prec)
+	f := new(big.Float).SetPrec(prec)
+	prod := new(big.Float).SetPrec(prec)
 	for col := 0; col < n; col++ {
 		pivot := col
+		absPivot.Abs(m[col][col])
 		for r := col + 1; r < n; r++ {
-			if tmp.Abs(m[r][col]).Cmp(new(big.Float).Abs(m[pivot][col])) > 0 {
+			if m[r][col].Sign() == 0 {
+				continue
+			}
+			if absCand.Abs(m[r][col]).Cmp(absPivot) > 0 {
 				pivot = r
+				absPivot.Set(absCand)
 			}
 		}
 		if m[pivot][col].Sign() == 0 {
 			return nil, ErrSingular
 		}
 		m[col], m[pivot] = m[pivot], m[col]
-		f := new(big.Float).SetPrec(prec)
-		prod := new(big.Float).SetPrec(prec)
+		prow := m[col]
 		for r := col + 1; r < n; r++ {
-			if m[r][col].Sign() == 0 {
+			row := m[r]
+			if row[col].Sign() == 0 {
 				continue
 			}
-			f.Quo(m[r][col], m[col][col])
-			for c := col; c <= n; c++ {
-				prod.Mul(f, m[col][c])
-				m[r][c].Sub(m[r][c], prod)
+			f.Quo(row[col], prow[col])
+			// The sub-diagonal entry is eliminated by construction; write
+			// the exact zero instead of computing the roundoff residue.
+			row[col].SetInt64(0)
+			for c := col + 1; c <= n; c++ {
+				if prow[c].Sign() == 0 {
+					continue
+				}
+				prod.Mul(f, prow[c])
+				if row[c] == zero {
+					// Fill-in on an aliased zero entry: materialize it.
+					row[c] = new(big.Float).SetPrec(prec).Neg(prod)
+				} else {
+					row[c].Sub(row[c], prod)
+				}
 			}
 		}
 	}
 
 	x := make([]*big.Float, n)
 	sum := new(big.Float).SetPrec(prec)
-	prod := new(big.Float).SetPrec(prec)
 	for i := n - 1; i >= 0; i-- {
 		sum.Set(m[i][n])
 		for j := i + 1; j < n; j++ {
+			if m[i][j].Sign() == 0 {
+				continue
+			}
 			prod.Mul(m[i][j], x[j])
 			sum.Sub(sum, prod)
 		}

@@ -13,6 +13,7 @@ package markov
 import (
 	"fmt"
 	"math/big"
+	"sort"
 
 	"coterie/internal/linalg"
 )
@@ -90,14 +91,103 @@ func (c *Chain) Stationary() ([]float64, error) {
 	return linalg.Solve(a, b)
 }
 
+// bandOrdering returns a reverse Cuthill–McKee ordering of the states:
+// perm[new] = old. Elimination cost on a banded system grows with the
+// square of the bandwidth, and chains built layer-by-layer (e.g. the
+// Figure 3 model's four blocks of N−2 states) place adjacent states whole
+// layers apart; BFS ordering from a low-degree state pulls every
+// transition close to the diagonal so the big.Float solve touches a
+// narrow band instead of filling in densely.
+func (c *Chain) bandOrdering() []int {
+	n := c.n
+	adj := make([][]int, n)
+	for k := range c.rates {
+		i, j := k[0], k[1]
+		adj[i] = append(adj[i], j)
+		adj[j] = append(adj[j], i)
+	}
+	for i := range adj {
+		nb := adj[i]
+		sort.Slice(nb, func(a, b int) bool {
+			if len(adj[nb[a]]) != len(adj[nb[b]]) {
+				return len(adj[nb[a]]) < len(adj[nb[b]])
+			}
+			return nb[a] < nb[b]
+		})
+	}
+	perm := make([]int, 0, n)
+	seen := make([]bool, n)
+	for {
+		// Next BFS root: the unseen state of minimum degree (chains are
+		// normally connected, so this loop runs once).
+		root := -1
+		for i := 0; i < n; i++ {
+			if !seen[i] && (root < 0 || len(adj[i]) < len(adj[root])) {
+				root = i
+			}
+		}
+		if root < 0 {
+			break
+		}
+		seen[root] = true
+		queue := []int{root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			perm = append(perm, v)
+			for _, w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
 // StationaryBig solves for the stationary distribution in big.Float
-// arithmetic at the given precision (0 selects DefaultPrec).
+// arithmetic at the given precision (0 selects DefaultPrec). The system is
+// solved under a bandwidth-minimizing permutation of the states (see
+// bandOrdering); since the generator's rows all sum to zero, any single
+// balance equation is redundant and the normalization row Σπ = 1 can
+// replace whichever one the permutation leaves last.
 func (c *Chain) StationaryBig(prec uint) ([]*big.Float, error) {
 	if prec == 0 {
 		prec = DefaultPrec
 	}
-	a, b := c.generator()
-	return linalg.SolveBig(linalg.BigMatrix(a, prec), linalg.BigVector(b, prec), prec)
+	n := c.n
+	perm := c.bandOrdering()
+	pos := make([]int, n) // pos[old] = new
+	for i, o := range perm {
+		pos[o] = i
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for k, r := range c.rates {
+		i, j := pos[k[0]], pos[k[1]]
+		a[j][i] += r // Qᵀ[j][i] = Q[i][j], permuted
+		a[i][i] -= r
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	x, err := linalg.SolveBigFromFloat64(a, b, prec)
+	if err != nil {
+		return nil, err
+	}
+	pi := make([]*big.Float, n)
+	for i, o := range perm {
+		pi[o] = x[i]
+	}
+	return pi, nil
 }
 
 // MeanHittingTimes returns, for every state, the expected time until the

@@ -1,0 +1,78 @@
+package markov
+
+import (
+	"fmt"
+	"math/bits"
+
+	"coterie/internal/coterie"
+	"coterie/internal/nodeset"
+)
+
+// EnumerateLimit bounds the node count EnumeratedAvailability accepts: the
+// enumeration visits 2^n up-sets.
+const EnumerateLimit = 24
+
+// EnumeratedAvailability computes the exact read and write availability of
+// a coterie rule over n nodes under the site model: each node is up
+// independently with probability p, and availability is the probability
+// mass of the up-sets that include a quorum over the full node set. It is
+// the brute-force counterpart of the closed forms (StaticGrid*Availability
+// and friends) and the ground truth the Table 1 static column is
+// cross-checked against.
+//
+// The rule is compiled once into a coterie.Layout, and the 2^n candidate
+// states are visited in Gray-code order — consecutive states differ by a
+// single node, so each step is one bit flip plus two word-parallel quorum
+// checks against the precompiled masks; no positions, ID slices or
+// probability products are re-derived per state.
+func EnumeratedAvailability(rule coterie.Rule, n int, p float64) (read, write float64, err error) {
+	if n < 1 || n > EnumerateLimit {
+		return 0, 0, fmt.Errorf("markov: enumeration supports 1..%d nodes, got %d", EnumerateLimit, n)
+	}
+	if p < 0 || p > 1 {
+		return 0, 0, fmt.Errorf("markov: node availability %g outside [0,1]", p)
+	}
+	V := nodeset.Range(0, nodeset.ID(n))
+	layout := coterie.Compile(rule, V)
+
+	// stateProb[k] = p^k · (1−p)^(n−k), the probability of any specific
+	// up-set with k nodes up.
+	stateProb := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		prob := 1.0
+		for i := 0; i < k; i++ {
+			prob *= p
+		}
+		for i := k; i < n; i++ {
+			prob *= 1 - p
+		}
+		stateProb[k] = prob
+	}
+
+	var up nodeset.Set
+	upCount := 0
+	tally := func() {
+		prob := stateProb[upCount]
+		if layout.IsReadQuorum(up) {
+			read += prob
+		}
+		if layout.IsWriteQuorum(up) {
+			write += prob
+		}
+	}
+	tally() // the empty up-set
+	for i := uint64(1); i < uint64(1)<<n; i++ {
+		// Gray-code step: state g(i) = i ^ (i>>1) differs from g(i−1) in
+		// exactly the bit position of i's lowest set bit.
+		id := nodeset.ID(bits.TrailingZeros64(i))
+		if up.Contains(id) {
+			up.Remove(id)
+			upCount--
+		} else {
+			up.Add(id)
+			upCount++
+		}
+		tally()
+	}
+	return read, write, nil
+}

@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"coterie/internal/coterie"
-	"coterie/internal/nodeset"
 )
 
 // TestPaperTable1Static verifies the static-grid column of the paper's
@@ -96,8 +95,8 @@ func TestTable1EndToEnd(t *testing.T) {
 	}
 }
 
-// TestStaticGridAgainstEnumeration cross-checks the closed form against a
-// brute-force evaluation of the coterie predicate over all up-sets.
+// TestStaticGridAgainstEnumeration cross-checks the closed form against the
+// exact layout-driven enumeration of the coterie predicate over all up-sets.
 func TestStaticGridAgainstEnumeration(t *testing.T) {
 	p := 0.95
 	for _, tc := range []struct {
@@ -108,24 +107,9 @@ func TestStaticGridAgainstEnumeration(t *testing.T) {
 		{6, true}, {9, true}, {9, false}, {12, true}, {7, false}, {3, true}, {3, false},
 	} {
 		shape := coterie.DefineGrid(tc.n)
-		rule := coterie.Grid{Strict: tc.strict}
-		V := nodeset.Range(0, nodeset.ID(tc.n))
-		ids := V.IDs()
-		exact := 0.0
-		for mask := 0; mask < 1<<tc.n; mask++ {
-			var up nodeset.Set
-			prob := 1.0
-			for i := 0; i < tc.n; i++ {
-				if mask&(1<<i) != 0 {
-					up.Add(ids[i])
-					prob *= p
-				} else {
-					prob *= 1 - p
-				}
-			}
-			if rule.IsWriteQuorum(V, up) {
-				exact += prob
-			}
+		_, exact, err := EnumeratedAvailability(coterie.Grid{Strict: tc.strict}, tc.n, p)
+		if err != nil {
+			t.Fatal(err)
 		}
 		formula := StaticGridWriteAvailability(shape, p, tc.strict)
 		if math.Abs(formula-exact) > 1e-12 {
@@ -139,30 +123,51 @@ func TestStaticGridReadAgainstEnumeration(t *testing.T) {
 	p := 0.9
 	for _, n := range []int{3, 5, 9} {
 		shape := coterie.DefineGrid(n)
-		rule := coterie.Grid{}
-		V := nodeset.Range(0, nodeset.ID(n))
-		ids := V.IDs()
-		exact := 0.0
-		for mask := 0; mask < 1<<n; mask++ {
-			var up nodeset.Set
-			prob := 1.0
-			for i := 0; i < n; i++ {
-				if mask&(1<<i) != 0 {
-					up.Add(ids[i])
-					prob *= p
-				} else {
-					prob *= 1 - p
-				}
-			}
-			if rule.IsReadQuorum(V, up) {
-				exact += prob
-			}
+		exact, _, err := EnumeratedAvailability(coterie.Grid{}, n, p)
+		if err != nil {
+			t.Fatal(err)
 		}
 		formula := StaticGridReadAvailability(shape, p)
 		if math.Abs(formula-exact) > 1e-12 {
 			t.Errorf("N=%d: read formula %.12f vs enumeration %.12f", n, formula, exact)
 		}
 	}
+}
+
+// TestEnumeratedAvailabilityMajority anchors the enumerator on the closed
+// form for majority voting: write availability = P(more than half up).
+func TestEnumeratedAvailabilityMajority(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 7, 10} {
+		p := 0.8
+		_, write, err := EnumeratedAvailability(coterie.Majority{}, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for k := n/2 + 1; k <= n; k++ {
+			want += float64(binomial(n, k)) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+		}
+		if math.Abs(write-want) > 1e-12 {
+			t.Errorf("N=%d: enumerated %.12f vs binomial %.12f", n, write, want)
+		}
+	}
+	if _, _, err := EnumeratedAvailability(coterie.Majority{}, 0, 0.5); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := EnumeratedAvailability(coterie.Majority{}, EnumerateLimit+1, 0.5); err == nil {
+		t.Error("n over limit accepted")
+	}
+	if _, _, err := EnumeratedAvailability(coterie.Majority{}, 3, 1.5); err == nil {
+		t.Error("p=1.5 accepted")
+	}
+}
+
+func binomial(n, k int) int64 {
+	c := int64(1)
+	for i := 0; i < k; i++ {
+		c = c * int64(n-i) / int64(i+1)
+	}
+	return c
 }
 
 func TestStaticGridDegenerate(t *testing.T) {

@@ -94,6 +94,18 @@ func (s Set) Contains(id ID) bool {
 	return s.words[w]&(1<<(uint(id)%wordBits)) != 0
 }
 
+// Word returns the i-th 64-bit word of the backing bit vector (membership
+// bits for IDs 64·i … 64·i+63); indexes past the backing array read as
+// zero. For sets drawn from 0..63 the zeroth word is a complete,
+// allocation-free fingerprint of the set, which epoch-keyed layout caches
+// exploit.
+func (s Set) Word(i int) uint64 {
+	if i >= 0 && i < len(s.words) {
+		return s.words[i]
+	}
+	return 0
+}
+
 // Len returns the number of members.
 func (s Set) Len() int {
 	n := 0
@@ -198,6 +210,28 @@ func (s Set) Subset(t Set) bool {
 	return true
 }
 
+// IntersectionLen returns |s ∩ t| without materializing the intersection:
+// a word-wise AND plus popcount, performing no heap allocations. It is the
+// hot-path form of s.Intersect(t).Len() for quorum threshold checks.
+func (s Set) IntersectionLen(t Set) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// ContainsAll reports whether every member of t is also in s — t ⊆ s, the
+// argument-flipped alias of t.Subset(s) that reads naturally when s is the
+// larger mask. Like Subset it is allocation-free.
+func (s Set) ContainsAll(t Set) bool {
+	return t.Subset(s)
+}
+
 // Intersects reports whether s ∩ t is non-empty.
 func (s Set) Intersects(t Set) bool {
 	n := len(s.words)
@@ -214,15 +248,21 @@ func (s Set) Intersects(t Set) bool {
 
 // IDs returns the members in increasing order.
 func (s Set) IDs() []ID {
-	ids := make([]ID, 0, s.Len())
+	return s.AppendIDs(make([]ID, 0, s.Len()))
+}
+
+// AppendIDs appends the members in increasing order to dst and returns the
+// extended slice. It lets callers reuse a buffer across calls where IDs
+// would allocate a fresh slice every time.
+func (s Set) AppendIDs(dst []ID) []ID {
 	for wi, w := range s.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			ids = append(ids, ID(wi*wordBits+b))
+			dst = append(dst, ID(wi*wordBits+b))
 			w &= w - 1
 		}
 	}
-	return ids
+	return dst
 }
 
 // OrderedNumber returns the 1-based position of id in the increasing order

@@ -119,25 +119,54 @@ func Run(cfg Config) (Result, error) {
 	// remembering tracks nodes whose stable state is intact; amnesiac
 	// repairs leave it until an epoch change readmits them.
 	remembering := all.Clone()
+	// witnesses caches up ∩ remembering — the up nodes whose state can
+	// vouch for past operations; quorum evaluation only counts them. It is
+	// maintained incrementally as events mutate up and remembering, so the
+	// hot loop never materializes the intersection.
+	witnesses := all.Clone()
 
 	res := Result{MinEpochSize: cfg.N, FinalEpochSize: cfg.N}
 	now := 0.0
 	nextCheck := cfg.CheckEvery
 
-	// witnesses are the up nodes whose state can vouch for past
-	// operations: quorum evaluation only counts them.
-	witnesses := func() nodeset.Set { return up.Intersect(remembering) }
+	// The rule is compiled once per epoch: quorum checks between epoch
+	// changes are pure word-level mask operations with no allocations.
+	// Trajectories revisit a small set of member sets (mostly the full set
+	// minus a few nodes), so for N ≤ 64 compiled layouts are cached keyed
+	// by the epoch's single membership word; an epoch change then costs a
+	// map probe instead of a recompilation. ModelPaper never consults the
+	// rule and skips compilation entirely.
+	var layout *coterie.Layout
+	var layoutCache map[uint64]*coterie.Layout
+	if cfg.N <= 64 {
+		layoutCache = make(map[uint64]*coterie.Layout)
+	}
+	compileLayout := func(epoch nodeset.Set) *coterie.Layout {
+		if layoutCache == nil {
+			return coterie.Compile(rule, epoch)
+		}
+		key := epoch.Word(0)
+		l, ok := layoutCache[key]
+		if !ok {
+			l = coterie.Compile(rule, epoch)
+			layoutCache[key] = l
+		}
+		return l
+	}
+	if cfg.Model == ModelProtocol {
+		layout = compileLayout(epoch)
+	}
 	writeAvailable := func() bool {
 		if cfg.Model == ModelPaper {
-			return epoch.Subset(up) || epochAdaptablePaper(epoch, up)
+			return up.ContainsAll(epoch) || epochAdaptablePaper(epoch, up)
 		}
-		return rule.IsWriteQuorum(epoch, witnesses())
+		return layout.IsWriteQuorum(witnesses)
 	}
 	readAvailable := func() bool {
 		if cfg.Model == ModelPaper {
 			return writeAvailable()
 		}
-		return rule.IsReadQuorum(epoch, witnesses())
+		return layout.IsReadQuorum(witnesses)
 	}
 	check := func() {
 		// A change is needed when membership drifted or an amnesiac up
@@ -149,12 +178,20 @@ func Run(cfg Config) (Result, error) {
 		if cfg.Model == ModelPaper {
 			ok = epochAdaptablePaper(epoch, up)
 		} else {
-			ok = rule.IsWriteQuorum(epoch, witnesses())
+			ok = layout.IsWriteQuorum(witnesses)
 		}
 		if ok {
 			epoch = up.Clone()
-			// The epoch change readmits recovering members.
-			remembering = remembering.Union(up)
+			if cfg.Model == ModelProtocol {
+				layout = compileLayout(epoch)
+			}
+			// The epoch change readmits recovering members. witnesses is
+			// up ∩ remembering by incremental maintenance, so it only needs
+			// refreshing when the readmission actually grows remembering.
+			if !up.Subset(remembering) {
+				remembering = remembering.Union(up)
+				witnesses = up.Clone() // up ∩ (remembering ∪ up) = up
+			}
 			res.EpochChanges++
 			if l := epoch.Len(); l < res.MinEpochSize {
 				res.MinEpochSize = l
@@ -202,19 +239,24 @@ func Run(cfg Config) (Result, error) {
 			}
 			id, _ := up.Nth(k + 1)
 			up.Remove(id)
+			witnesses.Remove(id)
 		} else {
 			k := int((x - float64(nUp)*cfg.Lambda) / cfg.Mu)
 			if k >= nDown {
 				k = nDown - 1
 			}
-			id, _ := all.Diff(up).Nth(k + 1)
+			id := nthDown(cfg.N, up, k+1)
 			up.Add(id)
+			if remembering.Contains(id) {
+				witnesses.Add(id)
+			}
 			if cfg.AmnesiaFraction > 0 && rng.Float64() < cfg.AmnesiaFraction {
 				remembering.Remove(id)
+				witnesses.Remove(id)
 				// Permanent loss: if even the full remembering set can no
 				// longer form a write quorum of the epoch, no future repair
 				// sequence recovers the data.
-				if !res.DataLost && !rule.IsWriteQuorum(epoch, remembering) {
+				if !res.DataLost && !layout.IsWriteQuorum(remembering) {
 					res.DataLost = true
 					res.DataLossTime = now
 				}
@@ -245,9 +287,24 @@ func Run(cfg Config) (Result, error) {
 // of them is down, or all current members are up (pure growth; also the
 // recovery condition for a blocked 3-node epoch).
 func epochAdaptablePaper(epoch, up nodeset.Set) bool {
-	downMembers := epoch.Diff(up).Len()
+	members := epoch.Len()
+	downMembers := members - epoch.IntersectionLen(up)
 	if downMembers == 0 {
 		return true
 	}
-	return epoch.Len() >= 4 && downMembers == 1
+	return members >= 4 && downMembers == 1
+}
+
+// nthDown returns the k-th (1-based, in increasing ID order) node of
+// {0..n-1} that is not in up, without materializing the complement set.
+func nthDown(n int, up nodeset.Set, k int) nodeset.ID {
+	for id := nodeset.ID(0); id < nodeset.ID(n); id++ {
+		if !up.Contains(id) {
+			k--
+			if k == 0 {
+				return id
+			}
+		}
+	}
+	panic("sim: down-node index out of range")
 }

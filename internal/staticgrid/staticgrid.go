@@ -60,11 +60,23 @@ type Coordinator struct {
 	net  *transport.Network
 	all  nodeset.Set
 	opts Options
+	// layout is the rule compiled once over the immutable member set; the
+	// static protocol never changes its quorum universe, so every check
+	// runs against this single precompiled structure.
+	layout *coterie.Layout
 }
 
 // NewCoordinator builds a static-grid coordinator around a local replica.
 func NewCoordinator(item *replica.Item, net *transport.Network, all nodeset.Set, opts Options) *Coordinator {
-	return &Coordinator{item: item, net: net, all: all.Clone(), opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	allC := all.Clone()
+	return &Coordinator{
+		item:   item,
+		net:    net,
+		all:    allC,
+		opts:   opts,
+		layout: coterie.Compile(opts.Rule, allC),
+	}
 }
 
 func hint(op replica.OpID) int { return int(op.Coordinator)*131 + int(op.Seq) }
@@ -117,7 +129,7 @@ func (c *Coordinator) abortAll(ctx context.Context, op replica.OpID, targets nod
 func (c *Coordinator) Write(ctx context.Context, value []byte) (uint64, error) {
 	op := c.item.NextOp()
 	// Optimistic round: the quorum the rule picks for this coordinator.
-	quorum, ok := c.opts.Rule.WriteQuorum(c.all, c.all, hint(op))
+	quorum, ok := c.layout.WriteQuorum(c.all, hint(op))
 	if !ok {
 		return 0, fmt.Errorf("%w: member set %v admits no write quorum", ErrUnavailable, c.all)
 	}
@@ -148,7 +160,7 @@ func (c *Coordinator) tryCommit(ctx context.Context, op replica.OpID, value []by
 			maxVersion = r.state.Version
 		}
 	}
-	if !c.opts.Rule.IsWriteQuorum(c.all, responders) {
+	if !c.layout.IsWriteQuorum(responders) {
 		c.abortAll(ctx, op, responders)
 		return 0, fmt.Errorf("%w: %d responders hold no write quorum", ErrUnavailable, responders.Len())
 	}
@@ -165,7 +177,7 @@ func (c *Coordinator) tryCommit(ctx context.Context, op replica.OpID, value []by
 		committed = committed.Union(acked)
 		remaining = remaining.Diff(acked)
 	}
-	if !c.opts.Rule.IsWriteQuorum(c.all, committed) {
+	if !c.layout.IsWriteQuorum(committed) {
 		return 0, fmt.Errorf("%w: commit incomplete", ErrUnavailable)
 	}
 	return newVersion, nil
@@ -174,7 +186,7 @@ func (c *Coordinator) tryCommit(ctx context.Context, op replica.OpID, value []by
 // Read returns the most recent value after locking a read quorum.
 func (c *Coordinator) Read(ctx context.Context) ([]byte, uint64, error) {
 	op := c.item.NextOp()
-	quorum, ok := c.opts.Rule.ReadQuorum(c.all, c.all, hint(op))
+	quorum, ok := c.layout.ReadQuorum(c.all, hint(op))
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: member set %v admits no read quorum", ErrUnavailable, c.all)
 	}
@@ -200,7 +212,7 @@ func (c *Coordinator) tryRead(ctx context.Context, op replica.OpID, responses []
 		}
 	}
 	defer c.abortAll(ctx, op, responders)
-	if !found || !c.opts.Rule.IsReadQuorum(c.all, responders) {
+	if !found || !c.layout.IsReadQuorum(responders) {
 		return nil, 0, fmt.Errorf("%w: %d responders hold no read quorum", ErrUnavailable, responders.Len())
 	}
 	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)

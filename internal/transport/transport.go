@@ -326,22 +326,36 @@ type Result struct {
 
 // Multicast calls every target concurrently and collects all outcomes,
 // indexed by target. It always waits for every call to finish.
+//
+// Empty and single-target sets take a fast path with no goroutine spawn;
+// larger fan-outs write into a preallocated slice indexed by target order,
+// so the collection needs no mutex (the WaitGroup provides the
+// happens-before edge) and the result map is built once, presized.
 func (n *Network) Multicast(ctx context.Context, from nodeset.ID, targets nodeset.Set, req Message) map[nodeset.ID]Result {
+	if targets.Empty() {
+		return nil
+	}
+	if targets.Len() == 1 {
+		id, _ := targets.Min()
+		reply, err := n.Call(ctx, from, id, req)
+		return map[nodeset.ID]Result{id: {Reply: reply, Err: err}}
+	}
 	ids := targets.IDs()
-	out := make(map[nodeset.ID]Result, len(ids))
-	var mu sync.Mutex
+	results := make([]Result, len(ids))
 	var wg sync.WaitGroup
-	for _, id := range ids {
-		wg.Add(1)
-		go func(id nodeset.ID) {
+	wg.Add(len(ids))
+	for i, id := range ids {
+		go func(i int, id nodeset.ID) {
 			defer wg.Done()
 			reply, err := n.Call(ctx, from, id, req)
-			mu.Lock()
-			out[id] = Result{Reply: reply, Err: err}
-			mu.Unlock()
-		}(id)
+			results[i] = Result{Reply: reply, Err: err}
+		}(i, id)
 	}
 	wg.Wait()
+	out := make(map[nodeset.ID]Result, len(ids))
+	for i, id := range ids {
+		out[id] = results[i]
+	}
 	return out
 }
 
