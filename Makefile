@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke ci
+.PHONY: all build test vet race bench bench-smoke bench-loadgen ci
 
 all: build
 
@@ -21,10 +21,17 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
+# bench-loadgen is a short closed-loop data-plane smoke run (see README
+# "Load generator"): it proves cmd/loadgen builds and completes a mixed
+# read/partial-write run, not a measurement. Full methodology in
+# BENCH_2.json.
+bench-loadgen:
+	$(GO) run ./cmd/loadgen -duration 1s -items 8 -workers 4 -disjoint
+
 # bench produces benchstat-comparable numbers for the tracked hot paths
 # (see README "Benchmarks" for methodology).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1Dynamic|BenchmarkSimAvailability' -benchmem -count=5 -benchtime=1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkQuorumMessages' -benchmem -count=5 -benchtime=50x .
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke bench-loadgen

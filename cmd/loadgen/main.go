@@ -1,0 +1,257 @@
+// Command loadgen is a closed-loop throughput harness for the dynamic
+// structured coterie protocol's data plane. It builds an in-process
+// cluster of N nodes replicating M independent data items, then drives K
+// worker goroutines that each repeatedly pick an item and a coordinator
+// and execute a read or a partial write, waiting for each operation to
+// finish before issuing the next (closed loop: offered load tracks
+// service rate, so aggregate ops/sec measures the data plane itself, not
+// a queue).
+//
+// The multi-item, multi-coordinator shape is the contention profile the
+// protocol promises to serve well: operations on different items share
+// the transport, the per-node replica tables and the history recorder,
+// but no protocol-level locks. Before the data-plane work in this change,
+// those shared structures serialized independent operations behind
+// global mutexes; loadgen exists to measure exactly that.
+//
+// Output is one JSON object on stdout (see result), suitable for
+// collecting into BENCH_2.json. Typical use:
+//
+//	go run ./cmd/loadgen -nodes 9 -items 8 -workers 8 -duration 3s
+//	GOMAXPROCS=4 go run ./cmd/loadgen -read-frac 0.8
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"coterie/internal/core"
+	"coterie/internal/nodeset"
+	"coterie/internal/replica"
+	"coterie/internal/transport"
+)
+
+type config struct {
+	nodes       int
+	items       int
+	workers     int
+	readFrac    float64
+	duration    time.Duration
+	itemSize    int
+	writeLen    int
+	seed        int64
+	timeout     time.Duration
+	callTimeout time.Duration
+	disjoint    bool
+}
+
+// result is the JSON report. Latencies are microseconds.
+type result struct {
+	Nodes      int     `json:"nodes"`
+	Items      int     `json:"items"`
+	Workers    int     `json:"workers"`
+	ReadFrac   float64 `json:"read_frac"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Seed       int64   `json:"seed"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	Ops        int     `json:"ops"`
+	Reads      int     `json:"reads"`
+	Writes     int     `json:"writes"`
+	Conflicts  int     `json:"conflicts"`
+	Failures   int     `json:"failures"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	ReadP50us  int64   `json:"read_p50_us"`
+	ReadP99us  int64   `json:"read_p99_us"`
+	WriteP50us int64   `json:"write_p50_us"`
+	WriteP99us int64   `json:"write_p99_us"`
+}
+
+// workerStats accumulates one worker's counts and latency samples; workers
+// never share these, so the measurement loop itself is contention-free.
+type workerStats struct {
+	reads, writes       int
+	conflicts, failures int
+	readLat, writeLat   []time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.nodes, "nodes", 9, "replica nodes per item")
+	flag.IntVar(&cfg.items, "items", 8, "independent data items")
+	flag.IntVar(&cfg.workers, "workers", 8, "closed-loop client goroutines")
+	flag.Float64Var(&cfg.readFrac, "read-frac", 0.5, "fraction of operations that are reads")
+	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "measurement interval")
+	flag.IntVar(&cfg.itemSize, "item-size", 256, "logical item size in bytes")
+	flag.IntVar(&cfg.writeLen, "write-len", 16, "max partial-write length in bytes")
+	flag.Int64Var(&cfg.seed, "seed", 1, "PRNG seed")
+	flag.DurationVar(&cfg.timeout, "op-timeout", 5*time.Second, "per-operation timeout")
+	flag.DurationVar(&cfg.callTimeout, "call-timeout", 250*time.Millisecond, "per-RPC-round timeout (also scales lock leases)")
+	flag.BoolVar(&cfg.disjoint, "disjoint", false, "pin worker w to item w%items: no protocol-level lock conflicts, isolating shared-structure contention")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	if cfg.nodes <= 0 || cfg.items <= 0 || cfg.workers <= 0 {
+		return fmt.Errorf("nodes, items and workers must be positive")
+	}
+	net := transport.NewNetwork(transport.WithSeed(cfg.seed))
+	members := nodeset.Range(0, nodeset.ID(cfg.nodes))
+
+	// One replica node per member; every node replicates every item and
+	// hosts a coordinator per item, like the paper's symmetric deployment.
+	// Lock leases follow the coordinator's round timeout (core's default
+	// relation): conflicting operations that wedge each other's quorum
+	// locks resolve on the lease, so a short round timeout keeps the
+	// closed loop moving instead of measuring lease expiries.
+	rcfg := replica.Config{LockLease: 4 * cfg.callTimeout}
+	nodes := make([]*replica.Node, cfg.nodes)
+	for i := range nodes {
+		nodes[i] = replica.NewNode(nodeset.ID(i), net, rcfg)
+		defer nodes[i].Close()
+	}
+	coords := make([][]*core.Coordinator, cfg.items) // [item][node]
+	for it := 0; it < cfg.items; it++ {
+		name := fmt.Sprintf("item-%d", it)
+		coords[it] = make([]*core.Coordinator, cfg.nodes)
+		for i, n := range nodes {
+			rep, err := n.AddItem(name, members, make([]byte, cfg.itemSize))
+			if err != nil {
+				return err
+			}
+			coords[it][i] = core.NewCoordinator(rep, net, members, core.Options{
+				CallTimeout: cfg.callTimeout,
+				Replica:     rcfg,
+			})
+		}
+	}
+
+	stats := make([]workerStats, cfg.workers)
+	deadline := time.Now().Add(cfg.duration)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			rng := rand.New(rand.NewSource(int64(mix64(uint64(cfg.seed) + uint64(w)*0x9e3779b97f4a7c15))))
+			buf := make([]byte, cfg.writeLen)
+			for time.Now().Before(deadline) {
+				item := w % cfg.items
+				if !cfg.disjoint {
+					item = rng.Intn(cfg.items)
+				}
+				co := coords[item][rng.Intn(cfg.nodes)]
+				opCtx, cancel := context.WithTimeout(ctx, cfg.timeout)
+				if rng.Float64() < cfg.readFrac {
+					began := time.Now()
+					if _, _, err := co.Read(opCtx); err == nil {
+						st.reads++
+						st.readLat = append(st.readLat, time.Since(began))
+					} else {
+						st.failures++
+					}
+				} else {
+					length := 1 + rng.Intn(cfg.writeLen)
+					data := buf[:length]
+					for i := range data {
+						data[i] = byte('a' + rng.Intn(26))
+					}
+					u := replica.Update{Offset: rng.Intn(cfg.itemSize - length + 1), Data: data}
+					began := time.Now()
+					if _, err := co.Write(opCtx, u); err == nil {
+						st.writes++
+						st.writeLat = append(st.writeLat, time.Since(began))
+					} else if isConflict(err) {
+						st.conflicts++
+					} else {
+						st.failures++
+					}
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := result{
+		Nodes: cfg.nodes, Items: cfg.items, Workers: cfg.workers,
+		ReadFrac:   cfg.readFrac,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       cfg.seed,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	var readLat, writeLat []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		res.Reads += st.reads
+		res.Writes += st.writes
+		res.Conflicts += st.conflicts
+		res.Failures += st.failures
+		readLat = append(readLat, st.readLat...)
+		writeLat = append(writeLat, st.writeLat...)
+	}
+	res.Ops = res.Reads + res.Writes
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	res.ReadP50us = percentile(readLat, 0.50).Microseconds()
+	res.ReadP99us = percentile(readLat, 0.99).Microseconds()
+	res.WriteP50us = percentile(writeLat, 0.50).Microseconds()
+	res.WriteP99us = percentile(writeLat, 0.99).Microseconds()
+
+	enc := json.NewEncoder(os.Stdout)
+	return enc.Encode(res)
+}
+
+// isConflict matches core.ErrConflict without errors.Is to stay
+// compile-compatible across harness revisions.
+func isConflict(err error) bool {
+	for ; err != nil; err = unwrap(err) {
+		if err == core.ErrConflict {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+// percentile returns the p-quantile of samples (nearest-rank); zero when
+// no samples were collected.
+func percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(p * float64(len(samples)-1))
+	return samples[idx]
+}
+
+// mix64 is the splitmix64 output function, used to derive independent
+// per-worker PRNG streams from the base seed.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -48,15 +48,37 @@ func (c *Coordinator) layout(epochNum uint64, epoch nodeset.Set) *coterie.Layout
 	return c.layouts.For(epochNum, epoch)
 }
 
+// layoutAt returns the layout for the epoch carried by st, reusing cur —
+// the layout already in hand from the quorum-selection phase — when the
+// responses stayed in the same epoch. The common, failure-free operation
+// then touches the cache once, not once per phase.
+func (c *Coordinator) layoutAt(cur *coterie.Layout, curNum uint64, st replica.StateReply) *coterie.Layout {
+	if cur != nil && curNum == st.EpochNum && cur.Epoch().Equal(st.Epoch) {
+		return cur
+	}
+	return c.layouts.For(st.EpochNum, st.Epoch)
+}
+
 // Item returns the co-located replica.
 func (c *Coordinator) Item() *replica.Item { return c.item }
 
 // hint derives the quorum-function argument from the operation: primarily
 // the coordinator's name (the paper's quorum function takes the node name
 // so different coordinators draw different quorums) plus the sequence
-// number so one coordinator also rotates across its own operations.
+// number so one coordinator also rotates across its own operations. The
+// two are mixed through splitmix64 so quorum selection is uniform even
+// when layouts reduce the hint modulo a small candidate count — a plain
+// linear combination aliases badly (e.g. coordinators 0..k hitting the
+// same quorum whenever 131 shares a factor with the candidate count),
+// concentrating load on a few replicas.
 func hint(op replica.OpID) int {
-	return int(op.Coordinator)*131 + int(op.Seq)
+	x := uint64(op.Coordinator)<<32 ^ uint64(op.Seq)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	// Shift keeps the result non-negative on 64-bit ints.
+	return int(x >> 1)
 }
 
 // response pairs a replica's state with its node ID.
@@ -78,21 +100,21 @@ func (c *Coordinator) lockRound(ctx context.Context, op replica.OpID, targets no
 func (c *Coordinator) lockRoundBusy(ctx context.Context, op replica.OpID, targets nodeset.Set, mode replica.LockMode) ([]response, nodeset.Set) {
 	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
 	defer cancel()
-	results := c.net.Multicast(callCtx, c.item.Self(), targets,
-		replica.Envelope{Item: c.item.Name(), Msg: replica.LockRequest{Op: op, Mode: mode}})
-	var out []response
+	out := make([]response, 0, targets.Len())
 	var busy nodeset.Set
-	for id, r := range results {
-		if r.Err != nil {
-			if !errors.Is(r.Err, transport.ErrCallFailed) {
-				busy.Add(id)
+	c.net.MulticastFunc(callCtx, c.item.Self(), targets,
+		replica.Envelope{Item: c.item.Name(), Msg: replica.LockRequest{Op: op, Mode: mode}},
+		func(id nodeset.ID, r transport.Result) {
+			if r.Err != nil {
+				if !errors.Is(r.Err, transport.ErrCallFailed) {
+					busy.Add(id)
+				}
+				return
 			}
-			continue
-		}
-		if st, ok := r.Reply.(replica.StateReply); ok {
-			out = append(out, response{node: id, state: st})
-		}
-	}
+			if st, ok := r.Reply.(replica.StateReply); ok {
+				out = append(out, response{node: id, state: st})
+			}
+		})
 	return out, busy
 }
 
@@ -165,16 +187,16 @@ func (cl classification) currentReachable() bool {
 func (c *Coordinator) ackRound(ctx context.Context, targets nodeset.Set, msg any) nodeset.Set {
 	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
 	defer cancel()
-	results := c.net.Multicast(callCtx, c.item.Self(), targets, replica.Envelope{Item: c.item.Name(), Msg: msg})
 	var ok nodeset.Set
-	for id, r := range results {
-		if r.Err != nil {
-			continue
-		}
-		if ack, isAck := r.Reply.(replica.Ack); isAck && ack.OK {
-			ok.Add(id)
-		}
-	}
+	c.net.MulticastFunc(callCtx, c.item.Self(), targets, replica.Envelope{Item: c.item.Name(), Msg: msg},
+		func(id nodeset.ID, r transport.Result) {
+			if r.Err != nil {
+				return
+			}
+			if ack, isAck := r.Reply.(replica.Ack); isAck && ack.OK {
+				ok.Add(id)
+			}
+		})
 	return ok
 }
 
@@ -216,7 +238,8 @@ func (c *Coordinator) Write(ctx context.Context, u replica.Update) (uint64, erro
 	op := c.item.NextOp()
 	local := c.item.State()
 
-	quorum, ok := c.layout(local.EpochNum, local.Epoch).WriteQuorum(local.Epoch, hint(op))
+	lay := c.layout(local.EpochNum, local.Epoch)
+	quorum, ok := lay.WriteQuorum(local.Epoch, hint(op))
 	if !ok {
 		// The local epoch list admits no quorum at all (degenerate state);
 		// go heavy immediately.
@@ -224,7 +247,7 @@ func (c *Coordinator) Write(ctx context.Context, u replica.Update) (uint64, erro
 	}
 	responses := c.lockRound(ctx, op, quorum, replica.LockWrite)
 	cl := classify(responses)
-	if !cl.responders.Empty() && c.layout(cl.maxEpoch.EpochNum, cl.maxEpoch.Epoch).IsWriteQuorum(cl.responders) && cl.currentReachable() {
+	if !cl.responders.Empty() && c.layoutAt(lay, local.EpochNum, cl.maxEpoch).IsWriteQuorum(cl.responders) && cl.currentReachable() {
 		version, err := c.executeWrite(ctx, op, u, cl)
 		if err == nil {
 			return version, nil
@@ -342,13 +365,14 @@ func (c *Coordinator) Read(ctx context.Context) (value []byte, version uint64, e
 	op := c.item.NextOp()
 	local := c.item.State()
 
-	quorum, ok := c.layout(local.EpochNum, local.Epoch).ReadQuorum(local.Epoch, hint(op))
+	lay := c.layout(local.EpochNum, local.Epoch)
+	quorum, ok := lay.ReadQuorum(local.Epoch, hint(op))
 	if !ok {
 		return c.heavyRead(ctx, op, nodeset.Set{})
 	}
 	responses := c.lockRound(ctx, op, quorum, replica.LockRead)
 	cl := classify(responses)
-	if !cl.responders.Empty() && c.layout(cl.maxEpoch.EpochNum, cl.maxEpoch.Epoch).IsReadQuorum(cl.responders) && cl.currentReachable() {
+	if !cl.responders.Empty() && c.layoutAt(lay, local.EpochNum, cl.maxEpoch).IsReadQuorum(cl.responders) && cl.currentReachable() {
 		value, version, err = c.fetchBest(ctx, op, cl)
 		c.abortAll(ctx, op, cl.responders)
 		if err == nil {

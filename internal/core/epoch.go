@@ -6,6 +6,7 @@ import (
 
 	"coterie/internal/nodeset"
 	"coterie/internal/replica"
+	"coterie/internal/transport"
 )
 
 // CheckResult reports the outcome of one epoch-checking run.
@@ -107,17 +108,17 @@ func (c *Coordinator) checkEpochFromPoll(ctx context.Context, states []response)
 func (c *Coordinator) pollAll(ctx context.Context) []response {
 	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
 	defer cancel()
-	results := c.net.Multicast(callCtx, c.item.Self(), c.all,
-		replica.Envelope{Item: c.item.Name(), Msg: replica.StateQuery{}})
-	var out []response
-	for id, r := range results {
-		if r.Err != nil {
-			continue
-		}
-		if st, ok := r.Reply.(replica.StateReply); ok {
-			out = append(out, response{node: id, state: st})
-		}
-	}
+	out := make([]response, 0, c.all.Len())
+	c.net.MulticastFunc(callCtx, c.item.Self(), c.all,
+		replica.Envelope{Item: c.item.Name(), Msg: replica.StateQuery{}},
+		func(id nodeset.ID, r transport.Result) {
+			if r.Err != nil {
+				return
+			}
+			if st, ok := r.Reply.(replica.StateReply); ok {
+				out = append(out, response{node: id, state: st})
+			}
+		})
 	return out
 }
 

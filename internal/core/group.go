@@ -104,23 +104,22 @@ func (g *Group) CheckEpochs(ctx context.Context, initiator nodeset.ID) (map[stri
 		return nil, fmt.Errorf("core: unknown initiator %v", initiator)
 	}
 	callCtx, cancel := context.WithTimeout(ctx, g.opts.CallTimeout)
-	results := g.Net.Multicast(callCtx, initiator, g.Members, replica.GroupStateQuery{})
-	cancel()
-
-	// Slice the group poll per item.
+	// Slice the group poll per item as replies arrive.
 	perItem := make(map[string][]response, len(g.Items))
-	for id, r := range results {
-		if r.Err != nil {
-			continue
-		}
-		gr, ok := r.Reply.(replica.GroupStateReply)
-		if !ok {
-			continue
-		}
-		for item, st := range gr.States {
-			perItem[item] = append(perItem[item], response{node: id, state: st})
-		}
-	}
+	g.Net.MulticastFunc(callCtx, initiator, g.Members, replica.GroupStateQuery{},
+		func(id nodeset.ID, r transport.Result) {
+			if r.Err != nil {
+				return
+			}
+			gr, ok := r.Reply.(replica.GroupStateReply)
+			if !ok {
+				return
+			}
+			for item, st := range gr.States {
+				perItem[item] = append(perItem[item], response{node: id, state: st})
+			}
+		})
+	cancel()
 
 	out := make(map[string]CheckResult, len(g.Items))
 	var firstErr error

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/replica"
+)
+
+// TestHintNonNegative: layouts index candidate quorums with hint % count,
+// so a negative hint would panic or bias selection.
+func TestHintNonNegative(t *testing.T) {
+	ops := []replica.OpID{
+		{Coordinator: 0, Seq: 0},
+		{Coordinator: 0, Seq: 1},
+		{Coordinator: nodeset.MaxNodes - 1, Seq: ^uint64(0)},
+		{Coordinator: 4095, Seq: 1 << 63},
+	}
+	for _, op := range ops {
+		if h := hint(op); h < 0 {
+			t.Errorf("hint(%v) = %d, want non-negative", op, h)
+		}
+	}
+}
+
+// TestHintDistribution checks that hint spreads uniformly modulo small
+// candidate counts — the quantity that actually picks a quorum. The old
+// linear form (coordinator*131 + seq) aliased: e.g. all operations of one
+// coordinator cycled through buckets in lockstep, and coordinators spaced
+// by the candidate count collided exactly. The mixed hint must keep every
+// bucket within a loose tolerance of the expected share for several
+// realistic quorum counts, across both axes of variation.
+func TestHintDistribution(t *testing.T) {
+	for _, buckets := range []int{3, 4, 5, 9, 16} {
+		counts := make([]int, buckets)
+		samples := 0
+		// Vary both coordinator and sequence number, as real traffic does.
+		for coord := nodeset.ID(0); coord < 32; coord++ {
+			for seq := uint64(1); seq <= 500; seq++ {
+				counts[hint(replica.OpID{Coordinator: coord, Seq: seq})%buckets]++
+				samples++
+			}
+		}
+		expected := float64(samples) / float64(buckets)
+		for b, n := range counts {
+			if ratio := float64(n) / expected; ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("buckets=%d: bucket %d got %d of %d samples (%.2fx expected)",
+					buckets, b, n, samples, ratio)
+			}
+		}
+	}
+}
+
+// TestHintVariesPerCoordinator: with the sequence number held fixed,
+// different coordinators must still land on different quorums — the
+// paper's quorum function takes the node name precisely so concurrent
+// coordinators spread load.
+func TestHintVariesPerCoordinator(t *testing.T) {
+	const buckets = 5
+	seen := make(map[int]bool)
+	for coord := nodeset.ID(0); coord < 16; coord++ {
+		seen[hint(replica.OpID{Coordinator: coord, Seq: 1})%buckets] = true
+	}
+	if len(seen) < buckets {
+		t.Errorf("16 coordinators at seq 1 hit only %d of %d buckets", len(seen), buckets)
+	}
+}

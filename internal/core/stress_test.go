@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/onecopy"
+	"coterie/internal/replica"
+)
+
+// TestDataPlaneStress hammers one data item on a 9-node cluster with
+// concurrent reads, partial writes and epoch-checking operations while a
+// chaos goroutine toggles network partitions, then checks the full
+// recorded history for one-copy serializability. Its job is to catch
+// data-plane races (it is meant to run under -race: lock-free state
+// snapshots, the sharded history recorder, pooled multicast scratch) and
+// deadlocks (the whole run is deadline-bounded) that the per-package unit
+// tests cannot see in combination.
+func TestDataPlaneStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	opts := fastOptions()
+	opts.CallTimeout = 250 * time.Millisecond
+	opts.Replica.LockLease = time.Second
+	c, err := NewCluster(9, "item", make([]byte, 64), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	rec := onecopy.NewRecorder(make([]byte, 64))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+
+	// Chaos: alternate between full connectivity and a majority/minority
+	// split. The majority always contains a grid quorum of the original
+	// epoch, so the item stays available on one side throughout.
+	splits := [][2]nodeset.Set{
+		{nodeset.New(0, 1, 2, 3, 4, 5, 6), nodeset.New(7, 8)},
+		{nodeset.New(0, 1, 2, 3, 4, 6, 7), nodeset.New(5, 8)},
+		{nodeset.New(0, 2, 3, 4, 5, 6, 8), nodeset.New(1, 7)},
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(150 * time.Millisecond):
+			}
+			if i%2 == 0 {
+				s := splits[(i/2)%len(splits)]
+				_ = c.Net.Partition(s[0], s[1])
+			} else {
+				c.Net.Heal()
+			}
+		}
+	}()
+
+	// Epoch checker: a steady pulse of epoch-changing operations racing
+	// the data plane, as the paper prescribes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			checkCtx, checkCancel := context.WithTimeout(ctx, 2*time.Second)
+			_, _ = c.CheckEpoch(checkCtx)
+			checkCancel()
+		}
+	}()
+
+	// Workers: closed-loop readers and writers from rotating coordinators.
+	const workers = 6
+	deadline := time.Now().Add(3 * time.Second)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				coord := c.Coordinator(nodeset.ID((w*7 + i) % 9))
+				opCtx, opCancel := context.WithTimeout(ctx, 2*time.Second)
+				if (w+i)%2 == 0 {
+					start := rec.Begin()
+					value, version, err := coord.Read(opCtx)
+					if err == nil {
+						rec.EndRead(start, version, value)
+					}
+				} else {
+					u := replica.Update{Offset: (w*8 + i) % 56, Data: []byte{byte(w), byte(i)}}
+					start := rec.Begin()
+					version, err := coord.Write(opCtx, u)
+					if err == nil {
+						rec.EndWrite(start, version, u)
+					} else if !errors.Is(err, ErrConflict) {
+						// The commit phase may have started: account for the
+						// possibly-taken version.
+						rec.EndMaybeWrite(start, u)
+					}
+				}
+				opCancel()
+			}
+		}(w)
+	}
+
+	// Wait for the workers with a deadlock watchdog: if the data plane
+	// wedges (lost wakeup, lock cycle), the workers never finish.
+	workersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(workersDone)
+	}()
+	// Workers run 3s; chaos goroutines only exit after stop closes, so
+	// first wait for the deadline, then stop chaos, then join everything.
+	time.Sleep(time.Until(deadline) + 100*time.Millisecond)
+	close(stop)
+	select {
+	case <-workersDone:
+	case <-time.After(20 * time.Second):
+		t.Fatal("stress run wedged: workers did not finish (deadlock?)")
+	}
+
+	// Heal and let the system settle so the final history is complete.
+	c.Net.Heal()
+	settleCtx, settleCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_, _ = c.CheckEpoch(settleCtx)
+	settleCancel()
+
+	events := rec.Events()
+	var reads, writes, maybes int
+	for _, e := range events {
+		switch e.Kind {
+		case onecopy.KindRead:
+			reads++
+		case onecopy.KindWrite:
+			writes++
+		default:
+			maybes++
+		}
+	}
+	t.Logf("stress history: %d reads, %d committed writes, %d uncertain writes", reads, writes, maybes)
+	if reads == 0 || writes == 0 {
+		t.Fatalf("degenerate run: %d reads, %d writes completed", reads, writes)
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatalf("history not one-copy serializable: %v", err)
+	}
+}

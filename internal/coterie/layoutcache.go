@@ -2,9 +2,17 @@ package coterie
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"coterie/internal/nodeset"
 )
+
+// cacheEntry pairs a compiled layout with the epoch number it was compiled
+// for. Entries are immutable once published.
+type cacheEntry struct {
+	epochNum uint64
+	layout   *Layout
+}
 
 // Cache memoizes the compiled Layout of the current epoch.
 //
@@ -17,14 +25,18 @@ import (
 // evaluate quorums almost exclusively against the current epoch, and a
 // stale-epoch lookup is a one-off recompile, not a correctness hazard.
 //
-// A Cache is safe for concurrent use.
+// A Cache is safe for concurrent use. Hits are lock-free: the current
+// entry is published through an atomic pointer, so the data-plane fast
+// path (every quorum evaluation of every operation) reads a memoized
+// layout without serializing coordinators behind a mutex. Misses take a
+// mutex only to avoid redundant concurrent compiles; a racing reader that
+// observes the old entry simply compiles once more — layouts are
+// immutable, so either result is correct.
 type Cache struct {
 	rule Rule
 
-	mu       sync.Mutex
-	valid    bool
-	epochNum uint64
-	layout   *Layout
+	cur       atomic.Pointer[cacheEntry]
+	compileMu sync.Mutex
 }
 
 // NewCache returns an empty cache compiling layouts of rule.
@@ -38,21 +50,22 @@ func (c *Cache) Rule() Rule { return c.rule }
 // For returns the compiled layout of the given epoch, reusing the cached
 // one when both the epoch number and the member set match.
 func (c *Cache) For(epochNum uint64, epoch nodeset.Set) *Layout {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.valid && c.epochNum == epochNum && c.layout.Epoch().Equal(epoch) {
-		return c.layout
+	if e := c.cur.Load(); e != nil && e.epochNum == epochNum && e.layout.Epoch().Equal(epoch) {
+		return e.layout
 	}
-	c.layout = Compile(c.rule, epoch)
-	c.epochNum = epochNum
-	c.valid = true
-	return c.layout
+	c.compileMu.Lock()
+	defer c.compileMu.Unlock()
+	// Re-check: another goroutine may have compiled this epoch while we
+	// waited for the mutex.
+	if e := c.cur.Load(); e != nil && e.epochNum == epochNum && e.layout.Epoch().Equal(epoch) {
+		return e.layout
+	}
+	layout := Compile(c.rule, epoch)
+	c.cur.Store(&cacheEntry{epochNum: epochNum, layout: layout})
+	return layout
 }
 
 // Invalidate drops the cached layout, forcing the next For to recompile.
 func (c *Cache) Invalidate() {
-	c.mu.Lock()
-	c.valid = false
-	c.layout = nil
-	c.mu.Unlock()
+	c.cur.Store(nil)
 }

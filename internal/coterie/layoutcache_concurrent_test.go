@@ -1,0 +1,56 @@
+package coterie
+
+import (
+	"sync"
+	"testing"
+
+	"coterie/internal/nodeset"
+)
+
+// TestCacheConcurrentFor hammers the lock-free cache from many goroutines
+// mixing hits, epoch changes and invalidations; every returned layout must
+// match the epoch it was requested for.
+func TestCacheConcurrentFor(t *testing.T) {
+	c := NewCache(Majority{})
+	epochs := []nodeset.Set{
+		nodeset.Range(0, 5),
+		nodeset.Range(0, 7),
+		nodeset.Range(2, 9),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (i + w) % len(epochs)
+				lay := c.For(uint64(k), epochs[k])
+				if !lay.Epoch().Equal(epochs[k]) {
+					t.Errorf("layout for epoch %d compiled over %v", k, lay.Epoch())
+					return
+				}
+				if w == 0 && i%100 == 0 {
+					c.Invalidate()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestCacheHitReturnsSamePointer: repeated lookups of the current epoch
+// must reuse the compiled layout, not recompile.
+func TestCacheHitReturnsSamePointer(t *testing.T) {
+	c := NewCache(Majority{})
+	e := nodeset.Range(0, 5)
+	first := c.For(7, e)
+	for i := 0; i < 10; i++ {
+		if c.For(7, e) != first {
+			t.Fatal("cache hit recompiled the layout")
+		}
+	}
+	c.Invalidate()
+	if c.For(7, e) == first {
+		t.Fatal("Invalidate did not drop the cached layout")
+	}
+}

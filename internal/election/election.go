@@ -109,17 +109,17 @@ func (e *Elector) Run(ctx context.Context) (nodeset.ID, error) {
 	}
 	if !higher.Empty() {
 		probeCtx, cancel := context.WithTimeout(ctx, e.timeout)
-		results := e.net.Multicast(probeCtx, e.self, higher, Probe{From: e.self})
-		cancel()
 		var best nodeset.ID
 		found := false
-		for id, r := range results {
-			if r.Err == nil {
-				if _, ok := r.Reply.(AliveReply); ok && (!found || id > best) {
-					best, found = id, true
+		e.net.MulticastFunc(probeCtx, e.self, higher, Probe{From: e.self},
+			func(id nodeset.ID, r transport.Result) {
+				if r.Err == nil {
+					if _, ok := r.Reply.(AliveReply); ok && (!found || id > best) {
+						best, found = id, true
+					}
 				}
-			}
-		}
+			})
+		cancel()
 		if found {
 			// Hand the election to the highest responder; it may know
 			// still-higher live nodes we cannot name (none under our
@@ -156,7 +156,8 @@ func (e *Elector) Run(ctx context.Context) (nodeset.ID, error) {
 	lower := e.members.Clone()
 	lower.Remove(e.self)
 	annCtx, cancel := context.WithTimeout(ctx, e.timeout)
-	e.net.Multicast(annCtx, e.self, lower, Announce{Leader: e.self})
+	e.net.MulticastFunc(annCtx, e.self, lower, Announce{Leader: e.self},
+		func(nodeset.ID, transport.Result) {})
 	cancel()
 	return e.self, nil
 }

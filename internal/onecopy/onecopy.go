@@ -55,12 +55,31 @@ type Event struct {
 	Value   []byte // value returned (read)
 }
 
-// Recorder accumulates a history. It is safe for concurrent use.
+// recorderShards is the number of independent event buffers a Recorder
+// stripes appends across. 16 shards keep the probability that two
+// concurrent coordinators collide on one shard low at the fleet sizes the
+// loadgen drives (tens of goroutines) while the merge stays trivial.
+const recorderShards = 16
+
+// shard is one striped event buffer, padded to a cache line so two shards
+// never share one (false sharing would reintroduce the contention the
+// striping removes).
+type shard struct {
+	mu     sync.Mutex
+	events []Event
+	_      [96]byte
+}
+
+// Recorder accumulates a history. It is safe for concurrent use: the
+// logical clock is one atomic, and completed events append to one of
+// recorderShards buffers chosen by the invocation stamp, so concurrent
+// recorders of different operations rarely touch the same mutex. Events
+// and Check merge the shards deterministically (by end stamp — unique,
+// since every End* draws a fresh clock tick).
 type Recorder struct {
 	initial []byte
 	clock   atomic.Uint64
-	mu      sync.Mutex
-	events  []Event
+	shards  [recorderShards]shard
 }
 
 // NewRecorder starts a history over a data item with the given initial
@@ -74,21 +93,27 @@ func NewRecorder(initial []byte) *Recorder {
 // Begin stamps an operation invocation and returns the stamp.
 func (r *Recorder) Begin() uint64 { return r.clock.Add(1) }
 
+// record appends an event to the shard selected by its invocation stamp.
+// Keying on Start (not End) spreads even bursts of simultaneous
+// completions, since the starts were drawn earlier and independently.
+func (r *Recorder) record(e Event) {
+	s := &r.shards[e.Start%recorderShards]
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
 // EndWrite records a committed write that produced version v.
 func (r *Recorder) EndWrite(start uint64, v uint64, u replica.Update) {
 	end := r.clock.Add(1)
-	r.mu.Lock()
-	r.events = append(r.events, Event{Kind: KindWrite, Start: start, End: end, Version: v, Update: u})
-	r.mu.Unlock()
+	r.record(Event{Kind: KindWrite, Start: start, End: end, Version: v, Update: u})
 }
 
 // EndMaybeWrite records a write whose outcome is unknown (errored after
 // the commit phase may have begun).
 func (r *Recorder) EndMaybeWrite(start uint64, u replica.Update) {
 	end := r.clock.Add(1)
-	r.mu.Lock()
-	r.events = append(r.events, Event{Kind: KindMaybeWrite, Start: start, End: end, Update: u})
-	r.mu.Unlock()
+	r.record(Event{Kind: KindMaybeWrite, Start: start, End: end, Update: u})
 }
 
 // EndRead records a completed read that observed version v with the given
@@ -97,16 +122,22 @@ func (r *Recorder) EndRead(start uint64, v uint64, value []byte) {
 	end := r.clock.Add(1)
 	cp := make([]byte, len(value))
 	copy(cp, value)
-	r.mu.Lock()
-	r.events = append(r.events, Event{Kind: KindRead, Start: start, End: end, Version: v, Value: cp})
-	r.mu.Unlock()
+	r.record(Event{Kind: KindRead, Start: start, End: end, Version: v, Value: cp})
 }
 
-// Events returns a copy of the recorded history.
+// Events returns the recorded history, merged across shards into end-stamp
+// order. End stamps are unique (each is a fresh clock tick), so the merge
+// is a deterministic total order regardless of which shard held an event.
 func (r *Recorder) Events() []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]Event(nil), r.events...)
+	var out []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].End < out[j].End })
+	return out
 }
 
 // Check verifies the recorded history. A nil result means the history is

@@ -35,10 +35,15 @@ func (it *Item) Amnesia() {
 	it.goodVer = 0
 	it.staged = make(map[OpID]*staged)
 	it.propOp = OpID{}
+	it.recovering = true
+	it.publishStateLocked()
+	it.mu.Unlock()
+
+	// The decision log lives on its own stripe (decision.go).
+	it.decMu.Lock()
 	it.decisions = nil
 	it.decisionOrder = nil
-	it.recovering = true
-	it.mu.Unlock()
+	it.decMu.Unlock()
 
 	// The lock table was volatile too: drop every hold so waiters proceed
 	// against the fresh (recovering) replica.
@@ -51,7 +56,5 @@ func (it *Item) Amnesia() {
 
 // Recovering reports whether the replica is quarantined after amnesia.
 func (it *Item) Recovering() bool {
-	it.mu.Lock()
-	defer it.mu.Unlock()
-	return it.recovering
+	return it.state.Load().Recovering
 }

@@ -1,0 +1,150 @@
+package replica
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/transport"
+)
+
+// TestLockTableDoesNotAllocate is the ISSUE's zero-allocation gate for the
+// replica lock table: steady-state acquire/release cycles — shared,
+// exclusive, and the prepare-pin path — must not allocate. Holders are
+// stored by value, so releasing and re-acquiring reuses map bucket cells.
+func TestLockTableDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime adds bookkeeping allocations")
+	}
+	l := newItemLock(time.Second)
+	ctx := context.Background()
+	op := OpID{Coordinator: 1, Seq: 1}
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"shared", func() {
+			if err := l.acquire(ctx, op, lockShared); err != nil {
+				t.Fatal(err)
+			}
+			l.release(op)
+		}},
+		{"exclusive", func() {
+			if err := l.acquire(ctx, op, lockExclusive); err != nil {
+				t.Fatal(err)
+			}
+			l.release(op)
+		}},
+		{"exclusive+pin", func() {
+			if err := l.acquire(ctx, op, lockExclusive); err != nil {
+				t.Fatal(err)
+			}
+			if !l.pin(op) {
+				t.Fatal("pin failed")
+			}
+			l.release(op)
+		}},
+		{"heldBy", func() { _ = l.heldBy(op, lockShared) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocations per cycle, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestStateIsLockFree verifies State() answers from the published snapshot
+// without taking the item mutex: a goroutine holding mu indefinitely must
+// not block State.
+func TestStateIsLockFree(t *testing.T) {
+	net := transport.NewNetwork()
+	node := NewNode(0, net, Config{})
+	defer node.Close()
+	it, err := node.AddItem("x", nodeset.New(0), []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	it.mu.Lock()
+	done := make(chan StateReply, 1)
+	go func() { done <- it.State() }()
+	select {
+	case st := <-done:
+		if st.Version != 0 || st.Node != 0 {
+			t.Fatalf("unexpected state %+v", st)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("State() blocked behind the item mutex")
+	}
+	it.mu.Unlock()
+}
+
+// TestStateSnapshotConsistency drives concurrent writes against one item
+// while readers snapshot its state, asserting every snapshot is internally
+// consistent (version never decreases, epoch never partially updated).
+// Run under -race to check the publication discipline.
+func TestStateSnapshotConsistency(t *testing.T) {
+	net := transport.NewNetwork()
+	members := nodeset.New(0)
+	node := NewNode(0, net, Config{})
+	defer node.Close()
+	it, err := node.AddItem("x", members, make([]byte, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := it.State()
+				if st.Version < last {
+					t.Errorf("version went backwards: %d after %d", st.Version, last)
+					return
+				}
+				last = st.Version
+				if !st.Epoch.Equal(members) {
+					t.Errorf("torn epoch snapshot: %v", st.Epoch)
+					return
+				}
+			}
+		}()
+	}
+
+	ctx := context.Background()
+	for i := 0; i < 200; i++ {
+		op := it.NextOp()
+		if err := it.lock.acquire(ctx, op, lockExclusive); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := it.handlePrepareUpdate(PrepareUpdate{
+			Op:         op,
+			Update:     Update{Offset: 0, Data: []byte{byte(i)}},
+			NewVersion: uint64(i + 1),
+			GoodSet:    members,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := it.handleCommit(Commit{Op: op}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := it.State().Version; got != 200 {
+		t.Fatalf("final version %d, want 200", got)
+	}
+}

@@ -31,9 +31,12 @@ import (
 const maxDecisions = 8192
 
 // RecordDecision logs the outcome of an operation this node coordinated.
+// The log lives on its own mutex stripe so the coordinator's write-ahead
+// decision record and participants' termination queries never contend with
+// the replica data path.
 func (it *Item) RecordDecision(op OpID, commit bool) {
-	it.mu.Lock()
-	defer it.mu.Unlock()
+	it.decMu.Lock()
+	defer it.decMu.Unlock()
 	if it.decisions == nil {
 		it.decisions = make(map[OpID]bool)
 	}
@@ -50,8 +53,8 @@ func (it *Item) RecordDecision(op OpID, commit bool) {
 
 // handleDecisionQuery answers a participant's termination query.
 func (it *Item) handleDecisionQuery(m DecisionQuery) (transport.Message, error) {
-	it.mu.Lock()
-	defer it.mu.Unlock()
+	it.decMu.Lock()
+	defer it.decMu.Unlock()
 	commit, known := it.decisions[m.Op]
 	return DecisionReply{Known: known, Commit: commit}, nil
 }
@@ -88,9 +91,9 @@ func (it *Item) resolveStale() {
 	for _, op := range pending {
 		if op.Coordinator == it.self {
 			// Local coordinator: consult the log directly.
-			it.mu.Lock()
+			it.decMu.Lock()
 			commit, known := it.decisions[op]
-			it.mu.Unlock()
+			it.decMu.Unlock()
 			if known {
 				it.applyDecision(op, commit)
 			}

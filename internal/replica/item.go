@@ -88,12 +88,25 @@ type staged struct {
 // stale-data flag, epoch number and epoch list (paper, Section 4) — plus
 // the versioned store, the replica lock, staged 2PC actions, and the
 // propagation worker that pushes updates to stale replicas.
+//
+// Concurrency is striped so independent operations do not serialize behind
+// one mutex: the lock table has its own mutex (lock.go), the coordinator
+// decision log its own (decision.go), the propagation queue its own
+// (propagate.go), and state reads (the phase-1 hot path) are lock-free
+// against a published snapshot (see state below). mu protects only the
+// store, the protocol flags, and the staged-2PC table.
 type Item struct {
 	name string
 	self nodeset.ID
 	net  *transport.Network
 	cfg  Config
 	lock *itemLock
+
+	// state is the published protocol-state snapshot, refreshed by every
+	// mutation (publishStateLocked) and read lock-free by State(). The sets
+	// inside are shared, never mutated in place: every mutation installs
+	// freshly-built sets, so a published snapshot is immutable.
+	state atomic.Pointer[StateReply]
 
 	mu       sync.Mutex
 	store    *Store
@@ -106,7 +119,10 @@ type Item struct {
 	staged   map[OpID]*staged
 	propOp   OpID // operation currently allowed to propagate into this replica
 
-	// Coordinator decision log for 2PC termination (see decision.go).
+	// Coordinator decision log for 2PC termination (see decision.go),
+	// striped off mu so termination queries and decision writes do not
+	// contend with the data path.
+	decMu         sync.Mutex
 	decisions     map[OpID]bool
 	decisionOrder []OpID
 
@@ -137,6 +153,7 @@ func newItem(name string, self nodeset.ID, members nodeset.Set, initial []byte, 
 		staged: make(map[OpID]*staged),
 		closed: make(chan struct{}),
 	}
+	it.publishStateLocked() // no concurrent access yet; mu not needed
 	it.wg.Add(1)
 	go it.resolveLoop()
 	return it
@@ -153,25 +170,32 @@ func (it *Item) NextOp() OpID {
 	return OpID{Coordinator: it.self, Seq: it.opSeq.Add(1)}
 }
 
-// State returns the replica's current protocol state.
+// State returns the replica's current protocol state. It is lock-free: it
+// reads the snapshot published by the last mutation, so the phase-1 lock
+// round (every replica answering with its state) never contends with the
+// data path. The sets inside the reply are shared immutable values; callers
+// must not mutate them in place (nodeset's non-pointer methods all copy).
 func (it *Item) State() StateReply {
-	it.mu.Lock()
-	defer it.mu.Unlock()
-	return it.stateLocked()
+	return *it.state.Load()
 }
 
-func (it *Item) stateLocked() StateReply {
-	return StateReply{
+// publishStateLocked rebuilds and publishes the state snapshot. Callers
+// hold mu (except item construction); the atomic store orders the publish
+// before the mutating operation's lock release, so any operation granted
+// the replica lock afterwards observes it.
+func (it *Item) publishStateLocked() {
+	st := StateReply{
 		Node:       it.self,
 		Version:    it.store.Version(),
 		Desired:    it.desired,
 		Stale:      it.stale,
-		Epoch:      it.epoch.Clone(),
+		Epoch:      it.epoch,
 		EpochNum:   it.epochNum,
-		Good:       it.good.Clone(),
+		Good:       it.good,
 		GoodVer:    it.goodVer,
 		Recovering: it.recovering,
 	}
+	it.state.Store(&st)
 }
 
 // Value returns a copy of the replica's value and its version. It reflects
@@ -394,6 +418,7 @@ func (it *Item) handleCommit(m Commit) (transport.Message, error) {
 			it.desired = st.maxVersion
 		}
 	}
+	it.publishStateLocked()
 	it.mu.Unlock()
 	it.lock.release(m.Op)
 	if !propagateTo.Empty() {
@@ -428,6 +453,7 @@ func (it *Item) handleApplyDirect(ctx context.Context, m ApplyDirect) (transport
 	it.store.Apply(m.Update)
 	it.good = m.GoodSet.Clone()
 	it.goodVer = m.NewVersion
+	it.publishStateLocked()
 	return Ack{OK: true}, nil
 }
 

@@ -32,6 +32,9 @@ const (
 	lockExclusive
 )
 
+// holder is stored by value in the holders map: steady-state acquire and
+// release then reuse map bucket cells instead of allocating a fresh holder
+// per acquisition (see TestLockTableDoesNotAllocate).
 type holder struct {
 	mode     lockMode
 	deadline time.Time // lease expiry; zero when pinned or leases disabled
@@ -59,13 +62,13 @@ type waiter struct {
 // transaction (the classic 2PC window the paper inherits from [2]).
 type itemLock struct {
 	mu      sync.Mutex
-	holders map[OpID]*holder
+	holders map[OpID]holder
 	waiters []*waiter
 	lease   time.Duration
 }
 
 func newItemLock(lease time.Duration) *itemLock {
-	return &itemLock{holders: make(map[OpID]*holder), lease: lease}
+	return &itemLock{holders: make(map[OpID]holder), lease: lease}
 }
 
 func (l *itemLock) newDeadline() time.Time {
@@ -130,6 +133,7 @@ func (l *itemLock) dispatchLocked() {
 				if h, ok := l.holders[w.op]; ok {
 					h.mode = lockExclusive
 					h.deadline = l.newDeadline()
+					l.holders[w.op] = h
 					l.waiters = l.waiters[1:]
 					close(w.ready)
 					continue
@@ -146,7 +150,7 @@ func (l *itemLock) dispatchLocked() {
 		if !l.grantableLocked(w.op, w.mode) {
 			return
 		}
-		l.holders[w.op] = &holder{mode: w.mode, deadline: l.newDeadline()}
+		l.holders[w.op] = holder{mode: w.mode, deadline: l.newDeadline()}
 		l.waiters = l.waiters[1:]
 		close(w.ready)
 		// After an exclusive grant nothing else fits; for shared grants the
@@ -170,6 +174,7 @@ func (l *itemLock) acquire(ctx context.Context, op OpID, mode lockMode) error {
 	if h, ok := l.holders[op]; ok {
 		if mode != lockExclusive || h.mode == lockExclusive {
 			h.deadline = l.newDeadline()
+			l.holders[op] = h
 			l.mu.Unlock()
 			return nil
 		}
@@ -177,13 +182,14 @@ func (l *itemLock) acquire(ctx context.Context, op OpID, mode lockMode) error {
 		if l.grantableLocked(op, lockExclusive) {
 			h.mode = lockExclusive
 			h.deadline = l.newDeadline()
+			l.holders[op] = h
 			l.mu.Unlock()
 			return nil
 		}
 		return l.waitLocked(ctx, &waiter{op: op, mode: lockExclusive, upgrade: true, ready: make(chan struct{})})
 	}
 	if len(l.waiters) == 0 && l.grantableLocked(op, mode) {
-		l.holders[op] = &holder{mode: mode, deadline: l.newDeadline()}
+		l.holders[op] = holder{mode: mode, deadline: l.newDeadline()}
 		l.mu.Unlock()
 		return nil
 	}
@@ -268,6 +274,7 @@ func (l *itemLock) pin(op OpID) bool {
 	}
 	h.pinned = true
 	h.deadline = time.Time{}
+	l.holders[op] = h
 	return true
 }
 
@@ -287,7 +294,7 @@ func (l *itemLock) release(op OpID) {
 func (l *itemLock) resetHolders() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.holders = make(map[OpID]*holder)
+	l.holders = make(map[OpID]holder)
 	l.dispatchLocked()
 }
 

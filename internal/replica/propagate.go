@@ -76,6 +76,7 @@ func (it *Item) handlePropagationData(m PropagationData) (transport.Message, err
 		it.desired = 0
 	}
 	it.propOp = OpID{}
+	it.publishStateLocked()
 	it.mu.Unlock()
 	it.lock.release(m.Op)
 	if err != nil {

@@ -89,32 +89,32 @@ type response struct {
 func (c *Coordinator) lockRound(ctx context.Context, op replica.OpID, targets nodeset.Set, mode replica.LockMode) []response {
 	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
 	defer cancel()
-	results := c.net.Multicast(callCtx, c.item.Self(), targets,
-		replica.Envelope{Item: c.item.Name(), Msg: replica.LockRequest{Op: op, Mode: mode}})
-	var out []response
-	for id, r := range results {
-		if r.Err != nil {
-			continue
-		}
-		if st, ok := r.Reply.(replica.StateReply); ok {
-			out = append(out, response{node: id, state: st})
-		}
-	}
+	out := make([]response, 0, targets.Len())
+	c.net.MulticastFunc(callCtx, c.item.Self(), targets,
+		replica.Envelope{Item: c.item.Name(), Msg: replica.LockRequest{Op: op, Mode: mode}},
+		func(id nodeset.ID, r transport.Result) {
+			if r.Err != nil {
+				return
+			}
+			if st, ok := r.Reply.(replica.StateReply); ok {
+				out = append(out, response{node: id, state: st})
+			}
+		})
 	return out
 }
 
 func (c *Coordinator) ackRound(ctx context.Context, targets nodeset.Set, msg any) nodeset.Set {
 	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
 	defer cancel()
-	results := c.net.Multicast(callCtx, c.item.Self(), targets, replica.Envelope{Item: c.item.Name(), Msg: msg})
 	var ok nodeset.Set
-	for id, r := range results {
-		if r.Err == nil {
-			if ack, isAck := r.Reply.(replica.Ack); isAck && ack.OK {
-				ok.Add(id)
+	c.net.MulticastFunc(callCtx, c.item.Self(), targets, replica.Envelope{Item: c.item.Name(), Msg: msg},
+		func(id nodeset.ID, r transport.Result) {
+			if r.Err == nil {
+				if ack, isAck := r.Reply.(replica.Ack); isAck && ack.OK {
+					ok.Add(id)
+				}
 			}
-		}
-	}
+		})
 	return ok
 }
 

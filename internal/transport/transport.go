@@ -11,6 +11,22 @@
 // but desirable" — Multicast here fans calls out concurrently but counts
 // point-to-point messages, so message-cost experiments reflect a network
 // without hardware multicast.
+//
+// # Concurrency model
+//
+// The data plane is designed so that concurrent calls between disjoint
+// node pairs never touch a shared lock:
+//
+//   - The endpoint table and the partition table are immutable snapshots
+//     behind atomic pointers; Call loads them without locking. Register,
+//     Partition and Heal copy-on-write under a writer mutex.
+//   - Per-node served-request counters are per-endpoint atomics, not a
+//     global map, so message accounting is contention-free.
+//   - Latency sampling draws from per-endpoint RNG streams (one per node,
+//     see WithSeed for the seeding scheme), so calls from different nodes
+//     never serialize on a shared RNG.
+//   - Multicast fan-out collects into pooled scratch buffers; the only
+//     steady-state allocations are the per-target goroutine spawns.
 package transport
 
 import (
@@ -50,42 +66,109 @@ type Stats struct {
 // Network is an in-process simulated network. The zero value is not usable;
 // use NewNetwork.
 type Network struct {
-	mu        sync.RWMutex
-	nodes     map[nodeset.ID]*endpoint
-	partition map[nodeset.ID]int // partition group; absent = group 0
-	latency   func(r *rand.Rand) time.Duration
-	rng       *rand.Rand
-	rngMu     sync.Mutex
-	encode    func(Message) ([]byte, error)
-	decode    func([]byte) (Message, error)
-	trace     func(TraceEvent)
+	// writers (Register, Partition, Heal) serialize here; readers go
+	// through the atomic snapshots below and never block.
+	writeMu sync.Mutex
+	reg     atomic.Pointer[registry]
+	part    atomic.Pointer[partitionTable]
+
+	latency func(r *rand.Rand) time.Duration
+	seed    int64
+	encode  func(Message) ([]byte, error)
+	decode  func([]byte) (Message, error)
+	trace   func(TraceEvent)
 
 	calls       atomic.Int64
 	failedCalls atomic.Int64
 	messages    atomic.Int64
 
-	loadMu sync.Mutex
-	load   map[nodeset.ID]int64 // requests served per node
+	scratch sync.Pool // *mcScratch
 }
 
+// registry is an immutable endpoint table indexed by node ID. Replaced
+// wholesale (copy-on-write) by Register; loaded atomically by every call.
+type registry struct {
+	eps []*endpoint // nil slot = unregistered
+}
+
+func (r *registry) get(id nodeset.ID) *endpoint {
+	if r == nil || id < 0 || int(id) >= len(r.eps) {
+		return nil
+	}
+	return r.eps[id]
+}
+
+// partitionTable is an immutable partition-group assignment indexed by node
+// ID; IDs beyond the slice (or a nil table) are in the implicit group 0.
+type partitionTable struct {
+	group []int32
+}
+
+func (p *partitionTable) of(id nodeset.ID) int32 {
+	if p == nil || id < 0 || int(id) >= len(p.group) {
+		return 0
+	}
+	return p.group[id]
+}
+
+// endpoint is one node's attachment point. The handler is swapped
+// atomically on re-registration (node restart with fresh state); the
+// served counter and the latency RNG stream belong to the node for the
+// network's lifetime, surviving restarts.
 type endpoint struct {
-	handler Handler
+	id      nodeset.ID
+	handler atomic.Pointer[Handler]
 	up      atomic.Bool
+	served  atomic.Int64
+
+	// rng is this endpoint's latency stream. Only sampled under rngMu;
+	// contention is limited to concurrent calls sent by the same node.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // Option configures a Network.
 type Option func(*Network)
 
-// WithLatency injects a per-message delay sampled by fn. The sampler runs
-// under the network's RNG lock and must be fast.
+// WithLatency injects a per-message delay sampled by fn. Each message leg
+// (request and reply) is delayed independently: the request leg samples
+// from the sending node's RNG stream, the reply leg from the replying
+// node's stream. fn must be fast; it runs under the sampling endpoint's
+// RNG mutex, which only serializes messages sent by the same node.
 func WithLatency(fn func(r *rand.Rand) time.Duration) Option {
 	return func(n *Network) { n.latency = fn }
 }
 
-// WithSeed seeds the network's internal RNG (latency sampling). The default
-// seed is 1 for reproducibility.
+// WithSeed seeds the network's latency RNG streams. The default seed is 1
+// for reproducibility.
+//
+// Seeding scheme: node i's endpoint draws from an independent stream
+// seeded with splitmix64(seed XOR (i+1)·2^32) at registration, so every
+// endpoint's stream is decorrelated from every other's and from the base
+// seed, and identical (seed, registration set) pairs produce identical
+// per-endpoint streams. With a single driving goroutine (GOMAXPROCS=1,
+// sequential calls) the full latency trace is reproducible; see
+// TestLatencyStreamsReproducible.
+//
+// WithSeed must be given at NewNetwork time (it is an Option); endpoints
+// registered before a different seed could take effect would keep their
+// original streams.
 func WithSeed(seed int64) Option {
-	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+	return func(n *Network) { n.seed = seed }
+}
+
+// streamSeed derives endpoint id's RNG seed from the network seed.
+func streamSeed(seed int64, id nodeset.ID) int64 {
+	return int64(splitmix64(uint64(seed) ^ (uint64(id)+1)<<32))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer whose
+// output is equidistributed even for sequential inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // TraceEvent describes one completed (or failed) call for observability.
@@ -119,39 +202,52 @@ func WithCodec(encode func(Message) ([]byte, error), decode func([]byte) (Messag
 
 // NewNetwork returns an empty network.
 func NewNetwork(opts ...Option) *Network {
-	n := &Network{
-		nodes:     make(map[nodeset.ID]*endpoint),
-		partition: make(map[nodeset.ID]int),
-		rng:       rand.New(rand.NewSource(1)),
-		load:      make(map[nodeset.ID]int64),
-	}
+	n := &Network{seed: 1}
 	for _, o := range opts {
 		o(n)
 	}
+	n.scratch.New = func() any { return new(mcScratch) }
 	return n
 }
 
 // Register attaches a handler for node id. The node starts up. Registering
 // an already-registered id replaces its handler (supporting node restarts
-// with fresh state).
+// with fresh state) while preserving the node's served counter and latency
+// stream.
 func (n *Network) Register(id nodeset.ID, h Handler) {
 	if h == nil {
 		panic("transport: nil handler")
 	}
-	ep := &endpoint{handler: h}
+	if id < 0 {
+		panic(fmt.Sprintf("transport: negative node ID %d", int(id)))
+	}
+	n.writeMu.Lock()
+	defer n.writeMu.Unlock()
+	old := n.reg.Load()
+	if ep := old.get(id); ep != nil {
+		ep.handler.Store(&h)
+		ep.up.Store(true)
+		return
+	}
+	size := int(id) + 1
+	if old != nil && len(old.eps) > size {
+		size = len(old.eps)
+	}
+	eps := make([]*endpoint, size)
+	if old != nil {
+		copy(eps, old.eps)
+	}
+	ep := &endpoint{id: id, rng: rand.New(rand.NewSource(streamSeed(n.seed, id)))}
+	ep.handler.Store(&h)
 	ep.up.Store(true)
-	n.mu.Lock()
-	n.nodes[id] = ep
-	n.mu.Unlock()
+	eps[id] = ep
+	n.reg.Store(&registry{eps: eps})
 }
 
 // Crash marks a node down: all calls to or from it fail until Restart.
 // Crashing an unknown or already-down node is a no-op.
 func (n *Network) Crash(id nodeset.ID) {
-	n.mu.RLock()
-	ep := n.nodes[id]
-	n.mu.RUnlock()
-	if ep != nil {
+	if ep := n.reg.Load().get(id); ep != nil {
 		ep.up.Store(false)
 	}
 }
@@ -160,19 +256,14 @@ func (n *Network) Crash(id nodeset.ID) {
 // closure holds; crash-amnesia versus stable storage is the handler's
 // concern.
 func (n *Network) Restart(id nodeset.ID) {
-	n.mu.RLock()
-	ep := n.nodes[id]
-	n.mu.RUnlock()
-	if ep != nil {
+	if ep := n.reg.Load().get(id); ep != nil {
 		ep.up.Store(true)
 	}
 }
 
 // IsUp reports whether the node is registered and not crashed.
 func (n *Network) IsUp(id nodeset.ID) bool {
-	n.mu.RLock()
-	ep := n.nodes[id]
-	n.mu.RUnlock()
+	ep := n.reg.Load().get(id)
 	return ep != nil && ep.up.Load()
 }
 
@@ -181,44 +272,49 @@ func (n *Network) IsUp(id nodeset.ID) bool {
 // implicit extra group. Overlapping groups are rejected.
 func (n *Network) Partition(groups ...nodeset.Set) error {
 	seen := nodeset.Set{}
+	maxID := nodeset.ID(-1)
 	for _, g := range groups {
 		if seen.Intersects(g) {
 			return fmt.Errorf("transport: overlapping partition groups at %v", seen.Intersect(g))
 		}
 		seen = seen.Union(g)
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.partition = make(map[nodeset.ID]int)
-	for gi, g := range groups {
-		for _, id := range g.IDs() {
-			n.partition[id] = gi + 1
+		if id, ok := g.Max(); ok && id > maxID {
+			maxID = id
 		}
 	}
+	table := make([]int32, int(maxID)+1)
+	for gi, g := range groups {
+		for _, id := range g.IDs() {
+			table[id] = int32(gi) + 1
+		}
+	}
+	n.writeMu.Lock()
+	n.part.Store(&partitionTable{group: table})
+	n.writeMu.Unlock()
 	return nil
 }
 
 // Heal removes all partitions.
 func (n *Network) Heal() {
-	n.mu.Lock()
-	n.partition = make(map[nodeset.ID]int)
-	n.mu.Unlock()
+	n.writeMu.Lock()
+	n.part.Store(nil)
+	n.writeMu.Unlock()
 }
 
 // reachable reports whether a and b are in the same partition group.
 func (n *Network) reachable(a, b nodeset.ID) bool {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.partition[a] == n.partition[b]
+	p := n.part.Load()
+	return p.of(a) == p.of(b)
 }
 
-func (n *Network) sleepLatency(ctx context.Context) error {
+// sleepLatency delays one message leg, drawing from ep's stream.
+func (n *Network) sleepLatency(ctx context.Context, ep *endpoint) error {
 	if n.latency == nil {
 		return nil
 	}
-	n.rngMu.Lock()
-	d := n.latency(n.rng)
-	n.rngMu.Unlock()
+	ep.rngMu.Lock()
+	d := n.latency(ep.rng)
+	ep.rngMu.Unlock()
 	if d <= 0 {
 		return nil
 	}
@@ -247,36 +343,28 @@ func (n *Network) Call(ctx context.Context, from, to nodeset.ID, req Message) (M
 
 func (n *Network) call(ctx context.Context, from, to nodeset.ID, req Message) (Message, error) {
 	n.calls.Add(1)
-	fail := func() (Message, error) {
-		n.failedCalls.Add(1)
-		return nil, ErrCallFailed
+	reg := n.reg.Load()
+	src, dst := reg.get(from), reg.get(to)
+	if src == nil || dst == nil || !src.up.Load() || !dst.up.Load() || !n.reachable(from, to) {
+		return n.fail()
 	}
-
-	n.mu.RLock()
-	src, srcOK := n.nodes[from]
-	dst, dstOK := n.nodes[to]
-	n.mu.RUnlock()
-	if !srcOK || !dstOK || !src.up.Load() || !dst.up.Load() || !n.reachable(from, to) {
-		return fail()
-	}
-	if err := n.sleepLatency(ctx); err != nil {
-		return fail()
+	if err := n.sleepLatency(ctx, src); err != nil {
+		return n.fail()
 	}
 	// Re-check on "arrival".
 	if !dst.up.Load() || !n.reachable(from, to) {
-		return fail()
+		return n.fail()
 	}
 	n.messages.Add(1)
-	n.loadMu.Lock()
-	n.load[to]++
-	n.loadMu.Unlock()
+	dst.served.Add(1)
+	handler := *dst.handler.Load()
 
 	if n.encode != nil {
 		req, err := n.transcode(req)
 		if err != nil {
 			return nil, fmt.Errorf("transport: request codec: %w", err)
 		}
-		reply, err := dst.handler(ctx, from, req)
+		reply, err := handler(ctx, from, req)
 		if err != nil {
 			return nil, err
 		}
@@ -287,11 +375,16 @@ func (n *Network) call(ctx context.Context, from, to nodeset.ID, req Message) (M
 		return n.finishCall(ctx, src, dst, from, to, reply)
 	}
 
-	reply, err := dst.handler(ctx, from, req)
+	reply, err := handler(ctx, from, req)
 	if err != nil {
 		return nil, err
 	}
 	return n.finishCall(ctx, src, dst, from, to, reply)
+}
+
+func (n *Network) fail() (Message, error) {
+	n.failedCalls.Add(1)
+	return nil, ErrCallFailed
 }
 
 // transcode round-trips a message through the configured codec.
@@ -303,16 +396,15 @@ func (n *Network) transcode(msg Message) (Message, error) {
 	return n.decode(buf)
 }
 
-// finishCall models the reply's journey back to the caller.
+// finishCall models the reply's journey back to the caller. The reply leg
+// samples latency from the replying node's stream.
 func (n *Network) finishCall(ctx context.Context, src, dst *endpoint, from, to nodeset.ID, reply Message) (Message, error) {
-	if err := n.sleepLatency(ctx); err != nil {
-		n.failedCalls.Add(1)
-		return nil, ErrCallFailed
+	if err := n.sleepLatency(ctx, dst); err != nil {
+		return n.fail()
 	}
 	// The reply must travel back.
 	if !src.up.Load() || !dst.up.Load() || !n.reachable(from, to) {
-		n.failedCalls.Add(1)
-		return nil, ErrCallFailed
+		return n.fail()
 	}
 	n.messages.Add(1)
 	return reply, nil
@@ -324,38 +416,77 @@ type Result struct {
 	Err   error
 }
 
-// Multicast calls every target concurrently and collects all outcomes,
-// indexed by target. It always waits for every call to finish.
+// mcScratch is the pooled working set of one multicast fan-out: the target
+// list, one result slot per target, and the WaitGroup joining the calls.
+// Pooling it keeps the steady-state fan-out free of map and slice
+// allocations; the remaining per-call allocations are the goroutine spawns
+// themselves.
+type mcScratch struct {
+	ids     []nodeset.ID
+	results []Result
+	wg      sync.WaitGroup
+}
+
+// mcCall is one leg of a fan-out. A named method (not a closure) so the
+// `go` statement does not capture loop variables beyond its arguments.
+func (n *Network) mcCall(ctx context.Context, from, to nodeset.ID, req Message, out *Result, wg *sync.WaitGroup) {
+	defer wg.Done()
+	reply, err := n.Call(ctx, from, to, req)
+	*out = Result{Reply: reply, Err: err}
+}
+
+// MulticastFunc calls every target concurrently, waits for all of them,
+// and then invokes fn once per target (in the targets' ID order) on the
+// caller's goroutine. It is the allocation-lean core of Multicast: results
+// are collected into pooled scratch, so no per-call result map is built.
+// fn must not retain the reply beyond the callback unless it copies it.
 //
-// Empty and single-target sets take a fast path with no goroutine spawn;
-// larger fan-outs write into a preallocated slice indexed by target order,
-// so the collection needs no mutex (the WaitGroup provides the
-// happens-before edge) and the result map is built once, presized.
-func (n *Network) Multicast(ctx context.Context, from nodeset.ID, targets nodeset.Set, req Message) map[nodeset.ID]Result {
+// Empty target sets return immediately; single-target sets take a fast
+// path with no goroutine spawn and zero allocations.
+func (n *Network) MulticastFunc(ctx context.Context, from nodeset.ID, targets nodeset.Set, req Message, fn func(to nodeset.ID, r Result)) {
 	if targets.Empty() {
-		return nil
+		return
 	}
 	if targets.Len() == 1 {
 		id, _ := targets.Min()
 		reply, err := n.Call(ctx, from, id, req)
-		return map[nodeset.ID]Result{id: {Reply: reply, Err: err}}
+		fn(id, Result{Reply: reply, Err: err})
+		return
 	}
-	ids := targets.IDs()
-	results := make([]Result, len(ids))
-	var wg sync.WaitGroup
-	wg.Add(len(ids))
-	for i, id := range ids {
-		go func(i int, id nodeset.ID) {
-			defer wg.Done()
-			reply, err := n.Call(ctx, from, id, req)
-			results[i] = Result{Reply: reply, Err: err}
-		}(i, id)
+	sc := n.scratch.Get().(*mcScratch)
+	sc.ids = targets.AppendIDs(sc.ids[:0])
+	if cap(sc.results) < len(sc.ids) {
+		sc.results = make([]Result, len(sc.ids))
 	}
-	wg.Wait()
-	out := make(map[nodeset.ID]Result, len(ids))
-	for i, id := range ids {
-		out[id] = results[i]
+	sc.results = sc.results[:len(sc.ids)]
+	sc.wg.Add(len(sc.ids))
+	for i, id := range sc.ids {
+		go n.mcCall(ctx, from, id, req, &sc.results[i], &sc.wg)
 	}
+	sc.wg.Wait()
+	for i, id := range sc.ids {
+		fn(id, sc.results[i])
+	}
+	for i := range sc.results {
+		sc.results[i] = Result{} // drop message references before pooling
+	}
+	n.scratch.Put(sc)
+}
+
+// Multicast calls every target concurrently and collects all outcomes,
+// indexed by target. It always waits for every call to finish.
+//
+// The fan-out and collection run through MulticastFunc's pooled scratch;
+// only the returned map is allocated here. Hot paths that do not need a
+// retained map should call MulticastFunc directly.
+func (n *Network) Multicast(ctx context.Context, from nodeset.ID, targets nodeset.Set, req Message) map[nodeset.ID]Result {
+	if targets.Empty() {
+		return nil
+	}
+	out := make(map[nodeset.ID]Result, targets.Len())
+	n.MulticastFunc(ctx, from, targets, req, func(to nodeset.ID, r Result) {
+		out[to] = r
+	})
 	return out
 }
 
@@ -373,42 +504,59 @@ func (n *Network) ResetStats() {
 	n.calls.Store(0)
 	n.failedCalls.Store(0)
 	n.messages.Store(0)
-	n.loadMu.Lock()
-	n.load = make(map[nodeset.ID]int64)
-	n.loadMu.Unlock()
+	if reg := n.reg.Load(); reg != nil {
+		for _, ep := range reg.eps {
+			if ep != nil {
+				ep.served.Store(0)
+			}
+		}
+	}
 }
 
 // Load returns a copy of the per-node served-request counters, the basis of
-// the load-sharing experiments.
+// the load-sharing experiments. Nodes that served no requests are omitted.
 func (n *Network) Load() map[nodeset.ID]int64 {
-	n.loadMu.Lock()
-	defer n.loadMu.Unlock()
-	out := make(map[nodeset.ID]int64, len(n.load))
-	for k, v := range n.load {
-		out[k] = v
+	reg := n.reg.Load()
+	out := make(map[nodeset.ID]int64)
+	if reg == nil {
+		return out
+	}
+	for _, ep := range reg.eps {
+		if ep == nil {
+			continue
+		}
+		if v := ep.served.Load(); v != 0 {
+			out[ep.id] = v
+		}
 	}
 	return out
 }
 
 // Nodes returns the set of registered node IDs.
 func (n *Network) Nodes() nodeset.Set {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
 	var s nodeset.Set
-	for id := range n.nodes {
-		s.Add(id)
+	reg := n.reg.Load()
+	if reg == nil {
+		return s
+	}
+	for _, ep := range reg.eps {
+		if ep != nil {
+			s.Add(ep.id)
+		}
 	}
 	return s
 }
 
 // UpNodes returns the set of registered, non-crashed node IDs.
 func (n *Network) UpNodes() nodeset.Set {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
 	var s nodeset.Set
-	for id, ep := range n.nodes {
-		if ep.up.Load() {
-			s.Add(id)
+	reg := n.reg.Load()
+	if reg == nil {
+		return s
+	}
+	for _, ep := range reg.eps {
+		if ep != nil && ep.up.Load() {
+			s.Add(ep.id)
 		}
 	}
 	return s

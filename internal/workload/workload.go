@@ -92,6 +92,40 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	}, nil
 }
 
+// Split derives n generators with statistically independent, disjoint
+// operation streams from g's configuration. Child seeds are drawn from a
+// splitmix64 sequence over the parent seed — the construction that PRNG
+// gives for stream splitting — so nearby parent seeds (or worker indexes)
+// do not produce overlapping or correlated child streams the way additive
+// offsets can. Splitting is deterministic: the same parent configuration
+// always yields the same children. The parent's own stream position is
+// not consumed.
+func (g *Generator) Split(n int) ([]*Generator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: cannot split into %d generators", n)
+	}
+	out := make([]*Generator, n)
+	state := uint64(g.cfg.Seed)
+	for i := range out {
+		state += 0x9e3779b97f4a7c15
+		cfg := g.cfg
+		cfg.Seed = int64(mix64(state))
+		child, err := NewGenerator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = child
+	}
+	return out, nil
+}
+
+// mix64 is the splitmix64 output function.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Next returns the next operation in the stream.
 func (g *Generator) Next() Op {
 	op := Op{Coordinator: g.members[g.rng.Intn(len(g.members))]}
@@ -188,13 +222,21 @@ func (o RunOptions) withDefaults() RunOptions {
 	return o
 }
 
-// Run drives a cluster with operations from per-worker generators derived
-// from cfg (seeds offset by worker index). When rec is non-nil, completed
+// Run drives a cluster with operations from per-worker generators split
+// off cfg's stream (see Generator.Split). When rec is non-nil, completed
 // operations are recorded for one-copy-serializability checking.
 func Run(ctx context.Context, cluster *core.Cluster, cfg Config, opts RunOptions, rec *onecopy.Recorder) (Stats, error) {
 	opts = opts.withDefaults()
 	if cfg.Members.Empty() {
 		cfg.Members = cluster.Members
+	}
+	root, err := NewGenerator(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	gens, err := root.Split(opts.Concurrency)
+	if err != nil {
+		return Stats{}, err
 	}
 	var (
 		mu    sync.Mutex
@@ -212,16 +254,11 @@ func Run(ctx context.Context, cluster *core.Cluster, cfg Config, opts RunOptions
 		if n == 0 {
 			continue
 		}
-		wcfg := cfg
-		wcfg.Seed = cfg.Seed + int64(w)*1_000_003
-		gen, err := NewGenerator(wcfg)
-		if err != nil {
-			return Stats{}, err
-		}
+		gen := gens[w]
 		wg.Add(1)
 		go func(gen *Generator, n int, w int) {
 			defer wg.Done()
-			jitter := rand.New(rand.NewSource(wcfg.Seed ^ 0x5eed))
+			jitter := rand.New(rand.NewSource(gen.cfg.Seed ^ 0x5eed))
 			for i := 0; i < n; i++ {
 				op := gen.Next()
 				if err := runOne(ctx, cluster, op, opts, rec, jitter, &mu, &stats); err != nil {
