@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-loadgen ci
+.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs check-obs-imports ci
 
 all: build
 
@@ -34,4 +34,20 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1Dynamic|BenchmarkSimAvailability' -benchmem -count=5 -benchtime=1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkQuorumMessages' -benchmem -count=5 -benchtime=50x .
 
-ci: vet build race bench-smoke bench-loadgen
+# bench-obs measures the observability overhead — loadgen with the full
+# registry + flight recorder vs obs.Nop, at GOMAXPROCS=1 and 4 — and writes
+# BENCH_3.json. The budget is 5% (DESIGN.md §7).
+bench-obs:
+	$(GO) run ./scripts/benchobs -duration 2s -trials 3
+
+# check-obs-imports enforces the obs data-plane discipline: internal/obs
+# must not import fmt, log, os, io or encoding packages — formatting and
+# exposition live in internal/obs/expose.
+check-obs-imports:
+	@bad=$$($(GO) list -f '{{join .Imports "\n"}}' ./internal/obs | grep -Ex 'fmt|log|os|io|encoding(/.*)?' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "internal/obs imports forbidden data-plane packages:"; echo "$$bad"; exit 1; \
+	fi; \
+	echo "check-obs-imports: internal/obs is clean"
+
+ci: vet build check-obs-imports race bench-smoke bench-loadgen bench-obs

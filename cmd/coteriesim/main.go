@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"coterie/internal/coterie"
 	"coterie/internal/markov"
+	"coterie/internal/obs"
 	"coterie/internal/sim"
 )
 
@@ -33,15 +35,21 @@ func main() {
 		checkEvery = flag.Float64("check-every", 0, "epoch-check period (0 = after every event)")
 		seeds      = flag.Int("seeds", 1, "number of independent seeds to average")
 		compare    = flag.Bool("compare", true, "also print the analytic Figure 3 value")
+		obsOn      = flag.Bool("obs", true, "record obs counters and print them to stderr at exit")
 	)
 	flag.Parse()
 
+	reg := obs.Nop
+	if *obsOn {
+		reg = obs.New()
+	}
 	cfg := sim.Config{
 		N:          *n,
 		Lambda:     *lambda,
 		Mu:         *mu,
 		Horizon:    *horizon,
 		CheckEvery: *checkEvery,
+		Obs:        reg,
 	}
 	switch *modelName {
 	case "paper":
@@ -88,6 +96,13 @@ func main() {
 		analytic, err := markov.DynamicGridModel{N: *n, Lambda: *lambda, Mu: *mu}.UnavailabilityFloat(0)
 		if err == nil {
 			fmt.Printf("analytic Figure 3 value:  %.6g\n", analytic)
+		}
+	}
+
+	if reg != obs.Nop {
+		fmt.Fprintln(os.Stderr, "--- obs summary (totals across seeds) ---")
+		for _, c := range reg.Snapshot().Counters {
+			fmt.Fprintf(os.Stderr, "%-30s %d\n", c.Name, c.Value)
 		}
 	}
 }

@@ -14,27 +14,42 @@
 // those shared structures serialized independent operations behind
 // global mutexes; loadgen exists to measure exactly that.
 //
-// Output is one JSON object on stdout (see result), suitable for
-// collecting into BENCH_2.json. Typical use:
+// Observability (-obs, on by default) attaches the obs registry and a
+// flight recorder to every layer; -metrics ADDR additionally serves the
+// live registry over HTTP (Prometheus text at /, ?format=json,
+// ?format=traces). -latency injects per-call network delay and -churn
+// crashes/restarts nodes with epoch checks in between, which surfaces the
+// paper's failure-path metrics: epoch redirects, stale marks and the
+// staleness-duration histogram. A human-readable summary and one sample
+// flight trace go to stderr; stdout stays one pure JSON object (see
+// result), suitable for collecting into BENCH_2.json / BENCH_3.json.
+// Typical use:
 //
 //	go run ./cmd/loadgen -nodes 9 -items 8 -workers 8 -duration 3s
-//	GOMAXPROCS=4 go run ./cmd/loadgen -read-frac 0.8
+//	go run ./cmd/loadgen -latency 200us -churn 300ms -metrics :9090
+//	GOMAXPROCS=4 go run ./cmd/loadgen -read-frac 0.8 -obs=false
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"coterie/internal/core"
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
+	"coterie/internal/obs/expose"
 	"coterie/internal/replica"
 	"coterie/internal/transport"
 )
@@ -51,28 +66,63 @@ type config struct {
 	timeout     time.Duration
 	callTimeout time.Duration
 	disjoint    bool
+	obsOn       bool
+	metricsAddr string
+	latency     time.Duration
+	churn       time.Duration
+	traceCap    int
+}
+
+// outcomes is the per-operation-type disposition breakdown.
+type outcomes struct {
+	OK          int `json:"ok"`
+	Unavailable int `json:"quorum_unavailable"`
+	Conflict    int `json:"conflict"`
+	TimedOut    int `json:"timed_out"`
+	Other       int `json:"other"`
+}
+
+func (o *outcomes) add(err error) {
+	switch {
+	case err == nil:
+		o.OK++
+	case errors.Is(err, context.DeadlineExceeded):
+		o.TimedOut++
+	case errors.Is(err, core.ErrConflict):
+		o.Conflict++
+	case errors.Is(err, core.ErrUnavailable):
+		o.Unavailable++
+	default:
+		o.Other++
+	}
 }
 
 // result is the JSON report. Latencies are microseconds.
 type result struct {
-	Nodes      int     `json:"nodes"`
-	Items      int     `json:"items"`
-	Workers    int     `json:"workers"`
-	ReadFrac   float64 `json:"read_frac"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	NumCPU     int     `json:"num_cpu"`
-	Seed       int64   `json:"seed"`
-	ElapsedSec float64 `json:"elapsed_sec"`
-	Ops        int     `json:"ops"`
-	Reads      int     `json:"reads"`
-	Writes     int     `json:"writes"`
-	Conflicts  int     `json:"conflicts"`
-	Failures   int     `json:"failures"`
-	OpsPerSec  float64 `json:"ops_per_sec"`
-	ReadP50us  int64   `json:"read_p50_us"`
-	ReadP99us  int64   `json:"read_p99_us"`
-	WriteP50us int64   `json:"write_p50_us"`
-	WriteP99us int64   `json:"write_p99_us"`
+	Nodes         int              `json:"nodes"`
+	Items         int              `json:"items"`
+	Workers       int              `json:"workers"`
+	ReadFrac      float64          `json:"read_frac"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	NumCPU        int              `json:"num_cpu"`
+	Seed          int64            `json:"seed"`
+	Obs           bool             `json:"obs"`
+	LatencyUs     int64            `json:"latency_us"`
+	ChurnMs       int64            `json:"churn_ms"`
+	ElapsedSec    float64          `json:"elapsed_sec"`
+	Ops           int              `json:"ops"`
+	Reads         int              `json:"reads"`
+	Writes        int              `json:"writes"`
+	Conflicts     int              `json:"conflicts"`
+	Failures      int              `json:"failures"`
+	OpsPerSec     float64          `json:"ops_per_sec"`
+	ReadP50us     int64            `json:"read_p50_us"`
+	ReadP99us     int64            `json:"read_p99_us"`
+	WriteP50us    int64            `json:"write_p50_us"`
+	WriteP99us    int64            `json:"write_p99_us"`
+	ReadOutcomes  outcomes         `json:"read_outcomes"`
+	WriteOutcomes outcomes         `json:"write_outcomes"`
+	Metrics       map[string]int64 `json:"metrics,omitempty"`
 }
 
 // workerStats accumulates one worker's counts and latency samples; workers
@@ -80,6 +130,7 @@ type result struct {
 type workerStats struct {
 	reads, writes       int
 	conflicts, failures int
+	readOut, writeOut   outcomes
 	readLat, writeLat   []time.Duration
 }
 
@@ -96,6 +147,11 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "op-timeout", 5*time.Second, "per-operation timeout")
 	flag.DurationVar(&cfg.callTimeout, "call-timeout", 250*time.Millisecond, "per-RPC-round timeout (also scales lock leases)")
 	flag.BoolVar(&cfg.disjoint, "disjoint", false, "pin worker w to item w%items: no protocol-level lock conflicts, isolating shared-structure contention")
+	flag.BoolVar(&cfg.obsOn, "obs", true, "attach the observability registry and flight recorder")
+	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve live metrics over HTTP on this address (e.g. :9090); requires -obs")
+	flag.DurationVar(&cfg.latency, "latency", 0, "mean injected per-call network latency (0 = none)")
+	flag.DurationVar(&cfg.churn, "churn", 0, "crash/restart a node with epoch checks at this cadence (0 = none)")
+	flag.IntVar(&cfg.traceCap, "trace-cap", 256, "flight recorder ring capacity")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -107,7 +163,38 @@ func run(cfg config) error {
 	if cfg.nodes <= 0 || cfg.items <= 0 || cfg.workers <= 0 {
 		return fmt.Errorf("nodes, items and workers must be positive")
 	}
-	net := transport.NewNetwork(transport.WithSeed(cfg.seed))
+
+	reg := obs.Nop
+	if cfg.obsOn {
+		reg = obs.New()
+		reg.SetFlight(obs.NewFlightRecorder(cfg.traceCap))
+	}
+	if cfg.metricsAddr != "" {
+		if reg == obs.Nop {
+			return fmt.Errorf("-metrics requires -obs")
+		}
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: expose.Handler(reg)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "loadgen: serving metrics on http://%s/ (?format=json, ?format=traces)\n", ln.Addr())
+	}
+
+	tOpts := []transport.Option{transport.WithSeed(cfg.seed)}
+	if reg != obs.Nop {
+		tOpts = append(tOpts, transport.WithObs(reg))
+	}
+	if cfg.latency > 0 {
+		mean := cfg.latency
+		tOpts = append(tOpts, transport.WithLatency(func(r *rand.Rand) time.Duration {
+			return mean/2 + time.Duration(r.Int63n(int64(mean)))
+		}))
+	}
+	netw := transport.NewNetwork(tOpts...)
 	members := nodeset.Range(0, nodeset.ID(cfg.nodes))
 
 	// One replica node per member; every node replicates every item and
@@ -116,10 +203,10 @@ func run(cfg config) error {
 	// relation): conflicting operations that wedge each other's quorum
 	// locks resolve on the lease, so a short round timeout keeps the
 	// closed loop moving instead of measuring lease expiries.
-	rcfg := replica.Config{LockLease: 4 * cfg.callTimeout}
+	rcfg := replica.Config{LockLease: 4 * cfg.callTimeout, Obs: reg}
 	nodes := make([]*replica.Node, cfg.nodes)
 	for i := range nodes {
-		nodes[i] = replica.NewNode(nodeset.ID(i), net, rcfg)
+		nodes[i] = replica.NewNode(nodeset.ID(i), netw, rcfg)
 		defer nodes[i].Close()
 	}
 	coords := make([][]*core.Coordinator, cfg.items) // [item][node]
@@ -131,9 +218,10 @@ func run(cfg config) error {
 			if err != nil {
 				return err
 			}
-			coords[it][i] = core.NewCoordinator(rep, net, members, core.Options{
+			coords[it][i] = core.NewCoordinator(rep, netw, members, core.Options{
 				CallTimeout: cfg.callTimeout,
 				Replica:     rcfg,
+				Obs:         reg,
 			})
 		}
 	}
@@ -143,6 +231,15 @@ func run(cfg config) error {
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	start := time.Now()
+
+	if cfg.churn > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			churnLoop(ctx, cfg, netw, coords, deadline)
+		}()
+	}
+
 	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -159,7 +256,9 @@ func run(cfg config) error {
 				opCtx, cancel := context.WithTimeout(ctx, cfg.timeout)
 				if rng.Float64() < cfg.readFrac {
 					began := time.Now()
-					if _, _, err := co.Read(opCtx); err == nil {
+					_, _, err := co.Read(opCtx)
+					st.readOut.add(err)
+					if err == nil {
 						st.reads++
 						st.readLat = append(st.readLat, time.Since(began))
 					} else {
@@ -173,10 +272,12 @@ func run(cfg config) error {
 					}
 					u := replica.Update{Offset: rng.Intn(cfg.itemSize - length + 1), Data: data}
 					began := time.Now()
-					if _, err := co.Write(opCtx, u); err == nil {
+					_, err := co.Write(opCtx, u)
+					st.writeOut.add(err)
+					if err == nil {
 						st.writes++
 						st.writeLat = append(st.writeLat, time.Since(began))
-					} else if isConflict(err) {
+					} else if errors.Is(err, core.ErrConflict) {
 						st.conflicts++
 					} else {
 						st.failures++
@@ -195,6 +296,9 @@ func run(cfg config) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Seed:       cfg.seed,
+		Obs:        cfg.obsOn,
+		LatencyUs:  cfg.latency.Microseconds(),
+		ChurnMs:    cfg.churn.Milliseconds(),
 		ElapsedSec: elapsed.Seconds(),
 	}
 	var readLat, writeLat []time.Duration
@@ -204,6 +308,8 @@ func run(cfg config) error {
 		res.Writes += st.writes
 		res.Conflicts += st.conflicts
 		res.Failures += st.failures
+		addOutcomes(&res.ReadOutcomes, st.readOut)
+		addOutcomes(&res.WriteOutcomes, st.writeOut)
 		readLat = append(readLat, st.readLat...)
 		writeLat = append(writeLat, st.writeLat...)
 	}
@@ -214,27 +320,132 @@ func run(cfg config) error {
 	res.WriteP50us = percentile(writeLat, 0.50).Microseconds()
 	res.WriteP99us = percentile(writeLat, 0.99).Microseconds()
 
+	if reg != obs.Nop {
+		snap := reg.Snapshot()
+		res.Metrics = make(map[string]int64, len(snap.Counters))
+		for _, c := range snap.Counters {
+			if c.Value != 0 {
+				res.Metrics[c.Name] = c.Value
+			}
+		}
+		printSummary(os.Stderr, snap)
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	return enc.Encode(res)
 }
 
-// isConflict matches core.ErrConflict without errors.Is to stay
-// compile-compatible across harness revisions.
-func isConflict(err error) bool {
-	for ; err != nil; err = unwrap(err) {
-		if err == core.ErrConflict {
-			return true
+// churnLoop crashes one node at a time, runs epoch checks so the survivors
+// install a smaller epoch, restarts the node and checks again so it is
+// readmitted (stale) and propagation brings it current. This exercises the
+// paper's failure path end to end: epoch redirects on the coordinators
+// whose cached epoch went stale, stale marks on the readmitted replica,
+// and a populated staleness-duration histogram.
+func churnLoop(ctx context.Context, cfg config, netw *transport.Network, coords [][]*core.Coordinator, deadline time.Time) {
+	rng := rand.New(rand.NewSource(int64(mix64(uint64(cfg.seed) ^ 0xc0ffee))))
+	checkAll := func(avoid nodeset.ID) {
+		for it := range coords {
+			from := nodeset.ID(rng.Intn(cfg.nodes))
+			if from == avoid {
+				from = (from + 1) % nodeset.ID(cfg.nodes)
+			}
+			checkCtx, cancel := context.WithTimeout(ctx, cfg.timeout)
+			_, _ = coords[it][from].CheckEpoch(checkCtx)
+			cancel()
 		}
 	}
-	return false
+	for time.Now().Before(deadline) {
+		victim := nodeset.ID(rng.Intn(cfg.nodes))
+		netw.Crash(victim)
+		checkAll(victim)
+		if !sleepUntil(cfg.churn, deadline) {
+			netw.Restart(victim)
+			checkAll(victim)
+			return
+		}
+		netw.Restart(victim)
+		checkAll(victim)
+		if !sleepUntil(cfg.churn, deadline) {
+			return
+		}
+	}
 }
 
-func unwrap(err error) error {
-	u, ok := err.(interface{ Unwrap() error })
-	if !ok {
-		return nil
+// sleepUntil sleeps d but not past the deadline; it reports whether the
+// deadline is still ahead.
+func sleepUntil(d time.Duration, deadline time.Time) bool {
+	if remain := time.Until(deadline); remain < d {
+		if remain > 0 {
+			time.Sleep(remain)
+		}
+		return false
 	}
-	return u.Unwrap()
+	time.Sleep(d)
+	return true
+}
+
+// printSummary writes the human-readable end-of-run report: the headline
+// protocol metrics and one sample flight trace (preferring a partial write
+// that marked replicas stale — the trace the paper's Section 4.2 story is
+// about).
+func printSummary(w *os.File, snap obs.Snapshot) {
+	fmt.Fprintln(w, "--- obs summary ---")
+	for _, c := range snap.Counters {
+		if c.Value != 0 {
+			fmt.Fprintf(w, "%-45s %d\n", c.Name, c.Value)
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Hist.Count == 0 {
+			continue
+		}
+		p50, p99 := h.Hist.Quantile(0.50), h.Hist.Quantile(0.99)
+		if strings.HasSuffix(h.Name, "_ns") {
+			fmt.Fprintf(w, "%-45s count=%d p50=%s p99=%s\n", h.Name, h.Hist.Count,
+				time.Duration(p50), time.Duration(p99))
+		} else {
+			fmt.Fprintf(w, "%-45s count=%d p50=%d p99=%d\n", h.Name, h.Hist.Count, p50, p99)
+		}
+	}
+	if tr := sampleTrace(snap.Traces); tr != nil {
+		fmt.Fprintln(w, "--- sample flight trace ---")
+		fmt.Fprint(w, expose.FormatTrace(tr))
+	}
+}
+
+// sampleTrace picks the most interesting completed trace: a write with a
+// stale-mark event if one exists, else any write, else any trace.
+func sampleTrace(traces []obs.Trace) *obs.Trace {
+	var anyWrite, any *obs.Trace
+	for i := range traces {
+		tr := &traces[i]
+		if any == nil {
+			any = tr
+		}
+		if tr.Kind != obs.OpWrite {
+			continue
+		}
+		if anyWrite == nil {
+			anyWrite = tr
+		}
+		for _, e := range tr.EventsSlice() {
+			if e.Kind == obs.EvStaleMark {
+				return tr
+			}
+		}
+	}
+	if anyWrite != nil {
+		return anyWrite
+	}
+	return any
+}
+
+func addOutcomes(dst *outcomes, src outcomes) {
+	dst.OK += src.OK
+	dst.Unavailable += src.Unavailable
+	dst.Conflict += src.Conflict
+	dst.TimedOut += src.TimedOut
+	dst.Other += src.Other
 }
 
 // percentile returns the p-quantile of samples (nearest-rank); zero when

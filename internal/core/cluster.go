@@ -34,10 +34,17 @@ func NewCluster(n int, item string, initial []byte, opts Options) (*Cluster, err
 	if n <= 0 {
 		return nil, fmt.Errorf("core: cluster needs at least one node, got %d", n)
 	}
+	opts = opts.withDefaults()
+	tOpts := opts.Transport
+	if opts.Obs != nil {
+		// The cluster's network records into the same registry as the
+		// coordinators and replicas, so one snapshot covers every layer.
+		tOpts = append(append([]transport.Option{}, tOpts...), transport.WithObs(opts.Obs))
+	}
 	c := &Cluster{
-		Net:          transport.NewNetwork(opts.withDefaults().Transport...),
+		Net:          transport.NewNetwork(tOpts...),
 		Members:      nodeset.Range(0, nodeset.ID(n)),
-		opts:         opts.withDefaults(),
+		opts:         opts,
 		item:         item,
 		nodes:        make(map[nodeset.ID]*replica.Node),
 		coordinators: make(map[nodeset.ID]*Coordinator),

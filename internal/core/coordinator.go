@@ -7,6 +7,7 @@ import (
 
 	"coterie/internal/coterie"
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 	"coterie/internal/replica"
 	"coterie/internal/transport"
 )
@@ -27,6 +28,12 @@ type Coordinator struct {
 	// hot-path quorum checks run allocation-free (see coterie.Layout). The
 	// cache invalidates itself whenever a response carries a newer epoch.
 	layouts *coterie.Cache
+	// obsReg and metrics are the observability attachments: counters are
+	// resolved once here, and the flight recorder is re-read from the
+	// registry per operation (an atomic load) so attaching one mid-run
+	// takes effect. Both are nil-safe when observability is disabled.
+	obsReg  *obs.Registry
+	metrics coordMetrics
 }
 
 // NewCoordinator builds a coordinator around the local replica `item`.
@@ -39,6 +46,8 @@ func NewCoordinator(item *replica.Item, net *transport.Network, all nodeset.Set,
 		all:     all.Clone(),
 		opts:    opts,
 		layouts: coterie.NewCache(opts.Rule),
+		obsReg:  opts.Obs,
+		metrics: newCoordMetrics(opts.Obs),
 	}
 }
 
@@ -236,6 +245,14 @@ func (c *Coordinator) Write(ctx context.Context, u replica.Update) (uint64, erro
 		return 0, err
 	}
 	op := c.item.NextOp()
+	c.metrics.writes.Inc()
+	a := c.obsReg.Flight().Begin(obs.OpWrite, c.item.Self(), uint64(op.Seq), c.item.Name())
+	version, err := c.write(ctx, a, op, u)
+	a.End(outcomeOf(err), version)
+	return version, err
+}
+
+func (c *Coordinator) write(ctx context.Context, a *obs.ActiveOp, op replica.OpID, u replica.Update) (uint64, error) {
 	local := c.item.State()
 
 	lay := c.layout(local.EpochNum, local.Epoch)
@@ -243,12 +260,20 @@ func (c *Coordinator) Write(ctx context.Context, u replica.Update) (uint64, erro
 	if !ok {
 		// The local epoch list admits no quorum at all (degenerate state);
 		// go heavy immediately.
-		return c.heavyWrite(ctx, op, u, nodeset.Set{})
+		return c.heavyWrite(ctx, a, op, u, nodeset.Set{})
 	}
-	responses := c.lockRound(ctx, op, quorum, replica.LockWrite)
+	rows, cols, _ := lay.GridShape()
+	a.Quorum(quorum, rows, cols)
+	began := a.Elapsed()
+	responses, busy := c.lockRoundBusy(ctx, op, quorum, replica.LockWrite)
+	a.Phase(obs.PhaseLock, began, len(responses), busy.Len())
+	if !busy.Empty() {
+		a.LockBusy(busy)
+	}
 	cl := classify(responses)
+	c.noteRedirect(a, local.EpochNum, cl)
 	if !cl.responders.Empty() && c.layoutAt(lay, local.EpochNum, cl.maxEpoch).IsWriteQuorum(cl.responders) && cl.currentReachable() {
-		version, err := c.executeWrite(ctx, op, u, cl)
+		version, err := c.executeWrite(ctx, a, op, u, cl)
 		if err == nil {
 			return version, nil
 		}
@@ -261,14 +286,21 @@ func (c *Coordinator) Write(ctx context.Context, u replica.Update) (uint64, erro
 		// through to the heavy procedure, as the paper does when the
 		// atomic action fails.
 	}
-	return c.heavyWrite(ctx, op, u, cl.responders)
+	return c.heavyWrite(ctx, a, op, u, cl.responders)
 }
 
 // heavyWrite is the paper's HeavyProcedure: request permission from every
 // replica (re-polling is idempotent for nodes already locked by this op),
 // then either execute the write or abort.
-func (c *Coordinator) heavyWrite(ctx context.Context, op replica.OpID, u replica.Update, alreadyLocked nodeset.Set) (uint64, error) {
-	responses := c.lockRound(ctx, op, c.all, replica.LockWrite)
+func (c *Coordinator) heavyWrite(ctx context.Context, a *obs.ActiveOp, op replica.OpID, u replica.Update, alreadyLocked nodeset.Set) (uint64, error) {
+	c.metrics.heavy.Inc()
+	a.Heavy()
+	began := a.Elapsed()
+	responses, busy := c.lockRoundBusy(ctx, op, c.all, replica.LockWrite)
+	a.Phase(obs.PhaseLock, began, len(responses), busy.Len())
+	if !busy.Empty() {
+		a.LockBusy(busy)
+	}
 	cl := classify(responses)
 	release := alreadyLocked.Union(cl.responders)
 	if cl.responders.Empty() ||
@@ -280,7 +312,7 @@ func (c *Coordinator) heavyWrite(ctx context.Context, op replica.OpID, u replica
 		c.abortAll(ctx, op, release)
 		return 0, fmt.Errorf("%w: no write quorum with a current replica (epoch %d)", ErrUnavailable, cl.maxEpoch.EpochNum)
 	}
-	version, err := c.executeWrite(ctx, op, u, cl)
+	version, err := c.executeWrite(ctx, a, op, u, cl)
 	if err != nil {
 		c.abortAll(ctx, op, release)
 		return 0, err
@@ -296,18 +328,21 @@ func (c *Coordinator) heavyWrite(ctx context.Context, op replica.OpID, u replica
 // responders apply the update (carrying the stale list for propagation),
 // the remaining responders are marked stale with the desired version the
 // good replicas will reach.
-func (c *Coordinator) executeWrite(ctx context.Context, op replica.OpID, u replica.Update, cl classification) (uint64, error) {
+func (c *Coordinator) executeWrite(ctx context.Context, a *obs.ActiveOp, op replica.OpID, u replica.Update, cl classification) (uint64, error) {
 	newVersion := cl.maxVersion + 1
 	goodSet := cl.good
 
+	began := a.Elapsed()
 	prepared := c.ackRound(ctx, goodSet, replica.PrepareUpdate{
 		Op: op, Update: u, NewVersion: newVersion, StaleSet: cl.stale, GoodSet: goodSet,
 	})
+	a.Phase(obs.PhasePrepare, began, prepared.Len(), 0)
 	if !prepared.Equal(goodSet) {
 		c.abortAll(ctx, op, cl.responders)
 		return 0, fmt.Errorf("%w: %d of %d good replicas failed to prepare", ErrConflict, goodSet.Len()-prepared.Len(), goodSet.Len())
 	}
 	if !cl.stale.Empty() {
+		a.StaleMark(cl.stale, newVersion)
 		preparedStale := c.ackRound(ctx, cl.stale, replica.PrepareStale{
 			Op: op, Desired: newVersion, GoodSet: goodSet,
 		})
@@ -316,7 +351,9 @@ func (c *Coordinator) executeWrite(ctx context.Context, op replica.OpID, u repli
 			return 0, fmt.Errorf("%w: stale-marking prepare incomplete", ErrConflict)
 		}
 	}
+	began = a.Elapsed()
 	committed := c.commitAll(ctx, op, cl.responders)
+	a.Phase(obs.PhaseCommit, began, committed.Len(), 0)
 	if !goodSet.Subset(committed) {
 		// The update is not durably applied on the good set; the remaining
 		// prepared participants stay pinned until the decision reaches them
@@ -363,28 +400,51 @@ func (c *Coordinator) applySafetyThreshold(ctx context.Context, op replica.OpID,
 // answered, fetches the value from it, and releases the locks.
 func (c *Coordinator) Read(ctx context.Context) (value []byte, version uint64, err error) {
 	op := c.item.NextOp()
+	c.metrics.reads.Inc()
+	a := c.obsReg.Flight().Begin(obs.OpRead, c.item.Self(), uint64(op.Seq), c.item.Name())
+	value, version, err = c.read(ctx, a, op)
+	a.End(outcomeOf(err), version)
+	return value, version, err
+}
+
+func (c *Coordinator) read(ctx context.Context, a *obs.ActiveOp, op replica.OpID) (value []byte, version uint64, err error) {
 	local := c.item.State()
 
 	lay := c.layout(local.EpochNum, local.Epoch)
 	quorum, ok := lay.ReadQuorum(local.Epoch, hint(op))
 	if !ok {
-		return c.heavyRead(ctx, op, nodeset.Set{})
+		return c.heavyRead(ctx, a, op, nodeset.Set{})
 	}
-	responses := c.lockRound(ctx, op, quorum, replica.LockRead)
+	rows, cols, _ := lay.GridShape()
+	a.Quorum(quorum, rows, cols)
+	began := a.Elapsed()
+	responses, busy := c.lockRoundBusy(ctx, op, quorum, replica.LockRead)
+	a.Phase(obs.PhaseLock, began, len(responses), busy.Len())
+	if !busy.Empty() {
+		a.LockBusy(busy)
+	}
 	cl := classify(responses)
+	c.noteRedirect(a, local.EpochNum, cl)
 	if !cl.responders.Empty() && c.layoutAt(lay, local.EpochNum, cl.maxEpoch).IsReadQuorum(cl.responders) && cl.currentReachable() {
-		value, version, err = c.fetchBest(ctx, op, cl)
+		value, version, err = c.fetchBest(ctx, a, op, cl)
 		c.abortAll(ctx, op, cl.responders)
 		if err == nil {
 			return value, version, nil
 		}
 	}
-	return c.heavyRead(ctx, op, cl.responders)
+	return c.heavyRead(ctx, a, op, cl.responders)
 }
 
 // heavyRead polls all replicas, mirroring HeavyProcedure for reads.
-func (c *Coordinator) heavyRead(ctx context.Context, op replica.OpID, alreadyLocked nodeset.Set) ([]byte, uint64, error) {
-	responses := c.lockRound(ctx, op, c.all, replica.LockRead)
+func (c *Coordinator) heavyRead(ctx context.Context, a *obs.ActiveOp, op replica.OpID, alreadyLocked nodeset.Set) ([]byte, uint64, error) {
+	c.metrics.heavy.Inc()
+	a.Heavy()
+	began := a.Elapsed()
+	responses, busy := c.lockRoundBusy(ctx, op, c.all, replica.LockRead)
+	a.Phase(obs.PhaseLock, began, len(responses), busy.Len())
+	if !busy.Empty() {
+		a.LockBusy(busy)
+	}
 	cl := classify(responses)
 	release := alreadyLocked.Union(cl.responders)
 	defer c.abortAll(ctx, op, release)
@@ -393,12 +453,12 @@ func (c *Coordinator) heavyRead(ctx context.Context, op replica.OpID, alreadyLoc
 		!cl.currentReachable() {
 		return nil, 0, fmt.Errorf("%w: no read quorum with a current replica (epoch %d)", ErrUnavailable, cl.maxEpoch.EpochNum)
 	}
-	return c.fetchBest(ctx, op, cl)
+	return c.fetchBest(ctx, a, op, cl)
 }
 
 // fetchBest retrieves the value from a good responder at the maximum
 // version, preferring the local replica to save a round trip.
-func (c *Coordinator) fetchBest(ctx context.Context, op replica.OpID, cl classification) ([]byte, uint64, error) {
+func (c *Coordinator) fetchBest(ctx context.Context, a *obs.ActiveOp, op replica.OpID, cl classification) ([]byte, uint64, error) {
 	target, ok := cl.good.Min()
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: no current replica in quorum", ErrUnavailable)
@@ -408,12 +468,15 @@ func (c *Coordinator) fetchBest(ctx context.Context, op replica.OpID, cl classif
 	}
 	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
 	defer cancel()
+	began := a.Elapsed()
 	reply, err := c.net.Call(callCtx, c.item.Self(), target, replica.Envelope{
 		Item: c.item.Name(), Msg: replica.FetchValue{Op: op},
 	})
 	if err != nil {
+		a.Phase(obs.PhaseFetch, began, 0, 0)
 		return nil, 0, fmt.Errorf("%w: value fetch from %v failed", ErrUnavailable, target)
 	}
+	a.Phase(obs.PhaseFetch, began, 1, 0)
 	vr, ok := reply.(replica.ValueReply)
 	if !ok {
 		return nil, 0, fmt.Errorf("core: unexpected fetch reply %T", reply)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"coterie/internal/coterie"
+	"coterie/internal/obs"
 	"coterie/internal/replica"
 	"coterie/internal/transport"
 )
@@ -56,6 +57,11 @@ type Options struct {
 	// update to additional recorded-good replicas so that at least that
 	// many replicas hold the new value before the write returns.
 	SafetyThreshold int
+	// Obs is the observability registry coordinator metrics and flight
+	// traces are recorded into. It is propagated to the replica layer
+	// (Replica.Obs) and, in NewCluster, to the transport. Default nil
+	// (obs.Nop): every recording site is a no-op.
+	Obs *obs.Registry
 	// Replica configures the per-node replica behavior.
 	Replica replica.Config
 	// Transport options are applied to the cluster's network — e.g.
@@ -81,6 +87,9 @@ func (o Options) withDefaults() Options {
 		// at or below CallTimeout expires exactly when a straggler burns
 		// the whole round, aborting healthy writes.
 		o.Replica.LockLease = 4 * o.CallTimeout
+	}
+	if o.Replica.Obs == nil {
+		o.Replica.Obs = o.Obs
 	}
 	return o
 }

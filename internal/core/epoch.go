@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 	"coterie/internal/replica"
 	"coterie/internal/transport"
 )
@@ -26,16 +27,50 @@ type CheckResult struct {
 // of the newest epoch, in which case the epoch (and the data item) stays
 // unavailable until more replicas return.
 func (c *Coordinator) CheckEpoch(ctx context.Context) (CheckResult, error) {
+	c.metrics.epochChecks.Inc()
+	a := c.obsReg.Flight().Begin(obs.OpEpochChange, c.item.Self(), 0, c.item.Name())
 	// Round 0: lock-free poll of all replicas.
+	began := a.Elapsed()
 	states := c.pollAll(ctx)
-	return c.checkEpochFromPoll(ctx, states)
+	a.Phase(obs.PhasePoll, began, len(states), 0)
+	res, err := c.checkEpochTraced(ctx, a, states)
+	a.End(epochOutcome(res, err), res.EpochNum)
+	if res.Changed {
+		c.metrics.epochChanges.Inc()
+	}
+	return res, err
 }
 
 // checkEpochFromPoll continues an epoch check from already-collected poll
 // responses. Grouped epoch management (Group.CheckEpochs) shares one poll
 // round across all items on the same node set and feeds each item's slice
-// of it here.
+// of it here. Each item's check still gets its own flight trace; the poll
+// phase's duration is unknown here (it ran before this trace began) and is
+// recorded as zero.
 func (c *Coordinator) checkEpochFromPoll(ctx context.Context, states []response) (CheckResult, error) {
+	c.metrics.epochChecks.Inc()
+	a := c.obsReg.Flight().Begin(obs.OpEpochChange, c.item.Self(), 0, c.item.Name())
+	a.Phase(obs.PhasePoll, 0, len(states), 0)
+	res, err := c.checkEpochTraced(ctx, a, states)
+	a.End(epochOutcome(res, err), res.EpochNum)
+	if res.Changed {
+		c.metrics.epochChanges.Inc()
+	}
+	return res, err
+}
+
+// epochOutcome maps an epoch check's result to its trace outcome: an
+// installed epoch is OutcomeOK, a confirmed-current epoch OutcomeNoChange.
+func epochOutcome(res CheckResult, err error) obs.Outcome {
+	if err == nil && !res.Changed {
+		return obs.OutcomeNoChange
+	}
+	return outcomeOf(err)
+}
+
+// checkEpochTraced is the epoch-checking algorithm proper, recording its
+// lifecycle into a (possibly nil) flight trace.
+func (c *Coordinator) checkEpochTraced(ctx context.Context, a *obs.ActiveOp, states []response) (CheckResult, error) {
 	cl := classify(states)
 	if cl.responders.Empty() {
 		return CheckResult{}, fmt.Errorf("%w: no replica reachable", ErrUnavailable)
@@ -58,7 +93,12 @@ func (c *Coordinator) checkEpochFromPoll(ctx context.Context, states []response)
 	var lcl classification
 	for attempt := 0; ; attempt++ {
 		var busy nodeset.Set
+		began := a.Elapsed()
 		locked, busy = c.lockRoundBusy(ctx, op, cl.responders.Union(cl.recovering), replica.LockWrite)
+		a.Phase(obs.PhaseLock, began, len(locked), busy.Len())
+		if !busy.Empty() {
+			a.LockBusy(busy)
+		}
 		lcl = classify(locked)
 		if !lcl.responders.Empty() && c.layout(lcl.maxEpoch.EpochNum, lcl.maxEpoch.Epoch).IsWriteQuorum(lcl.responders) {
 			break
@@ -86,14 +126,24 @@ func (c *Coordinator) checkEpochFromPoll(ctx context.Context, states []response)
 
 	newNum := lcl.maxEpoch.EpochNum + 1
 	staleSet := newEpoch.Diff(lcl.good)
+	if !staleSet.Empty() {
+		// The new epoch admits these members as stale with the current
+		// maximum version as their desired version — the predicted stale
+		// set of this epoch change.
+		a.StaleMark(staleSet, lcl.maxVersion)
+	}
+	began := a.Elapsed()
 	prepared := c.ackRound(ctx, newEpoch, replica.PrepareEpoch{
 		Op: op, Epoch: newEpoch, EpochNum: newNum, Good: lcl.good, MaxVersion: lcl.maxVersion,
 	})
+	a.Phase(obs.PhasePrepare, began, prepared.Len(), 0)
 	if !prepared.Equal(newEpoch) {
 		c.abortAll(ctx, op, release)
 		return CheckResult{}, fmt.Errorf("%w: epoch prepare incomplete (%d/%d)", ErrConflict, prepared.Len(), newEpoch.Len())
 	}
+	began = a.Elapsed()
 	committed := c.commitAll(ctx, op, newEpoch)
+	a.Phase(obs.PhaseCommit, began, committed.Len(), 0)
 	// Keyed by the new epoch's number: this both checks the commit round and
 	// warms the cache for the first operations on the epoch just installed.
 	if !c.layout(newNum, newEpoch).IsWriteQuorum(committed) {
@@ -101,6 +151,7 @@ func (c *Coordinator) checkEpochFromPoll(ctx context.Context, states []response)
 		// stragglers hold pinned locks until the decision reaches them.
 		return CheckResult{}, fmt.Errorf("%w: epoch commit incomplete", ErrUnavailable)
 	}
+	a.EpochInstall(newEpoch, newNum)
 	return CheckResult{Changed: true, Epoch: newEpoch, EpochNum: newNum, Stale: staleSet}, nil
 }
 

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"errors"
+
+	"coterie/internal/obs"
+)
+
+// coordMetrics are the coordinator's counters, resolved once at
+// construction against the (possibly Nop) registry so the hot path never
+// touches registry maps. Every field is nil-safe: with observability
+// disabled each Inc is a single predictable branch.
+type coordMetrics struct {
+	writes       *obs.Counter // core_writes_total
+	reads        *obs.Counter // core_reads_total
+	epochChecks  *obs.Counter // core_epoch_checks_total
+	epochChanges *obs.Counter // core_epoch_changes_total
+	redirects    *obs.Counter // core_epoch_redirects_total
+	heavy        *obs.Counter // core_heavy_procedures_total
+}
+
+func newCoordMetrics(r *obs.Registry) coordMetrics {
+	return coordMetrics{
+		writes:       r.Counter("core_writes_total"),
+		reads:        r.Counter("core_reads_total"),
+		epochChecks:  r.Counter("core_epoch_checks_total"),
+		epochChanges: r.Counter("core_epoch_changes_total"),
+		redirects:    r.Counter("core_epoch_redirects_total"),
+		heavy:        r.Counter("core_heavy_procedures_total"),
+	}
+}
+
+// outcomeOf maps an operation's error to its trace outcome.
+func outcomeOf(err error) obs.Outcome {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, ErrConflict):
+		return obs.OutcomeConflict
+	case errors.Is(err, ErrUnavailable):
+		return obs.OutcomeUnavailable
+	default:
+		return obs.OutcomeError
+	}
+}
+
+// noteRedirect records an epoch redirect — the response set carried a later
+// epoch than the one quorum selection used — on both the counter and the
+// trace.
+func (c *Coordinator) noteRedirect(a *obs.ActiveOp, cachedNum uint64, cl classification) {
+	if cl.maxEpoch.EpochNum > cachedNum {
+		c.metrics.redirects.Inc()
+		a.Redirect(cachedNum, cl.maxEpoch.EpochNum)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/obs"
+	"coterie/internal/replica"
+)
+
+// obsTestCluster builds a cluster with an observability registry and flight
+// recorder attached.
+func obsTestCluster(t *testing.T, n int) (*Cluster, *obs.Registry) {
+	t.Helper()
+	reg := obs.New()
+	reg.SetFlight(obs.NewFlightRecorder(64))
+	opts := fastOptions()
+	opts.Obs = reg
+	c, err := NewCluster(n, "item", make([]byte, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, reg
+}
+
+// TestWriteFlightTrace checks that a successful write leaves a trace with
+// the quorum selection (including the grid shape), the protocol phases and
+// an OK outcome.
+func TestWriteFlightTrace(t *testing.T) {
+	c, reg := obsTestCluster(t, 4)
+	mustWrite(t, c, 0, replica.Update{Offset: 0, Data: []byte{1}})
+
+	var writes []obs.Trace
+	for _, tr := range reg.Flight().Traces() {
+		if tr.Kind == obs.OpWrite {
+			writes = append(writes, tr)
+		}
+	}
+	if len(writes) != 1 {
+		t.Fatalf("got %d write traces, want 1", len(writes))
+	}
+	tr := writes[0]
+	if tr.Outcome != obs.OutcomeOK || tr.Version != 1 {
+		t.Fatalf("trace outcome=%v version=%d, want OK version 1", tr.Outcome, tr.Version)
+	}
+	var sawQuorum, sawLock, sawCommit bool
+	for _, e := range tr.EventsSlice() {
+		switch e.Kind {
+		case obs.EvQuorum:
+			sawQuorum = true
+			if e.A == 0 || e.B == 0 {
+				t.Errorf("quorum event missing grid shape: rows=%d cols=%d", e.A, e.B)
+			}
+			if e.N <= 0 || e.Nodes.Set().Empty() {
+				t.Errorf("quorum event missing node set: N=%d", e.N)
+			}
+		case obs.EvPhase:
+			switch e.Phase {
+			case obs.PhaseLock:
+				sawLock = true
+			case obs.PhaseCommit:
+				sawCommit = true
+			}
+		}
+	}
+	if !sawQuorum || !sawLock || !sawCommit {
+		t.Fatalf("trace missing events: quorum=%v lock=%v commit=%v", sawQuorum, sawLock, sawCommit)
+	}
+	if got := reg.Counter("core_writes_total").Load(); got != 1 {
+		t.Fatalf("core_writes_total = %d, want 1", got)
+	}
+}
+
+// TestEpochChangeFlightTrace is the ISSUE's cluster-level assertion: an
+// epoch change emits exactly one epoch-change trace, and the stale set the
+// trace predicts matches the CheckResult. A replica that lost its stable
+// state (amnesia) is readmitted as a stale member, so the predicted stale
+// set is deterministic.
+func TestEpochChangeFlightTrace(t *testing.T) {
+	c, reg := obsTestCluster(t, 3)
+	ctx := ctxT(t)
+
+	c.CrashWithAmnesia(2)
+	c.Restart(2)
+
+	res, err := c.CheckEpochFrom(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Changed {
+		t.Fatal("expected an epoch change")
+	}
+	wantStale := nodeset.New(2)
+	if !res.Stale.Equal(wantStale) {
+		t.Fatalf("CheckResult.Stale = %v, want %v", res.Stale, wantStale)
+	}
+
+	var epochs []obs.Trace
+	for _, tr := range reg.Flight().Traces() {
+		if tr.Kind == obs.OpEpochChange {
+			epochs = append(epochs, tr)
+		}
+	}
+	if len(epochs) != 1 {
+		t.Fatalf("got %d epoch-change traces, want exactly 1", len(epochs))
+	}
+	tr := epochs[0]
+	if tr.Outcome != obs.OutcomeOK {
+		t.Fatalf("epoch-change trace outcome = %v, want OK", tr.Outcome)
+	}
+	var staleMark, install *obs.Event
+	for i, e := range tr.EventsSlice() {
+		switch e.Kind {
+		case obs.EvStaleMark:
+			staleMark = &tr.Events[i]
+		case obs.EvEpochInstall:
+			install = &tr.Events[i]
+		}
+	}
+	if staleMark == nil {
+		t.Fatal("epoch-change trace has no stale-mark event")
+	}
+	if got := staleMark.Nodes.Set(); !got.Equal(res.Stale) {
+		t.Fatalf("trace predicted stale set %v, CheckResult says %v", got, res.Stale)
+	}
+	if install == nil {
+		t.Fatal("epoch-change trace has no epoch-install event")
+	}
+	if install.A != res.EpochNum || !install.Nodes.Set().Equal(res.Epoch) {
+		t.Fatalf("install event epoch %d/%v, want %d/%v", install.A, install.Nodes.Set(), res.EpochNum, res.Epoch)
+	}
+
+	if got := reg.Counter("core_epoch_changes_total").Load(); got != 1 {
+		t.Fatalf("core_epoch_changes_total = %d, want 1", got)
+	}
+	if got := reg.Counter("replica_epoch_installs_total").Load(); got == 0 {
+		t.Fatal("replica_epoch_installs_total = 0, want > 0")
+	}
+}
+
+// TestObsDisabledIsNop confirms a cluster without a registry runs every
+// instrumented path with obs.Nop: no metrics, no traces, no panics.
+func TestObsDisabledIsNop(t *testing.T) {
+	c := newTestCluster(t, 3, make([]byte, 8))
+	mustWrite(t, c, 0, replica.Update{Offset: 0, Data: []byte{7}})
+	if _, err := c.CheckEpochFrom(ctxT(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.Nop.Snapshot()
+	if len(snap.Counters)+len(snap.Traces) != 0 {
+		t.Fatalf("Nop registry accumulated state: %+v", snap)
+	}
+}

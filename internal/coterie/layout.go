@@ -91,6 +91,17 @@ func (l *Layout) WriteQuorum(avail nodeset.Set, hint int) (nodeset.Set, bool) {
 	return l.impl.writeQuorum(avail, hint)
 }
 
+// GridShape reports the grid dimensions (rows × cols) the layout was
+// compiled to when its rule is a grid coterie, and ok=false for every other
+// structure. Observability layers use it to annotate quorum selections with
+// the logical structure they were drawn from.
+func (l *Layout) GridShape() (rows, cols int, ok bool) {
+	if g, isGrid := l.impl.(*compiledGrid); isGrid && !g.empty {
+		return g.rows, g.colCount, true
+	}
+	return 0, 0, false
+}
+
 // fallbackRule adapts an uncompiled Rule to the compiledRule interface.
 type fallbackRule struct {
 	rule Rule
@@ -113,8 +124,12 @@ func (f fallbackRule) writeQuorum(avail nodeset.Set, hint int) (nodeset.Set, boo
 // entirely (subject to the strict rule's full-height requirement).
 type compiledGrid struct {
 	empty bool
-	cols  []nodeset.Set  // cols[j] = members of column j+1
-	ids   [][]nodeset.ID // column members top-to-bottom (construction order)
+	// rows and colCount record the logical shape (M × N) the grid was
+	// compiled to, for introspection (Layout.GridShape).
+	rows     int
+	colCount int
+	cols     []nodeset.Set  // cols[j] = members of column j+1
+	ids      [][]nodeset.ID // column members top-to-bottom (construction order)
 	// full[j] is the member count a "fully covered" column j+1 requires, or
 	// 0 when the column can never be full (strict rule, column shortened by
 	// unoccupied positions).
@@ -127,6 +142,7 @@ func compileGrid(g Grid, V nodeset.Set) *compiledGrid {
 		return c
 	}
 	shape := g.shape(V.Len())
+	c.rows, c.colCount = shape.M, shape.N
 	c.cols = make([]nodeset.Set, shape.N)
 	c.ids = make([][]nodeset.ID, shape.N)
 	c.full = make([]int, shape.N)

@@ -1,0 +1,390 @@
+// Package expose renders obs registries for humans and scrapers. It is the
+// exposition half of the observability layer: the obs package records
+// (allocation-free, data-plane), this package formats (fmt/encoding/net,
+// cold path only). Nothing here is called while an operation is in flight.
+package expose
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"coterie/internal/obs"
+)
+
+// WritePrometheus renders a snapshot of r in the Prometheus text exposition
+// format (version 0.0.4). Counter vectors become one series per index with
+// an `index` label; histograms become the conventional `_bucket`/`_sum`/
+// `_count` series with cumulative `le` labels.
+func WritePrometheus(w io.Writer, r *obs.Registry) error {
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, v := range s.Vecs {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", v.Name); err != nil {
+			return err
+		}
+		for i, val := range v.Values {
+			if _, err := fmt.Fprintf(w, "%s{index=\"%d\"} %d\n", v.Name, i, val); err != nil {
+				return err
+			}
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, n := range h.Hist.Buckets {
+			if n == 0 && i != obs.NumBuckets-1 {
+				continue
+			}
+			cum += n
+			le := "+Inf"
+			if i < obs.NumBuckets-1 {
+				le = fmt.Sprintf("%d", obs.BucketUpper(i))
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.Name, le, cum); err != nil {
+				return err
+			}
+		}
+		// The +Inf bucket must equal the total count even if the last
+		// fixed bucket was empty and skipped above.
+		if cum != h.Hist.Count {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Hist.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.Name, h.Hist.Sum, h.Name, h.Hist.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonTrace is the JSON shape of one flight trace.
+type jsonTrace struct {
+	Seq         uint64      `json:"seq"`
+	Kind        string      `json:"kind"`
+	Coordinator int         `json:"coordinator"`
+	OpSeq       uint64      `json:"op_seq"`
+	Item        string      `json:"item,omitempty"`
+	Start       time.Time   `json:"start"`
+	ElapsedNS   int64       `json:"elapsed_ns"`
+	Outcome     string      `json:"outcome"`
+	Version     uint64      `json:"version"`
+	Dropped     int32       `json:"dropped_events,omitempty"`
+	Events      []jsonEvent `json:"events"`
+}
+
+type jsonEvent struct {
+	Kind    string `json:"kind"`
+	Phase   string `json:"phase,omitempty"`
+	WhenNS  int64  `json:"when_ns"`
+	DurNS   int64  `json:"dur_ns,omitempty"`
+	N       int32  `json:"n,omitempty"`
+	A       uint64 `json:"a,omitempty"`
+	B       uint64 `json:"b,omitempty"`
+	Nodes   []int  `json:"nodes,omitempty"`
+	Lossy   bool   `json:"nodes_truncated,omitempty"`
+	Meaning string `json:"meaning,omitempty"`
+}
+
+// jsonSnapshot is the JSON shape of a full registry snapshot.
+type jsonSnapshot struct {
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Vecs       map[string][]uint64 `json:"vectors"`
+	Histograms map[string]jsonHist `json:"histograms"`
+	Traces     []jsonTrace         `json:"traces,omitempty"`
+}
+
+type jsonHist struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Mean    float64           `json:"mean"`
+	P50     uint64            `json:"p50"`
+	P99     uint64            `json:"p99"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// WriteJSON renders a snapshot of r as indented JSON, including flight
+// traces when a recorder is attached.
+func WriteJSON(w io.Writer, r *obs.Registry) error {
+	s := r.Snapshot()
+	out := jsonSnapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Vecs:       make(map[string][]uint64, len(s.Vecs)),
+		Histograms: make(map[string]jsonHist, len(s.Histograms)),
+	}
+	for _, c := range s.Counters {
+		out.Counters[c.Name] = c.Value
+	}
+	for _, g := range s.Gauges {
+		out.Gauges[g.Name] = g.Value
+	}
+	for _, v := range s.Vecs {
+		out.Vecs[v.Name] = v.Values
+	}
+	for _, h := range s.Histograms {
+		jh := jsonHist{
+			Count:   h.Hist.Count,
+			Sum:     h.Hist.Sum,
+			Mean:    h.Hist.Mean(),
+			P50:     h.Hist.Quantile(0.5),
+			P99:     h.Hist.Quantile(0.99),
+			Buckets: make(map[string]uint64),
+		}
+		for i, n := range h.Hist.Buckets {
+			if n != 0 {
+				jh.Buckets[fmt.Sprintf("le_%d", obs.BucketUpper(i))] = n
+			}
+		}
+		out.Histograms[h.Name] = jh
+	}
+	for i := range s.Traces {
+		out.Traces = append(out.Traces, traceJSON(&s.Traces[i]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func traceJSON(t *obs.Trace) jsonTrace {
+	jt := jsonTrace{
+		Seq:         t.Seq,
+		Kind:        kindName(t.Kind),
+		Coordinator: int(t.Coordinator),
+		OpSeq:       t.OpSeq,
+		Item:        t.Item,
+		Start:       t.Start,
+		ElapsedNS:   int64(t.Elapsed),
+		Outcome:     OutcomeName(t.Outcome),
+		Version:     t.Version,
+		Dropped:     t.Dropped,
+	}
+	for _, e := range t.EventsSlice() {
+		je := jsonEvent{
+			Kind:    eventName(e.Kind),
+			WhenNS:  int64(e.When),
+			DurNS:   int64(e.Dur),
+			N:       e.N,
+			A:       e.A,
+			B:       e.B,
+			Meaning: eventMeaning(e),
+		}
+		if e.Phase != obs.PhaseNone {
+			je.Phase = phaseName(e.Phase)
+		}
+		if hasNodes(e.Kind) {
+			je.Nodes = maskIDs(e.Nodes)
+			je.Lossy = e.Nodes.Truncated
+		}
+		jt.Events = append(jt.Events, je)
+	}
+	return jt
+}
+
+// Handler returns an HTTP handler serving r: Prometheus text at the
+// registered path by default, JSON with `?format=json`, and the flight
+// traces alone (human-readable) with `?format=traces`.
+func Handler(r *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Query().Get("format") {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, r)
+		case "traces":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, t := range r.Snapshot().Traces {
+				_, _ = io.WriteString(w, FormatTrace(&t))
+			}
+		default:
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = WritePrometheus(w, r)
+		}
+	})
+}
+
+// FormatTrace renders one flight trace for humans, one event per line:
+//
+//	#42 write item=acct-7 coord=n3 outcome=ok version=9 elapsed=1.2ms
+//	  +12µs   quorum      3 nodes {0 2 4} grid=3x3
+//	  +430µs  phase lock  dur=418µs responders=3 busy=0
+//	  +800µs  stale-mark  {2} desired_version=9
+func FormatTrace(t *obs.Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s item=%s coord=n%d outcome=%s version=%d elapsed=%s\n",
+		t.Seq, kindName(t.Kind), t.Item, int(t.Coordinator), OutcomeName(t.Outcome), t.Version,
+		time.Duration(t.Elapsed).Round(time.Microsecond))
+	for _, e := range t.EventsSlice() {
+		fmt.Fprintf(&b, "  +%-9s %s\n", time.Duration(e.When).Round(time.Microsecond), formatEvent(e))
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(&b, "  (%d further events dropped)\n", t.Dropped)
+	}
+	return b.String()
+}
+
+func formatEvent(e obs.Event) string {
+	switch e.Kind {
+	case obs.EvQuorum:
+		s := fmt.Sprintf("quorum      %d nodes %s", e.N, nodesString(e.Nodes))
+		if e.A > 0 || e.B > 0 {
+			s += fmt.Sprintf(" grid=%dx%d", e.A, e.B)
+		}
+		return s
+	case obs.EvPhase:
+		return fmt.Sprintf("phase %-6s dur=%s responders=%d busy=%d",
+			phaseName(e.Phase), time.Duration(e.Dur).Round(time.Microsecond), e.N, e.A)
+	case obs.EvRedirect:
+		return fmt.Sprintf("redirect    epoch %d -> %d", e.A, e.B)
+	case obs.EvStaleMark:
+		return fmt.Sprintf("stale-mark  %s desired_version=%d", nodesString(e.Nodes), e.A)
+	case obs.EvLockBusy:
+		return fmt.Sprintf("lock-busy   %s", nodesString(e.Nodes))
+	case obs.EvHeavy:
+		return "heavy       fallback to full poll"
+	case obs.EvEpochInstall:
+		return fmt.Sprintf("epoch-install #%d members=%s", e.A, nodesString(e.Nodes))
+	default:
+		return fmt.Sprintf("event(%d)", e.Kind)
+	}
+}
+
+// eventMeaning gives the JSON consumer the semantics of A/B/N per kind.
+func eventMeaning(e obs.Event) string {
+	switch e.Kind {
+	case obs.EvQuorum:
+		return "n=quorum size, a=grid rows, b=grid cols"
+	case obs.EvPhase:
+		return "n=responders, a=busy"
+	case obs.EvRedirect:
+		return "a=cached epoch, b=learned epoch"
+	case obs.EvStaleMark:
+		return "nodes=stale set, a=desired version"
+	case obs.EvLockBusy:
+		return "nodes=refused lock"
+	case obs.EvEpochInstall:
+		return "nodes=new epoch, a=epoch number"
+	default:
+		return ""
+	}
+}
+
+func hasNodes(k obs.EventKind) bool {
+	switch k {
+	case obs.EvQuorum, obs.EvStaleMark, obs.EvLockBusy, obs.EvEpochInstall:
+		return true
+	}
+	return false
+}
+
+func maskIDs(m obs.Mask) []int {
+	set := m.Set()
+	ids := make([]int, 0, set.Len())
+	for _, id := range set.IDs() {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func nodesString(m obs.Mask) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range maskIDs(m) {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	if m.Truncated {
+		b.WriteString(" ...")
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func eventName(k obs.EventKind) string {
+	switch k {
+	case obs.EvQuorum:
+		return "quorum"
+	case obs.EvPhase:
+		return "phase"
+	case obs.EvRedirect:
+		return "redirect"
+	case obs.EvStaleMark:
+		return "stale-mark"
+	case obs.EvLockBusy:
+		return "lock-busy"
+	case obs.EvHeavy:
+		return "heavy"
+	case obs.EvEpochInstall:
+		return "epoch-install"
+	default:
+		return "unknown"
+	}
+}
+
+func kindName(k obs.OpKind) string {
+	switch k {
+	case obs.OpRead:
+		return "read"
+	case obs.OpWrite:
+		return "write"
+	case obs.OpEpochChange:
+		return "epoch-change"
+	default:
+		return "unknown"
+	}
+}
+
+// OutcomeName returns the string form of an outcome (also used by loadgen's
+// breakdown keys).
+func OutcomeName(o obs.Outcome) string {
+	switch o {
+	case obs.OutcomeOK:
+		return "ok"
+	case obs.OutcomeNoChange:
+		return "no-change"
+	case obs.OutcomeUnavailable:
+		return "unavailable"
+	case obs.OutcomeConflict:
+		return "conflict"
+	case obs.OutcomeError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+func phaseName(p obs.Phase) string {
+	switch p {
+	case obs.PhasePoll:
+		return "poll"
+	case obs.PhaseLock:
+		return "lock"
+	case obs.PhasePrepare:
+		return "prepare"
+	case obs.PhaseCommit:
+		return "commit"
+	case obs.PhaseFetch:
+		return "fetch"
+	default:
+		return "none"
+	}
+}

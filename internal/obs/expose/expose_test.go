@@ -1,0 +1,95 @@
+package expose
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/obs"
+)
+
+func sampleRegistry() *obs.Registry {
+	r := obs.New()
+	r.Counter("proto_writes_total").Add(5)
+	r.Gauge("proto_inflight").Set(2)
+	r.Histogram("proto_latency_ns").Record(1500)
+	r.Histogram("proto_latency_ns").Record(0)
+	r.CounterVec("endpoint_served").At(2).Add(9)
+	f := obs.NewFlightRecorder(4)
+	r.SetFlight(f)
+	a := f.Begin(obs.OpWrite, 1, 1, "item-a")
+	a.Quorum(nodeset.New(0, 1, 2), 3, 3)
+	a.StaleMark(nodeset.New(2), 4)
+	a.End(obs.OutcomeOK, 4)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, sampleRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE proto_writes_total counter",
+		"proto_writes_total 5",
+		"proto_inflight 2",
+		`endpoint_served{index="2"} 9`,
+		"proto_latency_ns_count 2",
+		"proto_latency_ns_sum 1500",
+		`proto_latency_ns_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the zero lands in le="0", so that bucket is 1.
+	if !strings.Contains(out, `proto_latency_ns_bucket{le="0"} 1`) {
+		t.Errorf("zero bucket missing:\n%s", out)
+	}
+}
+
+func TestWriteJSONAndHandler(t *testing.T) {
+	r := sampleRegistry()
+	var b strings.Builder
+	if err := WriteJSON(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := decoded["traces"]; !ok {
+		t.Fatalf("JSON snapshot missing traces: %s", b.String())
+	}
+
+	h := Handler(r)
+	for _, tc := range []struct {
+		url, want string
+	}{
+		{"/metrics", "proto_writes_total 5"},
+		{"/metrics?format=json", `"proto_writes_total": 5`},
+		{"/metrics?format=traces", "stale-mark"},
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", tc.url, nil))
+		if !strings.Contains(rec.Body.String(), tc.want) {
+			t.Errorf("%s: missing %q in:\n%s", tc.url, tc.want, rec.Body.String())
+		}
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	traces := sampleRegistry().Snapshot().Traces
+	if len(traces) != 1 {
+		t.Fatalf("want 1 trace, got %d", len(traces))
+	}
+	out := FormatTrace(&traces[0])
+	for _, want := range []string{"write item=item-a", "outcome=ok", "quorum", "{0 1 2}", "grid=3x3", "stale-mark", "desired_version=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted trace missing %q:\n%s", want, out)
+		}
+	}
+}

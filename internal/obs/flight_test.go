@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"coterie/internal/nodeset"
+)
+
+// TestFlightRecorderBasic: a traced write's events come back in order with
+// the recorded payloads.
+func TestFlightRecorderBasic(t *testing.T) {
+	f := NewFlightRecorder(8)
+	quorum := nodeset.New(0, 2, 4)
+	stale := nodeset.New(2)
+
+	a := f.Begin(OpWrite, 1, 7, "item-x")
+	a.Quorum(quorum, 3, 3)
+	began := a.Elapsed()
+	a.Phase(PhaseLock, began, 3, 1)
+	a.Redirect(1, 2)
+	a.StaleMark(stale, 9)
+	a.Heavy()
+	a.End(OutcomeOK, 9)
+
+	traces := f.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Kind != OpWrite || tr.Coordinator != 1 || tr.OpSeq != 7 || tr.Item != "item-x" {
+		t.Fatalf("trace header %+v", tr)
+	}
+	if tr.Outcome != OutcomeOK || tr.Version != 9 || tr.Seq != 1 {
+		t.Fatalf("trace outcome %+v", tr)
+	}
+	evs := tr.EventsSlice()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	if evs[0].Kind != EvQuorum || !evs[0].Nodes.Set().Equal(quorum) || evs[0].A != 3 || evs[0].B != 3 {
+		t.Errorf("quorum event %+v", evs[0])
+	}
+	if evs[1].Kind != EvPhase || evs[1].Phase != PhaseLock || evs[1].N != 3 || evs[1].A != 1 {
+		t.Errorf("phase event %+v", evs[1])
+	}
+	if evs[2].Kind != EvRedirect || evs[2].A != 1 || evs[2].B != 2 {
+		t.Errorf("redirect event %+v", evs[2])
+	}
+	if evs[3].Kind != EvStaleMark || !evs[3].Nodes.Set().Equal(stale) || evs[3].A != 9 {
+		t.Errorf("stale-mark event %+v", evs[3])
+	}
+	if evs[4].Kind != EvHeavy {
+		t.Errorf("heavy event %+v", evs[4])
+	}
+}
+
+// TestFlightRecorderEventCap: events beyond MaxTraceEvents are counted as
+// dropped, not stored, and recording them does not corrupt the trace.
+func TestFlightRecorderEventCap(t *testing.T) {
+	f := NewFlightRecorder(2)
+	a := f.Begin(OpRead, 0, 1, "x")
+	for i := 0; i < MaxTraceEvents+5; i++ {
+		a.Heavy()
+	}
+	a.End(OutcomeOK, 0)
+	tr := f.Traces()[0]
+	if tr.NumEvents != MaxTraceEvents || tr.Dropped != 5 {
+		t.Fatalf("NumEvents=%d Dropped=%d, want %d/5", tr.NumEvents, tr.Dropped, MaxTraceEvents)
+	}
+}
+
+// TestFlightRecorderWraparound drives many concurrent writers through a
+// small ring (run under -race): the recorder must keep exactly the last
+// Cap() traces, with strictly increasing contiguous sequence numbers, and
+// every kept trace internally consistent.
+func TestFlightRecorderWraparound(t *testing.T) {
+	const (
+		capacity = 16
+		writers  = 8
+		perW     = 200
+	)
+	f := NewFlightRecorder(capacity)
+	set := nodeset.New(1, 2, 3)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshots while writers wrap the ring.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tr := range f.Traces() {
+				if tr.Seq == 0 || tr.NumEvents != 2 {
+					t.Errorf("torn trace: seq=%d events=%d", tr.Seq, tr.NumEvents)
+					return
+				}
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perW; i++ {
+				a := f.Begin(OpWrite, nodeset.ID(w), uint64(i), "item")
+				a.Quorum(set, 0, 0)
+				a.Phase(PhaseLock, a.Elapsed(), 3, 0)
+				a.End(OutcomeOK, uint64(i))
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := f.Completed(); got != writers*perW {
+		t.Fatalf("completed %d, want %d", got, writers*perW)
+	}
+	traces := f.Traces()
+	if len(traces) != capacity {
+		t.Fatalf("ring holds %d traces, want %d", len(traces), capacity)
+	}
+	for i := 1; i < len(traces); i++ {
+		if traces[i].Seq != traces[i-1].Seq+1 {
+			t.Fatalf("sequence gap: %d then %d", traces[i-1].Seq, traces[i].Seq)
+		}
+	}
+	if traces[len(traces)-1].Seq != uint64(writers*perW) {
+		t.Fatalf("newest trace seq %d, want %d", traces[len(traces)-1].Seq, writers*perW)
+	}
+}
+
+// TestFlightRecorderNil: the nil recorder and nil ActiveOp accept every
+// call.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	a := f.Begin(OpWrite, 0, 1, "x")
+	if a != nil {
+		t.Fatal("nil recorder returned a non-nil op")
+	}
+	a.Quorum(nodeset.New(1), 0, 0)
+	a.Phase(PhaseLock, a.Elapsed(), 1, 0)
+	a.Redirect(0, 1)
+	a.StaleMark(nodeset.New(1), 1)
+	a.LockBusy(nodeset.New(1))
+	a.Heavy()
+	a.EpochInstall(nodeset.New(1), 1)
+	a.End(OutcomeOK, 1)
+	if f.Traces() != nil || f.Cap() != 0 || f.Completed() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+}
+
+// TestMaskTruncation: sets beyond the mask capacity are flagged.
+func TestMaskTruncation(t *testing.T) {
+	small := nodeset.New(0, 63, 255)
+	m := MaskOf(small)
+	if m.Truncated || !m.Set().Equal(small) {
+		t.Fatalf("mask of small set: %+v", m)
+	}
+	big := nodeset.New(1, 300)
+	m = MaskOf(big)
+	if !m.Truncated {
+		t.Fatal("set with ID 300 not flagged truncated")
+	}
+	if !m.Set().Equal(nodeset.New(1)) {
+		t.Fatalf("truncated mask kept wrong members: %v", m.Set())
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket 0 holds
+// exact zeros; bucket i (1 ≤ i < NumBuckets-1) holds values v with
+// 2^(i-1) ≤ v < 2^i; the last bucket holds everything at or above
+// 2^(NumBuckets-2). With nanosecond values that last boundary is
+// 2^38 ns ≈ 4.6 minutes — far beyond any protocol latency of interest —
+// while single-digit nanoseconds still resolve.
+const NumBuckets = 40
+
+// padCell is one cache-line-padded histogram bucket. Latency distributions
+// concentrate neighboring values in neighboring buckets, so unpadded
+// buckets would false-share exactly where recording is hottest.
+type padCell struct {
+	n atomic.Uint64
+	_ pad
+}
+
+// Histogram is a fixed-bucket power-of-two histogram. The zero value is
+// ready to use; a nil *Histogram is a no-op. Record costs three atomic
+// adds and never allocates. Values are unsigned; record durations in
+// nanoseconds via RecordDuration.
+type Histogram struct {
+	count   padCell
+	sum     padCell
+	buckets [NumBuckets]padCell
+}
+
+// bucketIndex maps a value to its bucket: bits.Len64 is the position of
+// the highest set bit, so values double from one bucket to the next.
+func bucketIndex(v uint64) int {
+	i := bits.Len64(v)
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i; the last
+// bucket is unbounded and reports the maximum uint64.
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= NumBuckets-1 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Record adds one observation of v.
+func (h *Histogram) Record(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].n.Add(1)
+	h.count.n.Add(1)
+	h.sum.n.Add(v)
+}
+
+// RecordDuration records d in nanoseconds; negative durations clamp to 0.
+func (h *Histogram) RecordDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.n.Load()
+}
+
+// Snapshot copies the histogram's current state. Concurrent recording may
+// skew a snapshot by in-flight observations (count and buckets are read
+// independently); the drift is bounded by the number of concurrently
+// recording goroutines.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.n.Load()
+	s.Sum = h.sum.n.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].n.Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a plain-value copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [NumBuckets]uint64
+}
+
+// Merge returns the bucket-wise sum of two snapshots — the histogram that
+// would have resulted from recording both observation streams into one.
+func (s HistogramSnapshot) Merge(t HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Count += t.Count
+	out.Sum += t.Sum
+	for i := range out.Buckets {
+		out.Buckets[i] += t.Buckets[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// holding the target rank and interpolating linearly within its bounds.
+// Power-of-two buckets bound the relative error by 2x per bucket, which is
+// the accuracy class latency percentiles need. Returns 0 on an empty
+// snapshot.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count-1))
+	var seen uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if rank < seen+n {
+			lo := uint64(0)
+			if i > 0 {
+				lo = 1 << uint(i-1)
+			}
+			hi := BucketUpper(i)
+			if i >= NumBuckets-1 {
+				// Unbounded last bucket: report its lower bound rather
+				// than inventing a ceiling.
+				return lo
+			}
+			frac := float64(rank-seen) / float64(n)
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		seen += n
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of the recorded values, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

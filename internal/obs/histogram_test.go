@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the bucket rule: bucket 0 holds exact
+// zeros, bucket i holds [2^(i-1), 2^i), and everything at or beyond
+// 2^(NumBuckets-2) lands in the last bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1 << 10, 11},
+		{1<<11 - 1, 11},
+		{1 << (NumBuckets - 2), NumBuckets - 1},
+		{^uint64(0), NumBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.v); got != tc.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+
+	// Exhaustively check the index against the documented interval
+	// [2^(i-1), 2^i) around every boundary.
+	for i := 1; i < NumBuckets-1; i++ {
+		lo := uint64(1) << uint(i-1)
+		if got := bucketIndex(lo); got != i {
+			t.Errorf("lower bound 2^%d: bucket %d, want %d", i-1, got, i)
+		}
+		if got := bucketIndex(BucketUpper(i)); got != i {
+			t.Errorf("upper bound of bucket %d: got bucket %d", i, got)
+		}
+		if got := bucketIndex(BucketUpper(i) + 1); got != i+1 {
+			t.Errorf("one past bucket %d: got bucket %d, want %d", i, got, i+1)
+		}
+	}
+
+	var h Histogram
+	h.Record(0)
+	h.Record(5)
+	h.Record(5)
+	s := h.Snapshot()
+	if s.Count != 3 || s.Sum != 10 {
+		t.Fatalf("count/sum = %d/%d, want 3/10", s.Count, s.Sum)
+	}
+	if s.Buckets[0] != 1 || s.Buckets[3] != 2 {
+		t.Fatalf("bucket contents %v", s.Buckets[:5])
+	}
+}
+
+// TestHistogramMerge: merging two snapshots must equal the snapshot of a
+// histogram that recorded both streams.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, both Histogram
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Int63n(1 << 30))
+		if i%3 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	merged := a.Snapshot().Merge(b.Snapshot())
+	want := both.Snapshot()
+	if merged != want {
+		t.Fatalf("merged snapshot differs from direct recording:\nmerged: %+v\nwant:   %+v", merged, want)
+	}
+}
+
+// TestHistogramQuantile checks the interpolated quantiles stay within one
+// bucket (factor-of-two) of the true values of a known distribution.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		q    float64
+		true uint64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}} {
+		got := s.Quantile(tc.q)
+		if got < tc.true/2 || got > tc.true*2 {
+			t.Errorf("q%.2f = %d, want within [%d, %d]", tc.q, got, tc.true/2, tc.true*2)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+	if got := s.Quantile(0); got > 2 {
+		t.Errorf("q0 = %d, want ~1", got)
+	}
+}
+
+// TestHistogramNilAndDuration: nil receivers no-op; durations record in
+// nanoseconds with negatives clamped.
+func TestHistogramNilAndDuration(t *testing.T) {
+	var nilH *Histogram
+	nilH.Record(5)
+	nilH.RecordDuration(time.Second)
+	if nilH.Count() != 0 || nilH.Snapshot().Count != 0 {
+		t.Fatal("nil histogram recorded something")
+	}
+
+	var h Histogram
+	h.RecordDuration(-time.Second)
+	h.RecordDuration(3 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Buckets[0] != 1 {
+		t.Fatalf("duration recording: %+v", s)
+	}
+	if got := bucketIndex(uint64(3 * time.Microsecond)); s.Buckets[got] != 1 {
+		t.Fatalf("3us not in bucket %d: %v", got, s.Buckets[:got+2])
+	}
+}

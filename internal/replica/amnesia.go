@@ -25,6 +25,7 @@ import "coterie/internal/nodeset"
 // version, flags, epoch view, staged transactions, decision log and lock
 // table all reset, and the replica enters the recovering state.
 func (it *Item) Amnesia() {
+	it.metrics.amnesia.Inc()
 	it.mu.Lock()
 	it.store = NewStore(nil, it.cfg.MaxLog)
 	it.stale = false

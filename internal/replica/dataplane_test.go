@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 	"coterie/internal/transport"
 )
 
@@ -14,11 +15,21 @@ import (
 // replica lock table: steady-state acquire/release cycles — shared,
 // exclusive, and the prepare-pin path — must not allocate. Holders are
 // stored by value, so releasing and re-acquiring reuses map bucket cells.
+// The gate runs with and without obs counters attached: metrics must not
+// cost the lock table its guarantee.
 func TestLockTableDoesNotAllocate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race runtime adds bookkeeping allocations")
 	}
-	l := newItemLock(time.Second)
+	t.Run("bare", func(t *testing.T) { testLockTableDoesNotAllocate(t, newItemLock(time.Second)) })
+	t.Run("obs", func(t *testing.T) {
+		l := newItemLock(time.Second)
+		l.attachMetrics(obs.New())
+		testLockTableDoesNotAllocate(t, l)
+	})
+}
+
+func testLockTableDoesNotAllocate(t *testing.T, l *itemLock) {
 	ctx := context.Background()
 	op := OpID{Coordinator: 1, Seq: 1}
 

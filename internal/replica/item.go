@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 	"coterie/internal/transport"
 )
 
@@ -34,6 +35,9 @@ type Config struct {
 	// ResolveAfter is how old a staged action must be before the resolver
 	// queries its coordinator for the decision. Default 2x LockLease.
 	ResolveAfter time.Duration
+	// Obs is the observability registry replica metrics register into.
+	// Nil (obs.Nop) disables them at no cost.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -96,11 +100,12 @@ type staged struct {
 // against a published snapshot (see state below). mu protects only the
 // store, the protocol flags, and the staged-2PC table.
 type Item struct {
-	name string
-	self nodeset.ID
-	net  *transport.Network
-	cfg  Config
-	lock *itemLock
+	name    string
+	self    nodeset.ID
+	net     *transport.Network
+	cfg     Config
+	lock    *itemLock
+	metrics itemMetrics
 
 	// state is the published protocol-state snapshot, refreshed by every
 	// mutation (publishStateLocked) and read lock-free by State(). The sets
@@ -108,16 +113,17 @@ type Item struct {
 	// freshly-built sets, so a published snapshot is immutable.
 	state atomic.Pointer[StateReply]
 
-	mu       sync.Mutex
-	store    *Store
-	stale    bool
-	desired  uint64
-	epoch    nodeset.Set
-	epochNum uint64
-	good     nodeset.Set // recorded good list (safety-threshold extension)
-	goodVer  uint64      // version the good list corresponds to
-	staged   map[OpID]*staged
-	propOp   OpID // operation currently allowed to propagate into this replica
+	mu         sync.Mutex
+	store      *Store
+	stale      bool
+	staleSince time.Time // when stale last became true (staleness histogram)
+	desired    uint64
+	epoch      nodeset.Set
+	epochNum   uint64
+	good       nodeset.Set // recorded good list (safety-threshold extension)
+	goodVer    uint64      // version the good list corresponds to
+	staged     map[OpID]*staged
+	propOp     OpID // operation currently allowed to propagate into this replica
 
 	// Coordinator decision log for 2PC termination (see decision.go),
 	// striped off mu so termination queries and decision writes do not
@@ -143,16 +149,18 @@ type Item struct {
 func newItem(name string, self nodeset.ID, members nodeset.Set, initial []byte, net *transport.Network, cfg Config) *Item {
 	cfg = cfg.withDefaults()
 	it := &Item{
-		name:   name,
-		self:   self,
-		net:    net,
-		cfg:    cfg,
-		lock:   newItemLock(cfg.LockLease),
-		store:  NewStore(initial, cfg.MaxLog),
-		epoch:  members.Clone(),
-		staged: make(map[OpID]*staged),
-		closed: make(chan struct{}),
+		name:    name,
+		self:    self,
+		net:     net,
+		cfg:     cfg,
+		lock:    newItemLock(cfg.LockLease),
+		metrics: newItemMetrics(cfg.Obs),
+		store:   NewStore(initial, cfg.MaxLog),
+		epoch:   members.Clone(),
+		staged:  make(map[OpID]*staged),
+		closed:  make(chan struct{}),
 	}
+	it.lock.attachMetrics(cfg.Obs)
 	it.publishStateLocked() // no concurrent access yet; mu not needed
 	it.wg.Add(1)
 	go it.resolveLoop()
@@ -386,21 +394,18 @@ func (it *Item) handleCommit(m Commit) (transport.Message, error) {
 			return Ack{Reason: "staged update no longer applicable"}, nil
 		}
 		it.store.Apply(st.update)
-		it.stale = false
-		it.desired = 0
+		it.clearStaleLocked()
 		it.good = st.good
 		it.goodVer = st.goodVer
 		propagateTo = st.staleSet
 	case stagedReplace:
 		it.store.InstallSnapshot(st.value, st.newVersion)
-		it.stale = false
-		it.desired = 0
+		it.clearStaleLocked()
 		it.good = st.good
 		it.goodVer = st.goodVer
 		propagateTo = st.staleSet
 	case stagedStale:
-		it.stale = true
-		it.desired = st.desired
+		it.markStaleLocked(st.desired)
 		it.good = st.good
 		it.goodVer = st.goodVer
 	case stagedEpoch:
@@ -408,16 +413,19 @@ func (it *Item) handleCommit(m Commit) (transport.Message, error) {
 		it.epochNum = st.epochNum
 		it.good = st.good
 		it.goodVer = st.maxVersion
+		if it.recovering {
+			it.metrics.readmitted.Inc()
+		}
 		it.recovering = false // an epoch change readmits an amnesiac replica
+		it.metrics.epochInstalls.Inc()
 		if st.good.Contains(it.self) {
-			it.stale = false
-			it.desired = 0
+			it.clearStaleLocked()
 			propagateTo = st.epoch.Diff(st.good)
 		} else {
-			it.stale = true
-			it.desired = st.maxVersion
+			it.markStaleLocked(st.maxVersion)
 		}
 	}
+	it.metrics.commits.Inc()
 	it.publishStateLocked()
 	it.mu.Unlock()
 	it.lock.release(m.Op)

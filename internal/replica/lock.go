@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 )
 
 // OpID identifies one protocol operation (a read, write, propagation or
@@ -65,10 +66,25 @@ type itemLock struct {
 	holders map[OpID]holder
 	waiters []*waiter
 	lease   time.Duration
+
+	// Obs counters (nil — no-op — unless attachMetrics ran): acquisitions
+	// granted, acquisitions denied (caller's context ended while queued),
+	// and holds dropped by lease expiry.
+	granted *obs.Counter
+	denied  *obs.Counter
+	expired *obs.Counter
 }
 
 func newItemLock(lease time.Duration) *itemLock {
 	return &itemLock{holders: make(map[OpID]holder), lease: lease}
+}
+
+// attachMetrics resolves the lock's counters from r (a no-op on nil).
+// Called once at item construction, before the lock sees traffic.
+func (l *itemLock) attachMetrics(r *obs.Registry) {
+	l.granted = r.Counter("replica_lock_granted_total")
+	l.denied = r.Counter("replica_lock_denied_total")
+	l.expired = r.Counter("replica_lock_expired_total")
 }
 
 func (l *itemLock) newDeadline() time.Time {
@@ -83,6 +99,7 @@ func (l *itemLock) expireLocked(now time.Time) {
 	for op, h := range l.holders {
 		if !h.pinned && !h.deadline.IsZero() && now.After(h.deadline) {
 			delete(l.holders, op)
+			l.expired.Inc()
 		}
 	}
 }
@@ -166,6 +183,16 @@ func (l *itemLock) dispatchLocked() {
 // shared to exclusive if requested — the paper's HeavyProcedure re-polls
 // nodes already locked by the same operation.
 func (l *itemLock) acquire(ctx context.Context, op OpID, mode lockMode) error {
+	err := l.doAcquire(ctx, op, mode)
+	if err == nil {
+		l.granted.Inc()
+	} else {
+		l.denied.Inc()
+	}
+	return err
+}
+
+func (l *itemLock) doAcquire(ctx context.Context, op OpID, mode lockMode) error {
 	if op.IsZero() {
 		return fmt.Errorf("replica: zero OpID cannot lock")
 	}

@@ -28,10 +28,12 @@ func (it *Item) handlePropagationOffer(ctx context.Context, m PropagationOffer) 
 		// Not yet readmitted by an epoch change: the source should retry
 		// later, when this replica is a stale member ready for data.
 		it.mu.Unlock()
+		it.metrics.offerBusy.Inc()
 		return PropagationReply{Status: PropAlreadyRecovering}, nil
 	}
 	if !it.propOp.IsZero() && it.lock.heldBy(it.propOp, lockExclusive) {
 		it.mu.Unlock()
+		it.metrics.offerBusy.Inc()
 		return PropagationReply{Status: PropAlreadyRecovering}, nil
 	}
 	it.propOp = OpID{} // previous propagation finished or its lease expired
@@ -49,9 +51,11 @@ func (it *Item) handlePropagationOffer(ctx context.Context, m PropagationOffer) 
 	defer it.mu.Unlock()
 	if !it.stale || it.desired > m.Version {
 		it.lock.release(m.Op)
+		it.metrics.offerCurrent.Inc()
 		return PropagationReply{Status: PropIAmCurrent}, nil
 	}
 	it.propOp = m.Op
+	it.metrics.offerPermitted.Inc()
 	return PropagationReply{Status: PropPermitted, TargetVersion: it.store.Version()}, nil
 }
 
@@ -72,8 +76,9 @@ func (it *Item) handlePropagationData(m PropagationData) (transport.Message, err
 		newVersion = it.store.Version()
 	}
 	if err == nil && newVersion >= it.desired {
-		it.stale = false
-		it.desired = 0
+		// Propagation brought this replica current: the staleness-duration
+		// histogram gets the stale-mark-to-brought-current interval here.
+		it.clearStaleLocked()
 	}
 	it.propOp = OpID{}
 	it.publishStateLocked()
@@ -199,8 +204,10 @@ func (it *Item) propagateOnce(target nodeset.ID) (done bool, err error) {
 	myVersion := it.store.Version()
 	it.mu.Unlock()
 
+	it.metrics.propRounds.Inc()
 	reply, err := it.net.Call(ctx, it.self, target, Envelope{Item: it.name, Msg: PropagationOffer{Op: op, Version: myVersion}})
 	if err != nil {
+		it.metrics.propRetries.Inc()
 		return false, errRetry
 	}
 	pr, ok := reply.(PropagationReply)
@@ -211,6 +218,7 @@ func (it *Item) propagateOnce(target nodeset.ID) (done bool, err error) {
 	case PropIAmCurrent:
 		return true, nil
 	case PropAlreadyRecovering:
+		it.metrics.propRetries.Inc()
 		return false, errRetry
 	case PropPermitted:
 	default:
@@ -232,13 +240,20 @@ func (it *Item) propagateOnce(target nodeset.ID) (done bool, err error) {
 		data.SnapVersion = v
 	}
 	it.mu.Unlock()
+	if data.HasSnapshot {
+		it.metrics.propSnapshots.Inc()
+	} else {
+		it.metrics.propUpdates.Inc()
+	}
 
 	reply, err = it.net.Call(ctx, it.self, target, Envelope{Item: it.name, Msg: data})
 	if err != nil {
 		// The target's lock lease will expire on its own.
+		it.metrics.propRetries.Inc()
 		return false, errRetry
 	}
 	if ack, ok := reply.(Ack); !ok || !ack.OK {
+		it.metrics.propRetries.Inc()
 		return false, errRetry
 	}
 	return true, nil

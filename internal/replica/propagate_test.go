@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 )
 
 // makeStale runs a minimal committed write on good nodes marking the rest
@@ -173,6 +174,58 @@ func TestAutomaticPropagationAfterWrite(t *testing.T) {
 	}, "stale replica never brought current")
 	if v, _ := h.item(2).Value(); string(v) != "W..." {
 		t.Errorf("propagated value = %q", v)
+	}
+}
+
+// TestStalenessDurationHistogram pins the paper-facing metric of Section
+// 4.2: a partial write marks a replica stale, asynchronous propagation
+// brings it current, and the stale-mark-to-brought-current interval lands
+// in replica_staleness_duration_ns along with the mark/clear counters and
+// the offer/transfer tallies.
+func TestStalenessDurationHistogram(t *testing.T) {
+	r := obs.New()
+	h := newHarness(t, 3, []byte("...."), Config{PropagationRetry: 5 * time.Millisecond, Obs: r})
+
+	o := h.item(0).NextOp()
+	u := Update{Offset: 0, Data: []byte("W")}
+	for n := 0; n < 3; n++ {
+		h.call(t, 0, n, LockRequest{Op: o, Mode: LockWrite})
+	}
+	stale := nodeset.New(2)
+	for _, g := range []int{0, 1} {
+		if ack := h.call(t, 0, g, PrepareUpdate{Op: o, Update: u, NewVersion: 1, StaleSet: stale}).(Ack); !ack.OK {
+			t.Fatalf("prepare: %s", ack.Reason)
+		}
+	}
+	if ack := h.call(t, 0, 2, PrepareStale{Op: o, Desired: 1}).(Ack); !ack.OK {
+		t.Fatalf("prepare-stale: %s", ack.Reason)
+	}
+	for n := 0; n < 3; n++ {
+		h.call(t, 0, n, Commit{Op: o})
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		s := h.item(2).State()
+		return !s.Stale && s.Version == 1
+	}, "stale replica never brought current")
+
+	if got := r.Counter("replica_stale_marked_total").Load(); got != 1 {
+		t.Errorf("stale_marked_total = %d, want 1", got)
+	}
+	if got := r.Counter("replica_stale_cleared_total").Load(); got != 1 {
+		t.Errorf("stale_cleared_total = %d, want 1", got)
+	}
+	hist := r.Histogram("replica_staleness_duration_ns").Snapshot()
+	if hist.Count != 1 || hist.Sum == 0 {
+		t.Errorf("staleness histogram count/sum = %d/%d, want 1 nonzero-sum sample", hist.Count, hist.Sum)
+	}
+	if got := r.Counter("replica_propagation_offers_permitted_total").Load(); got < 1 {
+		t.Errorf("offers_permitted_total = %d, want >= 1", got)
+	}
+	if got := r.Counter("replica_propagation_updates_total").Load(); got < 1 {
+		t.Errorf("propagation_updates_total = %d, want >= 1", got)
+	}
+	if got := r.Counter("replica_commits_total").Load(); got != 3 {
+		t.Errorf("commits_total = %d, want 3", got)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"coterie/internal/coterie"
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 )
 
 // Model selects the epoch-transition rule.
@@ -63,6 +64,10 @@ type Config struct {
 	AmnesiaFraction float64
 	// Seed drives the run's randomness.
 	Seed int64
+	// Obs receives the run's counters (sim_events_total,
+	// sim_epoch_changes_total, sim_blocks_total, sim_data_losses_total).
+	// Nil (obs.Nop) disables recording.
+	Obs *obs.Registry
 }
 
 // Result aggregates a run.
@@ -111,6 +116,11 @@ func Run(cfg Config) (Result, error) {
 	if rule == nil {
 		rule = coterie.Grid{}
 	}
+	// Counters are resolved once per run; each site is a nil-safe Inc.
+	mEvents := cfg.Obs.Counter("sim_events_total")
+	mEpochChanges := cfg.Obs.Counter("sim_epoch_changes_total")
+	mBlocks := cfg.Obs.Counter("sim_blocks_total")
+	mDataLosses := cfg.Obs.Counter("sim_data_losses_total")
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	all := nodeset.Range(0, nodeset.ID(cfg.N))
@@ -193,6 +203,7 @@ func Run(cfg Config) (Result, error) {
 				witnesses = up.Clone() // up ∩ (remembering ∪ up) = up
 			}
 			res.EpochChanges++
+			mEpochChanges.Inc()
 			if l := epoch.Len(); l < res.MinEpochSize {
 				res.MinEpochSize = l
 			}
@@ -259,16 +270,19 @@ func Run(cfg Config) (Result, error) {
 				if !res.DataLost && !layout.IsWriteQuorum(remembering) {
 					res.DataLost = true
 					res.DataLossTime = now
+					mDataLosses.Inc()
 				}
 			}
 		}
 		res.Events++
+		mEvents.Inc()
 		if cfg.CheckEvery <= 0 {
 			check()
 		}
 		nowAvail := writeAvailable()
 		if wasWriteAvail && !nowAvail {
 			res.Blocks++
+			mBlocks.Inc()
 		}
 		wasWriteAvail = nowAvail
 	}

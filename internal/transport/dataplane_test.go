@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 )
 
 // TestLatencyStreamsReproducible pins the per-endpoint RNG seeding scheme:
@@ -110,11 +111,18 @@ func TestRegisterPreservesAccounting(t *testing.T) {
 // allocate at all, and a multi-target fan-out must allocate nothing beyond
 // its per-target goroutine spawns — in particular no per-call result map
 // and no per-call scratch slices.
+// The gate runs twice: on a bare network and on one with a live obs
+// registry attached, because the ISSUE requires the protocol's
+// zero-allocation guarantees to hold with metrics enabled.
 func TestMulticastFuncAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race runtime adds bookkeeping allocations")
 	}
-	n := NewNetwork()
+	t.Run("bare", func(t *testing.T) { testMulticastFuncAllocs(t, NewNetwork()) })
+	t.Run("obs", func(t *testing.T) { testMulticastFuncAllocs(t, NewNetwork(WithObs(obs.New()))) })
+}
+
+func testMulticastFuncAllocs(t *testing.T, n *Network) {
 	for id := nodeset.ID(0); id < 25; id++ {
 		n.Register(id, func(ctx context.Context, from nodeset.ID, req Message) (Message, error) {
 			return req, nil
@@ -151,6 +159,70 @@ func TestMulticastFuncAllocs(t *testing.T) {
 		}
 	}
 	_ = sink
+}
+
+// TestObsRegistryView pins satellite 1 of the observability ISSUE: the
+// per-endpoint served counters live in the obs registry's vector, Load()
+// is a thin view over the same cells, and the traffic counters surface as
+// registry metrics — one source of truth for experiments and metrics.
+func TestObsRegistryView(t *testing.T) {
+	r := obs.New()
+	n := NewNetwork(WithObs(r))
+	echo := func(ctx context.Context, from nodeset.ID, req Message) (Message, error) { return req, nil }
+	n.Register(0, echo)
+	n.Register(1, echo)
+	n.Register(2, echo)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := n.Call(ctx, 0, 1, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Call(ctx, 0, 2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash(2)
+	if _, err := n.Call(ctx, 0, 2, "x"); err == nil {
+		t.Fatal("call to crashed node succeeded")
+	}
+
+	// Load() and the registry vector must agree cell for cell.
+	vec := r.CounterVec("transport_endpoint_served_total")
+	load := n.Load()
+	if load[1] != 3 || load[2] != 1 {
+		t.Fatalf("Load() = %v, want node1=3 node2=1", load)
+	}
+	for id, v := range load {
+		if got := vec.Get(int(id)).Load(); int64(got) != v {
+			t.Errorf("registry cell %d = %d, Load says %d", id, got, v)
+		}
+	}
+
+	if got := r.Counter("transport_calls_total").Load(); got != 5 {
+		t.Errorf("calls_total = %d, want 5", got)
+	}
+	if got := r.Counter("transport_calls_failed_total").Load(); got != 1 {
+		t.Errorf("calls_failed_total = %d, want 1", got)
+	}
+	if got := r.Histogram("transport_call_latency_ns").Count(); got != 5 {
+		t.Errorf("latency histogram count = %d, want 5", got)
+	}
+
+	// ResetStats must clear the registry view too (same cells).
+	n.ResetStats()
+	if got := r.Counter("transport_calls_total").Load(); got != 0 {
+		t.Errorf("calls_total after reset = %d, want 0", got)
+	}
+	if vals := vec.Values(); vals[1] != 0 {
+		t.Errorf("served vec after reset = %v, want zeros", vals)
+	}
+
+	// Fan-out width lands in the multicast histogram.
+	n.MulticastFunc(ctx, 0, nodeset.New(1, 2), "x", func(nodeset.ID, Result) {})
+	h := r.Histogram("transport_multicast_fanout").Snapshot()
+	if h.Count != 1 || h.Sum != 2 {
+		t.Errorf("fanout histogram count/sum = %d/%d, want 1/2", h.Count, h.Sum)
+	}
 }
 
 // TestMulticastFuncOrder verifies the callback runs once per target in ID

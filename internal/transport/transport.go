@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 )
 
 // ErrCallFailed is the RPC.CallFailed notification: the request or its
@@ -78,9 +79,21 @@ type Network struct {
 	decode  func([]byte) (Message, error)
 	trace   func(TraceEvent)
 
-	calls       atomic.Int64
-	failedCalls atomic.Int64
-	messages    atomic.Int64
+	// Traffic counters are always-real obs counters owned by the network:
+	// Stats and Load must work with observability disabled, so the network
+	// cannot resolve them from a possibly-Nop registry. WithObs adopts the
+	// same cells into the registry, making the experiment view (Stats,
+	// Load) and the metrics view read identical state.
+	calls       *obs.Counter
+	failedCalls *obs.Counter
+	messages    *obs.Counter
+	served      *obs.CounterVec // per-endpoint served requests, indexed by node ID
+
+	// Present only when WithObs attached a registry; recording on the nil
+	// defaults is a no-op, and Call skips its clock reads entirely.
+	obsReg      *obs.Registry // attached registry (nil when disabled)
+	callLatency *obs.Histogram
+	mcFanout    *obs.Histogram
 
 	scratch sync.Pool // *mcScratch
 }
@@ -119,7 +132,7 @@ type endpoint struct {
 	id      nodeset.ID
 	handler atomic.Pointer[Handler]
 	up      atomic.Bool
-	served  atomic.Int64
+	served  *obs.Counter // cell of Network.served for this node ID
 
 	// rng is this endpoint's latency stream. Only sampled under rngMu;
 	// contention is limited to concurrent calls sent by the same node.
@@ -200,11 +213,35 @@ func WithCodec(encode func(Message) ([]byte, error), decode func([]byte) (Messag
 	}
 }
 
+// WithObs attaches an observability registry. The network adopts its
+// traffic counters and per-endpoint served vector into the registry (they
+// exist and count regardless, backing Stats and Load) and additionally
+// records a per-call latency histogram and a multicast fan-out-width
+// histogram. Without this option no registry is attached and the extra
+// histograms cost nothing — Call performs no clock reads for them.
+func WithObs(r *obs.Registry) Option {
+	return func(n *Network) { n.obsReg = r }
+}
+
 // NewNetwork returns an empty network.
 func NewNetwork(opts ...Option) *Network {
-	n := &Network{seed: 1}
+	n := &Network{
+		seed:        1,
+		calls:       new(obs.Counter),
+		failedCalls: new(obs.Counter),
+		messages:    new(obs.Counter),
+		served:      new(obs.CounterVec),
+	}
 	for _, o := range opts {
 		o(n)
+	}
+	if n.obsReg != nil {
+		n.obsReg.AdoptCounter("transport_calls_total", n.calls)
+		n.obsReg.AdoptCounter("transport_calls_failed_total", n.failedCalls)
+		n.obsReg.AdoptCounter("transport_messages_total", n.messages)
+		n.obsReg.AdoptCounterVec("transport_endpoint_served_total", n.served)
+		n.callLatency = n.obsReg.Histogram("transport_call_latency_ns")
+		n.mcFanout = n.obsReg.Histogram("transport_multicast_fanout")
 	}
 	n.scratch.New = func() any { return new(mcScratch) }
 	return n
@@ -237,7 +274,7 @@ func (n *Network) Register(id nodeset.ID, h Handler) {
 	if old != nil {
 		copy(eps, old.eps)
 	}
-	ep := &endpoint{id: id, rng: rand.New(rand.NewSource(streamSeed(n.seed, id)))}
+	ep := &endpoint{id: id, served: n.served.At(int(id)), rng: rand.New(rand.NewSource(streamSeed(n.seed, id)))}
 	ep.handler.Store(&h)
 	ep.up.Store(true)
 	eps[id] = ep
@@ -332,17 +369,21 @@ func (n *Network) sleepLatency(ctx context.Context, ep *endpoint) error {
 // returns ErrCallFailed when delivery is impossible (crashed endpoint,
 // partition, unknown node); handler errors pass through unchanged.
 func (n *Network) Call(ctx context.Context, from, to nodeset.ID, req Message) (Message, error) {
-	if n.trace != nil {
-		start := time.Now()
-		reply, err := n.call(ctx, from, to, req)
-		n.trace(TraceEvent{From: from, To: to, Request: req, Reply: reply, Err: err, Elapsed: time.Since(start)})
-		return reply, err
+	if n.trace == nil && n.callLatency == nil {
+		return n.call(ctx, from, to, req)
 	}
-	return n.call(ctx, from, to, req)
+	start := time.Now()
+	reply, err := n.call(ctx, from, to, req)
+	elapsed := time.Since(start)
+	n.callLatency.RecordDuration(elapsed)
+	if n.trace != nil {
+		n.trace(TraceEvent{From: from, To: to, Request: req, Reply: reply, Err: err, Elapsed: elapsed})
+	}
+	return reply, err
 }
 
 func (n *Network) call(ctx context.Context, from, to nodeset.ID, req Message) (Message, error) {
-	n.calls.Add(1)
+	n.calls.Inc()
 	reg := n.reg.Load()
 	src, dst := reg.get(from), reg.get(to)
 	if src == nil || dst == nil || !src.up.Load() || !dst.up.Load() || !n.reachable(from, to) {
@@ -355,8 +396,8 @@ func (n *Network) call(ctx context.Context, from, to nodeset.ID, req Message) (M
 	if !dst.up.Load() || !n.reachable(from, to) {
 		return n.fail()
 	}
-	n.messages.Add(1)
-	dst.served.Add(1)
+	n.messages.Inc()
+	dst.served.Inc()
 	handler := *dst.handler.Load()
 
 	if n.encode != nil {
@@ -383,7 +424,7 @@ func (n *Network) call(ctx context.Context, from, to nodeset.ID, req Message) (M
 }
 
 func (n *Network) fail() (Message, error) {
-	n.failedCalls.Add(1)
+	n.failedCalls.Inc()
 	return nil, ErrCallFailed
 }
 
@@ -406,7 +447,7 @@ func (n *Network) finishCall(ctx context.Context, src, dst *endpoint, from, to n
 	if !src.up.Load() || !dst.up.Load() || !n.reachable(from, to) {
 		return n.fail()
 	}
-	n.messages.Add(1)
+	n.messages.Inc()
 	return reply, nil
 }
 
@@ -447,6 +488,7 @@ func (n *Network) MulticastFunc(ctx context.Context, from nodeset.ID, targets no
 	if targets.Empty() {
 		return
 	}
+	n.mcFanout.Record(uint64(targets.Len()))
 	if targets.Len() == 1 {
 		id, _ := targets.Min()
 		reply, err := n.Call(ctx, from, id, req)
@@ -493,28 +535,26 @@ func (n *Network) Multicast(ctx context.Context, from nodeset.ID, targets nodese
 // Stats returns a snapshot of the traffic counters.
 func (n *Network) Stats() Stats {
 	return Stats{
-		Calls:       n.calls.Load(),
-		FailedCalls: n.failedCalls.Load(),
-		Messages:    n.messages.Load(),
+		Calls:       int64(n.calls.Load()),
+		FailedCalls: int64(n.failedCalls.Load()),
+		Messages:    int64(n.messages.Load()),
 	}
 }
 
-// ResetStats zeroes the traffic counters and per-node load.
+// ResetStats zeroes the traffic counters and per-node load. When a registry
+// is attached these are the registry's cells, so the metrics view resets
+// with the experiment view.
 func (n *Network) ResetStats() {
-	n.calls.Store(0)
-	n.failedCalls.Store(0)
-	n.messages.Store(0)
-	if reg := n.reg.Load(); reg != nil {
-		for _, ep := range reg.eps {
-			if ep != nil {
-				ep.served.Store(0)
-			}
-		}
-	}
+	n.calls.Reset()
+	n.failedCalls.Reset()
+	n.messages.Reset()
+	n.served.Reset()
 }
 
 // Load returns a copy of the per-node served-request counters, the basis of
 // the load-sharing experiments. Nodes that served no requests are omitted.
+// It is a view over the same cells exposed to the obs registry as
+// transport_endpoint_served_total.
 func (n *Network) Load() map[nodeset.ID]int64 {
 	reg := n.reg.Load()
 	out := make(map[nodeset.ID]int64)
@@ -526,7 +566,7 @@ func (n *Network) Load() map[nodeset.ID]int64 {
 			continue
 		}
 		if v := ep.served.Load(); v != 0 {
-			out[ep.id] = v
+			out[ep.id] = int64(v)
 		}
 	}
 	return out
