@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs check-obs-imports ci
+.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch check-obs-imports check-allocs ci
 
 all: build
 
@@ -40,6 +40,21 @@ bench:
 bench-obs:
 	$(GO) run ./scripts/benchobs -duration 2s -trials 3
 
+# bench-batch measures the group-commit write pipeline — loadgen with
+# batching off vs on, contended and disjoint, at GOMAXPROCS=1 and 4 — and
+# writes BENCH_4.json. Gates: >= 1.5x contended at GOMAXPROCS=4, no
+# meaningful disjoint regression (DESIGN.md §8).
+bench-batch:
+	$(GO) run ./scripts/benchbatch -duration 2s -trials 3
+
+# check-allocs runs the steady-state allocation gates: the combiner's
+# submit/drain machinery and the batched-propagation capture path must not
+# allocate per operation (they gate with testing.AllocsPerRun and skip
+# themselves under -race).
+check-allocs:
+	$(GO) test -run 'TestCombinerDrainDoesNotAllocate' ./internal/core/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestCaptureDataDoesNotAllocate' ./internal/replica/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+
 # check-obs-imports enforces the obs data-plane discipline: internal/obs
 # must not import fmt, log, os, io or encoding packages — formatting and
 # exposition live in internal/obs/expose.
@@ -50,4 +65,4 @@ check-obs-imports:
 	fi; \
 	echo "check-obs-imports: internal/obs is clean"
 
-ci: vet build check-obs-imports race bench-smoke bench-loadgen bench-obs
+ci: vet build check-obs-imports check-allocs race bench-smoke bench-loadgen bench-obs bench-batch

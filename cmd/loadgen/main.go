@@ -1,11 +1,21 @@
-// Command loadgen is a closed-loop throughput harness for the dynamic
-// structured coterie protocol's data plane. It builds an in-process
-// cluster of N nodes replicating M independent data items, then drives K
-// worker goroutines that each repeatedly pick an item and a coordinator
-// and execute a read or a partial write, waiting for each operation to
-// finish before issuing the next (closed loop: offered load tracks
-// service rate, so aggregate ops/sec measures the data plane itself, not
-// a queue).
+// Command loadgen is a throughput harness for the dynamic structured
+// coterie protocol's data plane. It builds an in-process cluster of N
+// nodes replicating M independent data items, then drives K worker
+// goroutines that each repeatedly pick an item and a coordinator and
+// execute a read or a partial write. By default the loop is closed (each
+// worker waits for its operation before issuing the next, so offered load
+// tracks service rate and aggregate ops/sec measures the data plane
+// itself, not a queue); -rate R switches to an open loop where the
+// workers collectively issue R operations per second on a fixed schedule
+// and latency is measured from each operation's scheduled arrival, so
+// backlog shows up in the tail percentiles.
+//
+// The group-commit pipeline is driven by -batch (with -batch-max and
+// -batch-queue sizing the combiner), and merges best when -affinity
+// routes all writes for an item through one coordinator. -strategy
+// selects quorum picking: "hint" rotates pseudo-randomly, "load" steers
+// toward the least-loaded endpoints via a shared EWMA load tracker.
+// -batch-prop batches stale propagation per target node.
 //
 // The multi-item, multi-coordinator shape is the contention profile the
 // protocol promises to serve well: operations on different items share
@@ -52,6 +62,7 @@ import (
 	"coterie/internal/obs/expose"
 	"coterie/internal/replica"
 	"coterie/internal/transport"
+	"coterie/internal/workload"
 )
 
 type config struct {
@@ -71,6 +82,13 @@ type config struct {
 	latency     time.Duration
 	churn       time.Duration
 	traceCap    int
+	batch       bool
+	batchMax    int
+	batchQueue  int
+	strategy    string
+	rate        float64
+	affinity    bool
+	batchProp   bool
 }
 
 // outcomes is the per-operation-type disposition breakdown.
@@ -107,6 +125,11 @@ type result struct {
 	NumCPU        int              `json:"num_cpu"`
 	Seed          int64            `json:"seed"`
 	Obs           bool             `json:"obs"`
+	Batch         bool             `json:"batch"`
+	Strategy      string           `json:"strategy"`
+	Affinity      bool             `json:"affinity"`
+	BatchProp     bool             `json:"batch_prop"`
+	RateTarget    float64          `json:"rate_target,omitempty"`
 	LatencyUs     int64            `json:"latency_us"`
 	ChurnMs       int64            `json:"churn_ms"`
 	ElapsedSec    float64          `json:"elapsed_sec"`
@@ -152,6 +175,13 @@ func main() {
 	flag.DurationVar(&cfg.latency, "latency", 0, "mean injected per-call network latency (0 = none)")
 	flag.DurationVar(&cfg.churn, "churn", 0, "crash/restart a node with epoch checks at this cadence (0 = none)")
 	flag.IntVar(&cfg.traceCap, "trace-cap", 256, "flight recorder ring capacity")
+	flag.BoolVar(&cfg.batch, "batch", false, "enable the group-commit write combiner")
+	flag.IntVar(&cfg.batchMax, "batch-max", 0, "max writes merged per batched protocol round (0 = core default)")
+	flag.IntVar(&cfg.batchQueue, "batch-queue", 0, "combiner queue depth before writers overflow to the single-write path (0 = core default)")
+	flag.StringVar(&cfg.strategy, "strategy", "hint", "quorum selection strategy: hint (pseudo-random rotation) or load (least-loaded via EWMA)")
+	flag.Float64Var(&cfg.rate, "rate", 0, "open-loop arrival rate in ops/sec across all workers (0 = closed loop)")
+	flag.BoolVar(&cfg.affinity, "affinity", false, "route all writes for an item through one coordinator so group commit can merge them")
+	flag.BoolVar(&cfg.batchProp, "batch-prop", false, "batch stale propagation per target node")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -203,7 +233,21 @@ func run(cfg config) error {
 	// relation): conflicting operations that wedge each other's quorum
 	// locks resolve on the lease, so a short round timeout keeps the
 	// closed loop moving instead of measuring lease expiries.
-	rcfg := replica.Config{LockLease: 4 * cfg.callTimeout, Obs: reg}
+	var strategy core.QuorumStrategy
+	var tracker *core.LoadTracker
+	switch cfg.strategy {
+	case "hint":
+		strategy = core.StrategyHint
+	case "load":
+		strategy = core.StrategyLoadAware
+		// One tracker across every coordinator of every item: they all
+		// steer by the same observed per-endpoint load.
+		tracker = core.NewLoadTracker(netw, members, reg)
+	default:
+		return fmt.Errorf("unknown -strategy %q (want hint or load)", cfg.strategy)
+	}
+
+	rcfg := replica.Config{LockLease: 4 * cfg.callTimeout, Obs: reg, PropagationBatch: cfg.batchProp}
 	nodes := make([]*replica.Node, cfg.nodes)
 	for i := range nodes {
 		nodes[i] = replica.NewNode(nodeset.ID(i), netw, rcfg)
@@ -222,6 +266,13 @@ func run(cfg config) error {
 				CallTimeout: cfg.callTimeout,
 				Replica:     rcfg,
 				Obs:         reg,
+				Strategy:    strategy,
+				Load:        tracker,
+				GroupCommit: core.GroupCommitOptions{
+					Enabled:  cfg.batch,
+					MaxBatch: cfg.batchMax,
+					MaxQueue: cfg.batchQueue,
+				},
 			})
 		}
 	}
@@ -229,8 +280,13 @@ func run(cfg config) error {
 	stats := make([]workerStats, cfg.workers)
 	deadline := time.Now().Add(cfg.duration)
 	ctx := context.Background()
+	runCtx, runCancel := context.WithDeadline(ctx, deadline)
+	defer runCancel()
 	var wg sync.WaitGroup
 	start := time.Now()
+	// One pacer shared by all workers makes the union of their operations a
+	// single fixed-rate arrival stream; nil (rate 0) keeps the closed loop.
+	pacer := workload.NewPacer(cfg.rate, start)
 
 	if cfg.churn > 0 {
 		wg.Add(1)
@@ -248,14 +304,27 @@ func run(cfg config) error {
 			rng := rand.New(rand.NewSource(int64(mix64(uint64(cfg.seed) + uint64(w)*0x9e3779b97f4a7c15))))
 			buf := make([]byte, cfg.writeLen)
 			for time.Now().Before(deadline) {
+				// In open-loop mode `began` is the operation's scheduled
+				// arrival (possibly in the past when the system is behind);
+				// in closed-loop mode Wait returns the current time.
+				began, due := pacer.Wait(runCtx)
+				if !due {
+					return
+				}
 				item := w % cfg.items
 				if !cfg.disjoint {
 					item = rng.Intn(cfg.items)
 				}
-				co := coords[item][rng.Intn(cfg.nodes)]
+				isRead := rng.Float64() < cfg.readFrac
+				node := rng.Intn(cfg.nodes)
+				if cfg.affinity && !isRead {
+					// All writes to an item share a coordinator so the
+					// group-commit combiner can merge them; reads stay spread.
+					node = item % cfg.nodes
+				}
+				co := coords[item][node]
 				opCtx, cancel := context.WithTimeout(ctx, cfg.timeout)
-				if rng.Float64() < cfg.readFrac {
-					began := time.Now()
+				if isRead {
 					_, _, err := co.Read(opCtx)
 					st.readOut.add(err)
 					if err == nil {
@@ -271,7 +340,6 @@ func run(cfg config) error {
 						data[i] = byte('a' + rng.Intn(26))
 					}
 					u := replica.Update{Offset: rng.Intn(cfg.itemSize - length + 1), Data: data}
-					began := time.Now()
 					_, err := co.Write(opCtx, u)
 					st.writeOut.add(err)
 					if err == nil {
@@ -297,6 +365,11 @@ func run(cfg config) error {
 		NumCPU:     runtime.NumCPU(),
 		Seed:       cfg.seed,
 		Obs:        cfg.obsOn,
+		Batch:      cfg.batch,
+		Strategy:   cfg.strategy,
+		Affinity:   cfg.affinity,
+		BatchProp:  cfg.batchProp,
+		RateTarget: cfg.rate,
 		LatencyUs:  cfg.latency.Microseconds(),
 		ChurnMs:    cfg.churn.Milliseconds(),
 		ElapsedSec: elapsed.Seconds(),

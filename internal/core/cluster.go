@@ -49,6 +49,11 @@ func NewCluster(n int, item string, initial []byte, opts Options) (*Cluster, err
 		nodes:        make(map[nodeset.ID]*replica.Node),
 		coordinators: make(map[nodeset.ID]*Coordinator),
 	}
+	if c.opts.Strategy == StrategyLoadAware && c.opts.Load == nil {
+		// One tracker for the whole cluster: every coordinator steers by
+		// the same observed per-endpoint load.
+		c.opts.Load = NewLoadTracker(c.Net, c.Members, c.opts.Obs)
+	}
 	for _, id := range c.Members.IDs() {
 		node := replica.NewNode(id, c.Net, c.opts.Replica)
 		it, err := node.AddItem(item, c.Members, initial)

@@ -34,13 +34,20 @@ type Coordinator struct {
 	// takes effect. Both are nil-safe when observability is disabled.
 	obsReg  *obs.Registry
 	metrics coordMetrics
+	// load/loadFn drive StrategyLoadAware quorum selection; loadFn is the
+	// bound method value, resolved once so the hot path allocates nothing.
+	// Both nil under StrategyHint.
+	load   *LoadTracker
+	loadFn coterie.LoadFunc
+	// combiner is the group-commit write queue; nil unless enabled.
+	combiner *combiner
 }
 
 // NewCoordinator builds a coordinator around the local replica `item`.
 // all is the full replica set of the item.
 func NewCoordinator(item *replica.Item, net *transport.Network, all nodeset.Set, opts Options) *Coordinator {
 	opts = opts.withDefaults()
-	return &Coordinator{
+	c := &Coordinator{
 		item:    item,
 		net:     net,
 		all:     all.Clone(),
@@ -49,6 +56,17 @@ func NewCoordinator(item *replica.Item, net *transport.Network, all nodeset.Set,
 		obsReg:  opts.Obs,
 		metrics: newCoordMetrics(opts.Obs),
 	}
+	if opts.Strategy == StrategyLoadAware {
+		c.load = opts.Load
+		if c.load == nil {
+			c.load = NewLoadTracker(net, c.all, opts.Obs)
+		}
+		c.loadFn = c.load.Load
+	}
+	if opts.GroupCommit.Enabled && opts.SafetyThreshold <= 0 {
+		c.combiner = newCombiner(c, opts.GroupCommit)
+	}
+	return c
 }
 
 // layout returns the compiled quorum layout of the given epoch, served from
@@ -88,6 +106,27 @@ func hint(op replica.OpID) int {
 	x ^= x >> 31
 	// Shift keeps the result non-negative on 64-bit ints.
 	return int(x >> 1)
+}
+
+// pickWriteQuorum selects a write quorum from the layout's candidates per
+// the configured strategy: least-loaded under StrategyLoadAware (with a
+// load refresh at most every loadRefreshInterval), the hint rotation
+// otherwise.
+func (c *Coordinator) pickWriteQuorum(lay *coterie.Layout, avail nodeset.Set, op replica.OpID) (nodeset.Set, bool) {
+	if c.loadFn != nil {
+		c.load.maybeRefresh()
+		return lay.WriteQuorumLoaded(avail, c.loadFn, hint(op))
+	}
+	return lay.WriteQuorum(avail, hint(op))
+}
+
+// pickReadQuorum is pickWriteQuorum's read analogue.
+func (c *Coordinator) pickReadQuorum(lay *coterie.Layout, avail nodeset.Set, op replica.OpID) (nodeset.Set, bool) {
+	if c.loadFn != nil {
+		c.load.maybeRefresh()
+		return lay.ReadQuorumLoaded(avail, c.loadFn, hint(op))
+	}
+	return lay.ReadQuorum(avail, hint(op))
 }
 
 // response pairs a replica's state with its node ID.
@@ -240,12 +279,29 @@ func (c *Coordinator) commitAll(ctx context.Context, op replica.OpID, targets no
 // only a write quorum drawn from its epoch list; otherwise it falls back to
 // the paper's HeavyProcedure, polling all replicas. On success it returns
 // the version number the write produced.
+//
+// With group commit enabled (Options.GroupCommit), concurrent Write calls
+// on this coordinator merge into batched protocol rounds; each caller
+// still receives its own assigned version and outcome.
 func (c *Coordinator) Write(ctx context.Context, u replica.Update) (uint64, error) {
 	if err := u.Validate(); err != nil {
 		return 0, err
 	}
-	op := c.item.NextOp()
 	c.metrics.writes.Inc()
+	if c.combiner != nil {
+		if version, err, handled := c.combiner.submit(ctx, u); handled {
+			return version, err
+		}
+		// Queue overflow or a cleanly-aborted batch: run the write alone.
+	}
+	return c.writeOne(ctx, u)
+}
+
+// writeOne runs one write through the single-write protocol flow — the
+// path taken without group commit, on combiner overflow, and for each
+// writer of a batch that aborted with nothing applied.
+func (c *Coordinator) writeOne(ctx context.Context, u replica.Update) (uint64, error) {
+	op := c.item.NextOp()
 	a := c.obsReg.Flight().Begin(obs.OpWrite, c.item.Self(), uint64(op.Seq), c.item.Name())
 	version, err := c.write(ctx, a, op, u)
 	a.End(outcomeOf(err), version)
@@ -256,7 +312,7 @@ func (c *Coordinator) write(ctx context.Context, a *obs.ActiveOp, op replica.OpI
 	local := c.item.State()
 
 	lay := c.layout(local.EpochNum, local.Epoch)
-	quorum, ok := lay.WriteQuorum(local.Epoch, hint(op))
+	quorum, ok := c.pickWriteQuorum(lay, local.Epoch, op)
 	if !ok {
 		// The local epoch list admits no quorum at all (degenerate state);
 		// go heavy immediately.
@@ -411,7 +467,7 @@ func (c *Coordinator) read(ctx context.Context, a *obs.ActiveOp, op replica.OpID
 	local := c.item.State()
 
 	lay := c.layout(local.EpochNum, local.Epoch)
-	quorum, ok := lay.ReadQuorum(local.Epoch, hint(op))
+	quorum, ok := c.pickReadQuorum(lay, local.Epoch, op)
 	if !ok {
 		return c.heavyRead(ctx, a, op, nodeset.Set{})
 	}

@@ -41,6 +41,42 @@ var ErrUnavailable = errors.New("core: data item unavailable")
 // back off and retry.
 var ErrConflict = errors.New("core: operation aborted after lock conflicts")
 
+// QuorumStrategy selects how a coordinator chooses among a layout's
+// candidate quorums.
+type QuorumStrategy int
+
+const (
+	// StrategyHint rotates across candidate quorums pseudo-randomly by
+	// operation ID — the paper's Section 5 load sharing ("different nodes
+	// may use different quorums"), blind to observed load.
+	StrategyHint QuorumStrategy = iota
+	// StrategyLoadAware picks the least-loaded candidate quorum using the
+	// per-endpoint EWMA request rates of a LoadTracker, breaking ties
+	// toward the hint rotation (so uniform load degrades to StrategyHint)
+	// and falling back to it entirely for structures with no load-aware
+	// form.
+	StrategyLoadAware
+)
+
+// GroupCommitOptions configures the coordinator's write combiner (see
+// combiner.go). Group commit is a liveness/throughput optimization only;
+// it changes which protocol rounds carry an update, never the outcome a
+// writer observes.
+type GroupCommitOptions struct {
+	// Enabled turns the combiner on. Writes issued concurrently against
+	// the same coordinator then merge into batched protocol rounds.
+	// Ignored when SafetyThreshold > 0: the Section 4.1 extension is
+	// defined per single update, so such configurations keep the
+	// single-write flow.
+	Enabled bool
+	// MaxBatch caps the writes merged into one protocol round. Default 32.
+	MaxBatch int
+	// MaxQueue caps the writers waiting to be batched; beyond it writers
+	// overflow to the single-write path instead of queueing. Default
+	// 4*MaxBatch.
+	MaxQueue int
+}
+
 // Options configures coordinators.
 type Options struct {
 	// Rule is the coterie rule imposed on epoch lists. Default: the grid
@@ -62,6 +98,15 @@ type Options struct {
 	// (Replica.Obs) and, in NewCluster, to the transport. Default nil
 	// (obs.Nop): every recording site is a no-op.
 	Obs *obs.Registry
+	// GroupCommit configures the write combiner.
+	GroupCommit GroupCommitOptions
+	// Strategy selects how quorums are picked from a layout's candidates.
+	// Default StrategyHint.
+	Strategy QuorumStrategy
+	// Load supplies the load signal for StrategyLoadAware. Coordinators
+	// sharing a network should share one tracker (NewCluster builds one);
+	// when nil and the strategy needs it, each coordinator builds its own.
+	Load *LoadTracker
 	// Replica configures the per-node replica behavior.
 	Replica replica.Config
 	// Transport options are applied to the cluster's network — e.g.
@@ -79,6 +124,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CommitRetries == 0 {
 		o.CommitRetries = 3
+	}
+	if o.GroupCommit.Enabled {
+		if o.GroupCommit.MaxBatch <= 0 {
+			o.GroupCommit.MaxBatch = 32
+		}
+		if o.GroupCommit.MaxQueue <= 0 {
+			o.GroupCommit.MaxQueue = 4 * o.GroupCommit.MaxBatch
+		}
 	}
 	if o.Replica.LockLease == 0 {
 		// An unprepared lock hold must survive the slowest possible path

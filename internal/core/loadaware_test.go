@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/obs"
+	"coterie/internal/replica"
+)
+
+// TestLoadTrackerEWMA drives refreshLocked with a synthetic sampler and
+// controlled timestamps and checks the EWMA arithmetic, the gauge
+// publication, and the counter-regression clamp.
+func TestLoadTrackerEWMA(t *testing.T) {
+	served := map[nodeset.ID]uint64{}
+	reg := obs.New()
+	tr := newLoadTracker(nodeset.New(0, 1, 2), func(id nodeset.ID) uint64 { return served[id] }, reg)
+	base := tr.prevT
+	sec := int64(time.Second)
+
+	// 100 requests over one second: rate 100/s, EWMA = 0.3*100 = 30.
+	served[1] = 100
+	tr.mu.Lock()
+	tr.refreshLocked(base + sec)
+	tr.mu.Unlock()
+	if got := tr.Load(1); got != 30 {
+		t.Fatalf("after first refresh Load(1) = %v, want 30", got)
+	}
+	if got := tr.Load(0); got != 0 {
+		t.Fatalf("idle node Load(0) = %v, want 0", got)
+	}
+
+	// No new traffic: the estimate decays, 0.7*30 = 21.
+	tr.mu.Lock()
+	tr.refreshLocked(base + 2*sec)
+	tr.mu.Unlock()
+	if got := tr.Load(1); math.Abs(got-21) > 1e-9 {
+		t.Fatalf("after decay Load(1) = %v, want 21", got)
+	}
+
+	// A counter regression (transport ResetStats) clamps the delta to
+	// zero instead of wrapping: 0.7*21 = 14.7.
+	served[1] = 5
+	tr.mu.Lock()
+	tr.refreshLocked(base + 3*sec)
+	tr.mu.Unlock()
+	if got := tr.Load(1); math.Abs(got-14.7) > 1e-9 {
+		t.Fatalf("after regression Load(1) = %v, want 14.7", got)
+	}
+
+	// Estimates are published to the gauge vector, truncated to int64.
+	if got := reg.GaugeVec("core_endpoint_load_ewma").At(1).Load(); got != 14 {
+		t.Fatalf("gauge for node 1 = %d, want 14", got)
+	}
+
+	// Zero-dt refreshes are ignored rather than dividing by zero.
+	tr.mu.Lock()
+	tr.refreshLocked(base + 3*sec)
+	tr.mu.Unlock()
+	if got := tr.Load(1); math.Abs(got-14.7) > 1e-9 {
+		t.Fatalf("zero-dt refresh changed Load(1) to %v", got)
+	}
+}
+
+// TestLoadTrackerUntrackedAndNil: untracked IDs and the nil tracker are
+// inert zeros, matching the coterie contract that load 0 means "no
+// signal".
+func TestLoadTrackerUntrackedAndNil(t *testing.T) {
+	tr := newLoadTracker(nodeset.New(0, 2), func(nodeset.ID) uint64 { return 0 }, nil)
+	if got := tr.Load(1); got != 0 {
+		t.Fatalf("untracked in-range ID: %v", got)
+	}
+	if got := tr.Load(99); got != 0 {
+		t.Fatalf("out-of-range ID: %v", got)
+	}
+	var nilTr *LoadTracker
+	if got := nilTr.Load(0); got != 0 {
+		t.Fatalf("nil tracker: %v", got)
+	}
+	nilTr.maybeRefresh() // must not panic
+	nilTr.Refresh()      // must not panic
+}
+
+// TestLoadAwareStrategyCluster: a cluster running StrategyLoadAware must
+// behave exactly like the hint strategy functionally — writes and reads
+// land, versions advance — while feeding real served-counter samples
+// through the tracker into the gauge vector.
+func TestLoadAwareStrategyCluster(t *testing.T) {
+	opts := fastOptions()
+	opts.Strategy = StrategyLoadAware
+	opts.Obs = obs.New()
+	c, err := NewCluster(9, "item", make([]byte, 16), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	for i := 0; i < 5; i++ {
+		mustWrite(t, c, nodeset.ID(i), replica.Update{Offset: i, Data: []byte{byte('a' + i)}})
+	}
+	v, ver := mustRead(t, c, 7)
+	if string(v[:5]) != "abcde" || ver != 5 {
+		t.Fatalf("read %q@%d", v, ver)
+	}
+
+	// The cluster built one shared tracker; force a refresh and confirm
+	// the gauge vector shows up in a snapshot with a tracked cell.
+	if c.opts.Load == nil {
+		t.Fatal("cluster did not build a LoadTracker for StrategyLoadAware")
+	}
+	c.opts.Load.Refresh()
+	found := false
+	for _, gv := range opts.Obs.Snapshot().GaugeVecs {
+		if gv.Name == "core_endpoint_load_ewma" {
+			found = true
+			if len(gv.Values) < 9 {
+				t.Fatalf("gauge vector has %d cells, want >= 9", len(gv.Values))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("core_endpoint_load_ewma missing from snapshot")
+	}
+}

@@ -17,16 +17,26 @@ type coordMetrics struct {
 	epochChanges *obs.Counter // core_epoch_changes_total
 	redirects    *obs.Counter // core_epoch_redirects_total
 	heavy        *obs.Counter // core_heavy_procedures_total
+	// Group-commit instrumentation (combiner.go): flushes count batched
+	// protocol rounds, fallbacks count batches that aborted cleanly and
+	// returned their writers to the single-write flow, and the size
+	// histogram records how many writes each flush merged.
+	batchFlush    *obs.Counter   // core_batch_flush_total
+	batchFallback *obs.Counter   // core_batch_fallback_total
+	batchSize     *obs.Histogram // core_batch_size
 }
 
 func newCoordMetrics(r *obs.Registry) coordMetrics {
 	return coordMetrics{
-		writes:       r.Counter("core_writes_total"),
-		reads:        r.Counter("core_reads_total"),
-		epochChecks:  r.Counter("core_epoch_checks_total"),
-		epochChanges: r.Counter("core_epoch_changes_total"),
-		redirects:    r.Counter("core_epoch_redirects_total"),
-		heavy:        r.Counter("core_heavy_procedures_total"),
+		writes:        r.Counter("core_writes_total"),
+		reads:         r.Counter("core_reads_total"),
+		epochChecks:   r.Counter("core_epoch_checks_total"),
+		epochChanges:  r.Counter("core_epoch_changes_total"),
+		redirects:     r.Counter("core_epoch_redirects_total"),
+		heavy:         r.Counter("core_heavy_procedures_total"),
+		batchFlush:    r.Counter("core_batch_flush_total"),
+		batchFallback: r.Counter("core_batch_fallback_total"),
+		batchSize:     r.Histogram("core_batch_size"),
 	}
 }
 

@@ -1,0 +1,161 @@
+package coterie
+
+import (
+	"math/rand"
+	"testing"
+
+	"coterie/internal/nodeset"
+)
+
+// loadedRules are the rules whose compiled layouts implement load-aware
+// selection; the others must fall back to the hint path transparently.
+var loadedTestRules = []Rule{
+	Grid{}, Grid{Strict: true}, Grid{Ratio: 2},
+	Majority{}, ROWA{},
+	Hierarchical{}, Wheel{}, // hint fallback only
+}
+
+// TestLoadedQuorumsAreValidQuorums is the contract property test: for any
+// rule, member set, availability subset, load assignment and hint, a
+// loaded quorum must (a) exist exactly when the hint path finds one, (b)
+// be drawn from the available set, and (c) satisfy the layout's own
+// quorum predicate. Load may only change WHICH valid quorum is picked.
+func TestLoadedQuorumsAreValidQuorums(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{1, 2, 4, 9, 16, 25}
+	for _, rule := range loadedTestRules {
+		for _, n := range sizes {
+			V := nodeset.Range(0, nodeset.ID(n))
+			lay := Compile(rule, V)
+			for trial := 0; trial < 200; trial++ {
+				var avail nodeset.Set
+				for _, id := range V.IDs() {
+					if rng.Intn(4) != 0 { // ~75% availability
+						avail.Add(id)
+					}
+				}
+				loads := make([]float64, n)
+				for i := range loads {
+					loads[i] = float64(rng.Intn(100))
+				}
+				load := func(id nodeset.ID) float64 { return loads[id] }
+				hint := rng.Int()
+
+				rq, rok := lay.ReadQuorumLoaded(avail, load, hint)
+				rqh, rokh := lay.ReadQuorum(avail, hint)
+				if rok != rokh {
+					t.Fatalf("%s n=%d: loaded read ok=%v, hint ok=%v (avail %v)", rule.Name(), n, rok, rokh, avail)
+				}
+				if rok {
+					if !rq.Subset(avail) {
+						t.Fatalf("%s n=%d: read quorum %v not within avail %v", rule.Name(), n, rq, avail)
+					}
+					if !lay.IsReadQuorum(rq) {
+						t.Fatalf("%s n=%d: loaded pick %v is not a read quorum (avail %v)", rule.Name(), n, rq, avail)
+					}
+				}
+				_ = rqh
+
+				wq, wok := lay.WriteQuorumLoaded(avail, load, hint)
+				_, wokh := lay.WriteQuorum(avail, hint)
+				if wok != wokh {
+					t.Fatalf("%s n=%d: loaded write ok=%v, hint ok=%v (avail %v)", rule.Name(), n, wok, wokh, avail)
+				}
+				if wok {
+					if !wq.Subset(avail) {
+						t.Fatalf("%s n=%d: write quorum %v not within avail %v", rule.Name(), n, wq, avail)
+					}
+					if !lay.IsWriteQuorum(wq) {
+						t.Fatalf("%s n=%d: loaded pick %v is not a write quorum (avail %v)", rule.Name(), n, wq, avail)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLoadedUniformMatchesHint: with an all-equal load signal the
+// tie-break must reproduce the hint rotation's pick exactly, so enabling
+// load-aware selection on an idle system changes nothing.
+func TestLoadedUniformMatchesHint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	uniform := func(nodeset.ID) float64 { return 1 }
+	for _, rule := range loadedTestRules {
+		V := nodeset.Range(0, 9)
+		lay := Compile(rule, V)
+		for trial := 0; trial < 200; trial++ {
+			var avail nodeset.Set
+			for _, id := range V.IDs() {
+				if rng.Intn(5) != 0 {
+					avail.Add(id)
+				}
+			}
+			hint := rng.Int()
+			rq, rok := lay.ReadQuorumLoaded(avail, uniform, hint)
+			rqh, rokh := lay.ReadQuorum(avail, hint)
+			if rok != rokh || (rok && !rq.Equal(rqh)) {
+				t.Fatalf("%s: uniform load read pick %v (ok=%v) != hint pick %v (ok=%v)", rule.Name(), rq, rok, rqh, rokh)
+			}
+			wq, wok := lay.WriteQuorumLoaded(avail, uniform, hint)
+			wqh, wokh := lay.WriteQuorum(avail, hint)
+			if wok != wokh || (wok && !wq.Equal(wqh)) {
+				t.Fatalf("%s: uniform load write pick %v (ok=%v) != hint pick %v (ok=%v)", rule.Name(), wq, wok, wqh, wokh)
+			}
+		}
+	}
+}
+
+// TestLoadedQuorumAvoidsHotNode: when one node is much more loaded than
+// its alternatives, no read quorum should include it (grid columns and
+// majority pools both offer substitutes with everything available).
+func TestLoadedQuorumAvoidsHotNode(t *testing.T) {
+	V := nodeset.Range(0, 9)
+	hot := nodeset.ID(4)
+	load := func(id nodeset.ID) float64 {
+		if id == hot {
+			return 1000
+		}
+		return 1
+	}
+	for _, rule := range []Rule{Grid{}, Majority{}, ROWA{}} {
+		lay := Compile(rule, V)
+		for hint := 0; hint < 50; hint++ {
+			q, ok := lay.ReadQuorumLoaded(V, load, hint)
+			if !ok {
+				t.Fatalf("%s: no read quorum with everything available", rule.Name())
+			}
+			if q.Contains(hot) {
+				t.Fatalf("%s hint=%d: read quorum %v includes the hot node", rule.Name(), hint, q)
+			}
+		}
+	}
+}
+
+// TestLoadedWriteQuorumPrefersColdColumn: a grid write quorum must take
+// the fully-available column with the least total load.
+func TestLoadedWriteQuorumPrefersColdColumn(t *testing.T) {
+	V := nodeset.Range(0, 9)
+	lay := Compile(Grid{}, V)
+	rows, cols, ok := lay.GridShape()
+	if !ok || rows != 3 || cols != 3 {
+		t.Fatalf("unexpected grid shape %dx%d ok=%v", rows, cols, ok)
+	}
+	// Members fill the grid row-major, so node k sits in column k mod 3:
+	// column 0 = {0,3,6}. Make it cold and everything else hot.
+	coldCol := nodeset.New(0, 3, 6)
+	load := func(id nodeset.ID) float64 {
+		if coldCol.Contains(id) {
+			return 1
+		}
+		return 100
+	}
+	for hint := 0; hint < 50; hint++ {
+		q, ok := lay.WriteQuorumLoaded(V, load, hint)
+		if !ok {
+			t.Fatal("no write quorum with everything available")
+		}
+		if !coldCol.Subset(q) {
+			t.Fatalf("hint=%d: write quorum %v does not contain the cold column %v", hint, q, coldCol)
+		}
+	}
+}

@@ -173,3 +173,83 @@ func (v *CounterVec) Reset() {
 		c.Reset()
 	}
 }
+
+// GaugeVec is a vector of gauges indexed by a small non-negative integer
+// label — per-endpoint load estimates, per-node queue depths. Same shape
+// and discipline as CounterVec: At grows copy-on-write under a mutex and
+// is a construction-time operation; hot paths resolve cells once (or use
+// the lock-free Get) and record through the held *Gauge. The zero value is
+// ready to use; a nil *GaugeVec is a no-op.
+type GaugeVec struct {
+	mu  sync.Mutex
+	arr atomic.Pointer[[]*Gauge]
+}
+
+// At returns the gauge for index i, growing the vector as needed.
+// Returns nil on a nil vector or a negative index.
+func (v *GaugeVec) At(i int) *Gauge {
+	if v == nil || i < 0 {
+		return nil
+	}
+	if arr := v.arr.Load(); arr != nil && i < len(*arr) && (*arr)[i] != nil {
+		return (*arr)[i]
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	old := v.arr.Load()
+	size := i + 1
+	if old != nil && len(*old) > size {
+		size = len(*old)
+	}
+	arr := make([]*Gauge, size)
+	if old != nil {
+		copy(arr, *old)
+	}
+	if arr[i] == nil {
+		arr[i] = new(Gauge)
+	}
+	v.arr.Store(&arr)
+	return arr[i]
+}
+
+// Get returns the gauge for index i if it exists, without growing;
+// nil otherwise. Lock-free.
+func (v *GaugeVec) Get(i int) *Gauge {
+	if v == nil || i < 0 {
+		return nil
+	}
+	arr := v.arr.Load()
+	if arr == nil || i >= len(*arr) {
+		return nil
+	}
+	return (*arr)[i]
+}
+
+// Len returns the current vector length (one past the highest registered
+// index).
+func (v *GaugeVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	arr := v.arr.Load()
+	if arr == nil {
+		return 0
+	}
+	return len(*arr)
+}
+
+// Values copies the current cell values; unregistered cells read zero.
+func (v *GaugeVec) Values() []int64 {
+	if v == nil {
+		return nil
+	}
+	arr := v.arr.Load()
+	if arr == nil {
+		return nil
+	}
+	out := make([]int64, len(*arr))
+	for i, g := range *arr {
+		out[i] = g.Load() // nil-safe: unregistered cells are zero
+	}
+	return out
+}

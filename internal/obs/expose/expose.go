@@ -42,6 +42,16 @@ func WritePrometheus(w io.Writer, r *obs.Registry) error {
 			}
 		}
 	}
+	for _, v := range s.GaugeVecs {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", v.Name); err != nil {
+			return err
+		}
+		for i, val := range v.Values {
+			if _, err := fmt.Fprintf(w, "%s{index=\"%d\"} %d\n", v.Name, i, val); err != nil {
+				return err
+			}
+		}
+	}
 	for _, h := range s.Histograms {
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
 			return err
@@ -107,6 +117,7 @@ type jsonSnapshot struct {
 	Counters   map[string]int64    `json:"counters"`
 	Gauges     map[string]int64    `json:"gauges"`
 	Vecs       map[string][]uint64 `json:"vectors"`
+	GaugeVecs  map[string][]int64  `json:"gauge_vectors,omitempty"`
 	Histograms map[string]jsonHist `json:"histograms"`
 	Traces     []jsonTrace         `json:"traces,omitempty"`
 }
@@ -138,6 +149,12 @@ func WriteJSON(w io.Writer, r *obs.Registry) error {
 	}
 	for _, v := range s.Vecs {
 		out.Vecs[v.Name] = v.Values
+	}
+	if len(s.GaugeVecs) > 0 {
+		out.GaugeVecs = make(map[string][]int64, len(s.GaugeVecs))
+		for _, v := range s.GaugeVecs {
+			out.GaugeVecs[v.Name] = v.Values
+		}
 	}
 	for _, h := range s.Histograms {
 		jh := jsonHist{
@@ -260,6 +277,8 @@ func formatEvent(e obs.Event) string {
 		return "heavy       fallback to full poll"
 	case obs.EvEpochInstall:
 		return fmt.Sprintf("epoch-install #%d members=%s", e.A, nodesString(e.Nodes))
+	case obs.EvBatch:
+		return fmt.Sprintf("batch       %d writes versions=%d..%d", e.N, e.A, e.B)
 	default:
 		return fmt.Sprintf("event(%d)", e.Kind)
 	}
@@ -280,6 +299,8 @@ func eventMeaning(e obs.Event) string {
 		return "nodes=refused lock"
 	case obs.EvEpochInstall:
 		return "nodes=new epoch, a=epoch number"
+	case obs.EvBatch:
+		return "n=batch size, a=first version, b=last version"
 	default:
 		return ""
 	}
@@ -335,6 +356,8 @@ func eventName(k obs.EventKind) string {
 		return "heavy"
 	case obs.EvEpochInstall:
 		return "epoch-install"
+	case obs.EvBatch:
+		return "batch"
 	default:
 		return "unknown"
 	}

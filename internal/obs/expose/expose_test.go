@@ -17,10 +17,12 @@ func sampleRegistry() *obs.Registry {
 	r.Histogram("proto_latency_ns").Record(1500)
 	r.Histogram("proto_latency_ns").Record(0)
 	r.CounterVec("endpoint_served").At(2).Add(9)
+	r.GaugeVec("endpoint_load").At(1).Set(7)
 	f := obs.NewFlightRecorder(4)
 	r.SetFlight(f)
 	a := f.Begin(obs.OpWrite, 1, 1, "item-a")
 	a.Quorum(nodeset.New(0, 1, 2), 3, 3)
+	a.Batch(3, 2, 4)
 	a.StaleMark(nodeset.New(2), 4)
 	a.End(obs.OutcomeOK, 4)
 	return r
@@ -37,6 +39,7 @@ func TestWritePrometheus(t *testing.T) {
 		"proto_writes_total 5",
 		"proto_inflight 2",
 		`endpoint_served{index="2"} 9`,
+		`endpoint_load{index="1"} 7`,
 		"proto_latency_ns_count 2",
 		"proto_latency_ns_sum 1500",
 		`proto_latency_ns_bucket{le="+Inf"} 2`,
@@ -87,7 +90,7 @@ func TestFormatTrace(t *testing.T) {
 		t.Fatalf("want 1 trace, got %d", len(traces))
 	}
 	out := FormatTrace(&traces[0])
-	for _, want := range []string{"write item=item-a", "outcome=ok", "quorum", "{0 1 2}", "grid=3x3", "stale-mark", "desired_version=4"} {
+	for _, want := range []string{"write item=item-a", "outcome=ok", "quorum", "{0 1 2}", "grid=3x3", "batch", "3 writes versions=2..4", "stale-mark", "desired_version=4"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("formatted trace missing %q:\n%s", want, out)
 		}

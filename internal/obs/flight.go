@@ -122,6 +122,10 @@ const (
 	// EvEpochInstall: an epoch change committed. Nodes = the new epoch
 	// list; A = the new epoch number; N = the list's size.
 	EvEpochInstall
+	// EvBatch: a group-commit flush merged several writes into one 2PC
+	// pass. N = the batch size; A = the first version assigned; B = the
+	// last version assigned (A..B is the version range).
+	EvBatch
 )
 
 // Phase identifies the RPC round an EvPhase event timed.
@@ -326,6 +330,15 @@ func (a *ActiveOp) EpochInstall(epoch nodeset.Set, epochNum uint64) {
 		return
 	}
 	a.event(Event{Kind: EvEpochInstall, N: int32(epoch.Len()), A: epochNum, Nodes: MaskOf(epoch)})
+}
+
+// Batch records a group-commit flush of size writes assigned the version
+// range [first, last].
+func (a *ActiveOp) Batch(size int, first, last uint64) {
+	if a == nil {
+		return
+	}
+	a.event(Event{Kind: EvBatch, N: int32(size), A: first, B: last})
 }
 
 // End finishes the trace, publishes it into the ring, and recycles the

@@ -40,11 +40,12 @@ import (
 // maps. A nil *Registry is the Nop registry.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	vecs     map[string]*CounterVec
-	flight   atomic.Pointer[FlightRecorder]
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	vecs      map[string]*CounterVec
+	gaugeVecs map[string]*GaugeVec
+	flight    atomic.Pointer[FlightRecorder]
 }
 
 // Nop is the disabled registry: metrics resolved from it are nil and every
@@ -54,10 +55,11 @@ var Nop *Registry
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-		vecs:     make(map[string]*CounterVec),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		vecs:      make(map[string]*CounterVec),
+		gaugeVecs: make(map[string]*GaugeVec),
 	}
 }
 
@@ -121,6 +123,22 @@ func (r *Registry) CounterVec(name string) *CounterVec {
 	if !ok {
 		v = new(CounterVec)
 		r.vecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge vector, creating it on first use.
+// Returns nil on the Nop registry.
+func (r *Registry) GaugeVec(name string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = new(GaugeVec)
+		r.gaugeVecs[name] = v
 	}
 	return v
 }
@@ -190,6 +208,13 @@ type NamedVec struct {
 	Values []uint64
 }
 
+// NamedGaugeVec is one gauge vector in a snapshot; Values is indexed by
+// the vector's integer label. Unregistered indices are zero.
+type NamedGaugeVec struct {
+	Name   string
+	Values []int64
+}
+
 // Snapshot is a point-in-time copy of every registered metric, sorted by
 // name, plus the completed flight-recorder traces. Taking a snapshot is
 // not allocation-free; it is an exposition-path operation.
@@ -198,6 +223,7 @@ type Snapshot struct {
 	Gauges     []NamedValue
 	Histograms []NamedHistogram
 	Vecs       []NamedVec
+	GaugeVecs  []NamedGaugeVec
 	Traces     []Trace
 }
 
@@ -221,11 +247,15 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, v := range r.vecs {
 		s.Vecs = append(s.Vecs, NamedVec{Name: name, Values: v.Values()})
 	}
+	for name, v := range r.gaugeVecs {
+		s.GaugeVecs = append(s.GaugeVecs, NamedGaugeVec{Name: name, Values: v.Values()})
+	}
 	r.mu.Unlock()
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	sort.Slice(s.Vecs, func(i, j int) bool { return s.Vecs[i].Name < s.Vecs[j].Name })
+	sort.Slice(s.GaugeVecs, func(i, j int) bool { return s.GaugeVecs[i].Name < s.GaugeVecs[j].Name })
 	if f := r.Flight(); f != nil {
 		s.Traces = f.Traces()
 	}

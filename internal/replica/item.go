@@ -29,6 +29,11 @@ type Config struct {
 	PropagationRetry time.Duration
 	// PropagationCallTimeout bounds each propagation RPC. Default 1s.
 	PropagationCallTimeout time.Duration
+	// PropagationBatch routes propagation through the node-level batched
+	// dispatcher (batchprop.go): one offer/transfer exchange per target
+	// covering every item owed, instead of one negotiation per item.
+	// Default false (per-item workers, today's behavior).
+	PropagationBatch bool
 	// ResolveInterval is how often the 2PC termination resolver scans for
 	// staged actions abandoned by their coordinator. Default 500ms.
 	ResolveInterval time.Duration
@@ -69,6 +74,7 @@ const (
 	stagedReplace
 	stagedStale
 	stagedEpoch
+	stagedBatch
 )
 
 // staged is a prepared-but-uncommitted 2PC action.
@@ -76,6 +82,7 @@ type staged struct {
 	kind       stagedKind
 	preparedAt time.Time
 	update     Update
+	updates    []Update // stagedBatch: applied in order on commit
 	value      []byte
 	newVersion uint64
 	staleSet   nodeset.Set
@@ -141,6 +148,12 @@ type Item struct {
 	propMu      sync.Mutex
 	pending     nodeset.Set
 	propRunning bool
+
+	// batchSink, when set (Config.PropagationBatch via Node.AddItem,
+	// before the item is published to the dispatch map), diverts
+	// propagation work to the node-level batched dispatcher instead of the
+	// per-item worker. Written once before any message can reach the item.
+	batchSink func(item string, targets nodeset.Set)
 
 	closed chan struct{}
 	wg     sync.WaitGroup
@@ -226,6 +239,8 @@ func (it *Item) Handle(ctx context.Context, from nodeset.ID, msg any) (transport
 		return it.handleFetch(m)
 	case PrepareUpdate:
 		return it.handlePrepareUpdate(m)
+	case PrepareBatch:
+		return it.handlePrepareBatch(m)
 	case PrepareReplace:
 		return it.handlePrepareReplace(m)
 	case PrepareStale:
@@ -307,6 +322,45 @@ func (it *Item) handlePrepareUpdate(m PrepareUpdate) (transport.Message, error) 
 		staleSet:   m.StaleSet.Clone(),
 		good:       m.GoodSet.Clone(),
 		goodVer:    m.NewVersion,
+	}
+	return Ack{OK: true}, nil
+}
+
+func (it *Item) handlePrepareBatch(m PrepareBatch) (transport.Message, error) {
+	if len(m.Updates) == 0 {
+		return Ack{Reason: "empty batch"}, nil
+	}
+	for _, u := range m.Updates {
+		if err := u.Validate(); err != nil {
+			return Ack{Reason: err.Error()}, nil
+		}
+	}
+	if refusal := it.requirePinned(m.Op); refusal != nil {
+		return *refusal, nil
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.recovering {
+		return Ack{Reason: "replica is recovering from state loss"}, nil
+	}
+	if it.stale {
+		return Ack{Reason: "replica is stale"}, nil
+	}
+	if it.store.Version()+1 != m.FirstVersion {
+		return Ack{Reason: fmt.Sprintf("version %d cannot advance to %d", it.store.Version(), m.FirstVersion)}, nil
+	}
+	ups := make([]Update, len(m.Updates))
+	for i, u := range m.Updates {
+		ups[i] = u.clone()
+	}
+	it.staged[m.Op] = &staged{
+		kind:       stagedBatch,
+		preparedAt: time.Now(),
+		updates:    ups,
+		newVersion: m.FirstVersion,
+		staleSet:   m.StaleSet.Clone(),
+		good:       m.GoodSet.Clone(),
+		goodVer:    m.FirstVersion + uint64(len(m.Updates)) - 1,
 	}
 	return Ack{OK: true}, nil
 }
@@ -394,6 +448,24 @@ func (it *Item) handleCommit(m Commit) (transport.Message, error) {
 			return Ack{Reason: "staged update no longer applicable"}, nil
 		}
 		it.store.Apply(st.update)
+		it.clearStaleLocked()
+		it.good = st.good
+		it.goodVer = st.goodVer
+		propagateTo = st.staleSet
+	case stagedBatch:
+		if it.store.Version()+1 != st.newVersion || it.stale {
+			// Unreachable while the exclusive lock is held from prepare to
+			// commit; refuse rather than corrupt the replica.
+			it.mu.Unlock()
+			it.lock.release(m.Op)
+			return Ack{Reason: "staged batch no longer applicable"}, nil
+		}
+		// Applying per update (not as one merged mutation) keeps the
+		// update log per-version, so propagation toward a target at any
+		// intermediate version still works.
+		for _, u := range st.updates {
+			it.store.Apply(u)
+		}
 		it.clearStaleLocked()
 		it.good = st.good
 		it.goodVer = st.goodVer

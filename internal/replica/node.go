@@ -21,12 +21,31 @@ type Node struct {
 
 	mu    sync.RWMutex
 	items map[string]*Item
+
+	// Batched-propagation dispatcher state (batchprop.go): pending maps
+	// each stale target to the set of item names it is owed, drained by a
+	// single on-demand worker per node.
+	bpMu      sync.Mutex
+	bpPending map[nodeset.ID]map[string]struct{}
+	bpRunning bool
+	bpMetrics nodeBatchMetrics
+
+	closed chan struct{}
+	wg     sync.WaitGroup
 }
 
 // NewNode creates a node and registers its message handler with the
 // network.
 func NewNode(self nodeset.ID, net *transport.Network, cfg Config) *Node {
-	n := &Node{self: self, net: net, cfg: cfg, items: make(map[string]*Item)}
+	n := &Node{
+		self:      self,
+		net:       net,
+		cfg:       cfg.withDefaults(),
+		items:     make(map[string]*Item),
+		bpPending: make(map[nodeset.ID]map[string]struct{}),
+		bpMetrics: newNodeBatchMetrics(cfg.Obs),
+		closed:    make(chan struct{}),
+	}
 	net.Register(self, n.handle)
 	return n
 }
@@ -48,6 +67,12 @@ func (n *Node) AddItem(name string, members nodeset.Set, initial []byte) (*Item,
 		return nil, fmt.Errorf("replica: item %q already exists on node %v", name, n.self)
 	}
 	it := newItem(name, n.self, members, initial, n.net, n.cfg)
+	if n.cfg.PropagationBatch {
+		// Set before the item is published to the dispatch map, so every
+		// propagation enqueue the item ever performs goes through the
+		// node-level batched dispatcher.
+		it.batchSink = n.enqueueBatchPropagation
+	}
 	n.items[name] = it
 	return it, nil
 }
@@ -76,6 +101,10 @@ func (n *Node) handle(ctx context.Context, from nodeset.ID, req transport.Messag
 	switch m := req.(type) {
 	case GroupStateQuery:
 		return n.groupState(), nil
+	case BatchPropagationOffer:
+		return n.handleBatchOffer(ctx, m)
+	case BatchPropagationData:
+		return n.handleBatchData(m)
 	case Envelope:
 		it := n.Item(m.Item)
 		if it == nil {
@@ -102,8 +131,15 @@ func (n *Node) groupState() GroupStateReply {
 	return reply
 }
 
-// Close stops all items' background work.
+// Close stops the batched-propagation dispatcher and all items'
+// background work.
 func (n *Node) Close() {
+	select {
+	case <-n.closed:
+	default:
+		close(n.closed)
+	}
+	n.wg.Wait()
 	n.mu.RLock()
 	items := make([]*Item, 0, len(n.items))
 	for _, it := range n.items {

@@ -99,6 +99,10 @@ func (it *Item) enqueuePropagation(targets nodeset.Set) {
 	if targets.Empty() {
 		return
 	}
+	if it.batchSink != nil {
+		it.batchSink(it.name, targets)
+		return
+	}
 	it.propMu.Lock()
 	it.pending = it.pending.Union(targets)
 	start := !it.propRunning

@@ -76,6 +76,23 @@ func (s *Store) UpdatesSince(v uint64) ([]Update, bool) {
 	return out, true
 }
 
+// AppendUpdatesSince is UpdatesSince's allocation-free variant: it appends
+// the missing updates to dst as shallow header copies sharing the log's
+// Data buffers. The log's buffers are never mutated after Apply (Apply
+// clones in, trim moves headers only), so sharing is safe as long as the
+// consumer does not mutate Data — receivers clone on install, and the wire
+// codec copies bytes out. Returns the extended slice and ok=false when the
+// log no longer reaches back to v (ship a snapshot instead).
+func (s *Store) AppendUpdatesSince(dst []Update, v uint64) ([]Update, bool) {
+	if v > s.version || v < s.logBase {
+		return dst, false
+	}
+	for i := v - s.logBase; i < uint64(len(s.log)); i++ {
+		dst = append(dst, s.log[i])
+	}
+	return dst, true
+}
+
 // Snapshot returns a copy of the value and its version.
 func (s *Store) Snapshot() ([]byte, uint64) {
 	return s.Value(), s.version

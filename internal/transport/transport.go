@@ -572,6 +572,17 @@ func (n *Network) Load() map[nodeset.ID]int64 {
 	return out
 }
 
+// Served returns the served-request counter for one node without
+// allocating: the lock-free single-node view of Load. Unregistered nodes
+// read zero. Load-aware quorum selection samples this per endpoint on the
+// hot path, so it must stay a couple of atomic loads.
+func (n *Network) Served(id nodeset.ID) uint64 {
+	if ep := n.reg.Load().get(id); ep != nil {
+		return ep.served.Load()
+	}
+	return 0
+}
+
 // Nodes returns the set of registered node IDs.
 func (n *Network) Nodes() nodeset.Set {
 	var s nodeset.Set

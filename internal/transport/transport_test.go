@@ -205,6 +205,39 @@ func TestLoadAccounting(t *testing.T) {
 	}
 }
 
+// TestServedCounters: Served is the cumulative per-endpoint request count
+// feeding load-aware quorum selection — it must count every handled call
+// and read zero for unknown nodes. ResetStats rewinds it; consumers that
+// difference successive samples (core.LoadTracker) clamp that regression
+// to a zero delta.
+func TestServedCounters(t *testing.T) {
+	net := newEchoNet(t, 3)
+	for i := 0; i < 4; i++ {
+		if _, err := net.Call(context.Background(), 0, 1, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Call(context.Background(), 1, 2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Served(1); got != 4 {
+		t.Errorf("Served(1) = %d, want 4", got)
+	}
+	if got := net.Served(2); got != 1 {
+		t.Errorf("Served(2) = %d, want 1", got)
+	}
+	if got := net.Served(0); got != 0 {
+		t.Errorf("Served(0) = %d, want 0 (callers are not servers)", got)
+	}
+	if got := net.Served(77); got != 0 {
+		t.Errorf("Served(unknown) = %d, want 0", got)
+	}
+	net.ResetStats()
+	if got := net.Served(1); got != 0 {
+		t.Errorf("Served(1) after ResetStats = %d, want 0", got)
+	}
+}
+
 func TestNodesAndUpNodes(t *testing.T) {
 	net := newEchoNet(t, 3)
 	net.Crash(1)

@@ -103,16 +103,52 @@ func appendMessage(b []byte, msg any) ([]byte, error) {
 		b = putUvarint(b, uint64(m.Status))
 		return putUvarint(b, m.TargetVersion), nil
 	case replica.PropagationData:
-		b = append(b, tagPropagationData)
+		return putPropagationData(append(b, tagPropagationData), m), nil
+	case replica.PrepareBatch:
+		b = append(b, tagPrepareBatch)
 		b = putOp(b, m.Op)
-		b = putUvarint(b, m.FromVersion)
 		b = putUvarint(b, uint64(len(m.Updates)))
 		for _, u := range m.Updates {
 			b = putUpdate(b, u)
 		}
-		b = putBool(b, m.HasSnapshot)
-		b = putBytes(b, m.Snapshot)
-		return putUvarint(b, m.SnapVersion), nil
+		b = putUvarint(b, m.FirstVersion)
+		b = putSet(b, m.StaleSet)
+		return putSet(b, m.GoodSet), nil
+	case replica.BatchPropagationOffer:
+		b = append(b, tagBatchPropagationOffer)
+		b = putUvarint(b, uint64(len(m.Items)))
+		for _, it := range m.Items {
+			b = putString(b, it.Item)
+			b = putOp(b, it.Op)
+			b = putUvarint(b, it.Version)
+		}
+		return b, nil
+	case replica.BatchPropagationReply:
+		b = append(b, tagBatchPropagationReply)
+		b = putUvarint(b, uint64(len(m.Items)))
+		for _, it := range m.Items {
+			b = putString(b, it.Item)
+			b = putUvarint(b, uint64(it.Status))
+			b = putUvarint(b, it.TargetVersion)
+		}
+		return b, nil
+	case replica.BatchPropagationData:
+		b = append(b, tagBatchPropagationData)
+		b = putUvarint(b, uint64(len(m.Items)))
+		for _, it := range m.Items {
+			b = putString(b, it.Item)
+			b = putPropagationData(b, it.Data)
+		}
+		return b, nil
+	case replica.BatchPropagationAck:
+		b = append(b, tagBatchPropagationAck)
+		b = putUvarint(b, uint64(len(m.Items)))
+		for _, it := range m.Items {
+			b = putString(b, it.Item)
+			b = putBool(b, it.OK)
+			b = putString(b, it.Reason)
+		}
+		return b, nil
 	case election.Probe:
 		return putUvarint(append(b, tagProbe), uint64(m.From)), nil
 	case election.TakeOver:
@@ -215,17 +251,13 @@ func decodeMessage(b []byte) (any, int, error) {
 	case tagPropagationOffer:
 		msg = replica.PropagationOffer{Op: r.op(), Version: r.uvarint()}
 	case tagPropagationReply:
-		status := r.uvarint()
-		if status > uint64(replica.PropIAmCurrent) {
-			r.fail(fmt.Errorf("wire: invalid propagation status %d", status))
-			break
-		}
-		msg = replica.PropagationReply{Status: replica.PropStatus(status), TargetVersion: r.uvarint()}
+		msg = replica.PropagationReply{Status: r.propStatus(), TargetVersion: r.uvarint()}
 	case tagPropagationData:
+		msg = r.propagationData()
+	case tagPrepareBatch:
 		op := r.op()
-		from := r.uvarint()
 		count := r.uvarint()
-		if count > uint64(len(b)) {
+		if count > r.remaining() {
 			r.fail(ErrTruncated)
 			break
 		}
@@ -233,10 +265,54 @@ func decodeMessage(b []byte) (any, int, error) {
 		for i := uint64(0); i < count && r.err == nil; i++ {
 			updates = append(updates, r.update())
 		}
-		msg = replica.PropagationData{
-			Op: op, FromVersion: from, Updates: updates,
-			HasSnapshot: r.boolean(), Snapshot: r.bytes(), SnapVersion: r.uvarint(),
+		msg = replica.PrepareBatch{
+			Op: op, Updates: updates, FirstVersion: r.uvarint(),
+			StaleSet: r.set(), GoodSet: r.set(),
 		}
+	case tagBatchPropagationOffer:
+		count := r.uvarint()
+		if count > r.remaining() {
+			r.fail(ErrTruncated)
+			break
+		}
+		items := make([]replica.ItemOffer, 0, count)
+		for i := uint64(0); i < count && r.err == nil; i++ {
+			items = append(items, replica.ItemOffer{Item: r.str(), Op: r.op(), Version: r.uvarint()})
+		}
+		msg = replica.BatchPropagationOffer{Items: items}
+	case tagBatchPropagationReply:
+		count := r.uvarint()
+		if count > r.remaining() {
+			r.fail(ErrTruncated)
+			break
+		}
+		items := make([]replica.ItemOfferReply, 0, count)
+		for i := uint64(0); i < count && r.err == nil; i++ {
+			items = append(items, replica.ItemOfferReply{Item: r.str(), Status: r.propStatus(), TargetVersion: r.uvarint()})
+		}
+		msg = replica.BatchPropagationReply{Items: items}
+	case tagBatchPropagationData:
+		count := r.uvarint()
+		if count > r.remaining() {
+			r.fail(ErrTruncated)
+			break
+		}
+		items := make([]replica.ItemData, 0, count)
+		for i := uint64(0); i < count && r.err == nil; i++ {
+			items = append(items, replica.ItemData{Item: r.str(), Data: r.propagationData()})
+		}
+		msg = replica.BatchPropagationData{Items: items}
+	case tagBatchPropagationAck:
+		count := r.uvarint()
+		if count > r.remaining() {
+			r.fail(ErrTruncated)
+			break
+		}
+		items := make([]replica.ItemAck, 0, count)
+		for i := uint64(0); i < count && r.err == nil; i++ {
+			items = append(items, replica.ItemAck{Item: r.str(), OK: r.boolean(), Reason: r.str()})
+		}
+		msg = replica.BatchPropagationAck{Items: items}
 	case tagProbe:
 		msg = election.Probe{From: r.node()}
 	case tagTakeOver:

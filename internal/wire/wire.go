@@ -60,6 +60,11 @@ const (
 	tagAliveReply
 	tagLeaderReply
 	tagAnnounceAck
+	tagPrepareBatch
+	tagBatchPropagationOffer
+	tagBatchPropagationReply
+	tagBatchPropagationData
+	tagBatchPropagationAck
 )
 
 // Marshal encodes a protocol message.
@@ -107,6 +112,18 @@ func putOp(b []byte, op replica.OpID) []byte {
 func putUpdate(b []byte, u replica.Update) []byte {
 	b = putUvarint(b, uint64(u.Offset))
 	return putBytes(b, u.Data)
+}
+
+func putPropagationData(b []byte, m replica.PropagationData) []byte {
+	b = putOp(b, m.Op)
+	b = putUvarint(b, m.FromVersion)
+	b = putUvarint(b, uint64(len(m.Updates)))
+	for _, u := range m.Updates {
+		b = putUpdate(b, u)
+	}
+	b = putBool(b, m.HasSnapshot)
+	b = putBytes(b, m.Snapshot)
+	return putUvarint(b, m.SnapVersion)
 }
 
 func putStateReply(b []byte, st replica.StateReply) []byte {
@@ -214,6 +231,37 @@ func (r *reader) update() replica.Update {
 		return replica.Update{}
 	}
 	return replica.Update{Offset: int(off), Data: r.bytes()}
+}
+
+// remaining bounds a decoded element count: each element consumes at least
+// one byte, so a count beyond the remaining bytes is truncation.
+func (r *reader) remaining() uint64 { return uint64(len(r.b) - r.pos) }
+
+func (r *reader) propagationData() replica.PropagationData {
+	op := r.op()
+	from := r.uvarint()
+	count := r.uvarint()
+	if count > r.remaining() {
+		r.fail(ErrTruncated)
+		return replica.PropagationData{}
+	}
+	updates := make([]replica.Update, 0, count)
+	for i := uint64(0); i < count && r.err == nil; i++ {
+		updates = append(updates, r.update())
+	}
+	return replica.PropagationData{
+		Op: op, FromVersion: from, Updates: updates,
+		HasSnapshot: r.boolean(), Snapshot: r.bytes(), SnapVersion: r.uvarint(),
+	}
+}
+
+func (r *reader) propStatus() replica.PropStatus {
+	status := r.uvarint()
+	if status > uint64(replica.PropIAmCurrent) {
+		r.fail(fmt.Errorf("wire: invalid propagation status %d", status))
+		return 0
+	}
+	return replica.PropStatus(status)
 }
 
 func (r *reader) stateReply() replica.StateReply {

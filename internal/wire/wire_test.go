@@ -54,6 +54,29 @@ func sampleMessages() []any {
 			Updates: []replica.Update{{Offset: 1, Data: []byte("x")}, {Offset: 2, Data: []byte("yz")}},
 		},
 		replica.PropagationData{Op: op(9, 10), HasSnapshot: true, Snapshot: []byte("snapshot bytes"), SnapVersion: 40},
+		replica.PrepareBatch{
+			Op:           op(2, 11),
+			Updates:      []replica.Update{{Offset: 0, Data: []byte("ab")}, {Offset: 9, Data: []byte("c")}, {Offset: 3, Data: []byte("def")}},
+			FirstVersion: 17, StaleSet: nodeset.New(2, 6), GoodSet: nodeset.New(0, 1, 3),
+		},
+		replica.PrepareBatch{Op: op(0, 1), Updates: []replica.Update{{Data: []byte("x")}}, FirstVersion: 1},
+		replica.BatchPropagationOffer{Items: []replica.ItemOffer{
+			{Item: "a", Op: op(1, 5), Version: 3},
+			{Item: "long-item-name", Op: op(2, 6), Version: 0},
+		}},
+		replica.BatchPropagationOffer{},
+		replica.BatchPropagationReply{Items: []replica.ItemOfferReply{
+			{Item: "a", Status: replica.PropPermitted, TargetVersion: 2},
+			{Item: "b", Status: replica.PropIAmCurrent},
+		}},
+		replica.BatchPropagationData{Items: []replica.ItemData{
+			{Item: "a", Data: replica.PropagationData{Op: op(3, 3), FromVersion: 2, Updates: []replica.Update{{Offset: 4, Data: []byte("q")}}}},
+			{Item: "b", Data: replica.PropagationData{Op: op(4, 4), HasSnapshot: true, Snapshot: []byte("snap"), SnapVersion: 9}},
+		}},
+		replica.BatchPropagationAck{Items: []replica.ItemAck{
+			{Item: "a", OK: true},
+			{Item: "b", OK: false, Reason: "replica is not stale"},
+		}},
 		election.Probe{From: 2},
 		election.TakeOver{From: 3},
 		election.Announce{Leader: 8},

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Pacer schedules open-loop arrivals at a fixed aggregate rate. Closed-loop
+// driving (each worker issuing its next operation the moment the previous
+// one returns) measures a system at whatever rate the system itself sets,
+// which hides queueing delay: when the protocol slows down, the offered
+// load politely slows down with it. An open-loop driver instead fixes the
+// arrival process — operation k is *due* at start + k/rate regardless of
+// how the system is doing — and measures latency from the scheduled
+// arrival, so backlog shows up in the tail percentiles instead of
+// disappearing into a lower throughput number.
+//
+// One Pacer is shared by all workers: each arrival slot is claimed with an
+// atomic increment, so the union of the workers' operations forms a single
+// uniformly-spaced arrival stream. A nil Pacer disables pacing (Wait
+// returns immediately), letting callers branch between modes without a
+// conditional at every call site.
+type Pacer struct {
+	start    time.Time
+	interval time.Duration
+	next     atomic.Int64
+}
+
+// NewPacer creates a pacer issuing rate arrivals per second, starting at
+// start. A rate of 0 or below returns nil — the closed-loop no-op pacer.
+func NewPacer(rate float64, start time.Time) *Pacer {
+	if rate <= 0 {
+		return nil
+	}
+	return &Pacer{start: start, interval: time.Duration(float64(time.Second) / rate)}
+}
+
+// Next claims the next arrival slot and returns its scheduled time. The
+// caller is expected to sleep until then; a slot in the past means the
+// system is behind the offered load and the operation should be issued
+// immediately (its latency accrues the backlog).
+func (p *Pacer) Next() time.Time {
+	k := p.next.Add(1) - 1
+	return p.start.Add(time.Duration(k) * p.interval)
+}
+
+// Wait claims the next arrival slot and sleeps until it is due, honoring
+// ctx. It returns the scheduled arrival time — the correct zero point for
+// open-loop latency measurement — and false if ctx expired before the
+// slot came due. On a nil Pacer it returns the current time immediately.
+func (p *Pacer) Wait(ctx context.Context) (time.Time, bool) {
+	if p == nil {
+		return time.Now(), true
+	}
+	due := p.Next()
+	d := time.Until(due)
+	if d <= 0 {
+		return due, ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return due, false
+	case <-t.C:
+		return due, true
+	}
+}

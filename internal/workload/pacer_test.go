@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPacerSlotsUniform: slots claimed by any mix of goroutines form one
+// uniformly-spaced arrival stream from the configured start.
+func TestPacerSlotsUniform(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := NewPacer(100, start) // 10ms apart
+	var mu sync.Mutex
+	seen := map[time.Time]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				d := p.Next()
+				mu.Lock()
+				seen[d] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 100 {
+		t.Fatalf("%d distinct slots claimed, want 100", len(seen))
+	}
+	for k := 0; k < 100; k++ {
+		want := start.Add(time.Duration(k) * 10 * time.Millisecond)
+		if !seen[want] {
+			t.Fatalf("slot %d (%v) never claimed", k, want)
+		}
+	}
+}
+
+// TestPacerNilIsClosedLoop: the nil pacer returns immediately so the
+// closed-loop path needs no branching at call sites.
+func TestPacerNilIsClosedLoop(t *testing.T) {
+	var p *Pacer
+	before := time.Now()
+	began, ok := p.Wait(context.Background())
+	if !ok || began.Before(before) || time.Since(began) > time.Second {
+		t.Fatalf("nil pacer Wait = (%v, %v)", began, ok)
+	}
+	if NewPacer(0, time.Now()) != nil || NewPacer(-5, time.Now()) != nil {
+		t.Fatal("non-positive rate must yield the nil pacer")
+	}
+}
+
+// TestPacerWaitBehindSchedule: past-due slots are issued immediately and
+// keep their scheduled time, so the caller's latency measurement includes
+// the backlog.
+func TestPacerWaitBehindSchedule(t *testing.T) {
+	start := time.Now().Add(-time.Second) // already a full second behind
+	p := NewPacer(1000, start)
+	began, ok := p.Wait(context.Background())
+	if !ok {
+		t.Fatal("past-due slot refused")
+	}
+	if got := time.Since(began); got < 900*time.Millisecond {
+		t.Fatalf("scheduled time only %v ago, want ~1s (backlog must accrue)", got)
+	}
+}
+
+// TestPacerWaitHonorsContext: a cancelled context aborts the sleep and
+// reports the slot as not due.
+func TestPacerWaitHonorsContext(t *testing.T) {
+	p := NewPacer(0.1, time.Now()) // next slot 10s out
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	p.Next() // consume slot 0 (due immediately)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := p.Wait(ctx)
+		done <- ok
+	}()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Wait reported due despite context expiry")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after context expiry")
+	}
+}

@@ -1,0 +1,163 @@
+// Command benchbatch measures the group-commit write pipeline: it runs
+// cmd/loadgen with batching off and on, at GOMAXPROCS=1 and 4, over two
+// workloads, and writes the comparison to BENCH_4.json.
+//
+//   - contended: 9 nodes, ONE item, 16 write-only workers with coordinator
+//     affinity — every write fights for the same replicas' transactional
+//     locks, the regime group commit exists for. The gate is >= 1.5x
+//     ops/sec with batching on at GOMAXPROCS=4.
+//   - disjoint: 8 items, one worker each, mixed reads/writes — no lock
+//     contention, so batching can only add combiner overhead. The gate is
+//     <= 5% regression with batching *off* against the pre-change baseline;
+//     here we report off-vs-on on the same binary, which bounds the
+//     combiner's idle cost.
+//
+// Each configuration runs several trials and keeps the best ops/sec
+// (closed-loop throughput is noisy downward — GC pauses, scheduler jitter —
+// so best-of is the low-variance estimator of the machine's capability).
+//
+// Usage: go run ./scripts/benchbatch [-duration 2s] [-trials 3] [-out BENCH_4.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+)
+
+type runResult struct {
+	Workload   string  `json:"workload"` // contended | disjoint
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Batch      bool    `json:"batch"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Ops        int     `json:"ops"`
+	WriteP99us int64   `json:"write_p99_us"`
+	Failures   int     `json:"failures"`
+}
+
+type speedup struct {
+	Workload   string  `json:"workload"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	OffOps     float64 `json:"batch_off_ops_per_sec"`
+	OnOps      float64 `json:"batch_on_ops_per_sec"`
+	Ratio      float64 `json:"on_over_off"` // >1 = batching faster
+}
+
+type report struct {
+	Benchmark string      `json:"benchmark"`
+	Workloads []string    `json:"workloads"`
+	Trials    int         `json:"trials"`
+	Duration  string      `json:"duration_per_trial"`
+	Results   []runResult `json:"results"`
+	Speedups  []speedup   `json:"speedups"`
+	Note      string      `json:"note"`
+}
+
+// loadgenOut is the subset of cmd/loadgen's JSON report benchbatch reads.
+type loadgenOut struct {
+	Ops        int     `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	WriteP99us int64   `json:"write_p99_us"`
+	Failures   int     `json:"failures"`
+}
+
+func workloadArgs(workload string, d time.Duration, batch bool) []string {
+	args := []string{"run", "./cmd/loadgen", "-duration", d.String(), fmt.Sprintf("-batch=%v", batch)}
+	switch workload {
+	case "contended":
+		args = append(args, "-nodes", "9", "-items", "1", "-workers", "16", "-read-frac", "0", "-affinity")
+	case "disjoint":
+		args = append(args, "-nodes", "9", "-items", "8", "-workers", "8", "-disjoint", "-read-frac", "0.5")
+	}
+	return args
+}
+
+func runOnce(workload string, procs int, batch bool, d time.Duration) (loadgenOut, error) {
+	cmd := exec.Command("go", workloadArgs(workload, d, batch)...)
+	cmd.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", procs))
+	cmd.Stderr = nil
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return loadgenOut{}, fmt.Errorf("loadgen (%s GOMAXPROCS=%d batch=%v): %w", workload, procs, batch, err)
+	}
+	var out loadgenOut
+	if err := json.Unmarshal(outBytes, &out); err != nil {
+		return loadgenOut{}, fmt.Errorf("parsing loadgen output: %w", err)
+	}
+	return out, nil
+}
+
+func main() {
+	duration := flag.Duration("duration", 2*time.Second, "measurement interval per trial")
+	trials := flag.Int("trials", 3, "trials per configuration (best kept)")
+	out := flag.String("out", "BENCH_4.json", "output file")
+	flag.Parse()
+
+	rep := report{
+		Benchmark: "group-commit",
+		Workloads: []string{
+			"contended: loadgen -nodes 9 -items 1 -workers 16 -read-frac 0 -affinity",
+			"disjoint:  loadgen -nodes 9 -items 8 -workers 8 -disjoint -read-frac 0.5",
+		},
+		Trials:   *trials,
+		Duration: duration.String(),
+		Note: "ops_per_sec is best-of-trials closed-loop throughput; on_over_off > 1 means group commit is faster. " +
+			"Gates: contended GOMAXPROCS=4 >= 1.5x; disjoint batch-off within 5% of the pre-change baseline.",
+	}
+
+	for _, workload := range []string{"contended", "disjoint"} {
+		for _, procs := range []int{1, 4} {
+			var offOn [2]float64
+			for i, batch := range []bool{false, true} {
+				best := runResult{Workload: workload, GOMAXPROCS: procs, Batch: batch}
+				for t := 0; t < *trials; t++ {
+					r, err := runOnce(workload, procs, batch, *duration)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "benchbatch:", err)
+						os.Exit(1)
+					}
+					if r.OpsPerSec > best.OpsPerSec {
+						best.OpsPerSec, best.Ops = r.OpsPerSec, r.Ops
+						best.WriteP99us, best.Failures = r.WriteP99us, r.Failures
+					}
+				}
+				offOn[i] = best.OpsPerSec
+				rep.Results = append(rep.Results, best)
+				fmt.Fprintf(os.Stderr, "%-9s GOMAXPROCS=%d batch=%-5v best %8.0f ops/s  write p99 %6dus\n",
+					workload, procs, batch, best.OpsPerSec, best.WriteP99us)
+			}
+			ratio := 0.0
+			if offOn[0] > 0 {
+				ratio = offOn[1] / offOn[0]
+			}
+			rep.Speedups = append(rep.Speedups, speedup{
+				Workload: workload, GOMAXPROCS: procs,
+				OffOps: offOn[0], OnOps: offOn[1], Ratio: ratio,
+			})
+			fmt.Fprintf(os.Stderr, "%-9s GOMAXPROCS=%d batch on/off = %.2fx\n", workload, procs, ratio)
+			if workload == "contended" && procs == 4 && ratio < 1.5 {
+				fmt.Fprintf(os.Stderr, "benchbatch: WARNING: contended speedup %.2fx below the 1.5x gate\n", ratio)
+			}
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbatch:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbatch:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbatch:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchbatch: wrote %s\n", *out)
+}
