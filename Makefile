@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch check-obs-imports check-allocs ci
+.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch bench-net check-obs-imports check-allocs fuzz-smoke ci
 
 all: build
 
@@ -47,13 +47,30 @@ bench-obs:
 bench-batch:
 	$(GO) run ./scripts/benchbatch -duration 2s -trials 3
 
+# bench-net measures the networked data plane — loadgen over the in-process
+# simulator vs TCP loopback, pipelined vs one-connection-per-call, at
+# GOMAXPROCS=1 and 4 — and writes BENCH_5.json. Gate: pipelined >= 3x
+# per-call ops/sec at GOMAXPROCS=4 (DESIGN.md §9).
+bench-net:
+	$(GO) run ./scripts/benchnet -duration 2s -trials 3
+
 # check-allocs runs the steady-state allocation gates: the combiner's
-# submit/drain machinery and the batched-propagation capture path must not
+# submit/drain machinery, the batched-propagation capture path, the mux
+# dispatch and wire encode hot paths, and the tcpnet frame codec must not
 # allocate per operation (they gate with testing.AllocsPerRun and skip
 # themselves under -race).
 check-allocs:
 	$(GO) test -run 'TestCombinerDrainDoesNotAllocate' ./internal/core/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestCaptureDataDoesNotAllocate' ./internal/replica/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestMuxDispatchDoesNotAllocate|TestMulticastFuncAllocs' ./internal/transport/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestAppendMarshalDoesNotAllocate' ./internal/wire/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestRequestFrameEncodeDoesNotAllocate|TestReplyFrameEncodeDoesNotAllocate' ./internal/transport/tcpnet/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+
+# fuzz-smoke runs the wire-codec fuzzer briefly: every generated input must
+# either fail to decode or round-trip byte-identically (the canonical-
+# encoding property the propagation and client paths rely on).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshal' -fuzztime 10s ./internal/wire/
 
 # check-obs-imports enforces the obs data-plane discipline: internal/obs
 # must not import fmt, log, os, io or encoding packages — formatting and
@@ -65,4 +82,4 @@ check-obs-imports:
 	fi; \
 	echo "check-obs-imports: internal/obs is clean"
 
-ci: vet build check-obs-imports check-allocs race bench-smoke bench-loadgen bench-obs bench-batch
+ci: vet build check-obs-imports check-allocs fuzz-smoke race bench-smoke bench-loadgen bench-obs bench-batch bench-net

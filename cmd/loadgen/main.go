@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"coterie/internal/core"
+	"coterie/internal/daemon"
 	"coterie/internal/nodeset"
 	"coterie/internal/obs"
 	"coterie/internal/obs/expose"
@@ -89,6 +90,9 @@ type config struct {
 	rate        float64
 	affinity    bool
 	batchProp   bool
+	netMode     string
+	pipeline    bool
+	pool        int
 }
 
 // outcomes is the per-operation-type disposition breakdown.
@@ -146,6 +150,13 @@ type result struct {
 	ReadOutcomes  outcomes         `json:"read_outcomes"`
 	WriteOutcomes outcomes         `json:"write_outcomes"`
 	Metrics       map[string]int64 `json:"metrics,omitempty"`
+
+	// Net-mode extras: which data plane ran, whether the TCP transport
+	// pipelined, and the one-copy serializability verdict (nil = history
+	// checking did not run, as in sim mode).
+	Net               string `json:"net,omitempty"`
+	Pipeline          *bool  `json:"pipeline,omitempty"`
+	OneCopyViolations *int   `json:"onecopy_violations,omitempty"`
 }
 
 // workerStats accumulates one worker's counts and latency samples; workers
@@ -158,6 +169,15 @@ type workerStats struct {
 }
 
 func main() {
+	// Self-spawn: `loadgen coteried <flags>` runs one daemon, so -net tcp
+	// needs no separately built binary on the machine it runs on.
+	if len(os.Args) > 1 && os.Args[1] == "coteried" {
+		if err := daemon.RunMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "coteried:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var cfg config
 	flag.IntVar(&cfg.nodes, "nodes", 9, "replica nodes per item")
 	flag.IntVar(&cfg.items, "items", 8, "independent data items")
@@ -182,6 +202,9 @@ func main() {
 	flag.Float64Var(&cfg.rate, "rate", 0, "open-loop arrival rate in ops/sec across all workers (0 = closed loop)")
 	flag.BoolVar(&cfg.affinity, "affinity", false, "route all writes for an item through one coordinator so group commit can merge them")
 	flag.BoolVar(&cfg.batchProp, "batch-prop", false, "batch stale propagation per target node")
+	flag.StringVar(&cfg.netMode, "net", "sim", "data plane: sim (in-process simulated network) or tcp (spawn coteried daemons and drive them over loopback)")
+	flag.BoolVar(&cfg.pipeline, "pipeline", true, "tcp mode: multiplex calls over persistent connections (false = dial per call)")
+	flag.IntVar(&cfg.pool, "pool", 0, "tcp mode: pipelined connections per peer (0 = transport default)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -192,6 +215,13 @@ func main() {
 func run(cfg config) error {
 	if cfg.nodes <= 0 || cfg.items <= 0 || cfg.workers <= 0 {
 		return fmt.Errorf("nodes, items and workers must be positive")
+	}
+	switch cfg.netMode {
+	case "sim":
+	case "tcp":
+		return runTCP(cfg)
+	default:
+		return fmt.Errorf("unknown -net %q (want sim or tcp)", cfg.netMode)
 	}
 
 	reg := obs.Nop

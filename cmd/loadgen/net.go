@@ -1,0 +1,463 @@
+// Net-mode loadgen: -net tcp spawns one coteried process per cluster
+// member (re-executing this binary's `coteried` subcommand) and drives
+// the cluster over loopback TCP through the capi client API. The worker
+// loop, churn cadence, and report shape mirror the in-process mode, with
+// two differences that only exist across real processes:
+//
+//   - Churn kills daemons with SIGKILL and respawns them with -recovering,
+//     exercising the paper's recovering-replica path end to end across
+//     process boundaries (crash amnesia, epoch readmission, propagation).
+//   - Every client operation is recorded into a per-item onecopy history
+//     and checked for one-copy serializability at the end of the run; a
+//     write whose outcome is ambiguous (timeout, unavailability, transport
+//     failure after the commit point may have been reached) records as a
+//     MaybeWrite wildcard, a clean Conflict abort records nothing.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"coterie/internal/capi"
+	"coterie/internal/core"
+	"coterie/internal/daemon"
+	"coterie/internal/nodeset"
+	"coterie/internal/obs"
+	"coterie/internal/onecopy"
+	"coterie/internal/replica"
+	"coterie/internal/transport"
+	"coterie/internal/transport/tcpnet"
+	"coterie/internal/workload"
+)
+
+// reservePorts picks n distinct loopback addresses by binding ephemeral
+// listeners and releasing them. Fixed addresses (not :0 per daemon) are
+// required so a killed daemon's replacement can rebind the same address
+// and be re-dialed transparently by everyone else.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// proc is one spawned coteried process.
+type proc struct {
+	id  nodeset.ID
+	cmd *exec.Cmd
+}
+
+// spawnDaemon re-executes this binary's coteried subcommand for node id
+// and blocks until it reports READY on stdout.
+func spawnDaemon(exe string, id nodeset.ID, book map[nodeset.ID]string, cfg config, recovering bool) (*proc, error) {
+	args := []string{
+		"coteried",
+		"-node", strconv.Itoa(int(id)),
+		"-cluster", daemon.FormatCluster(book),
+		"-items", strconv.Itoa(cfg.items),
+		"-item-size", strconv.Itoa(cfg.itemSize),
+		"-call-timeout", cfg.callTimeout.String(),
+		"-strategy", cfg.strategy,
+		"-pipeline=" + strconv.FormatBool(cfg.pipeline),
+		"-obs=" + strconv.FormatBool(cfg.obsOn),
+	}
+	if cfg.batch {
+		args = append(args, "-batch")
+		if cfg.batchMax > 0 {
+			args = append(args, "-batch-max", strconv.Itoa(cfg.batchMax))
+		}
+		if cfg.batchQueue > 0 {
+			args = append(args, "-batch-queue", strconv.Itoa(cfg.batchQueue))
+		}
+	}
+	if cfg.batchProp {
+		args = append(args, "-batch-prop")
+	}
+	if cfg.pool > 0 {
+		args = append(args, "-pool", strconv.Itoa(cfg.pool))
+	}
+	if recovering {
+		args = append(args, "-recovering")
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	ready := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			var gotID int
+			var addr string
+			if n, _ := fmt.Sscanf(sc.Text(), "READY %d %s", &gotID, &addr); n == 2 {
+				ready <- nil
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe; EOF
+		// (child death) also lands here.
+		for sc.Scan() {
+		}
+		select {
+		case ready <- fmt.Errorf("node %d exited before READY", id):
+		default:
+		}
+	}()
+	select {
+	case err := <-ready:
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, err
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("node %d not READY after 15s", id)
+	}
+	return &proc{id: id, cmd: cmd}, nil
+}
+
+func (p *proc) kill() {
+	p.cmd.Process.Kill() // SIGKILL: a crash, not a shutdown
+	p.cmd.Wait()
+}
+
+func (p *proc) stop() {
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// statusErr maps a capi reply status back onto the client error taxonomy
+// the outcome accounting understands.
+func statusErr(st capi.Status, detail string) error {
+	switch st {
+	case capi.StatusOK:
+		return nil
+	case capi.StatusConflict:
+		return fmt.Errorf("%w: %s", core.ErrConflict, detail)
+	case capi.StatusUnavailable:
+		return fmt.Errorf("%w: %s", core.ErrUnavailable, detail)
+	default:
+		return errors.New(detail)
+	}
+}
+
+func runTCP(cfg config) error {
+	if cfg.latency > 0 {
+		return fmt.Errorf("-latency is simulation-only (real TCP has real latency)")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("cannot self-spawn daemons: %w", err)
+	}
+	addrs, err := reservePorts(cfg.nodes)
+	if err != nil {
+		return err
+	}
+	book := make(map[nodeset.ID]string, cfg.nodes)
+	for i, a := range addrs {
+		book[nodeset.ID(i)] = a
+	}
+
+	procs := make([]*proc, cfg.nodes)
+	var procMu sync.Mutex // churn swaps entries while shutdown reads them
+	for i := range procs {
+		p, err := spawnDaemon(exe, nodeset.ID(i), book, cfg, false)
+		if err != nil {
+			for _, q := range procs[:i] {
+				q.kill()
+			}
+			return err
+		}
+		procs[i] = p
+	}
+	defer func() {
+		procMu.Lock()
+		defer procMu.Unlock()
+		for _, p := range procs {
+			if p != nil {
+				p.stop()
+			}
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "loadgen: %d coteried daemons up (%s)\n", cfg.nodes, daemon.FormatCluster(book))
+
+	reg := obs.Nop
+	if cfg.obsOn {
+		reg = obs.New()
+	}
+	topts := []tcpnet.Option{tcpnet.WithPipeline(cfg.pipeline)}
+	if reg != obs.Nop {
+		topts = append(topts, tcpnet.WithObs(reg))
+	}
+	if cfg.pool > 0 {
+		topts = append(topts, tcpnet.WithPoolSize(cfg.pool))
+	}
+	cli := tcpnet.New(book, topts...)
+	defer cli.Close()
+
+	recorders := make([]*onecopy.Recorder, cfg.items)
+	for i := range recorders {
+		recorders[i] = onecopy.NewRecorder(make([]byte, cfg.itemSize))
+	}
+
+	stats := make([]workerStats, cfg.workers)
+	deadline := time.Now().Add(cfg.duration)
+	ctx := context.Background()
+	runCtx, runCancel := context.WithDeadline(ctx, deadline)
+	defer runCancel()
+	var wg sync.WaitGroup
+	start := time.Now()
+	pacer := workload.NewPacer(cfg.rate, start)
+
+	if cfg.churn > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			churnProcs(cfg, exe, book, procs, &procMu, cli, deadline)
+		}()
+	}
+
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			rng := rand.New(rand.NewSource(int64(mix64(uint64(cfg.seed) + uint64(w)*0x9e3779b97f4a7c15))))
+			from := nodeset.ID(cfg.nodes + w)
+			for time.Now().Before(deadline) {
+				began, due := pacer.Wait(runCtx)
+				if !due {
+					return
+				}
+				item := w % cfg.items
+				if !cfg.disjoint {
+					item = rng.Intn(cfg.items)
+				}
+				isRead := rng.Float64() < cfg.readFrac
+				node := nodeset.ID(rng.Intn(cfg.nodes))
+				if cfg.affinity && !isRead {
+					node = nodeset.ID(item % cfg.nodes)
+				}
+				name := fmt.Sprintf("item-%d", item)
+				rec := recorders[item]
+				opCtx, cancel := context.WithTimeout(ctx, cfg.timeout)
+				if isRead {
+					opStart := rec.Begin()
+					reply, callErr := cli.Call(opCtx, from, node, capi.Read{Item: name})
+					err := opError(opCtx, reply, callErr)
+					st.readOut.add(err)
+					if err == nil {
+						vr := reply.(capi.ReadReply)
+						rec.EndRead(opStart, vr.Version, vr.Value)
+						st.reads++
+						st.readLat = append(st.readLat, time.Since(began))
+					} else {
+						st.failures++
+					}
+				} else {
+					length := 1 + rng.Intn(cfg.writeLen)
+					data := make([]byte, length) // recorded histories own their bytes
+					for i := range data {
+						data[i] = byte('a' + rng.Intn(26))
+					}
+					u := replica.Update{Offset: rng.Intn(cfg.itemSize - length + 1), Data: data}
+					opStart := rec.Begin()
+					reply, callErr := cli.Call(opCtx, from, node, capi.Write{Item: name, Update: u})
+					err := opError(opCtx, reply, callErr)
+					st.writeOut.add(err)
+					switch {
+					case err == nil:
+						rec.EndWrite(opStart, reply.(capi.WriteReply).Version, u)
+						st.writes++
+						st.writeLat = append(st.writeLat, time.Since(began))
+					case errors.Is(err, core.ErrConflict):
+						// Clean abort: the coordinator never reached the
+						// commit point, so the write cannot have applied.
+						st.conflicts++
+					default:
+						// Ambiguous: the commit may have begun before the
+						// failure; the history checker must allow both.
+						rec.EndMaybeWrite(opStart, u)
+						st.failures++
+					}
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := result{
+		Nodes: cfg.nodes, Items: cfg.items, Workers: cfg.workers,
+		ReadFrac:   cfg.readFrac,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       cfg.seed,
+		Obs:        cfg.obsOn,
+		Batch:      cfg.batch,
+		Strategy:   cfg.strategy,
+		Affinity:   cfg.affinity,
+		BatchProp:  cfg.batchProp,
+		RateTarget: cfg.rate,
+		ChurnMs:    cfg.churn.Milliseconds(),
+		ElapsedSec: elapsed.Seconds(),
+		Net:        "tcp",
+		Pipeline:   &cfg.pipeline,
+	}
+	var readLat, writeLat []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		res.Reads += st.reads
+		res.Writes += st.writes
+		res.Conflicts += st.conflicts
+		res.Failures += st.failures
+		addOutcomes(&res.ReadOutcomes, st.readOut)
+		addOutcomes(&res.WriteOutcomes, st.writeOut)
+		readLat = append(readLat, st.readLat...)
+		writeLat = append(writeLat, st.writeLat...)
+	}
+	res.Ops = res.Reads + res.Writes
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	res.ReadP50us = percentile(readLat, 0.50).Microseconds()
+	res.ReadP99us = percentile(readLat, 0.99).Microseconds()
+	res.WriteP50us = percentile(writeLat, 0.50).Microseconds()
+	res.WriteP99us = percentile(writeLat, 0.99).Microseconds()
+
+	// One-copy serializability check over every item's recorded history.
+	violations := 0
+	for i, rec := range recorders {
+		if err := rec.Check(); err != nil {
+			violations++
+			fmt.Fprintf(os.Stderr, "loadgen: ONE-COPY VIOLATION item-%d: %v\n", i, err)
+		}
+	}
+	res.OneCopyViolations = &violations
+	if violations == 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: one-copy serializability verified across %d items (%d ops)\n", cfg.items, res.Ops)
+	}
+
+	if reg != obs.Nop {
+		snap := reg.Snapshot()
+		res.Metrics = make(map[string]int64, len(snap.Counters))
+		for _, c := range snap.Counters {
+			if c.Value != 0 {
+				res.Metrics[c.Name] = c.Value
+			}
+		}
+		printSummary(os.Stderr, snap)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d one-copy serializability violations", violations)
+	}
+	return nil
+}
+
+// opError folds a call's transport error, reply status, and the op
+// context's own deadline into one error for outcome accounting.
+func opError(ctx context.Context, reply transport.Message, callErr error) error {
+	if callErr != nil {
+		if ctx.Err() != nil {
+			return context.DeadlineExceeded
+		}
+		return callErr
+	}
+	switch r := reply.(type) {
+	case capi.ReadReply:
+		return statusErr(r.Status, r.Detail)
+	case capi.WriteReply:
+		return statusErr(r.Status, r.Detail)
+	case capi.CheckReply:
+		return statusErr(r.Status, r.Detail)
+	default:
+		return fmt.Errorf("unexpected reply type %T", reply)
+	}
+}
+
+// churnProcs is the process-level churn loop: SIGKILL a daemon, run epoch
+// checks from survivors so the cluster installs a smaller epoch, respawn
+// the daemon with -recovering, and check again so it is readmitted and
+// propagation rebuilds it. The same failure path as the in-process
+// churnLoop, but the crash is a real dead process and recovery re-crosses
+// the wire.
+func churnProcs(cfg config, exe string, book map[nodeset.ID]string, procs []*proc, mu *sync.Mutex, cli *tcpnet.Network, deadline time.Time) {
+	rng := rand.New(rand.NewSource(int64(mix64(uint64(cfg.seed) ^ 0xc0ffee))))
+	clientID := nodeset.ID(cfg.nodes + cfg.workers) // distinct from workers
+	checkAll := func(avoid nodeset.ID) {
+		for it := 0; it < cfg.items; it++ {
+			from := nodeset.ID(rng.Intn(cfg.nodes))
+			if from == avoid {
+				from = (from + 1) % nodeset.ID(cfg.nodes)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+			_, _ = cli.Call(ctx, clientID, from, capi.CheckEpoch{Item: fmt.Sprintf("item-%d", it)})
+			cancel()
+		}
+	}
+	for time.Now().Before(deadline) {
+		victim := nodeset.ID(rng.Intn(cfg.nodes))
+		mu.Lock()
+		p := procs[victim]
+		procs[victim] = nil
+		mu.Unlock()
+		if p == nil {
+			return // shutdown raced us
+		}
+		p.kill()
+		checkAll(victim)
+		stillGoing := sleepUntil(cfg.churn, deadline)
+		np, err := spawnDaemon(exe, victim, book, cfg, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: churn respawn of node %d failed: %v\n", victim, err)
+			return
+		}
+		mu.Lock()
+		procs[victim] = np
+		mu.Unlock()
+		checkAll(victim)
+		if !stillGoing || !sleepUntil(cfg.churn, deadline) {
+			return
+		}
+	}
+}

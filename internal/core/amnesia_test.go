@@ -87,8 +87,9 @@ func TestAmnesiaReadmissionViaEpochChange(t *testing.T) {
 	if c.Replica(4).Recovering() {
 		t.Error("still recovering after epoch change")
 	}
-	// Propagation rebuilds the value (snapshot path: the log cannot reach
-	// version 0 of a reborn store... it can here, but content must match).
+	// Propagation rebuilds the value. With fewer than MaxLog committed
+	// writes the source's log still reaches version 0, so this is the
+	// update-replay path onto the reborn store's initial base.
 	waitUntil(t, 5*time.Second, func() bool {
 		st := c.Replica(4).State()
 		return !st.Stale && st.Version == 1
@@ -96,6 +97,35 @@ func TestAmnesiaReadmissionViaEpochChange(t *testing.T) {
 	v, _ := c.Replica(4).Value()
 	if string(v) != "before-loss" {
 		t.Errorf("rebuilt value = %q", v)
+	}
+}
+
+// TestAmnesiaRebuildKeepsFullValue pins the update-replay rebuild path
+// with *partial* writes: the committed value is mostly untouched initial
+// bytes, so a reborn store that replayed the log onto an empty base
+// instead of the configured initial would come back truncated to the
+// highest offset any update touched — exactly the corruption a read then
+// serves. Regression test for a bug found by the networked churn harness.
+func TestAmnesiaRebuildKeepsFullValue(t *testing.T) {
+	const size = 32
+	c := newTestCluster(t, 9, make([]byte, size))
+	ctx := ctxT(t)
+	if _, err := c.Coordinator(0).Write(ctx, replica.Update{Offset: 3, Data: []byte("ab")}); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashWithAmnesia(4)
+	c.Restart(4)
+	if _, err := c.CheckEpoch(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 5*time.Second, func() bool {
+		st := c.Replica(4).State()
+		return !st.Stale && st.Version == 1
+	}, "amnesiac never rebuilt")
+	want := make([]byte, size)
+	copy(want[3:], "ab")
+	if v, _ := c.Replica(4).Value(); string(v) != string(want) {
+		t.Errorf("rebuilt value = %q (len %d), want %q (len %d)", v, len(v), want, size)
 	}
 }
 

@@ -21,7 +21,7 @@ import (
 // A Coordinator is safe for concurrent use.
 type Coordinator struct {
 	item *replica.Item
-	net  *transport.Network
+	net  transport.Net
 	all  nodeset.Set // all nodes holding a replica of the item
 	opts Options
 	// layouts caches the compiled quorum layout of the current epoch so the
@@ -45,7 +45,7 @@ type Coordinator struct {
 
 // NewCoordinator builds a coordinator around the local replica `item`.
 // all is the full replica set of the item.
-func NewCoordinator(item *replica.Item, net *transport.Network, all nodeset.Set, opts Options) *Coordinator {
+func NewCoordinator(item *replica.Item, net transport.Net, all nodeset.Set, opts Options) *Coordinator {
 	opts = opts.withDefaults()
 	c := &Coordinator{
 		item:    item,

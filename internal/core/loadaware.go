@@ -62,7 +62,7 @@ type loadCell struct {
 // NewLoadTracker tracks the members' load on the given network, publishing
 // the estimates through reg's core_endpoint_load_ewma gauge vector
 // (indexed by node ID).
-func NewLoadTracker(net *transport.Network, members nodeset.Set, reg *obs.Registry) *LoadTracker {
+func NewLoadTracker(net transport.Net, members nodeset.Set, reg *obs.Registry) *LoadTracker {
 	return newLoadTracker(members, net.Served, reg)
 }
 

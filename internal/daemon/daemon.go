@@ -1,0 +1,266 @@
+// Package daemon hosts one coterie replica node as a long-running network
+// process: a tcpnet transport serving the node's protocol handler, a
+// co-located coordinator per data item, and the capi client API routed
+// through a transport.Mux layered over the node's handler — typed client
+// messages (Read, Write, CheckEpoch) dispatch to the coordinators, and
+// everything else falls through to the replica protocol.
+//
+// cmd/coteried wraps this package in a main; cmd/loadgen's -net tcp mode
+// spawns one daemon process per cluster member and drives them over
+// loopback.
+//
+// # Process restarts
+//
+// A daemon keeps no stable storage, so a killed-and-restarted process is
+// the paper's recovering replica: Config.Recovering (set by whoever
+// respawns it) wipes each item via Amnesia — the replica answers protocol
+// queries flagged as recovering and is excluded from quorums until an
+// epoch change readmits it and propagation rebuilds its value. The restart
+// also advances every item's operation-ID sequence past wall-clock
+// nanoseconds, so OpIDs minted by the new incarnation can never collide
+// with pre-crash OpIDs that survivors may still hold in lock tables and
+// decision logs.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"coterie/internal/capi"
+	"coterie/internal/core"
+	"coterie/internal/nodeset"
+	"coterie/internal/obs"
+	"coterie/internal/obs/expose"
+	"coterie/internal/replica"
+	"coterie/internal/transport"
+	"coterie/internal/transport/tcpnet"
+)
+
+// Config describes one daemon instance.
+type Config struct {
+	// Self is the node this process hosts.
+	Self nodeset.ID
+	// Addrs is the full cluster address book (node ID → host:port),
+	// including Self's listen address.
+	Addrs map[nodeset.ID]string
+	// Members is the replica set of every item (defaults to the address
+	// book's keys).
+	Members nodeset.Set
+	// Items are the replicated data item names; each starts as ItemSize
+	// zero bytes on every member.
+	Items    []string
+	ItemSize int
+	// Recovering marks this process as a restart of a crashed instance.
+	Recovering bool
+	// CallTimeout bounds each protocol RPC round; lock leases follow it
+	// (4x) as in the in-process harness.
+	CallTimeout time.Duration
+	// Strategy is the quorum selection strategy: "hint" (default) or
+	// "load".
+	Strategy string
+	// GroupCommit enables and sizes the write combiner.
+	GroupCommit core.GroupCommitOptions
+	// BatchProp batches stale propagation per target node.
+	BatchProp bool
+	// PoolSize is the pipelined-connections-per-peer count (0 = default).
+	PoolSize int
+	// Pipeline toggles transport pipelining (default true); the per-call
+	// baseline is only for benchmarks.
+	Pipeline bool
+	// Obs attaches a metrics registry; MetricsAddr additionally serves it
+	// over HTTP.
+	Obs         bool
+	MetricsAddr string
+}
+
+// Daemon is a running instance. Close shuts it down.
+type Daemon struct {
+	Net  *tcpnet.Network
+	Reg  *obs.Registry
+	node *replica.Node
+
+	coords  map[string]*core.Coordinator
+	metrics *http.Server
+	mln     net.Listener
+}
+
+func (c Config) withDefaults() Config {
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 250 * time.Millisecond
+	}
+	if c.ItemSize <= 0 {
+		c.ItemSize = 256
+	}
+	if c.Strategy == "" {
+		c.Strategy = "hint"
+	}
+	if c.Members.Empty() {
+		for id := range c.Addrs {
+			c.Members.Add(id)
+		}
+	}
+	return c
+}
+
+// Start builds and starts a daemon: transport, node, items, coordinators,
+// client API, listeners.
+func Start(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Items) == 0 {
+		return nil, fmt.Errorf("daemon: no items configured")
+	}
+	if _, ok := cfg.Addrs[cfg.Self]; !ok {
+		return nil, fmt.Errorf("daemon: no address for self (node %d)", cfg.Self)
+	}
+
+	reg := obs.Nop
+	if cfg.Obs {
+		reg = obs.New()
+		reg.SetFlight(obs.NewFlightRecorder(256))
+	}
+	topts := []tcpnet.Option{tcpnet.WithPipeline(cfg.Pipeline)}
+	if reg != obs.Nop {
+		topts = append(topts, tcpnet.WithObs(reg))
+	}
+	if cfg.PoolSize > 0 {
+		topts = append(topts, tcpnet.WithPoolSize(cfg.PoolSize))
+	}
+	tnet := tcpnet.New(cfg.Addrs, topts...)
+
+	var strategy core.QuorumStrategy
+	var tracker *core.LoadTracker
+	switch cfg.Strategy {
+	case "hint":
+		strategy = core.StrategyHint
+	case "load":
+		strategy = core.StrategyLoadAware
+		tracker = core.NewLoadTracker(tnet, cfg.Members, reg)
+	default:
+		return nil, fmt.Errorf("daemon: unknown strategy %q (want hint or load)", cfg.Strategy)
+	}
+
+	rcfg := replica.Config{LockLease: 4 * cfg.CallTimeout, Obs: reg, PropagationBatch: cfg.BatchProp}
+	node := replica.NewNode(cfg.Self, tnet, rcfg)
+	d := &Daemon{Net: tnet, Reg: reg, node: node, coords: make(map[string]*core.Coordinator, len(cfg.Items))}
+	for _, name := range cfg.Items {
+		rep, err := node.AddItem(name, cfg.Members, make([]byte, cfg.ItemSize))
+		if err != nil {
+			node.Close()
+			tnet.Close()
+			return nil, err
+		}
+		d.coords[name] = core.NewCoordinator(rep, tnet, cfg.Members, core.Options{
+			CallTimeout: cfg.CallTimeout,
+			Replica:     rcfg,
+			Obs:         reg,
+			Strategy:    strategy,
+			Load:        tracker,
+			GroupCommit: cfg.GroupCommit,
+		})
+		if cfg.Recovering {
+			rep.Amnesia()
+			rep.AdvanceOpSeq(uint64(time.Now().UnixNano()))
+		}
+	}
+
+	// Client API over the node's protocol handler: typed capi routes plus
+	// the node as the default route, re-registered at the node's endpoint.
+	mux := transport.NewMux()
+	mux.HandleDefault(node.Handler())
+	mux.HandleType(capi.Read{}, func(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+		return d.handleRead(ctx, from, req.(capi.Read))
+	})
+	mux.HandleType(capi.Write{}, func(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+		return d.handleWrite(ctx, from, req.(capi.Write))
+	})
+	mux.HandleType(capi.CheckEpoch{}, func(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+		return d.handleCheckEpoch(ctx, from, req.(capi.CheckEpoch))
+	})
+	tnet.Register(cfg.Self, mux.Handler())
+
+	if err := tnet.Start(); err != nil {
+		node.Close()
+		tnet.Close()
+		return nil, err
+	}
+
+	if cfg.MetricsAddr != "" && reg != obs.Nop {
+		ln, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("daemon: metrics listener: %w", err)
+		}
+		d.mln = ln
+		d.metrics = &http.Server{Handler: expose.Handler(reg)}
+		go func() { _ = d.metrics.Serve(ln) }()
+	}
+	return d, nil
+}
+
+// Coordinator returns the coordinator for the named item (tests and
+// embedding harnesses).
+func (d *Daemon) Coordinator(item string) *core.Coordinator { return d.coords[item] }
+
+// Item returns this node's replica of the named item, or nil (tests and
+// embedding harnesses).
+func (d *Daemon) Item(name string) *replica.Item { return d.node.Item(name) }
+
+// Close shuts the daemon down: client API stops, background protocol work
+// stops, every connection dies.
+func (d *Daemon) Close() {
+	if d.metrics != nil {
+		d.metrics.Close()
+		d.mln.Close()
+	}
+	d.node.Close()
+	d.Net.Close()
+}
+
+// status maps a coordinator error onto the client API's taxonomy. The
+// zero Detail for OK keeps replies compact.
+func status(err error) (capi.Status, string) {
+	switch {
+	case err == nil:
+		return capi.StatusOK, ""
+	case errors.Is(err, core.ErrConflict):
+		return capi.StatusConflict, err.Error()
+	case errors.Is(err, core.ErrUnavailable):
+		return capi.StatusUnavailable, err.Error()
+	default:
+		return capi.StatusError, err.Error()
+	}
+}
+
+func (d *Daemon) handleRead(ctx context.Context, from nodeset.ID, req capi.Read) (transport.Message, error) {
+	co, ok := d.coords[req.Item]
+	if !ok {
+		return capi.ReadReply{Status: capi.StatusError, Detail: "unknown item " + req.Item}, nil
+	}
+	value, version, err := co.Read(ctx)
+	st, detail := status(err)
+	return capi.ReadReply{Status: st, Version: version, Value: value, Detail: detail}, nil
+}
+
+func (d *Daemon) handleWrite(ctx context.Context, from nodeset.ID, req capi.Write) (transport.Message, error) {
+	co, ok := d.coords[req.Item]
+	if !ok {
+		return capi.WriteReply{Status: capi.StatusError, Detail: "unknown item " + req.Item}, nil
+	}
+	version, err := co.Write(ctx, req.Update)
+	st, detail := status(err)
+	return capi.WriteReply{Status: st, Version: version, Detail: detail}, nil
+}
+
+func (d *Daemon) handleCheckEpoch(ctx context.Context, from nodeset.ID, req capi.CheckEpoch) (transport.Message, error) {
+	co, ok := d.coords[req.Item]
+	if !ok {
+		return capi.CheckReply{Status: capi.StatusError, Detail: "unknown item " + req.Item}, nil
+	}
+	res, err := co.CheckEpoch(ctx)
+	st, detail := status(err)
+	return capi.CheckReply{Status: st, Changed: res.Changed, EpochNum: res.EpochNum, Detail: detail}, nil
+}

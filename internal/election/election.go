@@ -48,7 +48,7 @@ type AnnounceAck struct{}
 type Elector struct {
 	self    nodeset.ID
 	members nodeset.Set
-	net     *transport.Network
+	net     transport.Net
 	timeout time.Duration
 
 	mu     sync.Mutex
@@ -58,7 +58,7 @@ type Elector struct {
 
 // New creates an elector for self among members and registers its message
 // types on the mux. timeout bounds each probe round (default 1s if zero).
-func New(self nodeset.ID, members nodeset.Set, net *transport.Network, mux *transport.Mux, timeout time.Duration) *Elector {
+func New(self nodeset.ID, members nodeset.Set, net transport.Net, mux *transport.Mux, timeout time.Duration) *Elector {
 	if timeout == 0 {
 		timeout = time.Second
 	}

@@ -41,11 +41,17 @@ func (s Set) Encode() []byte {
 }
 
 // Decode parses a set from the front of b, returning the set and the number
-// of bytes consumed.
+// of bytes consumed. Decoding is strict: only the canonical form produced
+// by AppendEncode is accepted — a minimally-encoded word count and no
+// trailing zero words — so every decoded set re-encodes to exactly the
+// bytes it came from.
 func Decode(b []byte) (Set, int, error) {
 	n, k := binary.Uvarint(b)
 	if k <= 0 {
 		return Set{}, 0, ErrTruncated
+	}
+	if k > 1 && n>>(7*(k-1)) == 0 {
+		return Set{}, 0, fmt.Errorf("nodeset: non-minimal word count encoding")
 	}
 	if n > MaxNodes/wordBits {
 		return Set{}, 0, fmt.Errorf("nodeset: encoded word count %d exceeds maximum", n)
@@ -57,6 +63,9 @@ func Decode(b []byte) (Set, int, error) {
 	words := make([]uint64, n)
 	for i := range words {
 		words[i] = binary.LittleEndian.Uint64(b[k+i*8:])
+	}
+	if n > 0 && words[n-1] == 0 {
+		return Set{}, 0, fmt.Errorf("nodeset: non-canonical encoding with trailing zero word")
 	}
 	return Set{words: words}, need, nil
 }

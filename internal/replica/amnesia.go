@@ -17,17 +17,29 @@ import "coterie/internal/nodeset"
 // good/stale classification. The next successful epoch change — which by
 // Lemma 1 contacts a write quorum of the current epoch and therefore
 // learns the true current state — admits the replica as a stale member
-// with the epoch's desired version, and ordinary propagation rebuilds it
-// (the update log cannot reach version 0, so a snapshot ships). Only then
-// does the replica count again.
+// with the epoch's desired version, and ordinary propagation rebuilds it.
+// Only then does the replica count again.
+//
+// The reborn store resets onto the item's *configured initial value*, not
+// an empty one. The initial value is deployment configuration — whoever
+// restarts the process re-supplies it to AddItem — so keeping it does not
+// smuggle any lost state back in. It is also what makes the rebuild
+// correct when the propagation source ships update replay rather than a
+// snapshot: every committed update from version 1 onward was applied on
+// top of that initial value, so replaying the log from version 0 onto it
+// reproduces the committed value exactly. Replaying onto an empty base
+// instead silently truncates the value to the highest byte any update
+// ever touched — a one-copy-serializability violation the moment a read
+// lands on the rebuilt replica.
 
-// Amnesia simulates total loss of the replica's stable state: value,
-// version, flags, epoch view, staged transactions, decision log and lock
-// table all reset, and the replica enters the recovering state.
+// Amnesia simulates total loss of the replica's stable state: version,
+// flags, epoch view, staged transactions, decision log and lock table all
+// reset, the value returns to the configured initial, and the replica
+// enters the recovering state.
 func (it *Item) Amnesia() {
 	it.metrics.amnesia.Inc()
 	it.mu.Lock()
-	it.store = NewStore(nil, it.cfg.MaxLog)
+	it.store = NewStore(it.initial, it.cfg.MaxLog)
 	it.stale = false
 	it.desired = 0
 	it.epoch = nodeset.Set{}

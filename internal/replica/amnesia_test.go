@@ -26,8 +26,10 @@ func TestAmnesiaResetsEverything(t *testing.T) {
 	if st.Version != 0 || st.Stale || st.EpochNum != 0 || !st.Epoch.Empty() || !st.Recovering {
 		t.Errorf("state after amnesia = %+v", st)
 	}
-	if v, _ := it.Value(); len(v) != 0 {
-		t.Errorf("value survived amnesia: %q", v)
+	// The written value is gone; the store is back on the configured
+	// initial (deployment config, not lost state — see amnesia.go).
+	if v, _ := it.Value(); string(v) != "data" {
+		t.Errorf("value after amnesia = %q, want configured initial %q", v, "data")
 	}
 	if it.lock.holderCount() != 0 {
 		t.Error("lock holds survived amnesia")

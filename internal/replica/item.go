@@ -109,10 +109,17 @@ type staged struct {
 type Item struct {
 	name    string
 	self    nodeset.ID
-	net     *transport.Network
+	net     transport.Net
 	cfg     Config
 	lock    *itemLock
 	metrics itemMetrics
+
+	// initial is the item's configured version-0 value. It is deployment
+	// configuration, not replicated state: a rebuilt process re-supplies it
+	// to AddItem, so Amnesia may reset the store onto it — which is what
+	// makes update replay from version 0 rebuild the correct value (see
+	// amnesia.go).
+	initial []byte
 
 	// state is the published protocol-state snapshot, refreshed by every
 	// mutation (publishStateLocked) and read lock-free by State(). The sets
@@ -159,7 +166,7 @@ type Item struct {
 	wg     sync.WaitGroup
 }
 
-func newItem(name string, self nodeset.ID, members nodeset.Set, initial []byte, net *transport.Network, cfg Config) *Item {
+func newItem(name string, self nodeset.ID, members nodeset.Set, initial []byte, net transport.Net, cfg Config) *Item {
 	cfg = cfg.withDefaults()
 	it := &Item{
 		name:    name,
@@ -168,6 +175,7 @@ func newItem(name string, self nodeset.ID, members nodeset.Set, initial []byte, 
 		cfg:     cfg,
 		lock:    newItemLock(cfg.LockLease),
 		metrics: newItemMetrics(cfg.Obs),
+		initial: append([]byte(nil), initial...),
 		store:   NewStore(initial, cfg.MaxLog),
 		epoch:   members.Clone(),
 		staged:  make(map[OpID]*staged),
@@ -189,6 +197,17 @@ func (it *Item) Self() nodeset.ID { return it.self }
 // NextOp mints a fresh operation ID coordinated by this node.
 func (it *Item) NextOp() OpID {
 	return OpID{Coordinator: it.self, Seq: it.opSeq.Add(1)}
+}
+
+// AdvanceOpSeq moves the operation-ID sequence forward by at least delta.
+// A node process that restarts with fresh state (crash amnesia) would
+// otherwise mint OpIDs it already used before the crash, and surviving
+// replicas' decision logs and lock tables would confuse the new operations
+// with the old ones; the restarting host advances the sequence past any
+// value the previous incarnation could have reached (e.g. by a wall-clock
+// reading) before coordinating operations.
+func (it *Item) AdvanceOpSeq(delta uint64) {
+	it.opSeq.Add(delta)
 }
 
 // State returns the replica's current protocol state. It is lock-free: it

@@ -16,7 +16,7 @@ import (
 // amortize its polling (paper, Section 2).
 type Node struct {
 	self nodeset.ID
-	net  *transport.Network
+	net  transport.Net
 	cfg  Config
 
 	mu    sync.RWMutex
@@ -36,7 +36,7 @@ type Node struct {
 
 // NewNode creates a node and registers its message handler with the
 // network.
-func NewNode(self nodeset.ID, net *transport.Network, cfg Config) *Node {
+func NewNode(self nodeset.ID, net transport.Net, cfg Config) *Node {
 	n := &Node{
 		self:      self,
 		net:       net,
@@ -94,6 +94,12 @@ func (n *Node) Items() []string {
 	}
 	return names
 }
+
+// Handler exposes the node's message handler so a host process can compose
+// it with other routes (e.g. a transport.Mux whose default route is the
+// node and whose typed routes serve a daemon's client API) and re-register
+// the composite at the node's endpoint.
+func (n *Node) Handler() transport.Handler { return n.handle }
 
 // handle is the node's transport handler: route the envelope to its item,
 // or answer node-level queries directly.

@@ -57,7 +57,7 @@ func (o Options) withDefaults() Options {
 // changes epochs: the quorum universe is permanently the full member set.
 type Coordinator struct {
 	item *replica.Item
-	net  *transport.Network
+	net  transport.Net
 	all  nodeset.Set
 	opts Options
 	// layout is the rule compiled once over the immutable member set; the
@@ -67,7 +67,7 @@ type Coordinator struct {
 }
 
 // NewCoordinator builds a static-grid coordinator around a local replica.
-func NewCoordinator(item *replica.Item, net *transport.Network, all nodeset.Set, opts Options) *Coordinator {
+func NewCoordinator(item *replica.Item, net transport.Net, all nodeset.Set, opts Options) *Coordinator {
 	opts = opts.withDefaults()
 	allC := all.Clone()
 	return &Coordinator{

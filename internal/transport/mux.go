@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"coterie/internal/nodeset"
 )
@@ -12,14 +13,30 @@ import (
 // Mux routes incoming messages to sub-handlers by the message's concrete
 // type, letting several protocol layers (replica management, elections,
 // application traffic) share one node endpoint.
+//
+// Dispatch is lock-free: every registration publishes a fresh immutable
+// route table through an atomic pointer, so the hot path — every message a
+// node serves goes through here — is one atomic load and one read-only map
+// lookup, with no RWMutex for concurrent dispatches to convoy on.
+// Registration is expected to finish before traffic starts; it remains
+// safe (but not cheap) afterwards.
 type Mux struct {
-	mu     sync.RWMutex
-	routes map[reflect.Type]Handler
+	mu     sync.Mutex // serializes registrations (copy-on-write)
+	routes atomic.Pointer[routeTable]
+}
+
+// routeTable is an immutable dispatch snapshot. def is the fallback
+// handler for message types with no typed route.
+type routeTable struct {
+	byType map[reflect.Type]Handler
+	def    Handler
 }
 
 // NewMux returns an empty Mux.
 func NewMux() *Mux {
-	return &Mux{routes: make(map[reflect.Type]Handler)}
+	m := &Mux{}
+	m.routes.Store(&routeTable{byType: map[reflect.Type]Handler{}})
+	return m
 }
 
 // HandleType registers h for messages with the same concrete type as
@@ -29,19 +46,49 @@ func (m *Mux) HandleType(sample Message, h Handler) {
 		panic("transport: nil handler in Mux.HandleType")
 	}
 	m.mu.Lock()
-	m.routes[reflect.TypeOf(sample)] = h
-	m.mu.Unlock()
+	defer m.mu.Unlock()
+	old := m.routes.Load()
+	next := &routeTable{byType: make(map[reflect.Type]Handler, len(old.byType)+1), def: old.def}
+	for t, old := range old.byType {
+		next.byType[t] = old
+	}
+	next.byType[reflect.TypeOf(sample)] = h
+	m.routes.Store(next)
+}
+
+// HandleDefault registers the fallback handler for message types without a
+// typed route — e.g. a replica.Node serving its whole protocol surface
+// (envelopes, group queries, batched propagation) under a mux whose typed
+// routes carry a daemon's client API.
+func (m *Mux) HandleDefault(h Handler) {
+	if h == nil {
+		panic("transport: nil handler in Mux.HandleDefault")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.routes.Load()
+	next := &routeTable{byType: make(map[reflect.Type]Handler, len(old.byType)), def: h}
+	for t, old := range old.byType {
+		next.byType[t] = old
+	}
+	m.routes.Store(next)
+}
+
+// dispatch serves one message from the current route snapshot. A named
+// method rather than a closure so Handler() hands out a method value and
+// the dispatch path stays allocation-free.
+func (m *Mux) dispatch(ctx context.Context, from nodeset.ID, req Message) (Message, error) {
+	rt := m.routes.Load()
+	if h, ok := rt.byType[reflect.TypeOf(req)]; ok {
+		return h(ctx, from, req)
+	}
+	if rt.def != nil {
+		return rt.def(ctx, from, req)
+	}
+	return nil, fmt.Errorf("transport: no route for message %T", req)
 }
 
 // Handler returns the dispatching handler to register with a Network.
 func (m *Mux) Handler() Handler {
-	return func(ctx context.Context, from nodeset.ID, req Message) (Message, error) {
-		m.mu.RLock()
-		h := m.routes[reflect.TypeOf(req)]
-		m.mu.RUnlock()
-		if h == nil {
-			return nil, fmt.Errorf("transport: no route for message %T", req)
-		}
-		return h(ctx, from, req)
-	}
+	return m.dispatch
 }

@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"context"
+
+	"coterie/internal/nodeset"
+)
+
+// Net is the RPC surface the protocol layers run on: the coordinator's
+// quorum rounds, the replica's propagation calls, and the elector all speak
+// exactly this interface, so the same protocol code runs over the
+// in-process simulated *Network and over a real socket transport
+// (internal/transport/tcpnet) without change.
+//
+// Implementations must preserve the paper's RPC semantics (Section 3):
+//
+//   - Call returns ErrCallFailed — and only ErrCallFailed — when the
+//     request or its reply could not be delivered (crashed or unreachable
+//     peer, connection loss, per-call deadline expiry). Application-level
+//     errors returned by the remote handler pass through as ordinary
+//     errors; protocol code distinguishes the two with errors.Is.
+//   - MulticastFunc fans req out to every target concurrently, waits for
+//     all of them, and invokes fn once per target in ID order on the
+//     caller's goroutine (the simulated network's contract, which the
+//     lock-round collectors rely on for determinism).
+//   - Register attaches the handler serving a locally-hosted node;
+//     re-registering replaces the handler (node restart with fresh state).
+//   - Served reports a monotone per-node served-request counter — the load
+//     signal core.LoadTracker samples. A networked transport reports its
+//     local view: true service counts for nodes it hosts, requests sent
+//     for remote peers (a coordinator-local proxy of the load it imposes).
+type Net interface {
+	Register(id nodeset.ID, h Handler)
+	Call(ctx context.Context, from, to nodeset.ID, req Message) (Message, error)
+	MulticastFunc(ctx context.Context, from nodeset.ID, targets nodeset.Set, req Message, fn func(to nodeset.ID, r Result))
+	Served(id nodeset.ID) uint64
+}
+
+// The simulated network is the reference Net implementation.
+var _ Net = (*Network)(nil)

@@ -1,0 +1,291 @@
+package tcpnet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/obs"
+	"coterie/internal/transport"
+	"coterie/internal/wire"
+)
+
+// clientConn is one pipelined connection to a peer. Many in-flight calls
+// share it: each call registers a correlation ID in the pending table,
+// enqueues its encoded frame on the writer queue, and parks on its
+// (pooled, reusable) completion channel until the reader matches the
+// reply frame back by correlation ID.
+//
+// A connection dies as a unit: the first I/O error closes it, fails every
+// pending call with ErrCallFailed, and leaves the pool slot to re-dial on
+// the next call (transparent recovery once the peer is back).
+type clientConn struct {
+	n  *Network
+	nc net.Conn
+
+	out    chan *frameBuf
+	closed chan struct{}
+	once   sync.Once
+
+	corr atomic.Uint64
+
+	mu      sync.Mutex
+	dead    bool
+	pending map[uint64]*pendingCall
+}
+
+// pendingCall is one parked caller. The completion channel has capacity 1
+// and is consumed exactly once per use, so the struct recycles through a
+// pool; a call abandoned at deadline drains the imminent completion
+// before recycling (the reader owns the entry once it leaves the map).
+type pendingCall struct {
+	ch chan callDone
+}
+
+type callDone struct {
+	kind byte
+	off  int // payload offset within buf.b
+	buf  *frameBuf
+	err  error
+}
+
+var pendingPool = sync.Pool{
+	New: func() any { return &pendingCall{ch: make(chan callDone, 1)} },
+}
+
+func dialConn(n *Network, addr string, ctx context.Context) (*clientConn, error) {
+	n.dials.Inc()
+	d := net.Dialer{Timeout: n.dialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		n.dialErrors.Inc()
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &clientConn{
+		n:       n,
+		nc:      nc,
+		out:     make(chan *frameBuf, outQueueLen),
+		closed:  make(chan struct{}),
+		pending: make(map[uint64]*pendingCall),
+	}
+	go c.readLoop()
+	go n.writeLoop(c.nc, c.out, c.closed, c.close)
+	return c, nil
+}
+
+func (c *clientConn) isDead() bool {
+	select {
+	case <-c.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// close tears the connection down once: wakes the writer, closes the
+// socket (unblocking the reader), and fails every pending call.
+func (c *clientConn) close() {
+	c.once.Do(func() {
+		close(c.closed)
+		c.nc.Close()
+		c.mu.Lock()
+		c.dead = true
+		pend := c.pending
+		c.pending = nil
+		c.mu.Unlock()
+		for _, pc := range pend {
+			pc.ch <- callDone{err: transport.ErrCallFailed}
+		}
+		c.n.evicted.Inc()
+	})
+}
+
+func (c *clientConn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, readBufSize)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			c.close()
+			return
+		}
+		c.n.framesRecv.Inc()
+		c.n.bytesRecv.Add(uint64(len(f.b)) + lenSize)
+		kind := f.b[0]
+		corr, k := uvarintAt(f.b, 1)
+		if k <= 0 || (kind != frameReply && kind != frameError) {
+			putBuf(f)
+			c.close()
+			return
+		}
+		c.mu.Lock()
+		pc := c.pending[corr]
+		delete(c.pending, corr)
+		c.mu.Unlock()
+		if pc == nil {
+			putBuf(f) // call abandoned at its deadline
+			continue
+		}
+		pc.ch <- callDone{kind: kind, off: 1 + k, buf: f}
+	}
+}
+
+// roundTrip issues one pipelined call and blocks for its reply or the
+// context's end. Every delivery failure — connection already dead, writer
+// gone, context expiry — maps to transport.ErrCallFailed; only a reply
+// the peer's handler produced (ok or error) passes through.
+func (c *clientConn) roundTrip(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+	f := getBuf()
+	corr := c.corr.Add(1)
+	if err := appendRequest(f, corr, from, ctx, req); err != nil {
+		putBuf(f)
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, transport.ErrCallFailed
+		}
+		return nil, err // codec rejection is a programming error, not a delivery failure
+	}
+	pc := pendingPool.Get().(*pendingCall)
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		putBuf(f)
+		pendingPool.Put(pc)
+		return nil, transport.ErrCallFailed
+	}
+	c.pending[corr] = pc
+	c.mu.Unlock()
+
+	select {
+	case c.out <- f:
+	case <-c.closed:
+		putBuf(f)
+		return c.abandon(corr, pc)
+	case <-ctx.Done():
+		putBuf(f)
+		return c.abandon(corr, pc)
+	}
+
+	select {
+	case d := <-pc.ch:
+		pendingPool.Put(pc)
+		return decodeDone(c, d)
+	case <-ctx.Done():
+		return c.abandon(corr, pc)
+	}
+}
+
+// abandon gives up on a registered call. If the entry is still in the
+// pending table the caller owns it and can recycle immediately; otherwise
+// the reader (or close) has claimed it and a completion is imminent — it
+// is drained so the channel is empty before the struct is pooled.
+func (c *clientConn) abandon(corr uint64, pc *pendingCall) (transport.Message, error) {
+	c.mu.Lock()
+	_, mine := c.pending[corr]
+	if mine {
+		delete(c.pending, corr)
+	}
+	c.mu.Unlock()
+	if !mine {
+		d := <-pc.ch
+		if d.buf != nil {
+			putBuf(d.buf)
+		}
+	}
+	pendingPool.Put(pc)
+	return nil, transport.ErrCallFailed
+}
+
+func decodeDone(c *clientConn, d callDone) (transport.Message, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	payload := d.buf.b[d.off:]
+	if d.kind == frameError {
+		err := errors.New(string(payload))
+		putBuf(d.buf)
+		return nil, err
+	}
+	msg, err := wire.Unmarshal(payload)
+	putBuf(d.buf)
+	if err != nil {
+		// A peer sending undecodable replies is broken: fail the call and
+		// retire the connection so the pool re-dials.
+		c.close()
+		return nil, transport.ErrCallFailed
+	}
+	return msg, nil
+}
+
+// uvarintAt decodes a uvarint starting at offset i; returns the value and
+// the number of bytes consumed (<=0 on malformed input).
+func uvarintAt(b []byte, i int) (uint64, int) {
+	if i >= len(b) {
+		return 0, 0
+	}
+	var v uint64
+	var s uint
+	for k, c := range b[i:] {
+		if c < 0x80 {
+			if k > 9 || k == 9 && c > 1 {
+				return 0, -(k + 1)
+			}
+			return v | uint64(c)<<s, k + 1
+		}
+		v |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+// peer is the client-side view of one remote node: its address and a
+// small pool of pipelined connections, acquired round-robin so concurrent
+// callers spread across sockets while each socket still carries many
+// in-flight calls.
+type peer struct {
+	id   nodeset.ID
+	addr string
+	next atomic.Uint64
+	sent *obs.Counter
+	pool []peerSlot
+}
+
+type peerSlot struct {
+	mu sync.Mutex // serializes dialing for this slot
+	c  atomic.Pointer[clientConn]
+}
+
+// conn returns the slot's live connection, dialing a fresh one if the
+// slot is empty or its connection died (pool eviction). Dials for one
+// slot serialize so a burst of callers against a down peer produces one
+// dial attempt per slot, not a storm.
+func (p *peer) conn(ctx context.Context, n *Network) (*clientConn, error) {
+	s := &p.pool[p.next.Add(1)%uint64(len(p.pool))]
+	if c := s.c.Load(); c != nil && !c.isDead() {
+		return c, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.c.Load(); c != nil && !c.isDead() {
+		return c, nil
+	}
+	c, err := dialConn(n, p.addr, ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.c.Store(c)
+	return c, nil
+}
+
+func (p *peer) closeAll() {
+	for i := range p.pool {
+		if c := p.pool[i].c.Load(); c != nil {
+			c.close()
+		}
+	}
+}

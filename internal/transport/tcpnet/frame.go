@@ -1,0 +1,169 @@
+package tcpnet
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/transport"
+	"coterie/internal/wire"
+)
+
+// Frame layout (DESIGN.md §9). Every frame is a 4-byte big-endian length
+// prefix followed by the frame body; the length counts the body only:
+//
+//	frame   = len(u32 BE) body
+//	body    = kind(1) corr(uvarint) rest
+//	request = from(uvarint) timeout_ns(uvarint) payload   (kind=1)
+//	reply   = payload                                      (kind=2)
+//	error   = UTF-8 error text                             (kind=3)
+//
+// payload is one wire.Marshal-encoded message. corr is the correlation ID
+// matching a reply or error frame to its request on a pipelined
+// connection; it is scoped to one connection and chosen by the client.
+// timeout_ns is the caller's remaining deadline in nanoseconds (0 = no
+// deadline) so the serving side can expire the handler's context — without
+// it, a handler blocked on a lock queue would hold the request goroutine
+// past the point the caller gave up.
+const (
+	frameRequest = 1
+	frameReply   = 2
+	frameError   = 3
+
+	// lenSize is the length-prefix width reserved at the front of every
+	// encoded frame and patched after the body is built.
+	lenSize = 4
+
+	// maxFrameSize bounds a frame body; a peer announcing more is broken
+	// or hostile and the connection is torn down.
+	maxFrameSize = 1 << 26
+
+	// maxPooledBuf caps the capacity of buffers returned to the pool so a
+	// single snapshot-sized frame does not pin a large allocation forever.
+	maxPooledBuf = 1 << 20
+)
+
+var (
+	errFrameSize = errors.New("tcpnet: frame length out of range")
+	errFrameKind = errors.New("tcpnet: unexpected frame kind")
+)
+
+// frameBuf is a pooled, reusable byte buffer. Encode paths append into
+// b[:0] and decode paths read whole frames into it; steady state the hot
+// path recycles the same handful of buffers with zero heap allocations.
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+func getBuf() *frameBuf { return framePool.Get().(*frameBuf) }
+
+func putBuf(f *frameBuf) {
+	if cap(f.b) > maxPooledBuf {
+		return
+	}
+	f.b = f.b[:0]
+	framePool.Put(f)
+}
+
+// appendRequest encodes a complete request frame (length prefix included)
+// for req into f. The remaining time of ctx rides along as timeout_ns.
+// This is the client hot path: with a warm pool and a message that fits
+// the recycled capacity it performs zero allocations (gated by
+// TestRequestFrameEncodeDoesNotAllocate).
+func appendRequest(f *frameBuf, corr uint64, from nodeset.ID, ctx context.Context, req transport.Message) error {
+	b := append(f.b[:0], 0, 0, 0, 0, frameRequest)
+	b = binary.AppendUvarint(b, corr)
+	b = binary.AppendUvarint(b, uint64(from))
+	var tn uint64
+	if dl, ok := ctx.Deadline(); ok {
+		d := time.Until(dl)
+		if d <= 0 {
+			return context.DeadlineExceeded
+		}
+		tn = uint64(d)
+	}
+	b = binary.AppendUvarint(b, tn)
+	b, err := wire.AppendMarshal(b, req)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(b[:lenSize], uint32(len(b)-lenSize))
+	f.b = b
+	return nil
+}
+
+// appendReply encodes a reply or error frame for one served request. A
+// reply that the codec cannot encode degrades to an error frame so the
+// caller gets a diagnosable application error instead of a hung call.
+func appendReply(f *frameBuf, corr uint64, reply transport.Message, herr error) {
+	b := append(f.b[:0], 0, 0, 0, 0, frameReply)
+	b = binary.AppendUvarint(b, corr)
+	if herr == nil {
+		var err error
+		if b, err = wire.AppendMarshal(b, reply); err != nil {
+			herr = fmt.Errorf("tcpnet: reply codec: %w", err)
+			b = append(f.b[:0], 0, 0, 0, 0, frameError)
+			b = binary.AppendUvarint(b, corr)
+		}
+	}
+	if herr != nil {
+		b[lenSize] = frameError
+		b = append(b, herr.Error()...)
+	}
+	binary.BigEndian.PutUint32(b[:lenSize], uint32(len(b)-lenSize))
+	f.b = b
+}
+
+// readFrame reads one length-prefixed frame body into a pooled buffer.
+// The caller owns the returned buffer and must putBuf it; decoded
+// messages never alias it (wire decoding copies byte fields).
+func readFrame(br *bufio.Reader) (*frameBuf, error) {
+	var hdr [lenSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size == 0 || size > maxFrameSize {
+		return nil, errFrameSize
+	}
+	f := getBuf()
+	if cap(f.b) < int(size) {
+		f.b = make([]byte, size)
+	}
+	f.b = f.b[:size]
+	if _, err := io.ReadFull(br, f.b); err != nil {
+		putBuf(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseRequest splits a request frame body into its header fields and the
+// payload. The payload slice aliases the frame buffer.
+func parseRequest(body []byte) (corr uint64, from nodeset.ID, timeout time.Duration, payload []byte, err error) {
+	if len(body) == 0 || body[0] != frameRequest {
+		return 0, 0, 0, nil, errFrameKind
+	}
+	rd := body[1:]
+	corr, k := binary.Uvarint(rd)
+	if k <= 0 {
+		return 0, 0, 0, nil, errFrameKind
+	}
+	rd = rd[k:]
+	fr, k := binary.Uvarint(rd)
+	if k <= 0 || fr > 1<<31 {
+		return 0, 0, 0, nil, errFrameKind
+	}
+	rd = rd[k:]
+	tn, k := binary.Uvarint(rd)
+	if k <= 0 || tn > uint64(1<<62) {
+		return 0, 0, 0, nil, errFrameKind
+	}
+	return corr, nodeset.ID(fr), time.Duration(tn), rd[k:], nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package tcpnet
+
+// raceEnabled reports that the race detector is active; allocation gates
+// skip themselves because the race runtime adds bookkeeping allocations.
+const raceEnabled = true

@@ -1,0 +1,209 @@
+package tcpnet
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/transport"
+	"coterie/internal/wire"
+)
+
+// Start opens a listener for every locally registered node that has an
+// address-book entry and begins serving. Register before Start; handler
+// swaps after Start take effect immediately (the table is read per
+// request).
+func (n *Network) Start() error {
+	t := n.local.Load()
+	if t == nil {
+		return fmt.Errorf("tcpnet: Start with no registered nodes")
+	}
+	for _, ep := range t.eps {
+		if ep == nil {
+			continue
+		}
+		p := n.peerOf(ep.id)
+		if p == nil {
+			continue // local-only endpoint (e.g. a client identity)
+		}
+		ln, err := net.Listen("tcp", p.addr)
+		if err != nil {
+			return fmt.Errorf("tcpnet: listen %s for node %d: %w", p.addr, ep.id, err)
+		}
+		n.lnMu.Lock()
+		n.listeners = append(n.listeners, ln)
+		n.lnMu.Unlock()
+		n.lnWG.Add(1)
+		go n.acceptLoop(ln, ep)
+	}
+	return nil
+}
+
+func (n *Network) acceptLoop(ln net.Listener, ep *localEndpoint) {
+	defer n.lnWG.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		sc := &serverConn{
+			n:      n,
+			ep:     ep,
+			nc:     nc,
+			out:    make(chan *frameBuf, outQueueLen),
+			closed: make(chan struct{}),
+		}
+		if !n.track(sc) {
+			nc.Close()
+			return
+		}
+		go sc.readLoop()
+		go n.writeLoop(sc.nc, sc.out, sc.closed, sc.close)
+	}
+}
+
+func (n *Network) track(sc *serverConn) bool {
+	n.lnMu.Lock()
+	defer n.lnMu.Unlock()
+	select {
+	case <-n.closed:
+		return false
+	default:
+	}
+	n.conns[sc] = struct{}{}
+	return true
+}
+
+func (n *Network) untrack(sc *serverConn) {
+	n.lnMu.Lock()
+	delete(n.conns, sc)
+	n.lnMu.Unlock()
+}
+
+// serverConn is the serving side of one accepted connection. Requests
+// dispatch to the endpoint's handler on per-request goroutines — the
+// pipelined mirror of the client side: a slow handler never blocks the
+// requests queued behind it, and replies are written in completion
+// order, matched back by correlation ID.
+type serverConn struct {
+	n      *Network
+	ep     *localEndpoint
+	nc     net.Conn
+	out    chan *frameBuf
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (sc *serverConn) close() {
+	sc.once.Do(func() {
+		close(sc.closed)
+		sc.nc.Close()
+		sc.n.untrack(sc)
+	})
+}
+
+func (sc *serverConn) readLoop() {
+	defer sc.close()
+	br := bufio.NewReaderSize(sc.nc, readBufSize)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return // EOF or broken peer; in-flight handlers finish and fail their writes
+		}
+		sc.n.framesRecv.Inc()
+		sc.n.bytesRecv.Add(uint64(len(f.b)) + lenSize)
+		corr, from, timeout, payload, err := parseRequest(f.b)
+		if err != nil {
+			putBuf(f)
+			return // protocol violation: tear the connection down
+		}
+		msg, err := wire.Unmarshal(payload)
+		putBuf(f) // decoded messages copy byte fields; the frame is done
+		if err != nil {
+			// An undecodable payload is an application-level problem for
+			// exactly one call, not the connection: report it back.
+			sc.reply(corr, nil, fmt.Errorf("tcpnet: request codec: %v", err))
+			continue
+		}
+		sc.ep.served.Inc()
+		go sc.serve(corr, from, timeout, msg)
+	}
+}
+
+// serve runs one request through the endpoint's handler and queues the
+// reply. The handler context carries the caller's propagated deadline and
+// is canceled when the whole network closes.
+func (sc *serverConn) serve(corr uint64, from nodeset.ID, timeout time.Duration, msg any) {
+	ctx := sc.n.baseCtx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	h := *sc.ep.handler.Load()
+	reply, err := h(ctx, from, msg)
+	sc.reply(corr, reply, err)
+}
+
+func (sc *serverConn) reply(corr uint64, reply any, herr error) {
+	f := getBuf()
+	appendReply(f, corr, reply, herr)
+	select {
+	case sc.out <- f:
+	case <-sc.closed:
+		putBuf(f) // caller is gone; it will see ErrCallFailed from its side
+	}
+}
+
+// readFrameConn reads one frame directly from an unbuffered connection —
+// the per-call baseline's reply read, where a bufio layer per throwaway
+// connection would be waste.
+func readFrameConn(nc net.Conn) (*frameBuf, error) {
+	var hdr [lenSize]byte
+	if _, err := io.ReadFull(nc, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := beUint32(hdr[:])
+	if size == 0 || size > maxFrameSize {
+		return nil, errFrameSize
+	}
+	f := getBuf()
+	if cap(f.b) < int(size) {
+		f.b = make([]byte, size)
+	}
+	f.b = f.b[:size]
+	if _, err := io.ReadFull(nc, f.b); err != nil {
+		putBuf(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+func beUint32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// decodePerConn turns the baseline path's reply frame into a message or
+// application error, mirroring decodeDone without a connection to retire.
+func decodePerConn(f *frameBuf, kind byte, off int) (any, error) {
+	payload := f.b[off:]
+	if kind == frameError {
+		err := fmt.Errorf("%s", string(payload))
+		putBuf(f)
+		return nil, err
+	}
+	msg, err := wire.Unmarshal(payload)
+	putBuf(f)
+	if err != nil {
+		return nil, transport.ErrCallFailed
+	}
+	return msg, nil
+}

@@ -1,0 +1,533 @@
+// Package tcpnet is the networked data plane: a transport.Net
+// implementation that carries wire-encoded protocol messages over TCP so
+// the coterie protocols run across real processes, not only inside the
+// in-process simulator.
+//
+// The transport preserves the simulator's RPC contract exactly (see
+// transport.Net): Call returns transport.ErrCallFailed — and only that —
+// for delivery failures (refused or broken connections, peer crashes
+// mid-call, context expiry), while errors returned by the remote handler
+// travel back as application errors. Protocol code above the seam
+// (coordinator, replica, election, load tracking) runs unmodified on
+// either transport.
+//
+// # Design
+//
+//   - Framing: length-prefixed frames over TCP, one wire.Marshal-encoded
+//     message per frame (layout in frame.go and DESIGN.md §9).
+//   - Pipelining: every connection is fully pipelined. A correlation-ID
+//     multiplexer lets any number of in-flight calls share one
+//     connection; replies match back by ID, so a slow handler never
+//     blocks the calls queued behind it (no head-of-line blocking at the
+//     RPC layer).
+//   - Flush coalescing: each connection owns a writer goroutine that
+//     drains its frame queue and writes every frame available at that
+//     moment in a single Write syscall. Under load this batches many
+//     small protocol messages (lock requests, acks, 2PC votes) per
+//     syscall; at low load the first frame flushes immediately, adding no
+//     latency.
+//   - Buffer reuse: encode and decode stage through pooled buffers and
+//     the pending-call table recycles its entries, so the steady-state
+//     hot path allocates only what decoding itself requires (the decoded
+//     message; wire decoding copies byte fields, so pooled buffers are
+//     never aliased by retained messages).
+//   - Recovery: a connection dies as a unit on its first I/O error,
+//     failing in-flight calls with ErrCallFailed. The pool slot re-dials
+//     on the next call, so a restarted peer is reached transparently.
+//
+// With pipelining disabled (WithPipeline(false)) every call dials a fresh
+// connection, issues one request, and closes — the classic
+// connection-per-call baseline that scripts/benchnet compares against.
+package tcpnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/obs"
+	"coterie/internal/transport"
+)
+
+const (
+	// outQueueLen is each connection's writer-queue depth. Deep enough to
+	// absorb a multicast burst without parking senders, shallow enough to
+	// bound memory on a stalled peer.
+	outQueueLen = 256
+
+	// readBufSize is the per-connection read buffer.
+	readBufSize = 64 << 10
+
+	// maxCoalesce caps how many bytes the writer aggregates into one
+	// Write; past this a flush is forced so a deep queue cannot delay its
+	// first frame arbitrarily.
+	maxCoalesce = 256 << 10
+
+	defaultDialTimeout = 2 * time.Second
+	defaultPoolSize    = 2
+)
+
+// Network is a TCP-backed transport.Net. The address book (node ID →
+// host:port) is fixed at construction; handlers for locally hosted nodes
+// attach via Register and begin serving after Start. Remote peers are
+// dialed lazily on first call.
+type Network struct {
+	writeMu sync.Mutex
+	local   atomic.Pointer[localTable]
+
+	peers    []*peer // indexed by node ID; nil = no address known
+	pipeline bool
+	poolSize int
+
+	dialTimeout time.Duration
+
+	baseCtx context.Context // parent of every served handler context
+	cancel  context.CancelFunc
+	closed  chan struct{}
+
+	lnMu      sync.Mutex
+	listeners []net.Listener
+	conns     map[*serverConn]struct{}
+	lnWG      sync.WaitGroup
+
+	// Always-real counters (Stats must work without a registry); WithObs
+	// adopts the same cells so metrics and Stats read identical state.
+	calls      *obs.Counter
+	failed     *obs.Counter
+	localCalls *obs.Counter
+	dials      *obs.Counter
+	dialErrors *obs.Counter
+	evicted    *obs.Counter
+	framesSent *obs.Counter
+	framesRecv *obs.Counter
+	bytesSent  *obs.Counter
+	bytesRecv  *obs.Counter
+	flushes    *obs.Counter
+	served     *obs.CounterVec // per hosted node
+	sent       *obs.CounterVec // per remote peer, requests sent
+
+	// Present only with WithObs; recording on nil is a no-op and Call
+	// skips its clock reads entirely when latency is nil.
+	obsReg      *obs.Registry
+	callLatency *obs.Histogram
+	flushSize   *obs.Histogram
+	mcFanout    *obs.Histogram
+
+	scratch sync.Pool // *mcScratch
+}
+
+type localTable struct {
+	eps []*localEndpoint // indexed by node ID; nil = not hosted here
+}
+
+func (t *localTable) get(id nodeset.ID) *localEndpoint {
+	if t == nil || id < 0 || int(id) >= len(t.eps) {
+		return nil
+	}
+	return t.eps[id]
+}
+
+// localEndpoint is a node hosted in this process. The handler swaps
+// atomically on re-registration (mux layering, node restart); the served
+// counter belongs to the node for the network's lifetime.
+type localEndpoint struct {
+	id      nodeset.ID
+	handler atomic.Pointer[transport.Handler]
+	served  *obs.Counter
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithObs attaches a metrics registry; the transport's counters appear
+// under tcp_* names and call latency / flush batching histograms are
+// recorded.
+func WithObs(r *obs.Registry) Option { return func(n *Network) { n.obsReg = r } }
+
+// WithPipeline toggles request pipelining. Enabled (the default), calls
+// multiplex over pooled persistent connections. Disabled, every call
+// dials, sends one request, and closes — the baseline benchmarked by
+// scripts/benchnet.
+func WithPipeline(enabled bool) Option { return func(n *Network) { n.pipeline = enabled } }
+
+// WithPoolSize sets how many pipelined connections are kept per peer.
+func WithPoolSize(k int) Option {
+	return func(n *Network) {
+		if k > 0 {
+			n.poolSize = k
+		}
+	}
+}
+
+// WithDialTimeout bounds connection establishment.
+func WithDialTimeout(d time.Duration) Option {
+	return func(n *Network) {
+		if d > 0 {
+			n.dialTimeout = d
+		}
+	}
+}
+
+// New builds a Network over the given address book. No sockets are opened
+// until Start (server side) or the first Call (client side).
+func New(addrs map[nodeset.ID]string, opts ...Option) *Network {
+	n := &Network{
+		pipeline:    true,
+		poolSize:    defaultPoolSize,
+		dialTimeout: defaultDialTimeout,
+		closed:      make(chan struct{}),
+		conns:       make(map[*serverConn]struct{}),
+		calls:       new(obs.Counter),
+		failed:      new(obs.Counter),
+		localCalls:  new(obs.Counter),
+		dials:       new(obs.Counter),
+		dialErrors:  new(obs.Counter),
+		evicted:     new(obs.Counter),
+		framesSent:  new(obs.Counter),
+		framesRecv:  new(obs.Counter),
+		bytesSent:   new(obs.Counter),
+		bytesRecv:   new(obs.Counter),
+		flushes:     new(obs.Counter),
+		served:      new(obs.CounterVec),
+		sent:        new(obs.CounterVec),
+	}
+	n.baseCtx, n.cancel = context.WithCancel(context.Background())
+	for _, o := range opts {
+		o(n)
+	}
+	maxID := nodeset.ID(-1)
+	for id := range addrs {
+		if id < 0 {
+			panic("tcpnet: negative node ID in address book")
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	n.peers = make([]*peer, maxID+1)
+	for id, addr := range addrs {
+		p := &peer{id: id, addr: addr, sent: n.sent.At(int(id))}
+		p.pool = make([]peerSlot, n.poolSize)
+		n.peers[id] = p
+	}
+	if n.obsReg != nil {
+		n.obsReg.AdoptCounter("tcp_calls_total", n.calls)
+		n.obsReg.AdoptCounter("tcp_calls_failed_total", n.failed)
+		n.obsReg.AdoptCounter("tcp_calls_local_total", n.localCalls)
+		n.obsReg.AdoptCounter("tcp_dials_total", n.dials)
+		n.obsReg.AdoptCounter("tcp_dial_errors_total", n.dialErrors)
+		n.obsReg.AdoptCounter("tcp_conns_evicted_total", n.evicted)
+		n.obsReg.AdoptCounter("tcp_frames_sent_total", n.framesSent)
+		n.obsReg.AdoptCounter("tcp_frames_recv_total", n.framesRecv)
+		n.obsReg.AdoptCounter("tcp_bytes_sent_total", n.bytesSent)
+		n.obsReg.AdoptCounter("tcp_bytes_recv_total", n.bytesRecv)
+		n.obsReg.AdoptCounter("tcp_flushes_total", n.flushes)
+		n.obsReg.AdoptCounterVec("tcp_endpoint_served_total", n.served)
+		n.obsReg.AdoptCounterVec("tcp_peer_requests_sent_total", n.sent)
+		n.callLatency = n.obsReg.Histogram("tcp_call_latency_ns")
+		n.flushSize = n.obsReg.Histogram("tcp_flush_frames")
+		n.mcFanout = n.obsReg.Histogram("tcp_multicast_fanout")
+	}
+	n.scratch.New = func() any { return new(mcScratch) }
+	return n
+}
+
+var _ transport.Net = (*Network)(nil)
+
+// Register attaches the handler for a node hosted in this process.
+// Re-registering an ID swaps its handler atomically (used to layer a mux
+// over a node's base handler) while keeping its served counter.
+func (n *Network) Register(id nodeset.ID, h transport.Handler) {
+	if h == nil {
+		panic("tcpnet: nil handler")
+	}
+	if id < 0 {
+		panic("tcpnet: negative node ID")
+	}
+	n.writeMu.Lock()
+	defer n.writeMu.Unlock()
+	old := n.local.Load()
+	if ep := old.get(id); ep != nil {
+		ep.handler.Store(&h)
+		return
+	}
+	size := int(id) + 1
+	if old != nil && len(old.eps) > size {
+		size = len(old.eps)
+	}
+	eps := make([]*localEndpoint, size)
+	if old != nil {
+		copy(eps, old.eps)
+	}
+	ep := &localEndpoint{id: id, served: n.served.At(int(id))}
+	ep.handler.Store(&h)
+	eps[id] = ep
+	n.local.Store(&localTable{eps: eps})
+}
+
+// Call issues one RPC. Local targets (hosted in this process) dispatch
+// directly on the caller's goroutine, exactly as the simulator does;
+// remote targets go over a pipelined connection (or a fresh one in
+// per-call mode). Delivery failures return transport.ErrCallFailed;
+// remote handler errors pass through as application errors.
+func (n *Network) Call(ctx context.Context, from, to nodeset.ID, req transport.Message) (transport.Message, error) {
+	n.calls.Inc()
+	var start time.Time
+	if n.callLatency != nil {
+		start = time.Now()
+	}
+	reply, err := n.call(ctx, from, to, req)
+	if err != nil && errors.Is(err, transport.ErrCallFailed) {
+		n.failed.Inc()
+	}
+	if n.callLatency != nil {
+		n.callLatency.Record(uint64(time.Since(start)))
+	}
+	return reply, err
+}
+
+func (n *Network) call(ctx context.Context, from, to nodeset.ID, req transport.Message) (transport.Message, error) {
+	if ep := n.local.Load().get(to); ep != nil {
+		n.localCalls.Inc()
+		ep.served.Inc()
+		h := *ep.handler.Load()
+		return h(ctx, from, req)
+	}
+	p := n.peerOf(to)
+	if p == nil {
+		return nil, transport.ErrCallFailed // no address for target
+	}
+	p.sent.Inc()
+	if !n.pipeline {
+		return n.callPerConn(ctx, from, p.addr, req)
+	}
+	c, err := p.conn(ctx, n)
+	if err != nil {
+		return nil, transport.ErrCallFailed
+	}
+	return c.roundTrip(ctx, from, req)
+}
+
+func (n *Network) peerOf(id nodeset.ID) *peer {
+	if id < 0 || int(id) >= len(n.peers) {
+		return nil
+	}
+	return n.peers[id]
+}
+
+// Served reports this process's view of traffic at node id: true served
+// counts for hosted nodes, requests-sent as a proxy for remote peers.
+// Both are monotone, which is all LoadTracker's windowed deltas need.
+func (n *Network) Served(id nodeset.ID) uint64 {
+	if ep := n.local.Load().get(id); ep != nil {
+		return ep.served.Load()
+	}
+	if p := n.peerOf(id); p != nil {
+		return p.sent.Load()
+	}
+	return 0
+}
+
+// Stats mirrors transport.Network.Stats: Messages counts frames on the
+// wire (sent + received) plus two per local fast-path call.
+func (n *Network) Stats() transport.Stats {
+	return transport.Stats{
+		Calls:       int64(n.calls.Load()),
+		FailedCalls: int64(n.failed.Load()),
+		Messages:    int64(n.framesSent.Load() + n.framesRecv.Load() + 2*n.localCalls.Load()),
+	}
+}
+
+// writeLoop drains a connection's frame queue, coalescing every frame
+// ready at flush time into a single Write. kill tears the connection
+// down on write failure.
+func (n *Network) writeLoop(nc net.Conn, out <-chan *frameBuf, closed <-chan struct{}, kill func()) {
+	agg := make([]byte, 0, 32<<10)
+	for {
+		var first *frameBuf
+		select {
+		case <-closed:
+			return
+		case first = <-out:
+		}
+		agg = append(agg[:0], first.b...)
+		putBuf(first)
+		frames := 1
+	coalesce:
+		for len(agg) < maxCoalesce {
+			select {
+			case f := <-out:
+				agg = append(agg, f.b...)
+				putBuf(f)
+				frames++
+			default:
+				break coalesce
+			}
+		}
+		n.flushes.Inc()
+		n.framesSent.Add(uint64(frames))
+		n.bytesSent.Add(uint64(len(agg)))
+		n.flushSize.Record(uint64(frames))
+		if _, err := nc.Write(agg); err != nil {
+			kill()
+			return
+		}
+	}
+}
+
+// callPerConn is the pipelining-disabled baseline: dial, one request, one
+// reply, close. SetLinger(0) closes with RST so a benchmark's thousands
+// of short-lived connections do not exhaust ephemeral ports in TIME_WAIT.
+func (n *Network) callPerConn(ctx context.Context, from nodeset.ID, addr string, req transport.Message) (transport.Message, error) {
+	n.dials.Inc()
+	d := net.Dialer{Timeout: n.dialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		n.dialErrors.Inc()
+		return nil, transport.ErrCallFailed
+	}
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+		tc.SetNoDelay(true)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		nc.SetDeadline(dl)
+	}
+	f := getBuf()
+	if err := appendRequest(f, 1, from, ctx, req); err != nil {
+		putBuf(f)
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, transport.ErrCallFailed
+		}
+		return nil, err
+	}
+	n.flushes.Inc()
+	n.framesSent.Inc()
+	n.bytesSent.Add(uint64(len(f.b)))
+	if _, err := nc.Write(f.b); err != nil {
+		putBuf(f)
+		return nil, transport.ErrCallFailed
+	}
+	putBuf(f)
+	rf, err := readFrameConn(nc)
+	if err != nil {
+		return nil, transport.ErrCallFailed
+	}
+	n.framesRecv.Inc()
+	n.bytesRecv.Add(uint64(len(rf.b)) + lenSize)
+	kind := rf.b[0]
+	_, k := uvarintAt(rf.b, 1)
+	if k <= 0 || (kind != frameReply && kind != frameError) {
+		putBuf(rf)
+		return nil, transport.ErrCallFailed
+	}
+	return decodePerConn(rf, kind, 1+k)
+}
+
+// Result re-exported shape: see transport.Result.
+
+// mcScratch is the pooled working set of one multicast fan-out, mirroring
+// the simulator's: target list, result slots, and the joining WaitGroup.
+type mcScratch struct {
+	ids     []nodeset.ID
+	results []transport.Result
+	wg      sync.WaitGroup
+}
+
+func (n *Network) mcCall(ctx context.Context, from, to nodeset.ID, req transport.Message, out *transport.Result, wg *sync.WaitGroup) {
+	defer wg.Done()
+	reply, err := n.Call(ctx, from, to, req)
+	*out = transport.Result{Reply: reply, Err: err}
+}
+
+// MulticastFunc fans req out to every target concurrently, waits for all,
+// and invokes fn once per target in ID order on the caller's goroutine —
+// the same contract as the simulator's. The per-target frames land on the
+// shared writer queues, so a quorum's worth of requests typically leaves
+// in one or two Write syscalls per peer.
+func (n *Network) MulticastFunc(ctx context.Context, from nodeset.ID, targets nodeset.Set, req transport.Message, fn func(to nodeset.ID, r transport.Result)) {
+	if targets.Empty() {
+		return
+	}
+	n.mcFanout.Record(uint64(targets.Len()))
+	if targets.Len() == 1 {
+		id, _ := targets.Min()
+		reply, err := n.Call(ctx, from, id, req)
+		fn(id, transport.Result{Reply: reply, Err: err})
+		return
+	}
+	sc := n.scratch.Get().(*mcScratch)
+	sc.ids = targets.AppendIDs(sc.ids[:0])
+	if cap(sc.results) < len(sc.ids) {
+		sc.results = make([]transport.Result, len(sc.ids))
+	}
+	sc.results = sc.results[:len(sc.ids)]
+	sc.wg.Add(len(sc.ids))
+	for i, id := range sc.ids {
+		go n.mcCall(ctx, from, id, req, &sc.results[i], &sc.wg)
+	}
+	sc.wg.Wait()
+	for i, id := range sc.ids {
+		fn(id, sc.results[i])
+	}
+	for i := range sc.results {
+		sc.results[i] = transport.Result{}
+	}
+	n.scratch.Put(sc)
+}
+
+// Close shuts the transport down: cancels every served handler context,
+// stops listeners, and closes every connection in both directions.
+// In-flight calls fail with ErrCallFailed.
+func (n *Network) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	n.lnMu.Lock()
+	lns := n.listeners
+	n.listeners = nil
+	conns := make([]*serverConn, 0, len(n.conns))
+	for sc := range n.conns {
+		conns = append(conns, sc)
+	}
+	n.lnMu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, sc := range conns {
+		sc.close()
+	}
+	for _, p := range n.peers {
+		if p != nil {
+			p.closeAll()
+		}
+	}
+	// Cancel handler contexts only after every connection is dead, so a
+	// "killed" node can never deliver a late reply — parked handlers wake
+	// into a connection that will drop their response, exactly as a real
+	// crash would.
+	n.cancel()
+	n.lnWG.Wait()
+	return nil
+}
+
+// Addr returns the address book entry for id ("" if unknown).
+func (n *Network) Addr(id nodeset.ID) string {
+	if p := n.peerOf(id); p != nil {
+		return p.addr
+	}
+	return ""
+}
+
+func (n *Network) String() string {
+	return fmt.Sprintf("tcpnet(%d peers, pipeline=%v)", len(n.peers), n.pipeline)
+}

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"testing"
+
+	"coterie/internal/nodeset"
+	"coterie/internal/replica"
+)
+
+// TestAppendMarshalDoesNotAllocate gates the buffer-reuse encode path: a
+// caller appending into a buffer with sufficient capacity must not
+// allocate, including for Envelope messages whose nested payload stages
+// through the package's scratch pool. This is the path the TCP transport's
+// frame writer encodes every outgoing request on.
+func TestAppendMarshalDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed under -race")
+	}
+	st := replica.StateReply{
+		Node: 3, Version: 9, Desired: 11, Stale: true,
+		Epoch: nodeset.New(0, 1, 2, 3, 70), EpochNum: 4,
+		Good: nodeset.New(1, 3), GoodVer: 9,
+	}
+	env := replica.Envelope{
+		Item: "item-0",
+		Msg:  replica.PrepareUpdate{Op: replica.OpID{Coordinator: 1, Seq: 9}, Update: replica.Update{Offset: 4, Data: []byte("abcd")}, NewVersion: 10, StaleSet: nodeset.New(2), GoodSet: nodeset.New(0, 1)},
+	}
+	buf := make([]byte, 0, 512)
+	// Warm the envelope scratch pool so the measurement sees steady state.
+	if _, err := AppendMarshal(buf, env); err != nil {
+		t.Fatal(err)
+	}
+	for name, msg := range map[string]any{"StateReply": st, "Envelope": env} {
+		msg := msg
+		if allocs := testing.AllocsPerRun(1000, func() {
+			out, err := AppendMarshal(buf, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = out
+		}); allocs > 0.01 {
+			t.Errorf("AppendMarshal(%s) allocates %.2f objects per message, want 0", name, allocs)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"coterie/internal/capi"
 	"coterie/internal/election"
 	"coterie/internal/replica"
 )
@@ -12,13 +13,20 @@ import (
 func appendMessage(b []byte, msg any) ([]byte, error) {
 	switch m := msg.(type) {
 	case replica.Envelope:
-		inner, err := appendMessage(nil, m.Msg)
+		// The nested payload is length-prefixed, so it is staged in a
+		// pooled scratch buffer rather than allocated per message.
+		bp := innerPool.Get().(*[]byte)
+		inner, err := appendMessage((*bp)[:0], m.Msg)
+		*bp = inner[:0] // keep the (possibly grown) buffer for reuse
 		if err != nil {
+			innerPool.Put(bp)
 			return nil, fmt.Errorf("wire: envelope for %q: %w", m.Item, err)
 		}
 		b = append(b, tagEnvelope)
 		b = putString(b, m.Item)
-		return putBytes(b, inner), nil
+		b = putBytes(b, inner)
+		innerPool.Put(bp)
+		return b, nil
 	case replica.StateQuery:
 		return append(b, tagStateQuery), nil
 	case replica.GroupStateQuery:
@@ -149,6 +157,31 @@ func appendMessage(b []byte, msg any) ([]byte, error) {
 			b = putString(b, it.Reason)
 		}
 		return b, nil
+	case capi.Read:
+		return putString(append(b, tagClientRead), m.Item), nil
+	case capi.ReadReply:
+		b = append(b, tagClientReadReply)
+		b = putUvarint(b, uint64(m.Status))
+		b = putUvarint(b, m.Version)
+		b = putBytes(b, m.Value)
+		return putString(b, m.Detail), nil
+	case capi.Write:
+		b = append(b, tagClientWrite)
+		b = putString(b, m.Item)
+		return putUpdate(b, m.Update), nil
+	case capi.WriteReply:
+		b = append(b, tagClientWriteReply)
+		b = putUvarint(b, uint64(m.Status))
+		b = putUvarint(b, m.Version)
+		return putString(b, m.Detail), nil
+	case capi.CheckEpoch:
+		return putString(append(b, tagClientCheckEpoch), m.Item), nil
+	case capi.CheckReply:
+		b = append(b, tagClientCheckReply)
+		b = putUvarint(b, uint64(m.Status))
+		b = putBool(b, m.Changed)
+		b = putUvarint(b, m.EpochNum)
+		return putString(b, m.Detail), nil
 	case election.Probe:
 		return putUvarint(append(b, tagProbe), uint64(m.From)), nil
 	case election.TakeOver:
@@ -200,8 +233,17 @@ func decodeMessage(b []byte) (any, int, error) {
 			break
 		}
 		states := make(map[string]replica.StateReply, n)
+		prev := ""
 		for i := uint64(0); i < n && r.err == nil; i++ {
 			name := r.str()
+			// The encoder writes entries in sorted name order; accepting
+			// any other order (or duplicates, which a map would silently
+			// fold) would give one reply many encodings.
+			if i > 0 && name <= prev {
+				r.fail(fmt.Errorf("wire: group state entries not in canonical order"))
+				break
+			}
+			prev = name
 			states[name] = r.stateReply()
 		}
 		msg = replica.GroupStateReply{States: states}
@@ -313,6 +355,18 @@ func decodeMessage(b []byte) (any, int, error) {
 			items = append(items, replica.ItemAck{Item: r.str(), OK: r.boolean(), Reason: r.str()})
 		}
 		msg = replica.BatchPropagationAck{Items: items}
+	case tagClientRead:
+		msg = capi.Read{Item: r.str()}
+	case tagClientReadReply:
+		msg = capi.ReadReply{Status: r.clientStatus(), Version: r.uvarint(), Value: r.bytes(), Detail: r.str()}
+	case tagClientWrite:
+		msg = capi.Write{Item: r.str(), Update: r.update()}
+	case tagClientWriteReply:
+		msg = capi.WriteReply{Status: r.clientStatus(), Version: r.uvarint(), Detail: r.str()}
+	case tagClientCheckEpoch:
+		msg = capi.CheckEpoch{Item: r.str()}
+	case tagClientCheckReply:
+		msg = capi.CheckReply{Status: r.clientStatus(), Changed: r.boolean(), EpochNum: r.uvarint(), Detail: r.str()}
 	case tagProbe:
 		msg = election.Probe{From: r.node()}
 	case tagTakeOver:

@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
+	"coterie/internal/capi"
 	"coterie/internal/nodeset"
 	"coterie/internal/replica"
 )
@@ -65,12 +67,34 @@ const (
 	tagBatchPropagationReply
 	tagBatchPropagationData
 	tagBatchPropagationAck
+	tagClientRead
+	tagClientReadReply
+	tagClientWrite
+	tagClientWriteReply
+	tagClientCheckEpoch
+	tagClientCheckReply
 )
 
 // Marshal encodes a protocol message.
 func Marshal(msg any) ([]byte, error) {
-	return appendMessage(nil, msg)
+	return AppendMarshal(nil, msg)
 }
+
+// AppendMarshal appends msg's encoding to dst and returns the extended
+// slice. It is the buffer-reuse form of Marshal: a caller encoding into a
+// pooled buffer with sufficient capacity (the TCP transport's frame
+// writer, a batch encoder) performs no allocations — nested Envelope
+// payloads stage through a package pool of scratch buffers, so even the
+// envelope path is allocation-free in steady state (gated by
+// TestAppendMarshalDoesNotAllocate).
+func AppendMarshal(dst []byte, msg any) ([]byte, error) {
+	return appendMessage(dst, msg)
+}
+
+// innerPool holds the scratch buffers Envelope encoding stages its nested
+// payload in (the payload is length-prefixed, so it cannot be appended to
+// dst directly before its size is known).
+var innerPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // Unmarshal decodes one protocol message occupying the whole buffer.
 func Unmarshal(b []byte) (any, error) {
@@ -159,6 +183,15 @@ func (r *reader) uvarint() uint64 {
 	v, n := binary.Uvarint(r.b[r.pos:])
 	if n <= 0 {
 		r.fail(ErrTruncated)
+		return 0
+	}
+	// Reject non-minimal encodings (a value padded with continuation
+	// bytes, e.g. 0x80 0x00 for zero). Encoders only produce minimal
+	// varints, so accepting padded forms would just give one value many
+	// encodings — decoding is canonical: every accepted message re-encodes
+	// to exactly the bytes it was decoded from.
+	if n > 1 && v>>(7*(n-1)) == 0 {
+		r.fail(fmt.Errorf("wire: non-minimal varint"))
 		return 0
 	}
 	r.pos += n
@@ -262,6 +295,15 @@ func (r *reader) propStatus() replica.PropStatus {
 		return 0
 	}
 	return replica.PropStatus(status)
+}
+
+func (r *reader) clientStatus() capi.Status {
+	status := r.uvarint()
+	if status > uint64(capi.StatusError) {
+		r.fail(fmt.Errorf("wire: invalid client status %d", status))
+		return 0
+	}
+	return capi.Status(status)
 }
 
 func (r *reader) stateReply() replica.StateReply {

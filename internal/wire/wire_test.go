@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"coterie/internal/capi"
 	"coterie/internal/election"
 	"coterie/internal/nodeset"
 	"coterie/internal/replica"
@@ -77,6 +78,15 @@ func sampleMessages() []any {
 			{Item: "a", OK: true},
 			{Item: "b", OK: false, Reason: "replica is not stale"},
 		}},
+		capi.Read{Item: "item-0"},
+		capi.ReadReply{Status: capi.StatusOK, Version: 7, Value: []byte("v7")},
+		capi.ReadReply{Status: capi.StatusUnavailable, Detail: "no read quorum"},
+		capi.Write{Item: "item-1", Update: replica.Update{Offset: 5, Data: []byte("xy")}},
+		capi.WriteReply{Status: capi.StatusOK, Version: 8},
+		capi.WriteReply{Status: capi.StatusConflict, Detail: "lock conflict"},
+		capi.CheckEpoch{Item: "item-2"},
+		capi.CheckReply{Status: capi.StatusOK, Changed: true, EpochNum: 3},
+		capi.CheckReply{Status: capi.StatusError, Detail: "boom"},
 		election.Probe{From: 2},
 		election.TakeOver{From: 3},
 		election.Announce{Leader: 8},
