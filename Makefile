@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch bench-net check-obs-imports check-allocs fuzz-smoke ci
+.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch bench-net profile-net check-obs-imports check-allocs fuzz-smoke ci
 
 all: build
 
@@ -47,12 +47,25 @@ bench-obs:
 bench-batch:
 	$(GO) run ./scripts/benchbatch -duration 2s -trials 3
 
-# bench-net measures the networked data plane — loadgen over the in-process
-# simulator vs TCP loopback, pipelined vs one-connection-per-call, at
-# GOMAXPROCS=1 and 4 — and writes BENCH_5.json. Gate: pipelined >= 3x
-# per-call ops/sec at GOMAXPROCS=4 (DESIGN.md §9).
+# bench-net measures the networked hot path — tcp-pipelined loadgen vs the
+# BENCH_5 baseline, a 1->4 core scaling curve at 8 workers per core, a
+# crash/recovery churn run, and a sim run for the sim-vs-TCP gap — and
+# writes BENCH_6.json. Gates: >= 3x BENCH_5 tcp-pipelined ops/sec at
+# GOMAXPROCS=1, monotone non-decreasing scaling, zero one-copy violations
+# under churn (DESIGN.md §10, EXPERIMENTS.md BENCH_6).
 bench-net:
-	$(GO) run ./scripts/benchnet -duration 2s -trials 3
+	$(GO) run ./scripts/benchnet -duration 3s -trials 3
+
+# profile-net captures a CPU profile of the networked hot path: a
+# tcp-pipelined loadgen run serves pprof on 127.0.0.1:6161 (its daemons on
+# 6162+) and the client process is sampled mid-run. The flat top lands on
+# stdout; the raw profile stays under $$HOME/pprof for `go tool pprof`.
+profile-net:
+	$(GO) build -o /tmp/coterie-loadgen ./cmd/loadgen
+	/tmp/coterie-loadgen -duration 18s -nodes 3 -items 8 -workers 8 -disjoint \
+		-read-frac 0.5 -net tcp -pipeline=true -pprof 6161 >/dev/null & \
+	sleep 3 && $(GO) tool pprof -top -nodecount 25 \
+		-seconds 10 http://127.0.0.1:6161/debug/pprof/profile; wait
 
 # check-allocs runs the steady-state allocation gates: the combiner's
 # submit/drain machinery, the batched-propagation capture path, the mux
@@ -64,7 +77,7 @@ check-allocs:
 	$(GO) test -run 'TestCaptureDataDoesNotAllocate' ./internal/replica/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestMuxDispatchDoesNotAllocate|TestMulticastFuncAllocs' ./internal/transport/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestAppendMarshalDoesNotAllocate' ./internal/wire/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
-	$(GO) test -run 'TestRequestFrameEncodeDoesNotAllocate|TestReplyFrameEncodeDoesNotAllocate' ./internal/transport/tcpnet/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestRequestFrameEncodeDoesNotAllocate|TestReplyFrameEncodeDoesNotAllocate|TestFusedMessageEncodeDoesNotAllocate|TestRingFlushPathDoesNotAllocate' ./internal/transport/tcpnet/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 
 # fuzz-smoke runs the wire-codec fuzzer briefly: every generated input must
 # either fail to decode or round-trip byte-identically (the canonical-

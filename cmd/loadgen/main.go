@@ -93,6 +93,8 @@ type config struct {
 	netMode     string
 	pipeline    bool
 	pool        int
+	pprofPort   int
+	compare     string
 }
 
 // outcomes is the per-operation-type disposition breakdown.
@@ -205,6 +207,8 @@ func main() {
 	flag.StringVar(&cfg.netMode, "net", "sim", "data plane: sim (in-process simulated network) or tcp (spawn coteried daemons and drive them over loopback)")
 	flag.BoolVar(&cfg.pipeline, "pipeline", true, "tcp mode: multiplex calls over persistent connections (false = dial per call)")
 	flag.IntVar(&cfg.pool, "pool", 0, "tcp mode: pipelined connections per peer (0 = transport default)")
+	flag.IntVar(&cfg.pprofPort, "pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (tcp mode: daemon i serves on PORT+1+i)")
+	flag.StringVar(&cfg.compare, "compare", "", "JSON result of a previous run to report the per-transport latency gap against (e.g. a -net sim result while running -net tcp)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -243,6 +247,12 @@ func run(cfg config) error {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "loadgen: serving metrics on http://%s/ (?format=json, ?format=traces)\n", ln.Addr())
 	}
+
+	stopPprof, err := servePprof(cfg.pprofPort)
+	if err != nil {
+		return err
+	}
+	defer stopPprof()
 
 	tOpts := []transport.Option{transport.WithSeed(cfg.seed)}
 	if reg != obs.Nop {
@@ -433,6 +443,7 @@ func run(cfg config) error {
 		}
 		printSummary(os.Stderr, snap)
 	}
+	printLatencyGap(res, cfg.compare)
 
 	enc := json.NewEncoder(os.Stdout)
 	return enc.Encode(res)
@@ -472,6 +483,24 @@ func churnLoop(ctx context.Context, cfg config, netw *transport.Network, coords 
 			return
 		}
 	}
+}
+
+// servePprof starts a net/http/pprof server on 127.0.0.1:port; port 0
+// disables profiling and returns a no-op closer. Shared by sim and tcp
+// mode (the client process; spawned daemons get their own ports).
+func servePprof(port int) (func(), error) {
+	if port <= 0 {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	runtime.SetMutexProfileFraction(100)
+	srv := &http.Server{Handler: daemon.PprofMux()}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "loadgen: serving pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { srv.Close(); ln.Close() }, nil
 }
 
 // sleepUntil sleeps d but not past the deadline; it reports whether the
@@ -514,6 +543,57 @@ func printSummary(w *os.File, snap obs.Snapshot) {
 		fmt.Fprintln(w, "--- sample flight trace ---")
 		fmt.Fprint(w, expose.FormatTrace(tr))
 	}
+}
+
+// transportLabel names the data plane a result ran on for the latency
+// summary; sim-mode results predate the Net field, so empty means sim.
+func transportLabel(res result) string {
+	if res.Net == "" {
+		return "sim"
+	}
+	return res.Net
+}
+
+// printLatencyGap writes the per-transport operation latency line to
+// stderr and, when comparePath points at a previous run's JSON result,
+// the ratio between the two runs' percentiles. Running the same workload
+// once with -net sim and once with -net tcp -compare <sim.json> prints
+// the sim-vs-TCP gap directly — the number the networked hot-path work
+// drives toward 1.
+func printLatencyGap(res result, comparePath string) {
+	fmt.Fprintf(os.Stderr, "loadgen: latency[%s] read p50=%dµs p99=%dµs write p50=%dµs p99=%dµs (%.0f ops/s)\n",
+		transportLabel(res), res.ReadP50us, res.ReadP99us, res.WriteP50us, res.WriteP99us, res.OpsPerSec)
+	if comparePath == "" {
+		return
+	}
+	raw, err := os.ReadFile(comparePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: -compare: %v\n", err)
+		return
+	}
+	var base result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: -compare %s: %v\n", comparePath, err)
+		return
+	}
+	ratio := func(cur, prev int64) string {
+		if prev <= 0 || cur <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2fx", float64(cur)/float64(prev))
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: latency[%s] read p50=%dµs p99=%dµs write p50=%dµs p99=%dµs (%.0f ops/s)\n",
+		transportLabel(base), base.ReadP50us, base.ReadP99us, base.WriteP50us, base.WriteP99us, base.OpsPerSec)
+	fmt.Fprintf(os.Stderr, "loadgen: gap %s vs %s: read p50 %s p99 %s, write p50 %s p99 %s, throughput %s\n",
+		transportLabel(res), transportLabel(base),
+		ratio(res.ReadP50us, base.ReadP50us), ratio(res.ReadP99us, base.ReadP99us),
+		ratio(res.WriteP50us, base.WriteP50us), ratio(res.WriteP99us, base.WriteP99us),
+		func() string {
+			if base.OpsPerSec <= 0 {
+				return "n/a"
+			}
+			return fmt.Sprintf("%.2fx", res.OpsPerSec/base.OpsPerSec)
+		}())
 }
 
 // sampleTrace picks the most interesting completed trace: a write with a

@@ -33,6 +33,7 @@ import (
 	"coterie/internal/capi"
 	"coterie/internal/core"
 	"coterie/internal/daemon"
+	dl "coterie/internal/deadline"
 	"coterie/internal/nodeset"
 	"coterie/internal/obs"
 	"coterie/internal/onecopy"
@@ -100,6 +101,9 @@ func spawnDaemon(exe string, id nodeset.ID, book map[nodeset.ID]string, cfg conf
 	}
 	if recovering {
 		args = append(args, "-recovering")
+	}
+	if cfg.pprofPort > 0 {
+		args = append(args, "-pprof", fmt.Sprintf("127.0.0.1:%d", cfg.pprofPort+1+int(id)))
 	}
 	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
@@ -217,6 +221,12 @@ func runTCP(cfg config) error {
 	}()
 	fmt.Fprintf(os.Stderr, "loadgen: %d coteried daemons up (%s)\n", cfg.nodes, daemon.FormatCluster(book))
 
+	stopPprof, err := servePprof(cfg.pprofPort)
+	if err != nil {
+		return err
+	}
+	defer stopPprof()
+
 	reg := obs.Nop
 	if cfg.obsOn {
 		reg = obs.New()
@@ -276,7 +286,11 @@ func runTCP(cfg config) error {
 				}
 				name := fmt.Sprintf("item-%d", item)
 				rec := recorders[item]
-				opCtx, cancel := context.WithTimeout(ctx, cfg.timeout)
+				// A lazily armed deadline context: the transport propagates
+				// the deadline on the wire and bounds the wait with a pooled
+				// timer, so the op's context never allocates cancellation
+				// machinery on the happy path.
+				opCtx, cancel := dl.Bound(ctx, cfg.timeout)
 				if isRead {
 					opStart := rec.Begin()
 					reply, callErr := cli.Call(opCtx, from, node, capi.Read{Item: name})
@@ -383,6 +397,7 @@ func runTCP(cfg config) error {
 		}
 		printSummary(os.Stderr, snap)
 	}
+	printLatencyGap(res, cfg.compare)
 
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(res); err != nil {

@@ -248,7 +248,7 @@ func (c *Coordinator) writeBatch(ctx context.Context, a *obs.ActiveOp, op replic
 		}
 	}
 	began = a.Elapsed()
-	committed := c.commitAll(ctx, op, cl.responders)
+	committed := c.commitAll(ctx, op, last, cl.responders)
 	a.Phase(obs.PhaseCommit, began, committed.Len(), 0)
 	if !cl.good.Subset(committed) {
 		return 0, fmt.Errorf("%w: commit not acknowledged by all good replicas", ErrUnavailable)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"coterie/internal/coterie"
+	"coterie/internal/deadline"
 	"coterie/internal/nodeset"
 	"coterie/internal/obs"
 	"coterie/internal/replica"
@@ -41,6 +42,10 @@ type Coordinator struct {
 	loadFn coterie.LoadFunc
 	// combiner is the group-commit write queue; nil unless enabled.
 	combiner *combiner
+	// async is net's one-way-send capability, resolved once at
+	// construction (nil when the transport is strictly request/reply).
+	// Terminal lock releases ride it instead of a synchronous round.
+	async transport.AsyncSender
 }
 
 // NewCoordinator builds a coordinator around the local replica `item`.
@@ -56,6 +61,7 @@ func NewCoordinator(item *replica.Item, net transport.Net, all nodeset.Set, opts
 		obsReg:  opts.Obs,
 		metrics: newCoordMetrics(opts.Obs),
 	}
+	c.async, _ = net.(transport.AsyncSender)
 	if opts.Strategy == StrategyLoadAware {
 		c.load = opts.Load
 		if c.load == nil {
@@ -117,7 +123,34 @@ func (c *Coordinator) pickWriteQuorum(lay *coterie.Layout, avail nodeset.Set, op
 		c.load.maybeRefresh()
 		return lay.WriteQuorumLoaded(avail, c.loadFn, hint(op))
 	}
-	return lay.WriteQuorum(avail, hint(op))
+	return preferSelf(c.item.Self(), lay.WriteQuorum, avail, hint(op))
+}
+
+// selfProbe bounds how many adjacent hint rotations preferSelf examines
+// looking for a quorum that contains the coordinator's own replica.
+const selfProbe = 3
+
+// preferSelf draws a quorum for the given hint, probing a few adjacent
+// rotations for one containing self. The coordinator's own member of
+// every round is served inline by the transport — no frame, no syscall,
+// no round-trip — so among equally valid quorums the self-containing one
+// costs one fewer remote call per phase and lets reads fetch the value
+// locally. Load sharing survives: the hint is already randomized per
+// operation, so the *other* members of the chosen quorum still rotate,
+// and every node applies the same preference to its own operations. When
+// no nearby rotation contains self (self not a replica, or its quorums
+// unavailable), the hint's own quorum is used unchanged.
+func preferSelf(self nodeset.ID, pick func(nodeset.Set, int) (nodeset.Set, bool), avail nodeset.Set, h int) (nodeset.Set, bool) {
+	q, ok := pick(avail, h)
+	if !ok || q.Contains(self) {
+		return q, ok
+	}
+	for d := 1; d <= selfProbe; d++ {
+		if alt, altOK := pick(avail, h+d); altOK && alt.Contains(self) {
+			return alt, true
+		}
+	}
+	return q, ok
 }
 
 // pickReadQuorum is pickWriteQuorum's read analogue.
@@ -126,7 +159,7 @@ func (c *Coordinator) pickReadQuorum(lay *coterie.Layout, avail nodeset.Set, op 
 		c.load.maybeRefresh()
 		return lay.ReadQuorumLoaded(avail, c.loadFn, hint(op))
 	}
-	return lay.ReadQuorum(avail, hint(op))
+	return preferSelf(c.item.Self(), lay.ReadQuorum, avail, hint(op))
 }
 
 // response pairs a replica's state with its node ID.
@@ -146,7 +179,7 @@ func (c *Coordinator) lockRound(ctx context.Context, op replica.OpID, targets no
 // grant the lock in time (handler errors, typically lock contention) —
 // distinct from nodes whose calls failed outright (crashes, partitions).
 func (c *Coordinator) lockRoundBusy(ctx context.Context, op replica.OpID, targets nodeset.Set, mode replica.LockMode) ([]response, nodeset.Set) {
-	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+	callCtx, cancel := deadline.Bound(ctx, c.opts.CallTimeout)
 	defer cancel()
 	out := make([]response, 0, targets.Len())
 	var busy nodeset.Set
@@ -164,6 +197,62 @@ func (c *Coordinator) lockRoundBusy(ctx context.Context, op replica.OpID, target
 			}
 		})
 	return out, busy
+}
+
+// lockPrepareRound is the write path's fused phase 1: a LockPrepare
+// multicast predicting that every target is current at newVersion−1, with
+// the quorum itself as the good set. It returns the state responses (for
+// classification, exactly as lockRoundBusy would), the set of nodes that
+// staged the speculative prepare, and the busy set.
+func (c *Coordinator) lockPrepareRound(ctx context.Context, op replica.OpID, targets nodeset.Set, u replica.Update, newVersion uint64) ([]response, nodeset.Set, nodeset.Set) {
+	callCtx, cancel := deadline.Bound(ctx, c.opts.CallTimeout)
+	defer cancel()
+	out := make([]response, 0, targets.Len())
+	var prepared, busy nodeset.Set
+	c.net.MulticastFunc(callCtx, c.item.Self(), targets,
+		replica.Envelope{Item: c.item.Name(), Msg: replica.LockPrepare{Op: op, Update: u, NewVersion: newVersion, GoodSet: targets}},
+		func(id nodeset.ID, r transport.Result) {
+			if r.Err != nil {
+				if !errors.Is(r.Err, transport.ErrCallFailed) {
+					busy.Add(id)
+				}
+				return
+			}
+			if lp, ok := r.Reply.(replica.LockPrepareReply); ok {
+				out = append(out, response{node: id, state: lp.State})
+				if lp.Prepared {
+					prepared.Add(id)
+				}
+			}
+		})
+	return out, prepared, busy
+}
+
+// snapRound is the read path's fused phase 1: a ReadSnap multicast whose
+// replies carry each replica's state and value as one atomic snapshot,
+// with the replica lock already released. values[i] is the value of
+// responses[i].
+func (c *Coordinator) snapRound(ctx context.Context, op replica.OpID, targets nodeset.Set) ([]response, [][]byte, nodeset.Set) {
+	callCtx, cancel := deadline.Bound(ctx, c.opts.CallTimeout)
+	defer cancel()
+	out := make([]response, 0, targets.Len())
+	values := make([][]byte, 0, targets.Len())
+	var busy nodeset.Set
+	c.net.MulticastFunc(callCtx, c.item.Self(), targets,
+		replica.Envelope{Item: c.item.Name(), Msg: replica.ReadSnap{Op: op}},
+		func(id nodeset.ID, r transport.Result) {
+			if r.Err != nil {
+				if !errors.Is(r.Err, transport.ErrCallFailed) {
+					busy.Add(id)
+				}
+				return
+			}
+			if sr, ok := r.Reply.(replica.SnapReply); ok {
+				out = append(out, response{node: id, state: sr.State})
+				values = append(values, sr.Value)
+			}
+		})
+	return out, values, busy
 }
 
 // classify analyzes a response set per the paper's write algorithm:
@@ -233,7 +322,7 @@ func (cl classification) currentReachable() bool {
 // ack sends msg to every member of targets and reports the IDs that
 // acknowledged OK.
 func (c *Coordinator) ackRound(ctx context.Context, targets nodeset.Set, msg any) nodeset.Set {
-	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+	callCtx, cancel := deadline.Bound(ctx, c.opts.CallTimeout)
 	defer cancel()
 	var ok nodeset.Set
 	c.net.MulticastFunc(callCtx, c.item.Self(), targets, replica.Envelope{Item: c.item.Name(), Msg: msg},
@@ -249,7 +338,11 @@ func (c *Coordinator) ackRound(ctx context.Context, targets nodeset.Set, msg any
 }
 
 // abortAll releases every participant; failures are ignored (leases expire
-// or the termination resolver learns the recorded abort).
+// or the termination resolver learns the recorded abort). It waits for the
+// round, which matters on the paths that go on to re-lock the same
+// operation (heavy fallbacks, epoch-check retries): lock acquisition for
+// an already-held OpID is idempotent, so an abort still in flight when the
+// op re-locks would release the re-acquired lock out from under it.
 func (c *Coordinator) abortAll(ctx context.Context, op replica.OpID, targets nodeset.Set) {
 	if targets.Empty() {
 		return
@@ -258,12 +351,54 @@ func (c *Coordinator) abortAll(ctx context.Context, op replica.OpID, targets nod
 	c.ackRound(ctx, targets, replica.Abort{Op: op})
 }
 
+// releaseAll is abortAll for a finished operation — the op's ID will never
+// be locked again, so the release round can leave the critical path. When
+// the transport can send one-way the abort is fired and forgotten: no
+// participant's answer can change the outcome (the synchronous path
+// ignores them too), and dropping the wait removes a full round-trip from
+// every successful read. Late delivery is harmless — queued waiters for
+// the item sit out the release handler's few microseconds, and a lost
+// abort resolves through the lock lease and the recorded decision.
+func (c *Coordinator) releaseAll(ctx context.Context, op replica.OpID, targets nodeset.Set) {
+	if targets.Empty() {
+		return
+	}
+	if c.async != nil {
+		c.item.RecordDecision(op, false)
+		c.fireAndForget(ctx, targets, replica.Abort{Op: op})
+		return
+	}
+	c.abortAll(ctx, op, targets)
+}
+
+// fireAndForget delivers msg to every target without waiting for remote
+// replies. The co-located member (if present) is served synchronously on
+// this goroutine — callers rely on the local replica reflecting the
+// decision by the time the operation returns — while remote members get
+// the transport's one-way send. Callers must hold c.async != nil.
+func (c *Coordinator) fireAndForget(ctx context.Context, targets nodeset.Set, msg any) {
+	env := replica.Envelope{Item: c.item.Name(), Msg: msg}
+	self := c.item.Self()
+	if targets.Contains(self) {
+		callCtx, cancel := deadline.Bound(ctx, c.opts.CallTimeout)
+		c.net.Call(callCtx, self, self, env) //nolint:errcheck // local leg of a fire-and-forget round
+		cancel()
+		targets = targets.Diff(nodeset.New(self))
+	}
+	if !targets.Empty() {
+		c.async.SendAsync(self, targets, env)
+	}
+}
+
 // commitAll records the commit decision at the coordinator's replica (the
 // write-ahead step of the termination protocol) and then delivers it,
-// retrying stragglers. It returns the set of participants that
-// acknowledged; the rest resolve through the decision log.
-func (c *Coordinator) commitAll(ctx context.Context, op replica.OpID, targets nodeset.Set) nodeset.Set {
-	c.item.RecordDecision(op, true)
+// retrying stragglers. version is the version the committed write
+// produced (zero for operations without one, e.g. epoch changes); it is
+// recorded so version-gated termination queries from speculative stagings
+// can be answered. Returns the set of participants that acknowledged; the
+// rest resolve through the decision log.
+func (c *Coordinator) commitAll(ctx context.Context, op replica.OpID, version uint64, targets nodeset.Set) nodeset.Set {
+	c.item.RecordCommit(op, version)
 	committed := nodeset.Set{}
 	remaining := targets.Clone()
 	for attempt := 0; attempt <= c.opts.CommitRetries && !remaining.Empty(); attempt++ {
@@ -321,7 +456,13 @@ func (c *Coordinator) write(ctx context.Context, a *obs.ActiveOp, op replica.OpI
 	rows, cols, _ := lay.GridShape()
 	a.Quorum(quorum, rows, cols)
 	began := a.Elapsed()
-	responses, busy := c.lockRoundBusy(ctx, op, quorum, replica.LockWrite)
+	// The lock round carries the update speculatively (LockPrepare): if the
+	// whole quorum turns out current at the predicted version, every member
+	// has already staged and the write goes straight to commit — one round
+	// trip instead of two. Any miss degrades to the classified prepare
+	// below, which overwrites the speculative stagings it covers.
+	specVersion := local.Version + 1
+	responses, specPrepared, busy := c.lockPrepareRound(ctx, op, quorum, u, specVersion)
 	a.Phase(obs.PhaseLock, began, len(responses), busy.Len())
 	if !busy.Empty() {
 		a.LockBusy(busy)
@@ -329,6 +470,20 @@ func (c *Coordinator) write(ctx context.Context, a *obs.ActiveOp, op replica.OpI
 	cl := classify(responses)
 	c.noteRedirect(a, local.EpochNum, cl)
 	if !cl.responders.Empty() && c.layoutAt(lay, local.EpochNum, cl.maxEpoch).IsWriteQuorum(cl.responders) && cl.currentReachable() {
+		if specPrepared.Equal(quorum) && cl.good.Equal(quorum) && cl.maxVersion+1 == specVersion {
+			// Speculation hit: every quorum member answered, is current at
+			// the predicted base version, and staged the update — exactly
+			// the state a PrepareUpdate round to cl.good would have
+			// produced. The prepare phase is already done; commit.
+			c.metrics.specHits.Inc()
+			if err := c.commitPhase(ctx, a, op, specVersion, quorum, quorum); err != nil {
+				return 0, err
+			}
+			c.applySafetyThreshold(ctx, op, u, specVersion, cl)
+			c.pushThrough(op, u, specVersion, local.Epoch, quorum, quorum)
+			return specVersion, nil
+		}
+		c.metrics.specMisses.Inc()
 		version, err := c.executeWrite(ctx, a, op, u, cl)
 		if err == nil {
 			return version, nil
@@ -364,18 +519,19 @@ func (c *Coordinator) heavyWrite(ctx context.Context, a *obs.ActiveOp, op replic
 		!cl.currentReachable() {
 		// "There is no reason to wait for possible epoch change because
 		// such an operation can succeed only if it can obtain a quorum as
-		// well." (paper, Section 4.1)
-		c.abortAll(ctx, op, release)
+		// well." (paper, Section 4.1) The heavy procedure is this op's last
+		// attempt, so its releases are terminal and go one-way.
+		c.releaseAll(ctx, op, release)
 		return 0, fmt.Errorf("%w: no write quorum with a current replica (epoch %d)", ErrUnavailable, cl.maxEpoch.EpochNum)
 	}
 	version, err := c.executeWrite(ctx, a, op, u, cl)
 	if err != nil {
-		c.abortAll(ctx, op, release)
+		c.releaseAll(ctx, op, release)
 		return 0, err
 	}
 	// Release any first-round participants that did not respond this round.
 	if leftover := alreadyLocked.Diff(cl.responders); !leftover.Empty() {
-		c.abortAll(ctx, op, leftover)
+		c.releaseAll(ctx, op, leftover)
 	}
 	return version, nil
 }
@@ -407,17 +563,66 @@ func (c *Coordinator) executeWrite(ctx context.Context, a *obs.ActiveOp, op repl
 			return 0, fmt.Errorf("%w: stale-marking prepare incomplete", ErrConflict)
 		}
 	}
-	began = a.Elapsed()
-	committed := c.commitAll(ctx, op, cl.responders)
-	a.Phase(obs.PhaseCommit, began, committed.Len(), 0)
-	if !goodSet.Subset(committed) {
-		// The update is not durably applied on the good set; the remaining
-		// prepared participants stay pinned until the decision reaches them
-		// (2PC's blocking window, inherited from [2]).
-		return 0, fmt.Errorf("%w: commit not acknowledged by all good replicas", ErrUnavailable)
+	if err := c.commitPhase(ctx, a, op, newVersion, goodSet, cl.responders); err != nil {
+		return 0, err
 	}
 	c.applySafetyThreshold(ctx, op, u, newVersion, cl)
+	c.pushThrough(op, u, newVersion, cl.maxEpoch.Epoch, cl.responders, goodSet)
 	return newVersion, nil
+}
+
+// commitPhase distributes the commit decision of a fully prepared write
+// producing version and reports whether the good set durably applied it.
+func (c *Coordinator) commitPhase(ctx context.Context, a *obs.ActiveOp, op replica.OpID, version uint64, goodSet, responders nodeset.Set) error {
+	began := a.Elapsed()
+	if c.async != nil {
+		// One-way commit. The write is decided the moment every good
+		// replica is prepared and the decision is recorded at the
+		// coordinator's replica (the write-ahead step below): from then on
+		// no participant can abort, readers of the new value block on the
+		// participants' still-held locks until the commit lands, and a
+		// participant whose commit message is lost resolves through the
+		// decision log (replica/decision.go). Waiting for commit
+		// acknowledgements therefore buys no safety — only the round-trip
+		// it costs — so the commit rides the transport's one-way path. The
+		// local replica commits synchronously inside fireAndForget, which
+		// keeps the coordinator's own state (and the value it serves
+		// reads from) current when Write returns.
+		c.item.RecordCommit(op, version)
+		c.fireAndForget(ctx, responders, replica.Commit{Op: op})
+		a.Phase(obs.PhaseCommit, began, responders.Len(), 0)
+		return nil
+	}
+	committed := c.commitAll(ctx, op, version, responders)
+	a.Phase(obs.PhaseCommit, began, committed.Len(), 0)
+	if !goodSet.Subset(committed) {
+		// The update is not durably applied on the good set; the
+		// remaining prepared participants stay pinned until the decision
+		// reaches them (2PC's blocking window, inherited from [2]).
+		return fmt.Errorf("%w: commit not acknowledged by all good replicas", ErrUnavailable)
+	}
+	return nil
+}
+
+// pushThrough asynchronously write-throughs a committed update to the
+// epoch members the write never contacted (Options.PushUpdates). The
+// receiver's handleApplyDirect refuses unless it sits exactly at
+// newVersion−1 and is neither stale nor recovering, so a dropped,
+// duplicated or late push is harmless; a delivered one keeps the
+// bystander replica current, so future speculative prepares and read
+// snapshots that draw it into a quorum find it good.
+func (c *Coordinator) pushThrough(op replica.OpID, u replica.Update, newVersion uint64, epoch, written nodeset.Set, goodSet nodeset.Set) {
+	if !c.opts.PushUpdates || c.async == nil {
+		return
+	}
+	others := epoch.Diff(written)
+	if others.Empty() {
+		return
+	}
+	c.async.SendAsync(c.item.Self(), others, replica.Envelope{
+		Item: c.item.Name(),
+		Msg:  replica.ApplyDirect{Op: op, Update: u, NewVersion: newVersion, GoodSet: goodSet},
+	})
 }
 
 // applySafetyThreshold implements the Section 4.1 extension: when fewer
@@ -436,7 +641,7 @@ func (c *Coordinator) applySafetyThreshold(ctx context.Context, op replica.OpID,
 		if need <= 0 {
 			return
 		}
-		callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+		callCtx, cancel := deadline.Bound(ctx, c.opts.CallTimeout)
 		reply, err := c.net.Call(callCtx, c.item.Self(), id, replica.Envelope{
 			Item: c.item.Name(),
 			Msg:  replica.ApplyDirect{Op: op, Update: u, NewVersion: newVersion, GoodSet: cl.good},
@@ -474,7 +679,7 @@ func (c *Coordinator) read(ctx context.Context, a *obs.ActiveOp, op replica.OpID
 	rows, cols, _ := lay.GridShape()
 	a.Quorum(quorum, rows, cols)
 	began := a.Elapsed()
-	responses, busy := c.lockRoundBusy(ctx, op, quorum, replica.LockRead)
+	responses, values, busy := c.snapRound(ctx, op, quorum)
 	a.Phase(obs.PhaseLock, began, len(responses), busy.Len())
 	if !busy.Empty() {
 		a.LockBusy(busy)
@@ -482,13 +687,18 @@ func (c *Coordinator) read(ctx context.Context, a *obs.ActiveOp, op replica.OpID
 	cl := classify(responses)
 	c.noteRedirect(a, local.EpochNum, cl)
 	if !cl.responders.Empty() && c.layoutAt(lay, local.EpochNum, cl.maxEpoch).IsReadQuorum(cl.responders) && cl.currentReachable() {
-		value, version, err = c.fetchBest(ctx, a, op, cl)
-		c.abortAll(ctx, op, cl.responders)
-		if err == nil {
-			return value, version, nil
+		// Every snapshot released its replica lock before replying, so
+		// there is no fetch round and nothing to release or abort: return
+		// the freshest good snapshot's value.
+		for i, r := range responses {
+			if !r.state.Recovering && !r.state.Stale && r.state.Version == cl.maxVersion {
+				return values[i], cl.maxVersion, nil
+			}
 		}
 	}
-	return c.heavyRead(ctx, a, op, cl.responders)
+	// Snapshots hold no locks past their reply, so the heavy fallback
+	// starts clean — nothing from this round needs releasing.
+	return c.heavyRead(ctx, a, op, nodeset.Set{})
 }
 
 // heavyRead polls all replicas, mirroring HeavyProcedure for reads.
@@ -503,7 +713,8 @@ func (c *Coordinator) heavyRead(ctx context.Context, a *obs.ActiveOp, op replica
 	}
 	cl := classify(responses)
 	release := alreadyLocked.Union(cl.responders)
-	defer c.abortAll(ctx, op, release)
+	// Terminal either way — success or error, this op is never retried.
+	defer c.releaseAll(ctx, op, release)
 	if cl.responders.Empty() ||
 		!c.layout(cl.maxEpoch.EpochNum, cl.maxEpoch.Epoch).IsReadQuorum(cl.responders) ||
 		!cl.currentReachable() {
@@ -522,7 +733,7 @@ func (c *Coordinator) fetchBest(ctx context.Context, a *obs.ActiveOp, op replica
 	if cl.good.Contains(c.item.Self()) {
 		target = c.item.Self()
 	}
-	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+	callCtx, cancel := deadline.Bound(ctx, c.opts.CallTimeout)
 	defer cancel()
 	began := a.Elapsed()
 	reply, err := c.net.Call(callCtx, c.item.Self(), target, replica.Envelope{

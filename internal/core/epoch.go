@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"coterie/internal/deadline"
 	"coterie/internal/nodeset"
 	"coterie/internal/obs"
 	"coterie/internal/replica"
@@ -142,7 +143,7 @@ func (c *Coordinator) checkEpochTraced(ctx context.Context, a *obs.ActiveOp, sta
 		return CheckResult{}, fmt.Errorf("%w: epoch prepare incomplete (%d/%d)", ErrConflict, prepared.Len(), newEpoch.Len())
 	}
 	began = a.Elapsed()
-	committed := c.commitAll(ctx, op, newEpoch)
+	committed := c.commitAll(ctx, op, 0, newEpoch)
 	a.Phase(obs.PhaseCommit, began, committed.Len(), 0)
 	// Keyed by the new epoch's number: this both checks the commit round and
 	// warms the cache for the first operations on the epoch just installed.
@@ -155,21 +156,43 @@ func (c *Coordinator) checkEpochTraced(ctx context.Context, a *obs.ActiveOp, sta
 	return CheckResult{Changed: true, Epoch: newEpoch, EpochNum: newNum, Stale: staleSet}, nil
 }
 
-// pollAll sends a lock-free StateQuery to every replica holder.
+// pollAll sends a lock-free StateQuery to every replica holder. Targets
+// whose calls fail outright are retried once: a state query is pure, and
+// the dominant failure mode after a node restart is a stale pipelined
+// connection — the failed first attempt evicts it, so the retry dials
+// fresh and distinguishes a dead node from a dead connection. Without
+// the retry an epoch check run right after a crash-restart would exclude
+// the restarted (possibly recovering) replica from the new epoch instead
+// of readmitting it, costing an extra epoch change later.
 func (c *Coordinator) pollAll(ctx context.Context) []response {
-	callCtx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
-	defer cancel()
 	out := make([]response, 0, c.all.Len())
-	c.net.MulticastFunc(callCtx, c.item.Self(), c.all,
-		replica.Envelope{Item: c.item.Name(), Msg: replica.StateQuery{}},
+	var failed nodeset.Set
+	query := replica.Envelope{Item: c.item.Name(), Msg: replica.StateQuery{}}
+	callCtx, cancel := deadline.Bound(ctx, c.opts.CallTimeout)
+	c.net.MulticastFunc(callCtx, c.item.Self(), c.all, query,
 		func(id nodeset.ID, r transport.Result) {
 			if r.Err != nil {
+				failed.Add(id)
 				return
 			}
 			if st, ok := r.Reply.(replica.StateReply); ok {
 				out = append(out, response{node: id, state: st})
 			}
 		})
+	cancel()
+	if !failed.Empty() && ctx.Err() == nil {
+		retryCtx, retryCancel := deadline.Bound(ctx, c.opts.CallTimeout)
+		c.net.MulticastFunc(retryCtx, c.item.Self(), failed, query,
+			func(id nodeset.ID, r transport.Result) {
+				if r.Err != nil {
+					return
+				}
+				if st, ok := r.Reply.(replica.StateReply); ok {
+					out = append(out, response{node: id, state: st})
+				}
+			})
+		retryCancel()
+	}
 	return out
 }
 

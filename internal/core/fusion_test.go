@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"coterie/internal/obs"
+	"coterie/internal/replica"
+)
+
+// The fused fast paths (speculative lock+prepare on writes, lock+snapshot
+// on reads) and the bystander write-through are pure optimizations: every
+// test here checks both that the intended path was taken (via the
+// coordinator's counters) and that the data outcome is identical to the
+// unfused protocol's.
+
+func specCounters(reg *obs.Registry) (hits, misses uint64) {
+	return reg.Counter("core_spec_prepare_hit_total").Load(),
+		reg.Counter("core_spec_prepare_miss_total").Load()
+}
+
+// TestSpeculativeWriteHits: on a single-node grid the coordinator's
+// prediction (its own replica's version + 1) is always right, so every
+// write must take the fused one-round path.
+func TestSpeculativeWriteHits(t *testing.T) {
+	opts := fastOptions()
+	opts.Obs = obs.New()
+	c, err := NewCluster(1, "item", make([]byte, 4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		mustWrite(t, c, 0, replica.Update{Offset: i % 4, Data: []byte{byte('a' + i)}})
+	}
+	hits, misses := specCounters(opts.Obs)
+	if hits != 5 || misses != 0 {
+		t.Errorf("spec hits/misses = %d/%d, want 5/0", hits, misses)
+	}
+	v, ver := mustRead(t, c, 0)
+	if string(v) != "ebcd" || ver != 5 {
+		t.Errorf("read %q@%d", v, ver)
+	}
+}
+
+// TestSpeculativeWriteMissFallsBack: a coordinator whose local replica
+// missed earlier writes predicts a stale version; the speculative round
+// must degrade to the classified prepare and still produce the correct
+// outcome (no lost update, correct version).
+func TestSpeculativeWriteMissFallsBack(t *testing.T) {
+	opts := fastOptions()
+	opts.Obs = obs.New()
+	c, err := NewCluster(4, "item", make([]byte, 4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mustWrite(t, c, 0, replica.Update{Offset: 0, Data: []byte("ab")})
+	// Find a node whose replica did not see the write: its coordinator will
+	// predict version 1 while the quorum is at 1 already (or stale), so the
+	// speculation cannot hit.
+	var behind *Coordinator
+	for _, id := range c.Members.IDs() {
+		if st := c.Replica(id).State(); st.Version == 0 {
+			behind = c.Coordinator(id)
+			break
+		}
+	}
+	if behind == nil {
+		t.Skip("write reached all replicas; no behind coordinator to test")
+	}
+	if _, err := behind.Write(ctxT(t), replica.Update{Offset: 2, Data: []byte("cd")}); err != nil {
+		t.Fatal(err)
+	}
+	_, misses := specCounters(opts.Obs)
+	if misses == 0 {
+		t.Error("behind coordinator's write did not record a speculation miss")
+	}
+	v, ver := mustRead(t, c, 0)
+	if !bytes.Equal(v, []byte("abcd")) || ver != 2 {
+		t.Errorf("read %q@%d, want \"abcd\"@2", v, ver)
+	}
+}
+
+// TestPushUpdatesKeepsBystandersCurrent: with PushUpdates on, a committed
+// write is write-through'd one-way to the epoch members outside the
+// quorum, so every replica is current once the write returns (the
+// simulated transport delivers one-way sends inline) and subsequent
+// writes from any coordinator take the fused path.
+func TestPushUpdatesKeepsBystandersCurrent(t *testing.T) {
+	opts := fastOptions()
+	opts.Obs = obs.New()
+	opts.PushUpdates = true
+	c, err := NewCluster(4, "item", make([]byte, 4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, from := range c.Members.IDs() {
+		mustWrite(t, c, from, replica.Update{Offset: i, Data: []byte{byte('w' + i%3)}})
+		for _, id := range c.Members.IDs() {
+			st := c.Replica(id).State()
+			if st.Stale || st.Version != uint64(i+1) {
+				t.Fatalf("after write %d: replica %v at version %d (stale=%v), want %d",
+					i+1, id, st.Version, st.Stale, i+1)
+			}
+		}
+	}
+	// Every write after the first found all four replicas current, so at
+	// most the first can have missed.
+	if _, misses := specCounters(opts.Obs); misses > 1 {
+		t.Errorf("%d speculation misses with push-through on, want <= 1", misses)
+	}
+	v, ver := mustRead(t, c, 3)
+	if string(v) != "wxyw" || ver != 4 {
+		t.Errorf("read %q@%d", v, ver)
+	}
+}
+
+// TestStaleDecisionQueryVersionGate: a replica that staged a speculative
+// update the coordinator never endorsed (its reply was lost) must not
+// commit it under a decision that produced a different version — the
+// ghost-participant hazard. The resolver's query carries the staged
+// version; only an exact match commits.
+func TestStaleDecisionQueryVersionGate(t *testing.T) {
+	c := newTestCluster(t, 2, make([]byte, 4))
+	it := c.Replica(0)
+	op := it.NextOp()
+
+	// Simulate a ghost: the coordinator recorded a commit at version 7, a
+	// participant staged speculatively expecting version 3.
+	it.RecordCommit(op, 7)
+	reply, err := it.Handle(ctxT(t), 1, replica.DecisionQuery{Op: op, NewVersion: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr := reply.(replica.DecisionReply); !dr.Known || dr.Commit {
+		t.Errorf("mismatched speculative version resolved as %+v, want known abort", dr)
+	}
+	// The endorsed participant (or a speculative one at the right version)
+	// commits.
+	reply, err = it.Handle(ctxT(t), 1, replica.DecisionQuery{Op: op, NewVersion: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr := reply.(replica.DecisionReply); !dr.Known || !dr.Commit {
+		t.Errorf("matching speculative version resolved as %+v, want commit", dr)
+	}
+	reply, err = it.Handle(ctxT(t), 1, replica.DecisionQuery{Op: op})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr := reply.(replica.DecisionReply); !dr.Known || !dr.Commit {
+		t.Errorf("unversioned query resolved as %+v, want commit", dr)
+	}
+}
+
+// TestSnapReadSingleRound: reads take the fused lock+snapshot round — one
+// message per quorum member, no separate fetch or release traffic.
+func TestSnapReadSingleRound(t *testing.T) {
+	c := newTestCluster(t, 9, []byte("snap"))
+	mustWrite(t, c, 0, replica.Update{Offset: 0, Data: []byte("SNAP")})
+	c.Net.ResetStats()
+	v, ver := mustRead(t, c, 4)
+	if string(v) != "SNAP" || ver != 1 {
+		t.Fatalf("read %q@%d", v, ver)
+	}
+	var total int64
+	for _, n := range c.Net.Load() {
+		total += n
+	}
+	// Read quorum on a 3x3 grid is 3 nodes; the fused read sends exactly
+	// one ReadSnap per member.
+	if total != 3 {
+		t.Errorf("fused read sent %d messages, want 3", total)
+	}
+}

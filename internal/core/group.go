@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"coterie/internal/deadline"
 	"coterie/internal/nodeset"
 	"coterie/internal/replica"
 	"coterie/internal/transport"
@@ -103,7 +104,7 @@ func (g *Group) CheckEpochs(ctx context.Context, initiator nodeset.ID) (map[stri
 	if node == nil {
 		return nil, fmt.Errorf("core: unknown initiator %v", initiator)
 	}
-	callCtx, cancel := context.WithTimeout(ctx, g.opts.CallTimeout)
+	callCtx, cancel := deadline.Bound(ctx, g.opts.CallTimeout)
 	// Slice the group poll per item as replies arrive.
 	perItem := make(map[string][]response, len(g.Items))
 	g.Net.MulticastFunc(callCtx, initiator, g.Members, replica.GroupStateQuery{},

@@ -24,6 +24,11 @@ type coordMetrics struct {
 	batchFlush    *obs.Counter   // core_batch_flush_total
 	batchFallback *obs.Counter   // core_batch_fallback_total
 	batchSize     *obs.Histogram // core_batch_size
+	// Fused lock+prepare instrumentation (LockPrepare): hits are writes
+	// whose whole quorum staged the speculative prepare (one round trip
+	// saved), misses fell back to the classified prepare round.
+	specHits   *obs.Counter // core_spec_prepare_hit_total
+	specMisses *obs.Counter // core_spec_prepare_miss_total
 }
 
 func newCoordMetrics(r *obs.Registry) coordMetrics {
@@ -37,6 +42,8 @@ func newCoordMetrics(r *obs.Registry) coordMetrics {
 		batchFlush:    r.Counter("core_batch_flush_total"),
 		batchFallback: r.Counter("core_batch_fallback_total"),
 		batchSize:     r.Histogram("core_batch_size"),
+		specHits:      r.Counter("core_spec_prepare_hit_total"),
+		specMisses:    r.Counter("core_spec_prepare_miss_total"),
 	}
 }
 

@@ -39,6 +39,7 @@ func ParseFlags(args []string) (Config, error) {
 	fs.BoolVar(&cfg.Pipeline, "pipeline", true, "multiplex calls over persistent connections (false = dial per call)")
 	fs.BoolVar(&cfg.Obs, "obs", true, "attach the observability registry")
 	fs.StringVar(&cfg.MetricsAddr, "metrics", "", "serve live metrics over HTTP on this address")
+	fs.StringVar(&cfg.PprofAddr, "pprof", "", "serve net/http/pprof profiling on this address")
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
 	}

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"time"
 
 	"coterie/internal/capi"
@@ -75,6 +77,9 @@ type Config struct {
 	// over HTTP.
 	Obs         bool
 	MetricsAddr string
+	// PprofAddr serves net/http/pprof profiling endpoints (CPU, heap,
+	// mutex, block) on this address. Empty disables profiling.
+	PprofAddr string
 }
 
 // Daemon is a running instance. Close shuts it down.
@@ -86,6 +91,8 @@ type Daemon struct {
 	coords  map[string]*core.Coordinator
 	metrics *http.Server
 	mln     net.Listener
+	pprof   *http.Server
+	pln     net.Listener
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +167,10 @@ func Start(cfg Config) (*Daemon, error) {
 			Strategy:    strategy,
 			Load:        tracker,
 			GroupCommit: cfg.GroupCommit,
+		// The TCP transport sends one-way frames; write-through committed
+		// updates to bystander replicas so speculative prepares keep
+		// hitting regardless of quorum rotation.
+		PushUpdates: true,
 		})
 		if cfg.Recovering {
 			rep.Amnesia()
@@ -198,7 +209,34 @@ func Start(cfg Config) (*Daemon, error) {
 		d.metrics = &http.Server{Handler: expose.Handler(reg)}
 		go func() { _ = d.metrics.Serve(ln) }()
 	}
+	if cfg.PprofAddr != "" {
+		ln, err := net.Listen("tcp", cfg.PprofAddr)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("daemon: pprof listener: %w", err)
+		}
+		// Sampled lock-contention accounting so /debug/pprof/mutex has data;
+		// the rate keeps steady-state overhead negligible.
+		runtime.SetMutexProfileFraction(100)
+		d.pln = ln
+		d.pprof = &http.Server{Handler: PprofMux()}
+		go func() { _ = d.pprof.Serve(ln) }()
+	}
 	return d, nil
+}
+
+// PprofMux returns an http mux serving the net/http/pprof endpoints under
+// /debug/pprof/, without touching http.DefaultServeMux. Shared by the
+// daemon's -pprof flag and loadgen's profiling mode so both expose the
+// same surface (CPU profile, heap, mutex, block, goroutine).
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // Coordinator returns the coordinator for the named item (tests and
@@ -215,6 +253,10 @@ func (d *Daemon) Close() {
 	if d.metrics != nil {
 		d.metrics.Close()
 		d.mln.Close()
+	}
+	if d.pprof != nil {
+		d.pprof.Close()
+		d.pln.Close()
 	}
 	d.node.Close()
 	d.Net.Close()

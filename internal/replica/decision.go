@@ -30,15 +30,43 @@ import (
 // operations.
 const maxDecisions = 8192
 
+// decision is one logged outcome. version is the version number a commit
+// produced — zero when the operation has none (aborts, epoch changes,
+// stale-markings) — and exists to gate speculatively staged actions: a
+// LockPrepare participant whose staging the coordinator never saw must
+// not apply it under a commit that decided a different version.
+type decision struct {
+	commit  bool
+	version uint64
+}
+
+// applies reports whether this decision commits a staged action expecting
+// specVersion (zero for coordinator-endorsed stagings, which take the
+// plain decision).
+func (d decision) applies(specVersion uint64) bool {
+	return d.commit && (specVersion == 0 || d.version == specVersion)
+}
+
 // RecordDecision logs the outcome of an operation this node coordinated.
 // The log lives on its own mutex stripe so the coordinator's write-ahead
 // decision record and participants' termination queries never contend with
 // the replica data path.
 func (it *Item) RecordDecision(op OpID, commit bool) {
+	it.record(op, decision{commit: commit})
+}
+
+// RecordCommit logs a commit decision together with the version the write
+// produced, so version-gated termination queries (speculative stagings)
+// can be answered.
+func (it *Item) RecordCommit(op OpID, version uint64) {
+	it.record(op, decision{commit: true, version: version})
+}
+
+func (it *Item) record(op OpID, d decision) {
 	it.decMu.Lock()
 	defer it.decMu.Unlock()
 	if it.decisions == nil {
-		it.decisions = make(map[OpID]bool)
+		it.decisions = make(map[OpID]decision)
 	}
 	if _, exists := it.decisions[op]; !exists {
 		it.decisionOrder = append(it.decisionOrder, op)
@@ -48,15 +76,15 @@ func (it *Item) RecordDecision(op OpID, commit bool) {
 			delete(it.decisions, evict)
 		}
 	}
-	it.decisions[op] = commit
+	it.decisions[op] = d
 }
 
 // handleDecisionQuery answers a participant's termination query.
 func (it *Item) handleDecisionQuery(m DecisionQuery) (transport.Message, error) {
 	it.decMu.Lock()
 	defer it.decMu.Unlock()
-	commit, known := it.decisions[m.Op]
-	return DecisionReply{Known: known, Commit: commit}, nil
+	d, known := it.decisions[m.Op]
+	return DecisionReply{Known: known, Commit: known && d.applies(m.NewVersion)}, nil
 }
 
 // resolveLoop periodically scans staged 2PC actions and resolves the ones
@@ -76,31 +104,41 @@ func (it *Item) resolveLoop() {
 }
 
 // resolveStale queries the coordinator of every sufficiently old staged
-// action and applies the learned decision.
+// action and applies the learned decision. Speculative stagings carry
+// their staged version in the query so a commit that decided a different
+// version resolves them as abort.
 func (it *Item) resolveStale() {
 	cutoff := time.Now().Add(-it.cfg.ResolveAfter)
+	type query struct {
+		op          OpID
+		specVersion uint64
+	}
 	it.mu.Lock()
-	var pending []OpID
+	var pending []query
 	for op, st := range it.staged {
 		if st.preparedAt.Before(cutoff) {
-			pending = append(pending, op)
+			q := query{op: op}
+			if st.speculative {
+				q.specVersion = st.newVersion
+			}
+			pending = append(pending, q)
 		}
 	}
 	it.mu.Unlock()
 
-	for _, op := range pending {
-		if op.Coordinator == it.self {
+	for _, q := range pending {
+		if q.op.Coordinator == it.self {
 			// Local coordinator: consult the log directly.
 			it.decMu.Lock()
-			commit, known := it.decisions[op]
+			d, known := it.decisions[q.op]
 			it.decMu.Unlock()
 			if known {
-				it.applyDecision(op, commit)
+				it.applyDecision(q.op, d.applies(q.specVersion))
 			}
 			continue
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), it.cfg.PropagationCallTimeout)
-		reply, err := it.net.Call(ctx, it.self, op.Coordinator, Envelope{Item: it.name, Msg: DecisionQuery{Op: op}})
+		reply, err := it.net.Call(ctx, it.self, q.op.Coordinator, Envelope{Item: it.name, Msg: DecisionQuery{Op: q.op, NewVersion: q.specVersion}})
 		cancel()
 		if err != nil {
 			continue // coordinator unreachable; stay blocked
@@ -109,7 +147,7 @@ func (it *Item) resolveStale() {
 		if !ok || !dr.Known {
 			continue
 		}
-		it.applyDecision(op, dr.Commit)
+		it.applyDecision(q.op, dr.Commit)
 	}
 }
 

@@ -79,8 +79,15 @@ const (
 
 // staged is a prepared-but-uncommitted 2PC action.
 type staged struct {
-	kind       stagedKind
-	preparedAt time.Time
+	kind stagedKind
+	// speculative marks an action staged from a LockPrepare prediction
+	// rather than a coordinator-endorsed prepare. If the reply carrying
+	// the staging was lost, the coordinator may have decided the write
+	// without this participant — possibly at a different version — so the
+	// termination resolver must version-gate the decision query (see
+	// DecisionQuery.NewVersion).
+	speculative bool
+	preparedAt  time.Time
 	update     Update
 	updates    []Update // stagedBatch: applied in order on commit
 	value      []byte
@@ -143,7 +150,7 @@ type Item struct {
 	// striped off mu so termination queries and decision writes do not
 	// contend with the data path.
 	decMu         sync.Mutex
-	decisions     map[OpID]bool
+	decisions     map[OpID]decision
 	decisionOrder []OpID
 
 	// recovering marks a replica that lost its stable state (amnesia.go);
@@ -254,6 +261,10 @@ func (it *Item) Handle(ctx context.Context, from nodeset.ID, msg any) (transport
 		return it.State(), nil
 	case LockRequest:
 		return it.handleLock(ctx, m)
+	case LockPrepare:
+		return it.handleLockPrepare(ctx, m)
+	case ReadSnap:
+		return it.handleReadSnap(ctx, m)
 	case FetchValue:
 		return it.handleFetch(m)
 	case PrepareUpdate:
@@ -292,6 +303,54 @@ func (it *Item) handleLock(ctx context.Context, m LockRequest) (transport.Messag
 		return nil, fmt.Errorf("replica %v/%s: lock for %v: %w", it.self, it.name, m.Op, err)
 	}
 	return it.State(), nil
+}
+
+// handleLockPrepare is handleLock's fused form for writes: after
+// acquiring the exclusive lock it checks the coordinator's prediction
+// against the live state and, on a match, stages the update immediately —
+// the combined effect of a LockRequest and a PrepareUpdate in one round
+// trip. On a mismatch it degrades to a plain lock grant: the state reply
+// lets the coordinator classify and run the normal prepare, which
+// overwrites this entry at the replicas it covers.
+func (it *Item) handleLockPrepare(ctx context.Context, m LockPrepare) (transport.Message, error) {
+	if err := it.lock.acquire(ctx, m.Op, lockExclusive); err != nil {
+		return nil, fmt.Errorf("replica %v/%s: lock for %v: %w", it.self, it.name, m.Op, err)
+	}
+	prepared := false
+	if m.Update.Validate() == nil {
+		it.mu.Lock()
+		if !it.recovering && !it.stale && it.store.Version()+1 == m.NewVersion && it.lock.pin(m.Op) {
+			it.staged[m.Op] = &staged{
+				kind:        stagedUpdate,
+				speculative: true,
+				preparedAt:  time.Now(),
+				update:      m.Update.clone(),
+				newVersion:  m.NewVersion,
+				good:        m.GoodSet.Clone(),
+				goodVer:     m.NewVersion,
+			}
+			prepared = true
+		}
+		it.mu.Unlock()
+	}
+	return LockPrepareReply{State: it.State(), Prepared: prepared}, nil
+}
+
+// handleReadSnap serves a fused read: lock shared, snapshot state and
+// value atomically, release, reply. The shared acquisition still queues
+// behind a prepared write's pinned exclusive hold — the snapshot cannot
+// observe a committed-but-unapplied write as absent — but nothing stays
+// locked after the reply, so the read has no release round.
+func (it *Item) handleReadSnap(ctx context.Context, m ReadSnap) (transport.Message, error) {
+	if err := it.lock.acquire(ctx, m.Op, lockShared); err != nil {
+		return nil, fmt.Errorf("replica %v/%s: lock for %v: %w", it.self, it.name, m.Op, err)
+	}
+	it.mu.Lock()
+	st := *it.state.Load()
+	value, _ := it.store.Snapshot()
+	it.mu.Unlock()
+	it.lock.release(m.Op)
+	return SnapReply{State: st, Value: value}, nil
 }
 
 func (it *Item) handleFetch(m FetchValue) (transport.Message, error) {

@@ -50,6 +50,31 @@ type LockRequest struct {
 	Mode LockMode
 }
 
+// LockPrepare fuses a write's phase-1 lock request with a speculative
+// prepare. The coordinator predicts the classification a fully current
+// quorum would produce — NewVersion is its local version + 1, GoodSet the
+// quorum itself, no stale members — and piggybacks the update on the lock
+// request. A replica that matches the prediction (non-stale, non-
+// recovering, sitting exactly at NewVersion−1) stages the update while it
+// already holds its lock, collapsing the lock and prepare rounds into
+// one; a replica that does not simply grants the lock exactly as
+// LockRequest would, and the coordinator runs the normal prepare round
+// from the real classification (which overwrites any speculative staging
+// at the replicas it does cover).
+type LockPrepare struct {
+	Op         OpID
+	Update     Update
+	NewVersion uint64
+	GoodSet    nodeset.Set
+}
+
+// LockPrepareReply answers a LockPrepare: the lock round's state reply
+// plus whether the speculative prepare staged on this replica.
+type LockPrepareReply struct {
+	State    StateReply
+	Prepared bool
+}
+
 // StateReply is the tuple (node, version, dversion, stale, elist, enumber)
 // of the paper's appendix, extended with the recorded good-replica list of
 // the safety-threshold extension (paper, Section 4.1: "the list of 'good'
@@ -67,6 +92,23 @@ type StateReply struct {
 	// readmission by an epoch change; coordinators must not count it
 	// toward any quorum (see amnesia.go).
 	Recovering bool
+}
+
+// ReadSnap fuses a read's lock, fetch and release into one message: the
+// replica acquires Op's lock shared (blocking behind any in-flight
+// write's exclusive hold, which is what orders the read against 2PC),
+// atomically snapshots its state and value, releases immediately, and
+// replies. The coordinator returns the maximum-version good value from a
+// valid read quorum of such snapshots — no lock is left held, so no
+// release round exists and a following write's lock round never parks
+// behind a finished read.
+type ReadSnap struct{ Op OpID }
+
+// SnapReply answers a ReadSnap: the replica's state and the value it held
+// at State.Version, captured in one atomic snapshot.
+type SnapReply struct {
+	State StateReply
+	Value []byte
 }
 
 // FetchValue asks a replica holding Op's lock for its current value.
@@ -174,7 +216,18 @@ type Ack struct {
 // coordinator records every commit/abort decision at its co-located
 // replica before distributing it, so a recovered or reachable coordinator
 // node can always answer (2PC recovery per the paper's reference [2]).
-type DecisionQuery struct{ Op OpID }
+//
+// NewVersion guards speculatively staged actions (LockPrepare): a
+// participant whose staging the coordinator never acknowledged — its
+// reply was lost — may hold a staged update the decided write did not
+// cover. Such a participant sets NewVersion to its staged version, and
+// the coordinator answers Commit only when the decided write produced
+// exactly that version; any mismatch resolves as abort. Zero means the
+// staging was coordinator-endorsed and the plain decision applies.
+type DecisionQuery struct {
+	Op         OpID
+	NewVersion uint64
+}
 
 // DecisionReply answers a DecisionQuery.
 type DecisionReply struct {

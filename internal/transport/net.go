@@ -36,5 +36,24 @@ type Net interface {
 	Served(id nodeset.ID) uint64
 }
 
+// AsyncSender is an optional Net capability: SendAsync delivers req to
+// every target one-way — no reply is collected and the caller never
+// blocks on the network. Delivery is best-effort: an unreachable peer or
+// a saturated connection drops the send silently. Protocol code uses it
+// only for messages whose replies are ignored even on the synchronous
+// path (terminal lock releases), where waiting for acknowledgements buys
+// nothing but a round-trip on the operation's critical path.
+//
+// Ordering caveat: a one-way send is not ordered with respect to later
+// calls, even to the same peer. It is only safe for messages that can
+// never race a later message about the same operation — i.e. the
+// operation is finished and its ID is never used again.
+type AsyncSender interface {
+	SendAsync(from nodeset.ID, targets nodeset.Set, req Message)
+}
+
 // The simulated network is the reference Net implementation.
-var _ Net = (*Network)(nil)
+var (
+	_ Net         = (*Network)(nil)
+	_ AsyncSender = (*Network)(nil)
+)

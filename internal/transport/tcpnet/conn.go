@@ -1,12 +1,12 @@
 package tcpnet
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"coterie/internal/nodeset"
 	"coterie/internal/obs"
@@ -14,11 +14,21 @@ import (
 	"coterie/internal/wire"
 )
 
+// pendShards is the pending-table shard count per connection (power of
+// two; correlation IDs are sequential, so corr & (pendShards-1) spreads
+// adjacent in-flight calls across shards). Sharding keeps the reader
+// goroutine's delete and concurrent callers' inserts off one mutex.
+const pendShards = 8
+
 // clientConn is one pipelined connection to a peer. Many in-flight calls
-// share it: each call registers a correlation ID in the pending table,
-// enqueues its encoded frame on the writer queue, and parks on its
+// share it: each call registers a correlation ID in its pending-table
+// shard, enqueues its encoded frame on the writer ring, and parks on its
 // (pooled, reusable) completion channel until the reader matches the
 // reply frame back by correlation ID.
+//
+// The reader decodes replies in place on its own goroutine — straight out
+// of the connection's read window — and delivers the decoded message, so
+// no frame buffer crosses goroutines on the reply path.
 //
 // A connection dies as a unit: the first I/O error closes it, fails every
 // pending call with ErrCallFailed, and leaves the pool slot to re-dial on
@@ -27,15 +37,26 @@ type clientConn struct {
 	n  *Network
 	nc net.Conn
 
-	out    chan *frameBuf
+	out    *outRing
 	closed chan struct{}
 	once   sync.Once
 
 	corr atomic.Uint64
 
+	shards [pendShards]pendShard
+}
+
+// pendShard is one slice of a connection's pending-call table. Padded so
+// shards touched by different callers do not share cache lines.
+type pendShard struct {
 	mu      sync.Mutex
 	dead    bool
 	pending map[uint64]*pendingCall
+	_       [24]byte
+}
+
+func (c *clientConn) shard(corr uint64) *pendShard {
+	return &c.shards[corr&(pendShards-1)]
 }
 
 // pendingCall is one parked caller. The completion channel has capacity 1
@@ -46,11 +67,12 @@ type pendingCall struct {
 	ch chan callDone
 }
 
+// callDone carries a finished call's outcome: the decoded reply, an
+// application error relayed from the remote handler, or
+// transport.ErrCallFailed when the connection died underneath the call.
 type callDone struct {
-	kind byte
-	off  int // payload offset within buf.b
-	buf  *frameBuf
-	err  error
+	msg transport.Message
+	err error
 }
 
 var pendingPool = sync.Pool{
@@ -69,14 +91,16 @@ func dialConn(n *Network, addr string, ctx context.Context) (*clientConn, error)
 		tc.SetNoDelay(true)
 	}
 	c := &clientConn{
-		n:       n,
-		nc:      nc,
-		out:     make(chan *frameBuf, outQueueLen),
-		closed:  make(chan struct{}),
-		pending: make(map[uint64]*pendingCall),
+		n:      n,
+		nc:     nc,
+		out:    newOutRing(n.outQueue, n.flushStalls, n.outDepth),
+		closed: make(chan struct{}),
+	}
+	for i := range c.shards {
+		c.shards[i].pending = make(map[uint64]*pendingCall)
 	}
 	go c.readLoop()
-	go n.writeLoop(c.nc, c.out, c.closed, c.close)
+	go n.writeRing(c.nc, c.out, c.close)
 	return c, nil
 }
 
@@ -95,89 +119,169 @@ func (c *clientConn) close() {
 	c.once.Do(func() {
 		close(c.closed)
 		c.nc.Close()
-		c.mu.Lock()
-		c.dead = true
-		pend := c.pending
-		c.pending = nil
-		c.mu.Unlock()
-		for _, pc := range pend {
-			pc.ch <- callDone{err: transport.ErrCallFailed}
+		c.out.close()
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			sh.dead = true
+			pend := sh.pending
+			sh.pending = nil
+			sh.mu.Unlock()
+			for _, pc := range pend {
+				pc.ch <- callDone{err: transport.ErrCallFailed}
+			}
 		}
 		c.n.evicted.Inc()
 	})
 }
 
 func (c *clientConn) readLoop() {
-	br := bufio.NewReaderSize(c.nc, readBufSize)
+	fr := newFrameReader(c.nc)
 	for {
-		f, err := readFrame(br)
+		body, err := fr.next()
 		if err != nil {
 			c.close()
 			return
 		}
 		c.n.framesRecv.Inc()
-		c.n.bytesRecv.Add(uint64(len(f.b)) + lenSize)
-		kind := f.b[0]
-		corr, k := uvarintAt(f.b, 1)
+		c.n.bytesRecv.Add(uint64(len(body)) + lenSize)
+		kind := body[0]
+		corr, k := uvarintAt(body, 1)
 		if k <= 0 || (kind != frameReply && kind != frameError) {
-			putBuf(f)
 			c.close()
 			return
 		}
-		c.mu.Lock()
-		pc := c.pending[corr]
-		delete(c.pending, corr)
-		c.mu.Unlock()
-		if pc == nil {
-			putBuf(f) // call abandoned at its deadline
-			continue
+		payload := body[1+k:]
+		var d callDone
+		if kind == frameError {
+			d.err = errors.New(string(payload))
+		} else if d.msg, err = wire.Unmarshal(payload); err != nil {
+			// A peer sending undecodable replies is broken: retire the
+			// connection (close fails this call's pending entry too).
+			c.close()
+			return
 		}
-		pc.ch <- callDone{kind: kind, off: 1 + k, buf: f}
+		sh := c.shard(corr)
+		sh.mu.Lock()
+		pc := sh.pending[corr]
+		delete(sh.pending, corr)
+		sh.mu.Unlock()
+		if pc == nil {
+			continue // call abandoned at its deadline
+		}
+		pc.ch <- d
 	}
 }
 
-// roundTrip issues one pipelined call and blocks for its reply or the
-// context's end. Every delivery failure — connection already dead, writer
-// gone, context expiry — maps to transport.ErrCallFailed; only a reply
-// the peer's handler produced (ok or error) passes through.
-func (c *clientConn) roundTrip(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+// start encodes, registers, and enqueues one pipelined call without
+// waiting for its reply — the send half of roundTrip, used directly by
+// MulticastFunc to push a whole quorum round onto the wire before parking
+// for any reply. A full writer ring applies backpressure here: the caller
+// blocks for queue space until its deadline, then fails with
+// transport.ErrCallFailed. Delivery problems (dead connection, expired
+// deadline) map to ErrCallFailed; only codec rejections pass through raw.
+func (c *clientConn) start(ctx context.Context, from nodeset.ID, req transport.Message) (*pendingCall, uint64, error) {
 	f := getBuf()
 	corr := c.corr.Add(1)
 	if err := appendRequest(f, corr, from, ctx, req); err != nil {
 		putBuf(f)
 		if errors.Is(err, context.DeadlineExceeded) {
-			return nil, transport.ErrCallFailed
+			return nil, 0, transport.ErrCallFailed
 		}
-		return nil, err // codec rejection is a programming error, not a delivery failure
+		return nil, 0, err // codec rejection is a programming error, not a delivery failure
 	}
 	pc := pendingPool.Get().(*pendingCall)
-	c.mu.Lock()
-	if c.dead {
-		c.mu.Unlock()
+	sh := c.shard(corr)
+	sh.mu.Lock()
+	if sh.dead {
+		sh.mu.Unlock()
 		putBuf(f)
 		pendingPool.Put(pc)
-		return nil, transport.ErrCallFailed
+		return nil, 0, transport.ErrCallFailed
 	}
-	c.pending[corr] = pc
-	c.mu.Unlock()
-
-	select {
-	case c.out <- f:
-	case <-c.closed:
+	sh.pending[corr] = pc
+	sh.mu.Unlock()
+	if err := c.out.enqueue(ctx, f); err != nil {
 		putBuf(f)
-		return c.abandon(corr, pc)
-	case <-ctx.Done():
-		putBuf(f)
-		return c.abandon(corr, pc)
+		_, aerr := c.abandon(corr, pc)
+		return nil, 0, aerr
 	}
+	return pc, corr, nil
+}
 
+// oneWayCorr marks a request frame as fire-and-forget: correlation IDs
+// allocate from 1, so 0 is free to tell the server "no reply expected".
+const oneWayCorr = 0
+
+// sendOneWay encodes and enqueues a one-way request frame. No pending
+// entry is registered (nothing will ever complete it) and the enqueue
+// never blocks — a full ring drops the send, honoring the best-effort
+// contract of transport.AsyncSender.
+func (c *clientConn) sendOneWay(ctx context.Context, from nodeset.ID, req transport.Message) {
+	f := getBuf()
+	if err := appendRequest(f, oneWayCorr, from, ctx, req); err != nil {
+		putBuf(f)
+		return
+	}
+	if err := c.out.tryEnqueue(f); err != nil {
+		putBuf(f)
+	}
+}
+
+// waitTimers pools the deadline timers that bound parked calls, so the
+// steady state arms and disarms a recycled timer instead of allocating
+// one per call. Requires the Go 1.23+ timer semantics (unbuffered
+// channel; Stop guarantees no late send), which go.mod opts into.
+var waitTimers = sync.Pool{}
+
+// wait parks for a started call's completion or its deadline. A call
+// with a deadline parks on a pooled timer rather than ctx.Done(): the
+// context never materializes its cancellation channel, which is what
+// makes lazy deadline contexts free on this path. The narrowing — early
+// parent cancellation no longer interrupts the wait — is safe because
+// every event that must end a pipelined call promptly (reply, handler
+// error, connection death) arrives through the completion channel, and
+// the deadline still bounds the park.
+func (c *clientConn) wait(ctx context.Context, pc *pendingCall, corr uint64) (transport.Message, error) {
+	d, hasDeadline := ctx.Deadline()
+	if !hasDeadline {
+		select {
+		case done := <-pc.ch:
+			pendingPool.Put(pc)
+			return done.msg, done.err
+		case <-ctx.Done():
+			return c.abandon(corr, pc)
+		}
+	}
+	t, _ := waitTimers.Get().(*time.Timer)
+	if t == nil {
+		t = time.NewTimer(time.Until(d))
+	} else {
+		t.Reset(time.Until(d))
+	}
 	select {
-	case d := <-pc.ch:
+	case done := <-pc.ch:
+		t.Stop()
+		waitTimers.Put(t)
 		pendingPool.Put(pc)
-		return decodeDone(c, d)
-	case <-ctx.Done():
+		return done.msg, done.err
+	case <-t.C:
+		waitTimers.Put(t)
 		return c.abandon(corr, pc)
 	}
+}
+
+// roundTrip issues one pipelined call and blocks for its reply or the
+// context's end. Every delivery failure — connection already dead, writer
+// ring never drained before the deadline, context expiry — maps to
+// transport.ErrCallFailed; only a reply the peer's handler produced (ok
+// or error) passes through.
+func (c *clientConn) roundTrip(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+	pc, corr, err := c.start(ctx, from, req)
+	if err != nil {
+		return nil, err
+	}
+	return c.wait(ctx, pc, corr)
 }
 
 // abandon gives up on a registered call. If the entry is still in the
@@ -185,41 +289,18 @@ func (c *clientConn) roundTrip(ctx context.Context, from nodeset.ID, req transpo
 // the reader (or close) has claimed it and a completion is imminent — it
 // is drained so the channel is empty before the struct is pooled.
 func (c *clientConn) abandon(corr uint64, pc *pendingCall) (transport.Message, error) {
-	c.mu.Lock()
-	_, mine := c.pending[corr]
+	sh := c.shard(corr)
+	sh.mu.Lock()
+	_, mine := sh.pending[corr]
 	if mine {
-		delete(c.pending, corr)
+		delete(sh.pending, corr)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if !mine {
-		d := <-pc.ch
-		if d.buf != nil {
-			putBuf(d.buf)
-		}
+		<-pc.ch
 	}
 	pendingPool.Put(pc)
 	return nil, transport.ErrCallFailed
-}
-
-func decodeDone(c *clientConn, d callDone) (transport.Message, error) {
-	if d.err != nil {
-		return nil, d.err
-	}
-	payload := d.buf.b[d.off:]
-	if d.kind == frameError {
-		err := errors.New(string(payload))
-		putBuf(d.buf)
-		return nil, err
-	}
-	msg, err := wire.Unmarshal(payload)
-	putBuf(d.buf)
-	if err != nil {
-		// A peer sending undecodable replies is broken: fail the call and
-		// retire the connection so the pool re-dials.
-		c.close()
-		return nil, transport.ErrCallFailed
-	}
-	return msg, nil
 }
 
 // uvarintAt decodes a uvarint starting at offset i; returns the value and
@@ -244,13 +325,14 @@ func uvarintAt(b []byte, i int) (uint64, int) {
 }
 
 // peer is the client-side view of one remote node: its address and a
-// small pool of pipelined connections, acquired round-robin so concurrent
-// callers spread across sockets while each socket still carries many
-// in-flight calls.
+// small pool of pipelined connections. Slot choice is by caller identity
+// (from % pool), not round-robin: every call a given coordinator issues —
+// in particular all targets of one multicast round that share this peer's
+// direction — rides the same socket, so a round's frames coalesce into
+// the same writev flush instead of splitting across sockets.
 type peer struct {
 	id   nodeset.ID
 	addr string
-	next atomic.Uint64
 	sent *obs.Counter
 	pool []peerSlot
 }
@@ -260,12 +342,16 @@ type peerSlot struct {
 	c  atomic.Pointer[clientConn]
 }
 
-// conn returns the slot's live connection, dialing a fresh one if the
-// slot is empty or its connection died (pool eviction). Dials for one
-// slot serialize so a burst of callers against a down peer produces one
-// dial attempt per slot, not a storm.
-func (p *peer) conn(ctx context.Context, n *Network) (*clientConn, error) {
-	s := &p.pool[p.next.Add(1)%uint64(len(p.pool))]
+// conn returns the live connection for this caller's slot, dialing a
+// fresh one if the slot is empty or its connection died (pool eviction).
+// Dials for one slot serialize so a burst of callers against a down peer
+// produces one dial attempt per slot, not a storm.
+func (p *peer) conn(ctx context.Context, n *Network, from nodeset.ID) (*clientConn, error) {
+	idx := int(from)
+	if idx < 0 {
+		idx = -idx
+	}
+	s := &p.pool[idx%len(p.pool)]
 	if c := s.c.Load(); c != nil && !c.isDead() {
 		return c, nil
 	}

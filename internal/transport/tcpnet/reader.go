@@ -1,0 +1,96 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// maxRetainedReadBuf caps how much a connection's read buffer is kept
+// after a jumbo frame grew it; past this the window shrinks back so one
+// snapshot-sized frame does not pin megabytes per connection forever.
+const maxRetainedReadBuf = 1 << 20
+
+// frameReader parses length-prefixed frames in place out of one reusable
+// read buffer — the replacement for the old bufio.Reader + copy-per-frame
+// pair. Each Read syscall lands bytes directly in the window; next hands
+// back a subslice of that window, valid until the following next call.
+// Callers decode from it immediately (wire decoding copies byte fields,
+// so decoded messages never alias the window) and nothing is re-sliced
+// through an intermediate pooled buffer.
+//
+// The buffer grows by doubling (size classes) when a frame exceeds it and
+// shrinks back once oversized traffic passes, so steady-state traffic of
+// ordinary protocol messages runs with zero read-path allocations.
+type frameReader struct {
+	src io.Reader
+	buf []byte
+	r   int // start of unread bytes
+	w   int // end of unread bytes
+}
+
+func newFrameReader(src io.Reader) *frameReader {
+	return &frameReader{src: src, buf: make([]byte, readBufSize)}
+}
+
+// next returns the body of the next frame (length prefix stripped). The
+// slice aliases the reader's window and is invalidated by the next call.
+func (fr *frameReader) next() ([]byte, error) {
+	if len(fr.buf) > maxRetainedReadBuf && fr.w-fr.r <= readBufSize {
+		nb := make([]byte, readBufSize)
+		fr.w = copy(nb, fr.buf[fr.r:fr.w])
+		fr.r = 0
+		fr.buf = nb
+	}
+	for {
+		if avail := fr.w - fr.r; avail >= lenSize {
+			size := int(binary.BigEndian.Uint32(fr.buf[fr.r:]))
+			if size == 0 || size > maxFrameSize {
+				return nil, errFrameSize
+			}
+			total := lenSize + size
+			if avail >= total {
+				body := fr.buf[fr.r+lenSize : fr.r+total]
+				fr.r += total
+				return body, nil
+			}
+			fr.ensure(total)
+		} else if fr.w == len(fr.buf) {
+			fr.compact()
+		}
+		n, err := fr.src.Read(fr.buf[fr.w:])
+		fr.w += n
+		if n == 0 {
+			if err == nil {
+				err = io.ErrNoProgress
+			}
+			return nil, err
+		}
+	}
+}
+
+// compact slides the unread window to the front of the buffer.
+func (fr *frameReader) compact() {
+	fr.w = copy(fr.buf, fr.buf[fr.r:fr.w])
+	fr.r = 0
+}
+
+// ensure makes room for a frame of total bytes starting at fr.r: compact
+// if the buffer is big enough, otherwise grow to the next power-of-two
+// size class that fits.
+func (fr *frameReader) ensure(total int) {
+	if len(fr.buf)-fr.r >= total {
+		return
+	}
+	if len(fr.buf) >= total {
+		fr.compact()
+		return
+	}
+	sz := len(fr.buf)
+	for sz < total {
+		sz *= 2
+	}
+	nb := make([]byte, sz)
+	fr.w = copy(nb, fr.buf[fr.r:fr.w])
+	fr.r = 0
+	fr.buf = nb
+}

@@ -1,18 +1,24 @@
 package tcpnet
 
 import (
-	"bufio"
-	"context"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"coterie/internal/deadline"
 	"coterie/internal/nodeset"
 	"coterie/internal/transport"
 	"coterie/internal/wire"
 )
+
+// maxServeWorkers bounds the persistent worker pool per accepted
+// connection. Requests beyond this many concurrently blocked handlers
+// fall back to one-shot goroutines, so concurrency is never capped — the
+// pool only decides which requests get a warm, already-grown stack.
+const maxServeWorkers = 32
 
 // Start opens a listener for every locally registered node that has an
 // address-book entry and begins serving. Register before Start; handler
@@ -58,15 +64,16 @@ func (n *Network) acceptLoop(ln net.Listener, ep *localEndpoint) {
 			n:      n,
 			ep:     ep,
 			nc:     nc,
-			out:    make(chan *frameBuf, outQueueLen),
+			out:    newOutRing(n.outQueue, n.flushStalls, n.outDepth),
 			closed: make(chan struct{}),
+			work:   make(chan srvReq),
 		}
 		if !n.track(sc) {
 			nc.Close()
 			return
 		}
 		go sc.readLoop()
-		go n.writeLoop(sc.nc, sc.out, sc.closed, sc.close)
+		go n.writeRing(sc.nc, sc.out, sc.close)
 	}
 }
 
@@ -89,83 +96,148 @@ func (n *Network) untrack(sc *serverConn) {
 }
 
 // serverConn is the serving side of one accepted connection. Requests
-// dispatch to the endpoint's handler on per-request goroutines — the
+// dispatch to a per-connection pool of persistent worker goroutines — the
 // pipelined mirror of the client side: a slow handler never blocks the
-// requests queued behind it, and replies are written in completion
-// order, matched back by correlation ID.
+// requests queued behind it, and replies are written in completion order,
+// matched back by correlation ID.
+//
+// The pool exists because goroutine-per-request was measurable: protocol
+// handlers call deep into coordinator/replica code, and freshly spawned
+// goroutines paid for stack growth (runtime.morestack/newstack ≈ 10% of
+// daemon CPU) on every request. Persistent workers grow their stacks once
+// and keep them. Dispatch never blocks the read loop: a request that
+// finds no idle worker spawns one (persistent up to maxServeWorkers, else
+// one-shot), so a handler parked on a contended lock queue cannot
+// head-of-line-block the requests arriving behind it.
 type serverConn struct {
 	n      *Network
 	ep     *localEndpoint
 	nc     net.Conn
-	out    chan *frameBuf
+	out    *outRing
 	closed chan struct{}
 	once   sync.Once
+
+	work    chan srvReq  // unbuffered; only sent to with an idle token claimed
+	idle    atomic.Int32 // committed idle receivers on work
+	workers atomic.Int32 // persistent workers spawned
+}
+
+// srvReq is one decoded request handed from the read loop to a worker.
+type srvReq struct {
+	corr    uint64
+	from    nodeset.ID
+	timeout time.Duration
+	msg     transport.Message
 }
 
 func (sc *serverConn) close() {
 	sc.once.Do(func() {
 		close(sc.closed)
 		sc.nc.Close()
+		sc.out.close()
 		sc.n.untrack(sc)
 	})
 }
 
 func (sc *serverConn) readLoop() {
 	defer sc.close()
-	br := bufio.NewReaderSize(sc.nc, readBufSize)
+	fr := newFrameReader(sc.nc)
 	for {
-		f, err := readFrame(br)
+		body, err := fr.next()
 		if err != nil {
 			return // EOF or broken peer; in-flight handlers finish and fail their writes
 		}
 		sc.n.framesRecv.Inc()
-		sc.n.bytesRecv.Add(uint64(len(f.b)) + lenSize)
-		corr, from, timeout, payload, err := parseRequest(f.b)
+		sc.n.bytesRecv.Add(uint64(len(body)) + lenSize)
+		corr, from, timeout, payload, err := parseRequest(body)
 		if err != nil {
-			putBuf(f)
 			return // protocol violation: tear the connection down
 		}
+		// Decode in place, straight out of the read window: wire decoding
+		// copies byte fields, so the message owns its data and the window
+		// can be overwritten by the next frame.
 		msg, err := wire.Unmarshal(payload)
-		putBuf(f) // decoded messages copy byte fields; the frame is done
 		if err != nil {
 			// An undecodable payload is an application-level problem for
-			// exactly one call, not the connection: report it back.
-			sc.reply(corr, nil, fmt.Errorf("tcpnet: request codec: %v", err))
+			// exactly one call, not the connection: report it back (unless
+			// the sender declared it isn't listening).
+			if corr != oneWayCorr {
+				sc.reply(corr, nil, fmt.Errorf("tcpnet: request codec: %v", err))
+			}
 			continue
 		}
 		sc.ep.served.Inc()
-		go sc.serve(corr, from, timeout, msg)
+		sc.dispatch(srvReq{corr: corr, from: from, timeout: timeout, msg: msg})
 	}
 }
 
-// serve runs one request through the endpoint's handler and queues the
-// reply. The handler context carries the caller's propagated deadline and
-// is canceled when the whole network closes.
-func (sc *serverConn) serve(corr uint64, from nodeset.ID, timeout time.Duration, msg any) {
+// dispatch hands one request to the worker pool. idle counts workers
+// committed to receive on work: claiming a token (decrement stays ≥ 0)
+// guarantees the send completes promptly, so the read loop never waits on
+// a busy handler. With no token available, a new worker takes the request
+// as its first job.
+func (sc *serverConn) dispatch(rq srvReq) {
+	if sc.idle.Add(-1) >= 0 {
+		select {
+		case sc.work <- rq:
+		case <-sc.closed:
+		}
+		return
+	}
+	sc.idle.Add(1)
+	if sc.workers.Add(1) <= maxServeWorkers {
+		go sc.worker(rq)
+		return
+	}
+	sc.workers.Add(-1)
+	go sc.serveOne(rq) // overflow: plain goroutine-per-request
+}
+
+// worker serves its first request, then parks for more until the
+// connection closes.
+func (sc *serverConn) worker(rq srvReq) {
+	sc.serveOne(rq)
+	for {
+		sc.idle.Add(1)
+		select {
+		case rq := <-sc.work:
+			sc.serveOne(rq)
+		case <-sc.closed:
+			return
+		}
+	}
+}
+
+// serveOne runs one request through the endpoint's handler and queues the
+// reply. The handler context carries the caller's propagated deadline —
+// a lazily armed deadline.Ctx, so fast handlers that never park never
+// touch the timer heap — and is canceled when the whole network closes.
+func (sc *serverConn) serveOne(rq srvReq) {
 	ctx := sc.n.baseCtx
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
+	if rq.timeout > 0 {
+		dctx, release := deadline.At(ctx, time.Now().Add(rq.timeout))
+		defer release()
+		ctx = dctx
 	}
 	h := *sc.ep.handler.Load()
-	reply, err := h(ctx, from, msg)
-	sc.reply(corr, reply, err)
+	reply, err := h(ctx, rq.from, rq.msg)
+	if rq.corr == oneWayCorr {
+		return // fire-and-forget request: the sender dropped the outcome
+	}
+	sc.reply(rq.corr, reply, err)
 }
 
-func (sc *serverConn) reply(corr uint64, reply any, herr error) {
+func (sc *serverConn) reply(corr uint64, reply transport.Message, herr error) {
 	f := getBuf()
 	appendReply(f, corr, reply, herr)
-	select {
-	case sc.out <- f:
-	case <-sc.closed:
+	if err := sc.out.enqueue(nil, f); err != nil {
 		putBuf(f) // caller is gone; it will see ErrCallFailed from its side
 	}
 }
 
 // readFrameConn reads one frame directly from an unbuffered connection —
-// the per-call baseline's reply read, where a bufio layer per throwaway
-// connection would be waste.
+// the per-call baseline's reply read, where a windowed reader per
+// throwaway connection would be waste.
 func readFrameConn(nc net.Conn) (*frameBuf, error) {
 	var hdr [lenSize]byte
 	if _, err := io.ReadFull(nc, hdr[:]); err != nil {
@@ -192,8 +264,9 @@ func beUint32(b []byte) uint32 {
 }
 
 // decodePerConn turns the baseline path's reply frame into a message or
-// application error, mirroring decodeDone without a connection to retire.
-func decodePerConn(f *frameBuf, kind byte, off int) (any, error) {
+// application error, mirroring the pipelined reader's decode without a
+// connection to retire.
+func decodePerConn(f *frameBuf, kind byte, off int) (transport.Message, error) {
 	payload := f.b[off:]
 	if kind == frameError {
 		err := fmt.Errorf("%s", string(payload))

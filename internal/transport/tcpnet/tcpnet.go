@@ -21,16 +21,25 @@
 //     blocks the calls queued behind it (no head-of-line blocking at the
 //     RPC layer).
 //   - Flush coalescing: each connection owns a writer goroutine that
-//     drains its frame queue and writes every frame available at that
-//     moment in a single Write syscall. Under load this batches many
-//     small protocol messages (lock requests, acks, 2PC votes) per
-//     syscall; at low load the first frame flushes immediately, adding no
-//     latency.
-//   - Buffer reuse: encode and decode stage through pooled buffers and
-//     the pending-call table recycles its entries, so the steady-state
-//     hot path allocates only what decoding itself requires (the decoded
-//     message; wire decoding copies byte fields, so pooled buffers are
-//     never aliased by retained messages).
+//     drains an MPSC frame ring and hands every frame available at that
+//     moment to the kernel as one vectored write (net.Buffers → writev).
+//     Under load this batches many small protocol messages (lock
+//     requests, acks, 2PC votes) per syscall without copying them into an
+//     aggregation buffer; at low load the first frame flushes
+//     immediately, adding no latency. A full ring applies backpressure:
+//     the caller blocks for queue space honoring its deadline — frames
+//     are never dropped.
+//   - Shared-nothing dispatch: the pending-call table is sharded per
+//     connection, correlation IDs allocate from a per-connection atomic,
+//     and a caller's quorum traffic is steered onto one socket per peer
+//     (slot by caller identity), so one multicast round coalesces into
+//     one flush per peer.
+//   - Buffer reuse: encodes stage through pooled buffers that become the
+//     writev iovec entries; reads parse frames in place out of a
+//     per-connection window and decode without an intermediate copy
+//     (wire decoding copies byte fields, so buffers are never aliased by
+//     retained messages). Steady state the hot path allocates only what
+//     decoding itself requires — the decoded message.
 //   - Recovery: a connection dies as a unit on its first I/O error,
 //     failing in-flight calls with ErrCallFailed. The pool slot re-dials
 //     on the next call, so a restarted peer is reached transparently.
@@ -55,18 +64,14 @@ import (
 )
 
 const (
-	// outQueueLen is each connection's writer-queue depth. Deep enough to
+	// outQueueLen is each connection's writer-ring depth. Deep enough to
 	// absorb a multicast burst without parking senders, shallow enough to
-	// bound memory on a stalled peer.
+	// bound memory on a stalled peer (past it, backpressure blocks the
+	// caller until its deadline).
 	outQueueLen = 256
 
-	// readBufSize is the per-connection read buffer.
+	// readBufSize is the per-connection read window.
 	readBufSize = 64 << 10
-
-	// maxCoalesce caps how many bytes the writer aggregates into one
-	// Write; past this a flush is forced so a deep queue cannot delay its
-	// first frame arbitrarily.
-	maxCoalesce = 256 << 10
 
 	defaultDialTimeout = 2 * time.Second
 	defaultPoolSize    = 2
@@ -83,6 +88,7 @@ type Network struct {
 	peers    []*peer // indexed by node ID; nil = no address known
 	pipeline bool
 	poolSize int
+	outQueue int // writer-ring depth per connection
 
 	dialTimeout time.Duration
 
@@ -97,26 +103,29 @@ type Network struct {
 
 	// Always-real counters (Stats must work without a registry); WithObs
 	// adopts the same cells so metrics and Stats read identical state.
-	calls      *obs.Counter
-	failed     *obs.Counter
-	localCalls *obs.Counter
-	dials      *obs.Counter
-	dialErrors *obs.Counter
-	evicted    *obs.Counter
-	framesSent *obs.Counter
-	framesRecv *obs.Counter
-	bytesSent  *obs.Counter
-	bytesRecv  *obs.Counter
-	flushes    *obs.Counter
-	served     *obs.CounterVec // per hosted node
-	sent       *obs.CounterVec // per remote peer, requests sent
+	calls       *obs.Counter
+	failed      *obs.Counter
+	localCalls  *obs.Counter
+	dials       *obs.Counter
+	dialErrors  *obs.Counter
+	evicted     *obs.Counter
+	framesSent  *obs.Counter
+	framesRecv  *obs.Counter
+	bytesSent   *obs.Counter
+	bytesRecv   *obs.Counter
+	flushes     *obs.Counter
+	flushStalls *obs.Counter    // writer-ring-full backpressure events
+	served      *obs.CounterVec // per hosted node
+	sent        *obs.CounterVec // per remote peer, requests sent
 
 	// Present only with WithObs; recording on nil is a no-op and Call
 	// skips its clock reads entirely when latency is nil.
 	obsReg      *obs.Registry
 	callLatency *obs.Histogram
 	flushSize   *obs.Histogram
+	writevBytes *obs.Histogram
 	mcFanout    *obs.Histogram
+	outDepth    *obs.Gauge // sampled writer-ring depth at enqueue
 
 	scratch sync.Pool // *mcScratch
 }
@@ -179,6 +188,7 @@ func New(addrs map[nodeset.ID]string, opts ...Option) *Network {
 	n := &Network{
 		pipeline:    true,
 		poolSize:    defaultPoolSize,
+		outQueue:    outQueueLen,
 		dialTimeout: defaultDialTimeout,
 		closed:      make(chan struct{}),
 		conns:       make(map[*serverConn]struct{}),
@@ -193,6 +203,7 @@ func New(addrs map[nodeset.ID]string, opts ...Option) *Network {
 		bytesSent:   new(obs.Counter),
 		bytesRecv:   new(obs.Counter),
 		flushes:     new(obs.Counter),
+		flushStalls: new(obs.Counter),
 		served:      new(obs.CounterVec),
 		sent:        new(obs.CounterVec),
 	}
@@ -227,17 +238,65 @@ func New(addrs map[nodeset.ID]string, opts ...Option) *Network {
 		n.obsReg.AdoptCounter("tcp_bytes_sent_total", n.bytesSent)
 		n.obsReg.AdoptCounter("tcp_bytes_recv_total", n.bytesRecv)
 		n.obsReg.AdoptCounter("tcp_flushes_total", n.flushes)
+		n.obsReg.AdoptCounter("tcp_flush_stall_total", n.flushStalls)
 		n.obsReg.AdoptCounterVec("tcp_endpoint_served_total", n.served)
 		n.obsReg.AdoptCounterVec("tcp_peer_requests_sent_total", n.sent)
 		n.callLatency = n.obsReg.Histogram("tcp_call_latency_ns")
 		n.flushSize = n.obsReg.Histogram("tcp_flush_frames")
+		n.writevBytes = n.obsReg.Histogram("tcp_writev_bytes")
 		n.mcFanout = n.obsReg.Histogram("tcp_multicast_fanout")
+		n.outDepth = n.obsReg.Gauge("tcp_out_queue_depth")
 	}
 	n.scratch.New = func() any { return new(mcScratch) }
 	return n
 }
 
-var _ transport.Net = (*Network)(nil)
+var (
+	_ transport.Net         = (*Network)(nil)
+	_ transport.AsyncSender = (*Network)(nil)
+)
+
+// SendAsync delivers req one-way to every target (transport.AsyncSender).
+// Hosted targets dispatch inline on the caller's goroutine — release
+// handlers are cheap and never park for long. Remote targets get a
+// request frame with the one-way correlation ID, so the peer serves it
+// and sends nothing back; the enqueue never blocks (a saturated ring
+// drops the send — it is best-effort by contract, and the writer is
+// behind by a full ring anyway). Per-call mode falls back to a throwaway
+// goroutine running an ordinary call whose reply is discarded.
+func (n *Network) SendAsync(from nodeset.ID, targets nodeset.Set, req transport.Message) {
+	if targets.Empty() {
+		return
+	}
+	var buf [16]nodeset.ID
+	local := n.local.Load()
+	for _, id := range targets.AppendIDs(buf[:0]) {
+		if ep := local.get(id); ep != nil {
+			ep.served.Inc()
+			h := *ep.handler.Load()
+			h(n.baseCtx, from, req) //nolint:errcheck // one-way: outcome is discarded
+			continue
+		}
+		p := n.peerOf(id)
+		if p == nil {
+			continue
+		}
+		p.sent.Inc()
+		if !n.pipeline {
+			go func(to nodeset.ID) {
+				ctx, cancel := context.WithTimeout(n.baseCtx, n.dialTimeout)
+				defer cancel()
+				n.call(ctx, from, to, req) //nolint:errcheck // one-way: outcome is discarded
+			}(id)
+			continue
+		}
+		c, err := p.conn(n.baseCtx, n, from)
+		if err != nil {
+			continue
+		}
+		c.sendOneWay(n.baseCtx, from, req)
+	}
+}
 
 // Register attaches the handler for a node hosted in this process.
 // Re-registering an ID swaps its handler atomically (used to layer a mux
@@ -306,7 +365,7 @@ func (n *Network) call(ctx context.Context, from, to nodeset.ID, req transport.M
 	if !n.pipeline {
 		return n.callPerConn(ctx, from, p.addr, req)
 	}
-	c, err := p.conn(ctx, n)
+	c, err := p.conn(ctx, n, from)
 	if err != nil {
 		return nil, transport.ErrCallFailed
 	}
@@ -340,43 +399,6 @@ func (n *Network) Stats() transport.Stats {
 		Calls:       int64(n.calls.Load()),
 		FailedCalls: int64(n.failed.Load()),
 		Messages:    int64(n.framesSent.Load() + n.framesRecv.Load() + 2*n.localCalls.Load()),
-	}
-}
-
-// writeLoop drains a connection's frame queue, coalescing every frame
-// ready at flush time into a single Write. kill tears the connection
-// down on write failure.
-func (n *Network) writeLoop(nc net.Conn, out <-chan *frameBuf, closed <-chan struct{}, kill func()) {
-	agg := make([]byte, 0, 32<<10)
-	for {
-		var first *frameBuf
-		select {
-		case <-closed:
-			return
-		case first = <-out:
-		}
-		agg = append(agg[:0], first.b...)
-		putBuf(first)
-		frames := 1
-	coalesce:
-		for len(agg) < maxCoalesce {
-			select {
-			case f := <-out:
-				agg = append(agg, f.b...)
-				putBuf(f)
-				frames++
-			default:
-				break coalesce
-			}
-		}
-		n.flushes.Inc()
-		n.framesSent.Add(uint64(frames))
-		n.bytesSent.Add(uint64(len(agg)))
-		n.flushSize.Record(uint64(frames))
-		if _, err := nc.Write(agg); err != nil {
-			kill()
-			return
-		}
 	}
 }
 
@@ -432,12 +454,26 @@ func (n *Network) callPerConn(ctx context.Context, from nodeset.ID, addr string,
 
 // Result re-exported shape: see transport.Result.
 
-// mcScratch is the pooled working set of one multicast fan-out, mirroring
-// the simulator's: target list, result slots, and the joining WaitGroup.
+// mcScratch is the pooled working set of one multicast fan-out: target
+// list, per-target call state, and (per-call mode only) the joining
+// WaitGroup of the goroutine fallback.
 type mcScratch struct {
 	ids     []nodeset.ID
+	calls   []mcCallState
 	results []transport.Result
 	wg      sync.WaitGroup
+}
+
+// mcCallState tracks one multicast target across the send and wait
+// phases. done marks targets resolved during the send phase (local
+// fast-path, dial failure, encode rejection); the rest hold a started
+// call's pending handle until the wait phase collects it.
+type mcCallState struct {
+	c    *clientConn
+	pc   *pendingCall
+	corr uint64
+	res  transport.Result
+	done bool
 }
 
 func (n *Network) mcCall(ctx context.Context, from, to nodeset.ID, req transport.Message, out *transport.Result, wg *sync.WaitGroup) {
@@ -446,11 +482,18 @@ func (n *Network) mcCall(ctx context.Context, from, to nodeset.ID, req transport
 	*out = transport.Result{Reply: reply, Err: err}
 }
 
-// MulticastFunc fans req out to every target concurrently, waits for all,
-// and invokes fn once per target in ID order on the caller's goroutine —
-// the same contract as the simulator's. The per-target frames land on the
-// shared writer queues, so a quorum's worth of requests typically leaves
-// in one or two Write syscalls per peer.
+// MulticastFunc fans req out to every target, waits for all, and invokes
+// fn once per target in ID order on the caller's goroutine — the same
+// contract as the simulator's.
+//
+// Pipelined, the fan-out is two-phase on the caller's goroutine with no
+// per-target goroutines: first every remote target's frame is encoded and
+// enqueued (the send phase — because a caller's traffic to one peer rides
+// one socket, a whole quorum round coalesces into one writev per peer),
+// then the local target's handler runs inline while the remote peers
+// work, then the caller parks for each remote reply. Per-call mode keeps
+// the goroutine-per-target fallback, since each call must block in its
+// own dial.
 func (n *Network) MulticastFunc(ctx context.Context, from nodeset.ID, targets nodeset.Set, req transport.Message, fn func(to nodeset.ID, r transport.Result)) {
 	if targets.Empty() {
 		return
@@ -464,20 +507,106 @@ func (n *Network) MulticastFunc(ctx context.Context, from nodeset.ID, targets no
 	}
 	sc := n.scratch.Get().(*mcScratch)
 	sc.ids = targets.AppendIDs(sc.ids[:0])
-	if cap(sc.results) < len(sc.ids) {
-		sc.results = make([]transport.Result, len(sc.ids))
+	if !n.pipeline {
+		if cap(sc.results) < len(sc.ids) {
+			sc.results = make([]transport.Result, len(sc.ids))
+		}
+		sc.results = sc.results[:len(sc.ids)]
+		sc.wg.Add(len(sc.ids))
+		for i, id := range sc.ids {
+			go n.mcCall(ctx, from, id, req, &sc.results[i], &sc.wg)
+		}
+		sc.wg.Wait()
+		for i, id := range sc.ids {
+			fn(id, sc.results[i])
+		}
+		for i := range sc.results {
+			sc.results[i] = transport.Result{}
+		}
+		n.scratch.Put(sc)
+		return
 	}
-	sc.results = sc.results[:len(sc.ids)]
-	sc.wg.Add(len(sc.ids))
+
+	var start time.Time
+	if n.callLatency != nil {
+		start = time.Now()
+	}
+	if cap(sc.calls) < len(sc.ids) {
+		sc.calls = make([]mcCallState, len(sc.ids))
+	}
+	calls := sc.calls[:len(sc.ids)]
+
+	// Send phase: push every remote target's frame onto its connection's
+	// writer ring. Local targets wait for the next phase so their handler
+	// runs while the wire traffic is in flight.
+	local := n.local.Load()
 	for i, id := range sc.ids {
-		go n.mcCall(ctx, from, id, req, &sc.results[i], &sc.wg)
+		st := &calls[i]
+		*st = mcCallState{}
+		if local.get(id) != nil {
+			continue
+		}
+		n.calls.Inc()
+		p := n.peerOf(id)
+		if p == nil {
+			st.res = transport.Result{Err: transport.ErrCallFailed}
+			st.done = true
+			n.failed.Inc()
+			continue
+		}
+		p.sent.Inc()
+		c, err := p.conn(ctx, n, from)
+		if err != nil {
+			st.res = transport.Result{Err: transport.ErrCallFailed}
+			st.done = true
+			n.failed.Inc()
+			continue
+		}
+		pc, corr, err := c.start(ctx, from, req)
+		if err != nil {
+			st.res = transport.Result{Err: err}
+			st.done = true
+			if errors.Is(err, transport.ErrCallFailed) {
+				n.failed.Inc()
+			}
+			continue
+		}
+		st.c, st.pc, st.corr = c, pc, corr
 	}
-	sc.wg.Wait()
+
+	// Local phase: hosted targets dispatch inline, exactly as Call would.
 	for i, id := range sc.ids {
-		fn(id, sc.results[i])
+		if ep := local.get(id); ep != nil {
+			n.calls.Inc()
+			n.localCalls.Inc()
+			ep.served.Inc()
+			h := *ep.handler.Load()
+			reply, err := h(ctx, from, req)
+			calls[i].res = transport.Result{Reply: reply, Err: err}
+			calls[i].done = true
+		}
 	}
-	for i := range sc.results {
-		sc.results[i] = transport.Result{}
+
+	// Wait phase: collect every started call's reply (or its deadline).
+	for i := range calls {
+		st := &calls[i]
+		if st.done {
+			continue
+		}
+		reply, err := st.c.wait(ctx, st.pc, st.corr)
+		if err != nil && errors.Is(err, transport.ErrCallFailed) {
+			n.failed.Inc()
+		}
+		if n.callLatency != nil {
+			n.callLatency.Record(uint64(time.Since(start)))
+		}
+		st.res = transport.Result{Reply: reply, Err: err}
+	}
+	for i, id := range sc.ids {
+		fn(id, calls[i].res)
+	}
+	for i := range calls {
+		calls[i] = mcCallState{}
 	}
 	n.scratch.Put(sc)
 }

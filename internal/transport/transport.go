@@ -423,6 +423,63 @@ func (n *Network) call(ctx context.Context, from, to nodeset.ID, req Message) (M
 	return n.finishCall(ctx, src, dst, from, to, reply)
 }
 
+// SendAsync delivers req one-way to every target: replies are discarded
+// and the caller never waits for one. Each delivered message counts once
+// (there is no reply leg); crashed or partitioned targets drop the
+// message, exactly as the request leg of a call would.
+//
+// Without latency injection the simulator has no transit time to model,
+// so delivery runs inline on the caller's goroutine — a handler call is
+// the cheapest honest implementation, and it keeps the simulation's
+// strong property that a delivered message's effects are visible the
+// moment the send returns (tests rely on it). With latency configured,
+// the fan-out moves to a background goroutine so the transit time stays
+// off the sender's critical path, as a real one-way send would.
+func (n *Network) SendAsync(from nodeset.ID, targets nodeset.Set, req Message) {
+	if targets.Empty() {
+		return
+	}
+	if n.latency == nil {
+		var buf [16]nodeset.ID
+		for _, to := range targets.AppendIDs(buf[:0]) {
+			n.deliverOneWay(from, to, req)
+		}
+		return
+	}
+	ids := targets.IDs()
+	go func() {
+		for _, to := range ids {
+			n.deliverOneWay(from, to, req)
+		}
+	}()
+}
+
+// deliverOneWay is one target's leg of SendAsync: the request journey of
+// call, with no reply journey back.
+func (n *Network) deliverOneWay(from, to nodeset.ID, req Message) {
+	reg := n.reg.Load()
+	src, dst := reg.get(from), reg.get(to)
+	if src == nil || dst == nil || !src.up.Load() || !dst.up.Load() || !n.reachable(from, to) {
+		return
+	}
+	if n.sleepLatency(context.Background(), src) != nil {
+		return
+	}
+	if !dst.up.Load() || !n.reachable(from, to) {
+		return
+	}
+	if n.encode != nil {
+		var err error
+		if req, err = n.transcode(req); err != nil {
+			return
+		}
+	}
+	n.messages.Inc()
+	dst.served.Inc()
+	handler := *dst.handler.Load()
+	handler(context.Background(), from, req) //nolint:errcheck // one-way: outcome is discarded
+}
+
 func (n *Network) fail() (Message, error) {
 	n.failedCalls.Inc()
 	return nil, ErrCallFailed

@@ -48,6 +48,22 @@ func appendMessage(b []byte, msg any) ([]byte, error) {
 		b = append(b, tagLockRequest)
 		b = putOp(b, m.Op)
 		return putUvarint(b, uint64(m.Mode)), nil
+	case replica.LockPrepare:
+		b = append(b, tagLockPrepare)
+		b = putOp(b, m.Op)
+		b = putUpdate(b, m.Update)
+		b = putUvarint(b, m.NewVersion)
+		return putSet(b, m.GoodSet), nil
+	case replica.LockPrepareReply:
+		b = append(b, tagLockPrepareReply)
+		b = putStateReply(b, m.State)
+		return putBool(b, m.Prepared), nil
+	case replica.ReadSnap:
+		return putOp(append(b, tagReadSnap), m.Op), nil
+	case replica.SnapReply:
+		b = append(b, tagSnapReply)
+		b = putStateReply(b, m.State)
+		return putBytes(b, m.Value), nil
 	case replica.StateReply:
 		return putStateReply(append(b, tagStateReply), m), nil
 	case replica.FetchValue:
@@ -97,7 +113,8 @@ func appendMessage(b []byte, msg any) ([]byte, error) {
 		b = putBool(b, m.OK)
 		return putString(b, m.Reason), nil
 	case replica.DecisionQuery:
-		return putOp(append(b, tagDecisionQuery), m.Op), nil
+		b = putOp(append(b, tagDecisionQuery), m.Op)
+		return putUvarint(b, m.NewVersion), nil
 	case replica.DecisionReply:
 		b = append(b, tagDecisionReply)
 		b = putBool(b, m.Known)
@@ -255,6 +272,16 @@ func decodeMessage(b []byte) (any, int, error) {
 			break
 		}
 		msg = replica.LockRequest{Op: op, Mode: replica.LockMode(mode)}
+	case tagLockPrepare:
+		msg = replica.LockPrepare{
+			Op: r.op(), Update: r.update(), NewVersion: r.uvarint(), GoodSet: r.set(),
+		}
+	case tagLockPrepareReply:
+		msg = replica.LockPrepareReply{State: r.stateReply(), Prepared: r.boolean()}
+	case tagReadSnap:
+		msg = replica.ReadSnap{Op: r.op()}
+	case tagSnapReply:
+		msg = replica.SnapReply{State: r.stateReply(), Value: r.bytes()}
 	case tagStateReply:
 		msg = r.stateReply()
 	case tagFetchValue:
@@ -287,7 +314,7 @@ func decodeMessage(b []byte) (any, int, error) {
 	case tagAck:
 		msg = replica.Ack{OK: r.boolean(), Reason: r.str()}
 	case tagDecisionQuery:
-		msg = replica.DecisionQuery{Op: r.op()}
+		msg = replica.DecisionQuery{Op: r.op(), NewVersion: r.uvarint()}
 	case tagDecisionReply:
 		msg = replica.DecisionReply{Known: r.boolean(), Commit: r.boolean()}
 	case tagPropagationOffer:

@@ -73,6 +73,10 @@ const (
 	tagClientWriteReply
 	tagClientCheckEpoch
 	tagClientCheckReply
+	tagLockPrepare
+	tagLockPrepareReply
+	tagReadSnap
+	tagSnapReply
 )
 
 // Marshal encodes a protocol message.
