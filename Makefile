@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch bench-net profile-net check-obs-imports check-allocs fuzz-smoke ci
+.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch bench-net bench-shard bench-shard-smoke profile-net check-obs-imports check-allocs fuzz-smoke ci
 
 all: build
 
@@ -56,6 +56,22 @@ bench-batch:
 bench-net:
 	$(GO) run ./scripts/benchnet -duration 3s -trials 3
 
+# bench-shard measures the horizontally sharded data plane — a million-key
+# Zipfian sweep over 4 daemons with stride-sampled one-copy checking, an
+# unsharded-vs-sharded throughput comparison on the same hardware, and a
+# hedged-reads run against a deliberately slow daemon — and writes
+# BENCH_7.json. Gates: full keyspace coverage with zero violations,
+# >= 1.8x sharded speedup, >= 30% read-p99 cut from hedging (DESIGN.md
+# §11, EXPERIMENTS.md BENCH_7).
+bench-shard:
+	$(GO) run ./scripts/benchshard -duration 5s -trials 2
+
+# bench-shard-smoke is the CI-sized version: a 2000-key sweep plus the
+# hedging section, gating coverage, zero violations and the p99 cut; no
+# report file.
+bench-shard-smoke:
+	$(GO) run ./scripts/benchshard -smoke
+
 # profile-net captures a CPU profile of the networked hot path: a
 # tcp-pipelined loadgen run serves pprof on 127.0.0.1:6161 (its daemons on
 # 6162+) and the client process is sampled mid-run. The flat top lands on
@@ -78,6 +94,8 @@ check-allocs:
 	$(GO) test -run 'TestMuxDispatchDoesNotAllocate|TestMulticastFuncAllocs' ./internal/transport/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestAppendMarshalDoesNotAllocate' ./internal/wire/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestRequestFrameEncodeDoesNotAllocate|TestReplyFrameEncodeDoesNotAllocate|TestFusedMessageEncodeDoesNotAllocate|TestRingFlushPathDoesNotAllocate' ./internal/transport/tcpnet/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestZipfNextDoesNotAllocate|TestMixNextDoesNotAllocate' ./internal/workload/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestShardOfDoesNotAllocate' ./internal/placement/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 
 # fuzz-smoke runs the wire-codec fuzzer briefly: every generated input must
 # either fail to decode or round-trip byte-identically (the canonical-
@@ -95,4 +113,4 @@ check-obs-imports:
 	fi; \
 	echo "check-obs-imports: internal/obs is clean"
 
-ci: vet build check-obs-imports check-allocs fuzz-smoke race bench-smoke bench-loadgen bench-obs bench-batch bench-net
+ci: vet build check-obs-imports check-allocs fuzz-smoke race bench-smoke bench-loadgen bench-obs bench-batch bench-net bench-shard-smoke

@@ -56,6 +56,7 @@ import (
 	"sync"
 	"time"
 
+	"coterie/internal/capi"
 	"coterie/internal/core"
 	"coterie/internal/daemon"
 	"coterie/internal/nodeset"
@@ -95,6 +96,20 @@ type config struct {
 	pool        int
 	pprofPort   int
 	compare     string
+
+	// Sharded mode (-shards > 0): the keyspace is hashed across many
+	// coteries and driven through the smart capi client instead of the
+	// fixed item list.
+	shards      int
+	rf          int
+	keyspace    int
+	zipfTheta   float64
+	hedge       bool
+	slowNode    int
+	slowRead    time.Duration
+	sweep       bool
+	checkStride int
+	maxCoords   int
 }
 
 // outcomes is the per-operation-type disposition breakdown.
@@ -147,8 +162,10 @@ type result struct {
 	OpsPerSec     float64          `json:"ops_per_sec"`
 	ReadP50us     int64            `json:"read_p50_us"`
 	ReadP99us     int64            `json:"read_p99_us"`
+	ReadP999us    int64            `json:"read_p999_us"`
 	WriteP50us    int64            `json:"write_p50_us"`
 	WriteP99us    int64            `json:"write_p99_us"`
+	WriteP999us   int64            `json:"write_p999_us"`
 	ReadOutcomes  outcomes         `json:"read_outcomes"`
 	WriteOutcomes outcomes         `json:"write_outcomes"`
 	Metrics       map[string]int64 `json:"metrics,omitempty"`
@@ -159,6 +176,21 @@ type result struct {
 	Net               string `json:"net,omitempty"`
 	Pipeline          *bool  `json:"pipeline,omitempty"`
 	OneCopyViolations *int   `json:"onecopy_violations,omitempty"`
+
+	// Sharded-mode extras: the placement geometry, how much of the
+	// keyspace the run actually touched (distinct keys) and history-checked
+	// (checked keys), per-shard operation counts, and the smart client's
+	// retry/hedge counters.
+	Shards       int               `json:"shards,omitempty"`
+	RF           int               `json:"rf,omitempty"`
+	Keyspace     int               `json:"keyspace,omitempty"`
+	ZipfTheta    float64           `json:"zipf_theta,omitempty"`
+	Hedge        *bool             `json:"hedge,omitempty"`
+	SlowRead     string            `json:"slow_read,omitempty"`
+	DistinctKeys int               `json:"distinct_keys,omitempty"`
+	CheckedKeys  int               `json:"checked_keys,omitempty"`
+	PerShardOps  []int64           `json:"per_shard_ops,omitempty"`
+	Client       *capi.ClientStats `json:"client,omitempty"`
 }
 
 // workerStats accumulates one worker's counts and latency samples; workers
@@ -209,6 +241,16 @@ func main() {
 	flag.IntVar(&cfg.pool, "pool", 0, "tcp mode: pipelined connections per peer (0 = transport default)")
 	flag.IntVar(&cfg.pprofPort, "pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (tcp mode: daemon i serves on PORT+1+i)")
 	flag.StringVar(&cfg.compare, "compare", "", "JSON result of a previous run to report the per-transport latency gap against (e.g. a -net sim result while running -net tcp)")
+	flag.IntVar(&cfg.shards, "shards", 0, "shard the keyspace across this many coteries and drive it through the smart client (requires -net tcp; 0 = fixed -items list)")
+	flag.IntVar(&cfg.rf, "rf", 0, "replicas per shard in sharded mode (0 = daemon default)")
+	flag.IntVar(&cfg.keyspace, "keyspace", 0, "distinct keys in sharded mode (0 = 1,000,000)")
+	flag.Float64Var(&cfg.zipfTheta, "zipf", workload.DefaultZipfTheta, "Zipfian skew theta in (0,1) for sharded-mode key popularity")
+	flag.BoolVar(&cfg.hedge, "hedge", false, "sharded mode: hedge reads to an alternate shard member after a p99-derived delay")
+	flag.IntVar(&cfg.slowNode, "slow-node", -1, "sharded mode: daemon ID to slow down with -slow-read (-1 = none)")
+	flag.DurationVar(&cfg.slowRead, "slow-read", 0, "sharded mode: injected per-read service delay on the -slow-node daemon")
+	flag.BoolVar(&cfg.sweep, "sweep", false, "sharded mode: interleave a full deterministic sweep of the keyspace so every key is touched at least once (runs past -duration if needed)")
+	flag.IntVar(&cfg.checkStride, "check-stride", 1, "sharded mode: record one-copy history for every key-th key plus the hottest 1024 (1 = all keys; larger strides bound checker memory on million-key runs)")
+	flag.IntVar(&cfg.maxCoords, "max-coords", 0, "sharded mode: live coordinator cap per daemon (0 = daemon default)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -219,6 +261,9 @@ func main() {
 func run(cfg config) error {
 	if cfg.nodes <= 0 || cfg.items <= 0 || cfg.workers <= 0 {
 		return fmt.Errorf("nodes, items and workers must be positive")
+	}
+	if cfg.shards > 0 {
+		return runShard(cfg)
 	}
 	switch cfg.netMode {
 	case "sim":
@@ -432,6 +477,8 @@ func run(cfg config) error {
 	res.ReadP99us = percentile(readLat, 0.99).Microseconds()
 	res.WriteP50us = percentile(writeLat, 0.50).Microseconds()
 	res.WriteP99us = percentile(writeLat, 0.99).Microseconds()
+	res.ReadP999us = percentile(readLat, 0.999).Microseconds()
+	res.WriteP999us = percentile(writeLat, 0.999).Microseconds()
 
 	if reg != obs.Nop {
 		snap := reg.Snapshot()

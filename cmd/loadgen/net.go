@@ -73,16 +73,32 @@ type proc struct {
 // spawnDaemon re-executes this binary's coteried subcommand for node id
 // and blocks until it reports READY on stdout.
 func spawnDaemon(exe string, id nodeset.ID, book map[nodeset.ID]string, cfg config, recovering bool) (*proc, error) {
+	items := cfg.items
+	if cfg.shards > 0 {
+		items = 0 // sharded daemons materialize replicas lazily
+	}
 	args := []string{
 		"coteried",
 		"-node", strconv.Itoa(int(id)),
 		"-cluster", daemon.FormatCluster(book),
-		"-items", strconv.Itoa(cfg.items),
+		"-items", strconv.Itoa(items),
 		"-item-size", strconv.Itoa(cfg.itemSize),
 		"-call-timeout", cfg.callTimeout.String(),
 		"-strategy", cfg.strategy,
 		"-pipeline=" + strconv.FormatBool(cfg.pipeline),
 		"-obs=" + strconv.FormatBool(cfg.obsOn),
+	}
+	if cfg.shards > 0 {
+		args = append(args, "-shards", strconv.Itoa(cfg.shards))
+		if cfg.rf > 0 {
+			args = append(args, "-rf", strconv.Itoa(cfg.rf))
+		}
+		if cfg.maxCoords > 0 {
+			args = append(args, "-max-coords", strconv.Itoa(cfg.maxCoords))
+		}
+		if cfg.slowRead > 0 && int(id) == cfg.slowNode {
+			args = append(args, "-slow-read", cfg.slowRead.String())
+		}
 	}
 	if cfg.batch {
 		args = append(args, "-batch")
@@ -373,6 +389,8 @@ func runTCP(cfg config) error {
 	res.ReadP99us = percentile(readLat, 0.99).Microseconds()
 	res.WriteP50us = percentile(writeLat, 0.50).Microseconds()
 	res.WriteP99us = percentile(writeLat, 0.99).Microseconds()
+	res.ReadP999us = percentile(readLat, 0.999).Microseconds()
+	res.WriteP999us = percentile(writeLat, 0.999).Microseconds()
 
 	// One-copy serializability check over every item's recorded history.
 	violations := 0

@@ -1,0 +1,453 @@
+// Sharded-mode loadgen: -shards N hashes a large keyspace (default one
+// million keys) across N coteries served by the spawned coteried daemons
+// and drives it through the smart capi client — cached shard map, direct
+// routing, retry with jittered backoff, and optionally hedged reads. This
+// is the harness for the horizontal-scale story: keys are drawn from a
+// Zipfian (s≈1.0) popularity curve, per-shard throughput and p999 tails
+// are first-class outputs, and -sweep guarantees every key in the
+// keyspace is touched at least once so "≥1M distinct items" is a measured
+// fact, not a configuration claim.
+//
+// One-copy checking at million-key scale: recording every key's history
+// would cost more memory than the cluster itself, so -check-stride k
+// samples the keyspace — every k-th key plus the 1024 hottest (Zipf rank
+// is key order, so low keys are hot and contended, exactly where
+// violations would appear). Ambiguous writes (capi.ErrAmbiguous, or an
+// Unavailable/Error disposition) record as MaybeWrite wildcards; the
+// smart client never resends those, which is what keeps the checked
+// histories free of duplicate commits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coterie/internal/capi"
+	"coterie/internal/core"
+	"coterie/internal/daemon"
+	"coterie/internal/nodeset"
+	"coterie/internal/obs"
+	"coterie/internal/onecopy"
+	"coterie/internal/replica"
+	"coterie/internal/transport/tcpnet"
+	"coterie/internal/workload"
+)
+
+// keyName renders key k as "k<decimal>" into buf, reusing its storage.
+// The returned string is freshly allocated (map keys and wire frames own
+// their bytes); buf only amortizes the digit formatting.
+func keyName(buf []byte, k uint64) string {
+	buf = append(buf[:0], 'k')
+	return string(strconv.AppendUint(buf, k, 10))
+}
+
+// recTable is the lazy, striped one-copy recorder table. Stride-sampled
+// keys (plus the hottest 1024) get a recorder on first touch; everything
+// else reads/writes unrecorded. 64 stripes keep the lookup off any single
+// lock in the worker hot path.
+type recTable struct {
+	stride   uint64
+	itemSize int
+	stripes  [64]recStripe
+}
+
+type recStripe struct {
+	mu sync.Mutex
+	m  map[uint64]*onecopy.Recorder
+}
+
+func newRecTable(itemSize, stride int) *recTable {
+	t := &recTable{stride: uint64(stride), itemSize: itemSize}
+	if t.stride == 0 {
+		t.stride = 1
+	}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[uint64]*onecopy.Recorder)
+	}
+	return t
+}
+
+// get returns key's recorder, creating it on first touch, or nil when the
+// key falls outside the checked sample.
+func (t *recTable) get(key uint64) *onecopy.Recorder {
+	if t.stride > 1 && key >= 1024 && key%t.stride != 0 {
+		return nil
+	}
+	s := &t.stripes[key&63]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.m[key]
+	if r == nil {
+		r = onecopy.NewRecorder(make([]byte, t.itemSize))
+		s.m[key] = r
+	}
+	return r
+}
+
+// check verifies every recorded history and returns how many keys were
+// checked and how many violated one-copy serializability.
+func (t *recTable) check() (checked, violations int) {
+	var buf []byte
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		for key, rec := range s.m {
+			checked++
+			if err := rec.Check(); err != nil {
+				violations++
+				fmt.Fprintf(os.Stderr, "loadgen: ONE-COPY VIOLATION %s: %v\n", keyName(buf, key), err)
+			}
+		}
+	}
+	return checked, violations
+}
+
+func runShard(cfg config) error {
+	// The sharded data plane only exists over TCP; -shards implies it.
+	if cfg.netMode == "sim" {
+		cfg.netMode = "tcp"
+	}
+	if cfg.netMode != "tcp" {
+		return fmt.Errorf("-shards requires -net tcp (the sharded data plane is the networked one)")
+	}
+	if cfg.churn > 0 {
+		return fmt.Errorf("-churn is not supported with -shards (shard maps do not version node churn yet)")
+	}
+	if cfg.latency > 0 {
+		return fmt.Errorf("-latency is simulation-only (real TCP has real latency)")
+	}
+	if cfg.keyspace <= 0 {
+		cfg.keyspace = 1_000_000
+	}
+	if cfg.checkStride <= 0 {
+		cfg.checkStride = 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("cannot self-spawn daemons: %w", err)
+	}
+	addrs, err := reservePorts(cfg.nodes)
+	if err != nil {
+		return err
+	}
+	book := make(map[nodeset.ID]string, cfg.nodes)
+	for i, a := range addrs {
+		book[nodeset.ID(i)] = a
+	}
+
+	procs := make([]*proc, cfg.nodes)
+	for i := range procs {
+		p, err := spawnDaemon(exe, nodeset.ID(i), book, cfg, false)
+		if err != nil {
+			for _, q := range procs[:i] {
+				q.kill()
+			}
+			return err
+		}
+		procs[i] = p
+	}
+	defer func() {
+		for _, p := range procs {
+			p.stop()
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "loadgen: %d coteried daemons up, %d shards rf=%d over %s\n",
+		cfg.nodes, cfg.shards, cfg.rf, daemon.FormatCluster(book))
+
+	stopPprof, err := servePprof(cfg.pprofPort)
+	if err != nil {
+		return err
+	}
+	defer stopPprof()
+
+	reg := obs.Nop
+	if cfg.obsOn {
+		reg = obs.New()
+	}
+	topts := []tcpnet.Option{tcpnet.WithPipeline(cfg.pipeline)}
+	if reg != obs.Nop {
+		topts = append(topts, tcpnet.WithObs(reg))
+	}
+	if cfg.pool > 0 {
+		topts = append(topts, tcpnet.WithPoolSize(cfg.pool))
+	}
+	cli := tcpnet.New(book, topts...)
+	defer cli.Close()
+
+	seeds := make([]nodeset.ID, cfg.nodes)
+	for i := range seeds {
+		seeds[i] = nodeset.ID(i)
+	}
+	ccfg := capi.ClientConfig{
+		Self:        nodeset.ID(cfg.nodes + 1),
+		Seeds:       seeds,
+		OpTimeout:   cfg.timeout,
+		CallTimeout: cfg.callTimeout,
+		Hedge:       cfg.hedge,
+		Obs:         reg,
+		Seed:        uint64(cfg.seed),
+	}
+	client, err := capi.NewClient(cli, ccfg)
+	if err != nil {
+		return err
+	}
+	refreshCtx, refreshCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = client.Refresh(refreshCtx)
+	refreshCancel()
+	if err != nil {
+		return fmt.Errorf("shard map bootstrap: %w", err)
+	}
+	pm := client.Map()
+	fmt.Fprintf(os.Stderr, "loadgen: shard map v%d: %d shards rf=%d across %d nodes\n",
+		pm.Version(), pm.NumShards(), pm.RF(), pm.Nodes().Len())
+
+	parent, err := workload.NewZipf(uint64(cfg.keyspace), cfg.zipfTheta, cfg.seed)
+	if err != nil {
+		return err
+	}
+	zipfs, err := parent.Split(cfg.workers)
+	if err != nil {
+		return err
+	}
+
+	recs := newRecTable(cfg.itemSize, cfg.checkStride)
+	touched := make([]uint64, (cfg.keyspace+63)/64)
+	shardOps := make([]int64, pm.NumShards())
+
+	stats := make([]workerStats, cfg.workers)
+	deadline := time.Now().Add(cfg.duration)
+	ctx := context.Background()
+	// No deadline on the run context: -sweep is allowed to overrun
+	// -duration until every key has been touched, and the smart client
+	// already bounds each operation with its own OpTimeout.
+	var wg sync.WaitGroup
+	start := time.Now()
+	pacer := workload.NewPacer(cfg.rate, start)
+
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			z := zipfs[w]
+			rng := rand.New(rand.NewSource(int64(mix64(uint64(cfg.seed) + uint64(w)*0x9e3779b97f4a7c15))))
+			nbuf := make([]byte, 0, 24)
+			// The worker's sweep slice of the keyspace, visited in order so
+			// the union over workers covers every key exactly once.
+			lo := uint64(w) * uint64(cfg.keyspace) / uint64(cfg.workers)
+			hi := uint64(w+1) * uint64(cfg.keyspace) / uint64(cfg.workers)
+			next := lo
+			var op uint64
+			for {
+				inTime := time.Now().Before(deadline)
+				if !inTime && (!cfg.sweep || next >= hi) {
+					return
+				}
+				began, due := pacer.Wait(ctx)
+				if !due {
+					return
+				}
+				op++
+				var key uint64
+				switch {
+				case cfg.sweep && next < hi && (!inTime || op%2 == 0):
+					// Sweep key: alternates with Zipf draws during the
+					// measurement window, takes over entirely after the
+					// deadline so coverage completes quickly.
+					key = next
+					next++
+				default:
+					key = z.Next()
+				}
+				atomic.OrUint64(&touched[key>>6], 1<<(key&63))
+				name := keyName(nbuf, key)
+				atomic.AddInt64(&shardOps[pm.ShardOf(name)], 1)
+				rec := recs.get(key)
+				if rng.Float64() < cfg.readFrac {
+					var opStart uint64
+					if rec != nil {
+						opStart = rec.Begin()
+					}
+					reply, err := client.Read(ctx, name)
+					if err == nil {
+						err = statusErr(reply.Status, reply.Detail)
+					}
+					st.readOut.add(err)
+					if err == nil {
+						if rec != nil {
+							rec.EndRead(opStart, reply.Version, reply.Value)
+						}
+						st.reads++
+						st.readLat = append(st.readLat, time.Since(began))
+					} else {
+						st.failures++
+					}
+				} else {
+					length := 1 + rng.Intn(cfg.writeLen)
+					data := make([]byte, length) // recorded histories own their bytes
+					for i := range data {
+						data[i] = byte('a' + rng.Intn(26))
+					}
+					u := replica.Update{Offset: rng.Intn(cfg.itemSize - length + 1), Data: data}
+					var opStart uint64
+					if rec != nil {
+						opStart = rec.Begin()
+					}
+					reply, err := client.Write(ctx, name, u)
+					werr := err
+					if werr == nil {
+						werr = statusErr(reply.Status, reply.Detail)
+					}
+					st.writeOut.add(werr)
+					switch {
+					case err == nil && reply.Status == capi.StatusOK:
+						if rec != nil {
+							rec.EndWrite(opStart, reply.Version, u)
+						}
+						st.writes++
+						st.writeLat = append(st.writeLat, time.Since(began))
+					case err == nil && reply.Status == capi.StatusConflict:
+						// Clean abort surfaced after retries: never applied.
+						st.conflicts++
+					case err == nil || errors.Is(err, capi.ErrAmbiguous):
+						// Unavailable/Error disposition or a failed RPC: the
+						// commit may have begun; the checker must allow both.
+						if rec != nil {
+							rec.EndMaybeWrite(opStart, u)
+						}
+						st.failures++
+					case errors.Is(err, core.ErrConflict):
+						st.conflicts++
+					default:
+						// Clean client-side failure (routing, deadline between
+						// attempts, conflict exhaustion): nothing dispatched
+						// that could still commit, nothing recorded.
+						st.failures++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	hedgeOn := cfg.hedge
+	res := result{
+		Nodes: cfg.nodes, Items: cfg.keyspace, Workers: cfg.workers,
+		ReadFrac:   cfg.readFrac,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       cfg.seed,
+		Obs:        cfg.obsOn,
+		Batch:      cfg.batch,
+		Strategy:   cfg.strategy,
+		Affinity:   cfg.affinity,
+		BatchProp:  cfg.batchProp,
+		RateTarget: cfg.rate,
+		ElapsedSec: elapsed.Seconds(),
+		Net:        "tcp",
+		Pipeline:   &cfg.pipeline,
+		Shards:     pm.NumShards(),
+		RF:         pm.RF(),
+		Keyspace:   cfg.keyspace,
+		ZipfTheta:  cfg.zipfTheta,
+		Hedge:      &hedgeOn,
+	}
+	if cfg.slowRead > 0 && cfg.slowNode >= 0 {
+		res.SlowRead = fmt.Sprintf("node %d +%s", cfg.slowNode, cfg.slowRead)
+	}
+	var readLat, writeLat []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		res.Reads += st.reads
+		res.Writes += st.writes
+		res.Conflicts += st.conflicts
+		res.Failures += st.failures
+		addOutcomes(&res.ReadOutcomes, st.readOut)
+		addOutcomes(&res.WriteOutcomes, st.writeOut)
+		readLat = append(readLat, st.readLat...)
+		writeLat = append(writeLat, st.writeLat...)
+	}
+	res.Ops = res.Reads + res.Writes
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	res.ReadP50us = percentile(readLat, 0.50).Microseconds()
+	res.ReadP99us = percentile(readLat, 0.99).Microseconds()
+	res.ReadP999us = percentile(readLat, 0.999).Microseconds()
+	res.WriteP50us = percentile(writeLat, 0.50).Microseconds()
+	res.WriteP99us = percentile(writeLat, 0.99).Microseconds()
+	res.WriteP999us = percentile(writeLat, 0.999).Microseconds()
+
+	for _, word := range touched {
+		res.DistinctKeys += bits.OnesCount64(word)
+	}
+	res.PerShardOps = shardOps
+	cs := client.Stats()
+	res.Client = &cs
+
+	checked, violations := recs.check()
+	res.CheckedKeys = checked
+	res.OneCopyViolations = &violations
+	if violations == 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: one-copy serializability verified on %d sampled keys (%d distinct keys, %d ops)\n",
+			checked, res.DistinctKeys, res.Ops)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: client retries=%d hedges=%d hedge_wins=%d wrong_shard=%d map_refresh=%d\n",
+		cs.Retries, cs.Hedges, cs.HedgeWins, cs.WrongShard, cs.MapRefresh)
+	printShardSpread(os.Stderr, shardOps)
+
+	if reg != obs.Nop {
+		snap := reg.Snapshot()
+		res.Metrics = make(map[string]int64, len(snap.Counters))
+		for _, c := range snap.Counters {
+			if c.Value != 0 {
+				res.Metrics[c.Name] = c.Value
+			}
+		}
+		printSummary(os.Stderr, snap)
+	}
+	printLatencyGap(res, cfg.compare)
+
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d one-copy serializability violations", violations)
+	}
+	return nil
+}
+
+// printShardSpread summarizes per-shard load balance on stderr: min, max,
+// and the max/mean imbalance factor.
+func printShardSpread(w *os.File, shardOps []int64) {
+	if len(shardOps) == 0 {
+		return
+	}
+	var total, max int64
+	min := shardOps[0]
+	for _, n := range shardOps {
+		total += n
+		if n > max {
+			max = n
+		}
+		if n < min {
+			min = n
+		}
+	}
+	mean := float64(total) / float64(len(shardOps))
+	imb := 0.0
+	if mean > 0 {
+		imb = float64(max) / mean
+	}
+	fmt.Fprintf(w, "loadgen: shard spread: %d shards, ops min=%d max=%d mean=%.0f (max/mean %.2fx)\n",
+		len(shardOps), min, max, mean, imb)
+}

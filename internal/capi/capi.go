@@ -16,7 +16,10 @@
 // Status; clients map Status back to whatever error taxonomy they use.
 package capi
 
-import "coterie/internal/replica"
+import (
+	"coterie/internal/nodeset"
+	"coterie/internal/replica"
+)
 
 // Status classifies an operation's disposition at the serving daemon.
 type Status uint8
@@ -36,6 +39,12 @@ const (
 	// StatusError: any other failure; Detail carries the error text. Like
 	// StatusUnavailable, ambiguous for writes.
 	StatusError
+	// StatusWrongShard: the daemon refused the operation before executing
+	// anything because it does not own the item's shard under its current
+	// shard map — the client's cached map is stale (or the client routed
+	// badly). Never ambiguous: safe to retry after refreshing the map
+	// (MapQuery) from any daemon.
+	StatusWrongShard
 )
 
 // String returns the status's wire-stable lowercase name.
@@ -49,6 +58,8 @@ func (s Status) String() string {
 		return "conflict"
 	case StatusError:
 		return "error"
+	case StatusWrongShard:
+		return "wrong-shard"
 	default:
 		return "invalid"
 	}
@@ -94,4 +105,23 @@ type CheckReply struct {
 	Changed  bool   // an epoch change was installed
 	EpochNum uint64 // the item's epoch number after the check
 	Detail   string
+}
+
+// MapQuery asks a daemon for its current shard map. HaveVersion is the
+// client's cached map version (0 for none); a daemon may answer a matching
+// version with just the version number, leaving Nodes empty.
+type MapQuery struct {
+	HaveVersion uint64
+}
+
+// MapReply answers a MapQuery with the shard map's parameters. Rendezvous
+// hashing makes the full shard->members table a pure function of these
+// four values (internal/placement), so the table itself never crosses the
+// wire: the client reconstructs it locally. A NumShards of zero means the
+// daemon is not sharded (legacy single-coterie deployment).
+type MapReply struct {
+	Version   uint64
+	NumShards uint32
+	RF        uint32
+	Nodes     nodeset.Set
 }

@@ -40,6 +40,11 @@ func ParseFlags(args []string) (Config, error) {
 	fs.BoolVar(&cfg.Obs, "obs", true, "attach the observability registry")
 	fs.StringVar(&cfg.MetricsAddr, "metrics", "", "serve live metrics over HTTP on this address")
 	fs.StringVar(&cfg.PprofAddr, "pprof", "", "serve net/http/pprof profiling on this address")
+	fs.IntVar(&cfg.Shards, "shards", 0, "serve a sharded keyspace of this many coteries (0 = fixed -items list)")
+	fs.IntVar(&cfg.RF, "rf", 0, "replicas per shard in sharded mode (0 = default 3, clamped to cluster size)")
+	fs.Uint64Var(&cfg.MapVersion, "map-version", 0, "shard map version served to clients (0 = default 1)")
+	fs.IntVar(&cfg.MaxCoords, "max-coords", 0, "live coordinator cap in sharded mode (0 = default 4096)")
+	fs.DurationVar(&cfg.SlowReadDelay, "slow-read", 0, "inject this service delay before every client read (tail-latency experiments)")
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
 	}

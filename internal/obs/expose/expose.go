@@ -80,6 +80,16 @@ func WritePrometheus(w io.Writer, r *obs.Registry) error {
 		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.Name, h.Hist.Sum, h.Name, h.Hist.Count); err != nil {
 			return err
 		}
+		// Interpolated tail quantiles as a comment line: scrapers ignore
+		// comments (quantile series belong to summaries, not histograms),
+		// but a human reading the text exposition gets the tail at a
+		// glance — p999 included, the bench's first-class tail axis.
+		if h.Hist.Count > 0 {
+			if _, err := fmt.Fprintf(w, "# %s p50=%d p99=%d p999=%d\n",
+				h.Name, h.Hist.Quantile(0.5), h.Hist.Quantile(0.99), h.Hist.Quantile(0.999)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -128,6 +138,7 @@ type jsonHist struct {
 	Mean    float64           `json:"mean"`
 	P50     uint64            `json:"p50"`
 	P99     uint64            `json:"p99"`
+	P999    uint64            `json:"p999"`
 	Buckets map[string]uint64 `json:"buckets"`
 }
 
@@ -163,6 +174,7 @@ func WriteJSON(w io.Writer, r *obs.Registry) error {
 			Mean:    h.Hist.Mean(),
 			P50:     h.Hist.Quantile(0.5),
 			P99:     h.Hist.Quantile(0.99),
+			P999:    h.Hist.Quantile(0.999),
 			Buckets: make(map[string]uint64),
 		}
 		for i, n := range h.Hist.Buckets {

@@ -52,6 +52,60 @@ func TestWritePrometheus(t *testing.T) {
 	if !strings.Contains(out, `proto_latency_ns_bucket{le="0"} 1`) {
 		t.Errorf("zero bucket missing:\n%s", out)
 	}
+	// Tail quantile comment line: p50/p99/p999 at a glance for text
+	// readers, invisible to scrapers.
+	if !strings.Contains(out, "# proto_latency_ns p50=") || !strings.Contains(out, " p999=") {
+		t.Errorf("quantile comment line missing:\n%s", out)
+	}
+}
+
+// TestP999Rendering pins the p999 field across both expositions with a
+// distribution whose p99 and p999 split: 1997 fast points, 3 at ~1ms.
+func TestP999Rendering(t *testing.T) {
+	r := obs.New()
+	h := r.Histogram("op_latency_ns")
+	for i := 0; i < 1997; i++ {
+		h.Record(1000)
+	}
+	for i := 0; i < 3; i++ {
+		h.Record(1_000_000)
+	}
+
+	var jb strings.Builder
+	if err := WriteJSON(&jb, r); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Histograms map[string]struct {
+			P50  uint64 `json:"p50"`
+			P99  uint64 `json:"p99"`
+			P999 uint64 `json:"p999"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(jb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	jh, ok := decoded.Histograms["op_latency_ns"]
+	if !ok {
+		t.Fatalf("histogram missing from JSON:\n%s", jb.String())
+	}
+	if jh.P99 >= 500_000 {
+		t.Errorf("json p99 = %d landed in the tail", jh.P99)
+	}
+	if jh.P999 < 524_288 || jh.P999 > 1_048_575 {
+		t.Errorf("json p999 = %d, want inside the 1ms bucket", jh.P999)
+	}
+	if !(jh.P50 <= jh.P99 && jh.P99 <= jh.P999) {
+		t.Errorf("json quantiles not monotone: %d %d %d", jh.P50, jh.P99, jh.P999)
+	}
+
+	var pb strings.Builder
+	if err := WritePrometheus(&pb, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pb.String(), "# op_latency_ns p50=") {
+		t.Errorf("text quantile line missing:\n%s", pb.String())
+	}
 }
 
 func TestWriteJSONAndHandler(t *testing.T) {

@@ -106,6 +106,47 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramP999Boundaries pins the 0.999 quantile's boundary
+// behavior: a distribution with exactly one observation in a far tail
+// bucket must surface it at p999 but not p99, the tail rank must resolve
+// to the tail bucket's range (2x relative error class), and the unbounded
+// last bucket reports its lower bound rather than inventing a ceiling.
+func TestHistogramP999Boundaries(t *testing.T) {
+	var h Histogram
+	// 1998 observations at ~1µs, 2 at ~1ms: ranks 1998 and 1999 of 2000
+	// sit in the tail, so p999 (rank 1997.002 → bucket scan) must land in
+	// the fast bucket's neighborhood while p9995 would hit the tail. With
+	// rank = q*(count-1) = 0.999*1999 = 1997 the p999 stays fast; with 3
+	// tail points rank 1997 hits the tail.
+	for i := 0; i < 1997; i++ {
+		h.Record(1000)
+	}
+	for i := 0; i < 3; i++ {
+		h.Record(1_000_000)
+	}
+	s := h.Snapshot()
+	p99, p999 := s.Quantile(0.99), s.Quantile(0.999)
+	if p99 >= 500_000 {
+		t.Errorf("p99 = %d landed in the tail bucket; only 3/2000 observations are slow", p99)
+	}
+	if p999 < 524_288 || p999 > 1_048_575 {
+		t.Errorf("p999 = %d, want inside the 1ms bucket [524288, 1048575]", p999)
+	}
+	// Monotonicity across the rendered quantile ladder.
+	if !(s.Quantile(0.5) <= p99 && p99 <= p999) {
+		t.Errorf("quantiles not monotone: p50=%d p99=%d p999=%d", s.Quantile(0.5), p99, p999)
+	}
+	// Unbounded last bucket: p999 of an all-overflow stream reports the
+	// bucket's lower bound.
+	var over Histogram
+	for i := 0; i < 10; i++ {
+		over.Record(1 << 50)
+	}
+	if got := over.Snapshot().Quantile(0.999); got != 1<<(NumBuckets-2) {
+		t.Errorf("overflow p999 = %d, want last bucket lower bound %d", got, uint64(1)<<(NumBuckets-2))
+	}
+}
+
 // TestHistogramNilAndDuration: nil receivers no-op; durations record in
 // nanoseconds with negatives clamped.
 func TestHistogramNilAndDuration(t *testing.T) {

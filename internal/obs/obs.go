@@ -156,6 +156,22 @@ func (r *Registry) AdoptCounter(name string, c *Counter) {
 	r.mu.Unlock()
 }
 
+// AdoptHistogram registers an externally owned histogram under name,
+// making it visible to Snapshot and exposition. Components that must
+// observe even when observability is disabled (e.g. the smart client's
+// read-attempt latency, which drives its hedge delay) own a real
+// histogram themselves and adopt it into the registry when one is
+// attached. Adopting an already-registered name replaces the previous
+// histogram.
+func (r *Registry) AdoptHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
 // AdoptCounterVec registers an externally owned counter vector under name,
 // making it visible to Snapshot and exposition. Components that must count
 // even when observability is disabled (e.g. the transport's per-endpoint

@@ -1,0 +1,181 @@
+// Package placement shards a large keyspace across many independent
+// coteries. The paper's protocol (and everything under internal/core)
+// manages one data item replicated on one member set; placement is the
+// layer above that decides, for a keyspace of millions of items, which
+// nodes replicate which item — so each daemon hosts coordinators for the
+// shards it owns instead of one coordinator per configured item.
+//
+// The design follows "Fault-Tolerant Partial Replication in Large-Scale
+// Database Systems" (Sutra & Shapiro; see PAPERS.md): the keyspace is
+// partitioned into a fixed number of shards, each shard is replicated on a
+// small coterie chosen by rendezvous (highest-random-weight) hashing over
+// the node universe, and the per-shard member set seeds the initial epoch
+// of every item in the shard. The paper's epoch machinery then takes over
+// per item: placement fixes where an item *starts*; epochs track where it
+// currently is as failures and repairs adjust the structure.
+//
+// Rendezvous hashing gives the two properties the shard map needs:
+//
+//   - Determinism: any party holding (version, nodes, shards, rf) computes
+//     the identical member table, so the wire protocol ships those four
+//     values instead of an explicit shard->members table.
+//   - Minimal disruption: removing a node only reassigns the shards that
+//     node owned; every other shard keeps its members, so a rebalance
+//     invalidates the smallest possible slice of client routing state.
+//
+// Maps are versioned. A daemon serves the map version it was configured
+// with; clients cache a Map and detect splits/moves when a daemon answers
+// StatusWrongShard carrying a newer version, which triggers a refresh
+// (see internal/capi's Client).
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"coterie/internal/nodeset"
+)
+
+// ShardID identifies one shard — one independent coterie — in a Map.
+type ShardID int
+
+// Map is an immutable, versioned assignment of shards to member coteries.
+// All methods are safe for concurrent use.
+type Map struct {
+	version   uint64
+	numShards int
+	rf        int
+	nodes     []nodeset.ID  // sorted universe
+	members   []nodeset.Set // per shard, |members[s]| == rf
+}
+
+// New builds the map for the given node universe. rf is the replication
+// factor — the coterie size of every shard; it is clamped to the universe
+// size. version is the map's identity for cache invalidation: two maps
+// with the same (version, nodes, numShards, rf) are interchangeable.
+func New(nodes nodeset.Set, numShards, rf int, version uint64) (*Map, error) {
+	n := nodes.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("placement: empty node universe")
+	}
+	if numShards <= 0 {
+		return nil, fmt.Errorf("placement: numShards must be positive, got %d", numShards)
+	}
+	if rf <= 0 {
+		return nil, fmt.Errorf("placement: replication factor must be positive, got %d", rf)
+	}
+	if rf > n {
+		rf = n
+	}
+	m := &Map{
+		version:   version,
+		numShards: numShards,
+		rf:        rf,
+		nodes:     nodes.IDs(),
+		members:   make([]nodeset.Set, numShards),
+	}
+	sort.Slice(m.nodes, func(i, j int) bool { return m.nodes[i] < m.nodes[j] })
+	type scored struct {
+		score uint64
+		id    nodeset.ID
+	}
+	scratch := make([]scored, len(m.nodes))
+	for s := 0; s < numShards; s++ {
+		shardSeed := mix64(uint64(s) + 0x9e3779b97f4a7c15)
+		for i, id := range m.nodes {
+			// Highest-random-weight: hash (shard, node) jointly so each
+			// shard ranks the universe by an independent permutation.
+			scratch[i] = scored{score: mix64(shardSeed ^ mix64(uint64(id)+0x6a09e667f3bcc909)), id: id}
+		}
+		sort.Slice(scratch, func(i, j int) bool {
+			if scratch[i].score != scratch[j].score {
+				return scratch[i].score > scratch[j].score
+			}
+			return scratch[i].id < scratch[j].id
+		})
+		var set nodeset.Set
+		for i := 0; i < rf; i++ {
+			set.Add(scratch[i].id)
+		}
+		m.members[s] = set
+	}
+	return m, nil
+}
+
+// Version returns the map's version number.
+func (m *Map) Version() uint64 { return m.version }
+
+// NumShards returns the number of shards in the keyspace partition.
+func (m *Map) NumShards() int { return m.numShards }
+
+// RF returns the replication factor — each shard's coterie size.
+func (m *Map) RF() int { return m.rf }
+
+// Nodes returns the node universe as a set.
+func (m *Map) Nodes() nodeset.Set {
+	var s nodeset.Set
+	for _, id := range m.nodes {
+		s.Add(id)
+	}
+	return s
+}
+
+// ShardOf maps an item name to its shard. It allocates nothing.
+func (m *Map) ShardOf(item string) ShardID {
+	// FNV-1a over the name, finished with an avalanche so short sequential
+	// keys ("k1", "k2", ...) spread over shards instead of clustering.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(item); i++ {
+		h ^= uint64(item[i])
+		h *= 1099511628211
+	}
+	return ShardID(mix64(h) % uint64(m.numShards))
+}
+
+// Members returns the member coterie of shard s. The returned set is a
+// copy by value; callers may modify it freely.
+func (m *Map) Members(s ShardID) nodeset.Set {
+	return m.members[int(s)]
+}
+
+// MembersOf is shorthand for Members(ShardOf(item)).
+func (m *Map) MembersOf(item string) nodeset.Set {
+	return m.members[int(m.ShardOf(item))]
+}
+
+// Owns reports whether node id is a member of shard s's coterie.
+func (m *Map) Owns(id nodeset.ID, s ShardID) bool {
+	return m.members[int(s)].Contains(id)
+}
+
+// OwnedShards returns the shards whose coterie includes node id, in
+// ascending shard order.
+func (m *Map) OwnedShards(id nodeset.ID) []ShardID {
+	var out []ShardID
+	for s := range m.members {
+		if m.members[s].Contains(id) {
+			out = append(out, ShardID(s))
+		}
+	}
+	return out
+}
+
+// Rebalance derives the successor map over a new node universe (and,
+// optionally, a new shard count — pass 0 to keep the current one). The
+// result's version is one past m's, so clients holding m detect the move.
+func (m *Map) Rebalance(nodes nodeset.Set, numShards int) (*Map, error) {
+	if numShards <= 0 {
+		numShards = m.numShards
+	}
+	return New(nodes, numShards, m.rf, m.version+1)
+}
+
+// mix64 is the splitmix64 finalizer — a cheap full-avalanche mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,196 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+
+	"coterie/internal/nodeset"
+)
+
+func universe(n int) nodeset.Set {
+	var s nodeset.Set
+	for i := 0; i < n; i++ {
+		s.Add(nodeset.ID(i))
+	}
+	return s
+}
+
+func TestMapDeterminism(t *testing.T) {
+	a, err := New(universe(7), 64, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(universe(7), 64, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < a.NumShards(); s++ {
+		if !a.Members(ShardID(s)).Equal(b.Members(ShardID(s))) {
+			t.Fatalf("shard %d: members differ between identical constructions", s)
+		}
+	}
+}
+
+func TestMembersSizedAndDrawnFromUniverse(t *testing.T) {
+	nodes := universe(9)
+	m, err := New(nodes, 128, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < m.NumShards(); s++ {
+		mem := m.Members(ShardID(s))
+		if mem.Len() != 3 {
+			t.Fatalf("shard %d: got %d members, want 3", s, mem.Len())
+		}
+		if !nodes.ContainsAll(mem) {
+			t.Fatalf("shard %d: members %v outside universe", s, mem)
+		}
+	}
+}
+
+func TestRFClampedToUniverse(t *testing.T) {
+	m, err := New(universe(2), 8, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RF() != 2 {
+		t.Fatalf("rf = %d, want clamp to 2", m.RF())
+	}
+	for s := 0; s < 8; s++ {
+		if m.Members(ShardID(s)).Len() != 2 {
+			t.Fatalf("shard %d has %d members", s, m.Members(ShardID(s)).Len())
+		}
+	}
+}
+
+// TestBalance checks rendezvous hashing spreads shard ownership roughly
+// evenly: with 512 shards x rf 3 over 8 nodes the expected load is 192
+// shard-memberships per node; no node should be off by more than 50%.
+func TestBalance(t *testing.T) {
+	m, err := New(universe(8), 512, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[nodeset.ID]int)
+	for s := 0; s < m.NumShards(); s++ {
+		for _, id := range m.Members(ShardID(s)).IDs() {
+			counts[id]++
+		}
+	}
+	want := 512 * 3 / 8
+	for id, c := range counts {
+		if c < want/2 || c > want*3/2 {
+			t.Errorf("node %v owns %d shard memberships, expected around %d", id, c, want)
+		}
+	}
+}
+
+// TestMinimalDisruption is the rendezvous property: dropping one node must
+// not change the membership of any shard that node did not belong to.
+func TestMinimalDisruption(t *testing.T) {
+	before, err := New(universe(8), 256, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := nodeset.ID(3)
+	var shrunk nodeset.Set
+	for i := 0; i < 8; i++ {
+		if nodeset.ID(i) != gone {
+			shrunk.Add(nodeset.ID(i))
+		}
+	}
+	after, err := before.Rebalance(shrunk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Version() != before.Version()+1 {
+		t.Fatalf("rebalanced version = %d, want %d", after.Version(), before.Version()+1)
+	}
+	moved, untouched := 0, 0
+	for s := 0; s < 256; s++ {
+		b, a := before.Members(ShardID(s)), after.Members(ShardID(s))
+		if b.Contains(gone) {
+			moved++
+			continue
+		}
+		untouched++
+		if !b.Equal(a) {
+			t.Fatalf("shard %d did not contain removed node %v but its members changed: %v -> %v", s, gone, b, a)
+		}
+	}
+	if moved == 0 || untouched == 0 {
+		t.Fatalf("degenerate split: %d moved, %d untouched", moved, untouched)
+	}
+}
+
+func TestShardOfDeterministicAndInRange(t *testing.T) {
+	m, err := New(universe(5), 32, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 32)
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("k%d", i)
+		s := m.ShardOf(k)
+		if s < 0 || int(s) >= 32 {
+			t.Fatalf("ShardOf(%q) = %d out of range", k, s)
+		}
+		if s != m.ShardOf(k) {
+			t.Fatalf("ShardOf(%q) not deterministic", k)
+		}
+		counts[s]++
+	}
+	// Coarse spread check: expected 312 keys/shard; every shard must see
+	// a nontrivial share (sequential keys must not cluster).
+	for s, c := range counts {
+		if c < 100 {
+			t.Errorf("shard %d got only %d of 10000 sequential keys", s, c)
+		}
+	}
+}
+
+func TestShardOfDoesNotAllocate(t *testing.T) {
+	m, err := New(universe(5), 64, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "item-123456"
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = m.ShardOf(key)
+	})
+	if allocs != 0 {
+		t.Fatalf("ShardOf allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestOwnedShardsMatchesMembers(t *testing.T) {
+	m, err := New(universe(6), 48, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		id := nodeset.ID(i)
+		owned := m.OwnedShards(id)
+		set := make(map[ShardID]bool, len(owned))
+		for _, s := range owned {
+			set[s] = true
+		}
+		for s := 0; s < 48; s++ {
+			if m.Owns(id, ShardID(s)) != set[ShardID(s)] {
+				t.Fatalf("node %v shard %d: Owns and OwnedShards disagree", id, s)
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(nodeset.Set{}, 4, 2, 1); err == nil {
+		t.Error("empty universe accepted")
+	}
+	if _, err := New(universe(3), 0, 2, 1); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := New(universe(3), 4, 0, 1); err == nil {
+		t.Error("zero rf accepted")
+	}
+}

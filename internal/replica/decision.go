@@ -88,7 +88,9 @@ func (it *Item) handleDecisionQuery(m DecisionQuery) (transport.Message, error) 
 }
 
 // resolveLoop periodically scans staged 2PC actions and resolves the ones
-// whose coordinator has gone quiet.
+// whose coordinator has gone quiet. It is started on demand by
+// ensureResolverLocked and parks itself (returns) once the staged table
+// drains, so an idle item carries no ticker.
 func (it *Item) resolveLoop() {
 	defer it.wg.Done()
 	ticker := time.NewTicker(it.cfg.ResolveInterval)
@@ -98,7 +100,9 @@ func (it *Item) resolveLoop() {
 		case <-it.closed:
 			return
 		case <-ticker.C:
-			it.resolveStale()
+			if it.resolveStale() {
+				return
+			}
 		}
 	}
 }
@@ -106,14 +110,23 @@ func (it *Item) resolveLoop() {
 // resolveStale queries the coordinator of every sufficiently old staged
 // action and applies the learned decision. Speculative stagings carry
 // their staged version in the query so a commit that decided a different
-// version resolves them as abort.
-func (it *Item) resolveStale() {
+// version resolves them as abort. It reports true when nothing is staged
+// any more: the resolverOn flag is cleared under the same mu critical
+// section that observes emptiness, so a concurrent staging either sees
+// the flag still set (and the loop runs at least one more tick) or
+// restarts the loop itself — no wakeup is lost.
+func (it *Item) resolveStale() (drained bool) {
 	cutoff := time.Now().Add(-it.cfg.ResolveAfter)
 	type query struct {
 		op          OpID
 		specVersion uint64
 	}
 	it.mu.Lock()
+	if len(it.staged) == 0 {
+		it.resolverOn = false
+		it.mu.Unlock()
+		return true
+	}
 	var pending []query
 	for op, st := range it.staged {
 		if st.preparedAt.Before(cutoff) {
@@ -149,6 +162,7 @@ func (it *Item) resolveStale() {
 		}
 		it.applyDecision(q.op, dr.Commit)
 	}
+	return false
 }
 
 // applyDecision commits or aborts a staged action locally.

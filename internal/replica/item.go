@@ -144,6 +144,7 @@ type Item struct {
 	good       nodeset.Set // recorded good list (safety-threshold extension)
 	goodVer    uint64      // version the good list corresponds to
 	staged     map[OpID]*staged
+	resolverOn bool // resolver goroutine running (demand-driven; see ensureResolverLocked)
 	propOp     OpID // operation currently allowed to propagate into this replica
 
 	// Coordinator decision log for 2PC termination (see decision.go),
@@ -190,9 +191,23 @@ func newItem(name string, self nodeset.ID, members nodeset.Set, initial []byte, 
 	}
 	it.lock.attachMetrics(cfg.Obs)
 	it.publishStateLocked() // no concurrent access yet; mu not needed
+	return it
+}
+
+// ensureResolverLocked starts the 2PC termination resolver if it is not
+// already running. Called with mu held at every staging site. The
+// resolver is demand-driven rather than an always-on per-item ticker: a
+// sharded daemon lazily materializes hundreds of thousands of items, and
+// a ticker per item is a timer storm that would dwarf the data path —
+// cold items must carry zero background machinery. The loop lives only
+// while staged actions exist and parks itself when the table drains.
+func (it *Item) ensureResolverLocked() {
+	if it.resolverOn {
+		return
+	}
+	it.resolverOn = true
 	it.wg.Add(1)
 	go it.resolveLoop()
-	return it
 }
 
 // Name returns the data item's name.
@@ -329,6 +344,7 @@ func (it *Item) handleLockPrepare(ctx context.Context, m LockPrepare) (transport
 				good:        m.GoodSet.Clone(),
 				goodVer:     m.NewVersion,
 			}
+			it.ensureResolverLocked()
 			prepared = true
 		}
 		it.mu.Unlock()
@@ -401,6 +417,7 @@ func (it *Item) handlePrepareUpdate(m PrepareUpdate) (transport.Message, error) 
 		good:       m.GoodSet.Clone(),
 		goodVer:    m.NewVersion,
 	}
+	it.ensureResolverLocked()
 	return Ack{OK: true}, nil
 }
 
@@ -440,6 +457,7 @@ func (it *Item) handlePrepareBatch(m PrepareBatch) (transport.Message, error) {
 		good:       m.GoodSet.Clone(),
 		goodVer:    m.FirstVersion + uint64(len(m.Updates)) - 1,
 	}
+	it.ensureResolverLocked()
 	return Ack{OK: true}, nil
 }
 
@@ -466,6 +484,7 @@ func (it *Item) handlePrepareReplace(m PrepareReplace) (transport.Message, error
 		good:       m.GoodSet.Clone(),
 		goodVer:    m.NewVersion,
 	}
+	it.ensureResolverLocked()
 	return Ack{OK: true}, nil
 }
 
@@ -479,6 +498,7 @@ func (it *Item) handlePrepareStale(m PrepareStale) (transport.Message, error) {
 		return Ack{Reason: "replica is recovering from state loss"}, nil
 	}
 	it.staged[m.Op] = &staged{kind: stagedStale, preparedAt: time.Now(), desired: m.Desired, good: m.GoodSet.Clone(), goodVer: m.Desired}
+	it.ensureResolverLocked()
 	return Ack{OK: true}, nil
 }
 
@@ -502,6 +522,7 @@ func (it *Item) handlePrepareEpoch(m PrepareEpoch) (transport.Message, error) {
 		good:       m.Good.Clone(),
 		maxVersion: m.MaxVersion,
 	}
+	it.ensureResolverLocked()
 	return Ack{OK: true}, nil
 }
 

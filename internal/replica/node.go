@@ -19,8 +19,9 @@ type Node struct {
 	net  transport.Net
 	cfg  Config
 
-	mu    sync.RWMutex
-	items map[string]*Item
+	mu         sync.RWMutex
+	items      map[string]*Item
+	autoCreate func(name string) *Item
 
 	// Batched-propagation dispatcher state (batchprop.go): pending maps
 	// each stale target to the set of item names it is owed, drained by a
@@ -77,6 +78,54 @@ func (n *Node) AddItem(name string, members nodeset.Set, initial []byte) (*Item,
 	return it, nil
 }
 
+// EnsureItem returns this node's replica of the named item, creating it
+// as AddItem would if absent. Unlike AddItem it is idempotent, which makes
+// it the right shape for a sharded daemon where a replica may be
+// provisioned lazily from either side — a client operation arriving at the
+// co-located coordinator, or a protocol message from a peer coordinator —
+// and both may race on first touch. The members and initial value are only
+// used on creation; an existing replica is returned as-is. The boolean
+// reports whether this call created the replica — exactly one racing
+// caller sees true, so creation-time setup (e.g. a recovering daemon's
+// Amnesia) runs once.
+func (n *Node) EnsureItem(name string, members nodeset.Set, initial []byte) (*Item, bool, error) {
+	n.mu.RLock()
+	it := n.items[name]
+	n.mu.RUnlock()
+	if it != nil {
+		return it, false, nil
+	}
+	if !members.Contains(n.self) {
+		return nil, false, fmt.Errorf("replica: node %v not in member set %v of item %q", n.self, members, name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if it, ok := n.items[name]; ok {
+		return it, false, nil
+	}
+	it = newItem(name, n.self, members, initial, n.net, n.cfg)
+	if n.cfg.PropagationBatch {
+		it.batchSink = n.enqueueBatchPropagation
+	}
+	n.items[name] = it
+	return it, true, nil
+}
+
+// SetAutoCreate installs a provisioner consulted when a protocol message
+// arrives for an item this node does not replicate yet: fn returns the
+// item's replica — typically by deciding placement and calling EnsureItem,
+// plus whatever creation-time policy the host applies (a recovering
+// daemon's Amnesia, say) — or nil to refuse the item. With a provisioner
+// installed, a node can serve a keyspace of millions of items without
+// instantiating any replica before its first touch — a peer coordinator's
+// first lock or prepare materializes the replica on demand. Must be called
+// before the node serves traffic; fn must be safe for concurrent use.
+func (n *Node) SetAutoCreate(fn func(name string) *Item) {
+	n.mu.Lock()
+	n.autoCreate = fn
+	n.mu.Unlock()
+}
+
 // Item returns this node's replica of the named item, or nil.
 func (n *Node) Item(name string) *Item {
 	n.mu.RLock()
@@ -114,12 +163,26 @@ func (n *Node) handle(ctx context.Context, from nodeset.ID, req transport.Messag
 	case Envelope:
 		it := n.Item(m.Item)
 		if it == nil {
-			return nil, fmt.Errorf("replica: node %v has no replica of item %q", n.self, m.Item)
+			if it = n.autoCreateItem(m.Item); it == nil {
+				return nil, fmt.Errorf("replica: node %v has no replica of item %q", n.self, m.Item)
+			}
 		}
 		return it.Handle(ctx, from, m.Msg)
 	default:
 		return nil, fmt.Errorf("replica: node %v: unexpected message %T", n.self, req)
 	}
+}
+
+// autoCreateItem consults the installed provisioner for an unknown item,
+// returning the (possibly concurrently created) replica or nil.
+func (n *Node) autoCreateItem(name string) *Item {
+	n.mu.RLock()
+	fn := n.autoCreate
+	n.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(name)
 }
 
 // groupState snapshots every hosted item's state.

@@ -1,0 +1,29 @@
+package transport
+
+import "context"
+
+// Steering routes every call made under one context onto one transport
+// lane. A sharded daemon serves many independent coteries from one
+// process; without steering, a coordinator's calls pick their connection
+// by sender ID, so one client operation's quorum round scatters across a
+// peer's connection pool and pays one flush wakeup per lane. Tagging the
+// operation's context with its shard key lets a pooled transport (tcpnet)
+// pin all of the operation's frames to one connection per peer, so the
+// round rides a single coalesced flush.
+//
+// Steering is a routing hint only: transports that do not pool (the sim
+// Network) ignore it, and correctness never depends on it.
+
+type steerKey struct{}
+
+// WithSteer tags ctx with a steering key. Calls made under the returned
+// context that reach a pooled transport share a lane chosen by key.
+func WithSteer(ctx context.Context, key uint64) context.Context {
+	return context.WithValue(ctx, steerKey{}, key)
+}
+
+// Steer extracts the steering key from ctx, if one was set.
+func Steer(ctx context.Context) (uint64, bool) {
+	v, ok := ctx.Value(steerKey{}).(uint64)
+	return v, ok
+}

@@ -348,6 +348,13 @@ type peerSlot struct {
 // produces one dial attempt per slot, not a storm.
 func (p *peer) conn(ctx context.Context, n *Network, from nodeset.ID) (*clientConn, error) {
 	idx := int(from)
+	if key, ok := transport.Steer(ctx); ok {
+		// Shard-aware steering: all calls an operation makes under one
+		// steer key ride one connection per peer, so a quorum round's
+		// frames to that peer coalesce into a single flush instead of
+		// waking one writer per pool slot.
+		idx = int(key)
+	}
 	if idx < 0 {
 		idx = -idx
 	}

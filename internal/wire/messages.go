@@ -199,6 +199,14 @@ func appendMessage(b []byte, msg any) ([]byte, error) {
 		b = putBool(b, m.Changed)
 		b = putUvarint(b, m.EpochNum)
 		return putString(b, m.Detail), nil
+	case capi.MapQuery:
+		return putUvarint(append(b, tagClientMapQuery), m.HaveVersion), nil
+	case capi.MapReply:
+		b = append(b, tagClientMapReply)
+		b = putUvarint(b, m.Version)
+		b = putUvarint(b, uint64(m.NumShards))
+		b = putUvarint(b, uint64(m.RF))
+		return putSet(b, m.Nodes), nil
 	case election.Probe:
 		return putUvarint(append(b, tagProbe), uint64(m.From)), nil
 	case election.TakeOver:
@@ -394,6 +402,10 @@ func decodeMessage(b []byte) (any, int, error) {
 		msg = capi.CheckEpoch{Item: r.str()}
 	case tagClientCheckReply:
 		msg = capi.CheckReply{Status: r.clientStatus(), Changed: r.boolean(), EpochNum: r.uvarint(), Detail: r.str()}
+	case tagClientMapQuery:
+		msg = capi.MapQuery{HaveVersion: r.uvarint()}
+	case tagClientMapReply:
+		msg = capi.MapReply{Version: r.uvarint(), NumShards: r.shardCount(), RF: r.shardCount(), Nodes: r.set()}
 	case tagProbe:
 		msg = election.Probe{From: r.node()}
 	case tagTakeOver:

@@ -77,6 +77,8 @@ const (
 	tagLockPrepareReply
 	tagReadSnap
 	tagSnapReply
+	tagClientMapQuery
+	tagClientMapReply
 )
 
 // Marshal encodes a protocol message.
@@ -303,11 +305,24 @@ func (r *reader) propStatus() replica.PropStatus {
 
 func (r *reader) clientStatus() capi.Status {
 	status := r.uvarint()
-	if status > uint64(capi.StatusError) {
+	if status > uint64(capi.StatusWrongShard) {
 		r.fail(fmt.Errorf("wire: invalid client status %d", status))
 		return 0
 	}
 	return capi.Status(status)
+}
+
+// shardCount decodes a shard-map cardinality (shard count or replication
+// factor) with a sanity bound so a corrupt frame cannot smuggle in a value
+// that later provokes a giant allocation.
+func (r *reader) shardCount() uint32 {
+	v := r.uvarint()
+	const maxShardCount = 1 << 24
+	if v > maxShardCount {
+		r.fail(fmt.Errorf("wire: shard-map cardinality %d exceeds limit", v))
+		return 0
+	}
+	return uint32(v)
 }
 
 func (r *reader) stateReply() replica.StateReply {

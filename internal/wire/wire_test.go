@@ -87,6 +87,11 @@ func sampleMessages() []any {
 		capi.CheckEpoch{Item: "item-2"},
 		capi.CheckReply{Status: capi.StatusOK, Changed: true, EpochNum: 3},
 		capi.CheckReply{Status: capi.StatusError, Detail: "boom"},
+		capi.ReadReply{Status: capi.StatusWrongShard, Detail: "shard 3 not owned"},
+		capi.MapQuery{},
+		capi.MapQuery{HaveVersion: 12},
+		capi.MapReply{Version: 12, NumShards: 64, RF: 3, Nodes: nodeset.New(0, 1, 2, 3, 4)},
+		capi.MapReply{Version: 1, NumShards: 1, RF: 1, Nodes: nodeset.New(9)},
 		election.Probe{From: 2},
 		election.TakeOver{From: 3},
 		election.Announce{Leader: 8},

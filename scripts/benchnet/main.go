@@ -87,6 +87,7 @@ type report struct {
 // loadgenOut is the subset of cmd/loadgen's JSON report benchnet reads.
 type loadgenOut struct {
 	Ops        int     `json:"ops"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
 	ReadP50us  int64   `json:"read_p50_us"`
 	ReadP99us  int64   `json:"read_p99_us"`
@@ -162,6 +163,13 @@ func best(s spec, trials int, d time.Duration) runResult {
 			b.OpsPerSec, b.Ops, b.Failures = r.OpsPerSec, r.Ops, r.Failures
 			b.ReadP50us, b.ReadP99us = r.ReadP50us, r.ReadP99us
 			b.WriteP50us, b.WriteP99us = r.WriteP50us, r.WriteP99us
+			// Record the parallelism the child actually ran with, not the
+			// value we asked for: loadgen reports runtime.GOMAXPROCS(0), so
+			// an env override or a core-capped machine shows up honestly in
+			// the scaling section instead of as a silently mislabeled point.
+			if r.GOMAXPROCS > 0 {
+				b.GOMAXPROCS = r.GOMAXPROCS
+			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "%-14s cores=%d procs=%d workers=%d best %8.0f ops/s  read p50/p99 %d/%dus  write p50/p99 %d/%dus\n",
