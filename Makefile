@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch bench-net bench-shard bench-shard-smoke profile-net check-obs-imports check-allocs fuzz-smoke ci
+.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch bench-net bench-shard bench-shard-smoke bench-trace profile-net check-obs-imports check-allocs check-admin fuzz-smoke ci
 
 all: build
 
@@ -72,6 +72,20 @@ bench-shard:
 bench-shard-smoke:
 	$(GO) run ./scripts/benchshard -smoke
 
+# bench-trace measures the observability-plane overhead on the networked
+# data path — sharded TCP loadgen dark vs with per-daemon admin endpoints,
+# 1-in-16 trace sampling and the post-run cluster scrape — plus a hedged
+# run that must produce non-zero hedge-attribution counters, and writes
+# BENCH_8.json. Gate: <= 2% overhead (DESIGN.md §12).
+bench-trace:
+	$(GO) run ./scripts/benchtrace -duration 3s -trials 3
+
+# check-admin smokes the admin plane: an in-process 3-daemon cluster with
+# admin endpoints, fully-sampled client traffic, every route on every
+# daemon, and an aggregator timeline that spans more than one node.
+check-admin:
+	$(GO) run ./scripts/checkadmin
+
 # profile-net captures a CPU profile of the networked hot path: a
 # tcp-pipelined loadgen run serves pprof on 127.0.0.1:6161 (its daemons on
 # 6162+) and the client process is sampled mid-run. The flat top lands on
@@ -92,16 +106,19 @@ check-allocs:
 	$(GO) test -run 'TestCombinerDrainDoesNotAllocate' ./internal/core/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestCaptureDataDoesNotAllocate' ./internal/replica/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestMuxDispatchDoesNotAllocate|TestMulticastFuncAllocs' ./internal/transport/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
-	$(GO) test -run 'TestAppendMarshalDoesNotAllocate' ./internal/wire/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
-	$(GO) test -run 'TestRequestFrameEncodeDoesNotAllocate|TestReplyFrameEncodeDoesNotAllocate|TestFusedMessageEncodeDoesNotAllocate|TestRingFlushPathDoesNotAllocate' ./internal/transport/tcpnet/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestAppendMarshalDoesNotAllocate|TestAppendTraceContextDoesNotAllocate|TestDecodeTraceContextDoesNotAllocate' ./internal/wire/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestRequestFrameEncodeDoesNotAllocate|TestReplyFrameEncodeDoesNotAllocate|TestFusedMessageEncodeDoesNotAllocate|TestRingFlushPathDoesNotAllocate|TestTracedRequestFrameEncodeDoesNotAllocate' ./internal/transport/tcpnet/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestZipfNextDoesNotAllocate|TestMixNextDoesNotAllocate' ./internal/workload/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestShardOfDoesNotAllocate' ./internal/placement/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 
-# fuzz-smoke runs the wire-codec fuzzer briefly: every generated input must
-# either fail to decode or round-trip byte-identically (the canonical-
-# encoding property the propagation and client paths rely on).
+# fuzz-smoke runs the wire-layer fuzzers briefly: every generated input
+# must either fail to decode or round-trip byte-identically (the canonical-
+# encoding property the propagation and client paths rely on), for the
+# message codec, the trace-context field, and the full TCP request frame.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshal' -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz 'FuzzTraceContext' -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz 'FuzzParseRequest' -fuzztime 5s ./internal/transport/tcpnet/
 
 # check-obs-imports enforces the obs data-plane discipline: internal/obs
 # must not import fmt, log, os, io or encoding packages — formatting and
@@ -113,4 +130,4 @@ check-obs-imports:
 	fi; \
 	echo "check-obs-imports: internal/obs is clean"
 
-ci: vet build check-obs-imports check-allocs fuzz-smoke race bench-smoke bench-loadgen bench-obs bench-batch bench-net bench-shard-smoke
+ci: vet build check-obs-imports check-allocs check-admin fuzz-smoke race bench-smoke bench-loadgen bench-obs bench-batch bench-net bench-shard-smoke

@@ -1,0 +1,197 @@
+// Command cotop is the cluster-wide observability aggregator: it scrapes
+// every daemon's admin endpoint (coteried -admin), merges the per-node
+// registries into one cluster view, and can reassemble the cross-node
+// timeline of a single distributed trace.
+//
+//	cotop -cluster 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102
+//	cotop -cluster ... -trace 4f2a9c01d3e85b77      # one trace, all nodes
+//	cotop -cluster ... -traces                      # list known trace IDs
+//	cotop -cluster ... -json                        # merged snapshot, JSON
+//
+// The default view is one screen: cluster-merged counters, the latency
+// histograms' tails, per-shard route latency, and hedge attribution.
+// Merging rules live in internal/capi (ScrapeCluster); cotop is a thin
+// renderer over them.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"coterie/internal/capi"
+)
+
+func main() {
+	var (
+		cluster = flag.String("cluster", "", "comma-separated admin addresses (host:port,host:port,...)")
+		trace   = flag.String("trace", "", "print the cross-node timeline of this trace ID (hex)")
+		traces  = flag.Bool("traces", false, "list distinct trace IDs seen across the cluster")
+		asJSON  = flag.Bool("json", false, "emit the merged cluster snapshot as JSON")
+		timeout = flag.Duration("timeout", 5*time.Second, "total scrape timeout")
+	)
+	flag.Parse()
+	if *cluster == "" {
+		fmt.Fprintln(os.Stderr, "cotop: -cluster is required")
+		os.Exit(2)
+	}
+	addrs := strings.Split(*cluster, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cs := capi.ScrapeCluster(ctx, nil, addrs)
+	for _, err := range cs.Errs {
+		fmt.Fprintln(os.Stderr, "cotop: scrape:", err)
+	}
+	if len(cs.Nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "cotop: no nodes reachable")
+		os.Exit(1)
+	}
+
+	switch {
+	case *trace != "":
+		if err := printTimeline(cs, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "cotop:", err)
+			os.Exit(1)
+		}
+	case *traces:
+		for _, id := range cs.TraceIDs() {
+			fmt.Println(id)
+		}
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(clusterJSON(cs)); err != nil {
+			fmt.Fprintln(os.Stderr, "cotop:", err)
+			os.Exit(1)
+		}
+	default:
+		printSummary(cs)
+	}
+}
+
+// printTimeline renders one distributed trace as a cross-node timeline:
+// the coordinator span first, then every replica's server span, each with
+// its flight events indented beneath it.
+func printTimeline(cs *capi.ClusterSnapshot, id string) error {
+	spans, err := cs.Timeline(id)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans for trace %s on %d reachable nodes", id, len(cs.Nodes))
+	}
+	fmt.Printf("trace %s: %d spans across %d nodes\n", spans[0].TraceID, len(spans), countNodes(spans))
+	origin := spans[0].Start
+	for _, s := range spans {
+		role := "coordinator"
+		if s.Kind == "serve" {
+			role = "replica"
+		}
+		fmt.Printf("  +%-9s n%d %-11s %-6s item=%s outcome=%s elapsed=%s [%s]\n",
+			s.Start.Sub(origin).Round(time.Microsecond), s.Node, role, s.Kind,
+			s.Item, s.Outcome, time.Duration(s.ElapsedNS).Round(time.Microsecond), s.ScrapedFrom)
+		for _, e := range s.Events {
+			line := e.Kind
+			if e.Phase != "" {
+				line += " " + e.Phase
+			}
+			fmt.Printf("      +%-9s %-16s dur=%s n=%d\n",
+				time.Duration(e.WhenNS).Round(time.Microsecond), line,
+				time.Duration(e.DurNS).Round(time.Microsecond), e.N)
+		}
+	}
+	return nil
+}
+
+func countNodes(spans []capi.TraceSpan) int {
+	seen := map[int]bool{}
+	for _, s := range spans {
+		seen[s.Node] = true
+	}
+	return len(seen)
+}
+
+// printSummary is the one-screen cluster view.
+func printSummary(cs *capi.ClusterSnapshot) {
+	fmt.Printf("cluster: %d/%d nodes reachable\n", len(cs.Nodes), len(cs.Nodes)+len(cs.Errs))
+	for _, n := range cs.Nodes {
+		fmt.Printf("  %s: %d traces, %d counters\n", n.Addr, len(n.Traces), len(n.Counters))
+	}
+
+	names := make([]string, 0, len(cs.Counters))
+	for name, v := range cs.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Println("counters (cluster sum):")
+	for _, name := range names {
+		fmt.Printf("  %-44s %d\n", name, cs.Counters[name])
+	}
+
+	hnames := make([]string, 0, len(cs.Hists))
+	for name := range cs.Hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	fmt.Println("latency (cluster merge):")
+	for _, name := range hnames {
+		h := cs.Hists[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-44s n=%-8d p50=%-10s p99=%-10s p999=%s\n", name, h.Count,
+			time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)), time.Duration(h.Quantile(0.999)))
+	}
+	for name, hs := range cs.HistVecs {
+		for i, h := range hs {
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %s{index=%d}%*s n=%-8d p50=%-10s p99=%-10s p999=%s\n",
+				name, i, max(1, 34-len(name)), "", h.Count,
+				time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)), time.Duration(h.Quantile(0.999)))
+		}
+	}
+
+	if ids := cs.TraceIDs(); len(ids) > 0 {
+		n := len(ids)
+		if n > 8 {
+			n = 8
+		}
+		fmt.Printf("recent traces (%d known, -trace <id> for a timeline):\n", len(ids))
+		for _, id := range ids[:n] {
+			fmt.Printf("  %s\n", id)
+		}
+	}
+}
+
+// clusterJSON shapes the merged snapshot for -json output.
+func clusterJSON(cs *capi.ClusterSnapshot) any {
+	type node struct {
+		Addr   string `json:"addr"`
+		Traces int    `json:"traces"`
+	}
+	nodes := make([]node, 0, len(cs.Nodes))
+	for _, n := range cs.Nodes {
+		nodes = append(nodes, node{Addr: n.Addr, Traces: len(n.Traces)})
+	}
+	return map[string]any{
+		"nodes":         nodes,
+		"counters":      cs.Counters,
+		"gauges":        cs.Gauges,
+		"vectors":       cs.Vecs,
+		"gauge_vectors": cs.GaugeVecs,
+		"trace_ids":     cs.TraceIDs(),
+	}
+}

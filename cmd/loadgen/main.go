@@ -96,6 +96,8 @@ type config struct {
 	pool        int
 	pprofPort   int
 	compare     string
+	adminOn     bool
+	traceSample int
 
 	// Sharded mode (-shards > 0): the keyspace is hashed across many
 	// coteries and driven through the smart capi client instead of the
@@ -191,6 +193,11 @@ type result struct {
 	CheckedKeys  int               `json:"checked_keys,omitempty"`
 	PerShardOps  []int64           `json:"per_shard_ops,omitempty"`
 	Client       *capi.ClientStats `json:"client,omitempty"`
+
+	// Cluster-merged counters scraped from every daemon's admin endpoint
+	// after the run (tcp modes with -admin): the server-side totals the
+	// client-side Metrics map cannot see.
+	ClusterMetrics map[string]int64 `json:"cluster_metrics,omitempty"`
 }
 
 // workerStats accumulates one worker's counts and latency samples; workers
@@ -241,6 +248,8 @@ func main() {
 	flag.IntVar(&cfg.pool, "pool", 0, "tcp mode: pipelined connections per peer (0 = transport default)")
 	flag.IntVar(&cfg.pprofPort, "pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (tcp mode: daemon i serves on PORT+1+i)")
 	flag.StringVar(&cfg.compare, "compare", "", "JSON result of a previous run to report the per-transport latency gap against (e.g. a -net sim result while running -net tcp)")
+	flag.BoolVar(&cfg.adminOn, "admin", true, "tcp mode: give each spawned daemon an admin plane (/metrics /traces /healthz), use /healthz for readiness, and print a cluster-merged summary after the run")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 0, "sharded mode: sample 1 in N client operations into a cross-node distributed trace (0 = off, 1 = every op)")
 	flag.IntVar(&cfg.shards, "shards", 0, "shard the keyspace across this many coteries and drive it through the smart client (requires -net tcp; 0 = fixed -items list)")
 	flag.IntVar(&cfg.rf, "rf", 0, "replicas per shard in sharded mode (0 = daemon default)")
 	flag.IntVar(&cfg.keyspace, "keyspace", 0, "distinct keys in sharded mode (0 = 1,000,000)")

@@ -22,9 +22,11 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"syscall"
@@ -64,14 +66,20 @@ func reservePorts(n int) ([]string, error) {
 	return addrs, nil
 }
 
-// proc is one spawned coteried process.
+// proc is one spawned coteried process. admin is the daemon's bound admin
+// address ("" when -admin is off).
 type proc struct {
-	id  nodeset.ID
-	cmd *exec.Cmd
+	id    nodeset.ID
+	cmd   *exec.Cmd
+	admin string
 }
 
 // spawnDaemon re-executes this binary's coteried subcommand for node id
-// and blocks until it reports READY on stdout.
+// and blocks until the daemon is ready to serve. Readiness is the admin
+// plane's /healthz answering 200 — the daemon binds its transport listener
+// before the admin listener, so a healthy admin plane implies a serving
+// data plane. The stdout READY line remains the bootstrap (it carries the
+// ephemeral admin port) and the whole handshake when -admin is off.
 func spawnDaemon(exe string, id nodeset.ID, book map[nodeset.ID]string, cfg config, recovering bool) (*proc, error) {
 	items := cfg.items
 	if cfg.shards > 0 {
@@ -121,6 +129,11 @@ func spawnDaemon(exe string, id nodeset.ID, book map[nodeset.ID]string, cfg conf
 	if cfg.pprofPort > 0 {
 		args = append(args, "-pprof", fmt.Sprintf("127.0.0.1:%d", cfg.pprofPort+1+int(id)))
 	}
+	if cfg.adminOn {
+		// Ephemeral port: the READY line reports the bound address, so
+		// spawner and daemon never race on port reservation.
+		args = append(args, "-admin", "127.0.0.1:0")
+	}
 	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
@@ -130,14 +143,15 @@ func spawnDaemon(exe string, id nodeset.ID, book map[nodeset.ID]string, cfg conf
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
-	ready := make(chan error, 1)
+	ready := make(chan string, 1)
+	fail := make(chan error, 1)
 	go func() {
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			var gotID int
-			var addr string
-			if n, _ := fmt.Sscanf(sc.Text(), "READY %d %s", &gotID, &addr); n == 2 {
-				ready <- nil
+			var addr, adminAddr string
+			if n, _ := fmt.Sscanf(sc.Text(), "READY %d %s admin=%s", &gotID, &addr, &adminAddr); n >= 2 {
+				ready <- adminAddr
 				break
 			}
 		}
@@ -146,23 +160,106 @@ func spawnDaemon(exe string, id nodeset.ID, book map[nodeset.ID]string, cfg conf
 		for sc.Scan() {
 		}
 		select {
-		case ready <- fmt.Errorf("node %d exited before READY", id):
+		case fail <- fmt.Errorf("node %d exited before READY", id):
 		default:
 		}
 	}()
+	p := &proc{id: id, cmd: cmd}
 	select {
-	case err := <-ready:
-		if err != nil {
-			cmd.Process.Kill()
-			cmd.Wait()
-			return nil, err
-		}
+	case adminAddr := <-ready:
+		p.admin = adminAddr
+	case err := <-fail:
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, err
 	case <-time.After(15 * time.Second):
 		cmd.Process.Kill()
 		cmd.Wait()
 		return nil, fmt.Errorf("node %d not READY after 15s", id)
 	}
-	return &proc{id: id, cmd: cmd}, nil
+	if p.admin != "" {
+		if err := waitHealthy(p.admin, 15*time.Second); err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("node %d: %w", id, err)
+		}
+	}
+	return p, nil
+}
+
+// waitHealthy polls the daemon's /healthz until it answers 200.
+func waitHealthy(adminAddr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	url := "http://" + adminAddr + "/healthz"
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("not healthy at %s after %s", url, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// adminAddrs collects the live daemons' admin addresses.
+func adminAddrs(procs []*proc) []string {
+	var addrs []string
+	for _, p := range procs {
+		if p != nil && p.admin != "" {
+			addrs = append(addrs, p.admin)
+		}
+	}
+	return addrs
+}
+
+// clusterScrape scrapes every daemon's admin endpoint after a run and
+// returns the cluster-merged snapshot, printing the merged protocol
+// counters and a scrape health line to stderr. Returns nil when the admin
+// plane is off or nothing answered.
+func clusterScrape(procs []*proc) *capi.ClusterSnapshot {
+	addrs := adminAddrs(procs)
+	if len(addrs) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cs := capi.ScrapeCluster(ctx, nil, addrs)
+	for _, err := range cs.Errs {
+		fmt.Fprintf(os.Stderr, "loadgen: cluster scrape: %v\n", err)
+	}
+	if len(cs.Nodes) == 0 {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "--- cluster summary (%d/%d daemons scraped) ---\n", len(cs.Nodes), len(addrs))
+	names := make([]string, 0, len(cs.Counters))
+	for name, v := range cs.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "%-45s %d\n", name, cs.Counters[name])
+	}
+	hnames := make([]string, 0, len(cs.Hists))
+	for name := range cs.Hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := cs.Hists[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%-45s count=%d p50=%s p99=%s\n", name, h.Count,
+			time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)))
+	}
+	return cs
 }
 
 func (p *proc) kill() {
@@ -415,6 +512,12 @@ func runTCP(cfg config) error {
 		}
 		printSummary(os.Stderr, snap)
 	}
+	procMu.Lock()
+	cs := clusterScrape(procs)
+	procMu.Unlock()
+	if cs != nil {
+		res.ClusterMetrics = nonZeroCounters(cs.Counters)
+	}
 	printLatencyGap(res, cfg.compare)
 
 	enc := json.NewEncoder(os.Stdout)
@@ -425,6 +528,18 @@ func runTCP(cfg config) error {
 		return fmt.Errorf("%d one-copy serializability violations", violations)
 	}
 	return nil
+}
+
+// nonZeroCounters filters the merged counter map down to the counters that
+// actually moved, for the JSON report.
+func nonZeroCounters(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for name, v := range m {
+		if v != 0 {
+			out[name] = v
+		}
+	}
+	return out
 }
 
 // opError folds a call's transport error, reply status, and the op

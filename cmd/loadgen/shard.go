@@ -195,6 +195,7 @@ func runShard(cfg config) error {
 		Hedge:       cfg.hedge,
 		Obs:         reg,
 		Seed:        uint64(cfg.seed),
+		TraceSample: cfg.traceSample,
 	}
 	client, err := capi.NewClient(cli, ccfg)
 	if err != nil {
@@ -400,8 +401,8 @@ func runShard(cfg config) error {
 		fmt.Fprintf(os.Stderr, "loadgen: one-copy serializability verified on %d sampled keys (%d distinct keys, %d ops)\n",
 			checked, res.DistinctKeys, res.Ops)
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: client retries=%d hedges=%d hedge_wins=%d wrong_shard=%d map_refresh=%d\n",
-		cs.Retries, cs.Hedges, cs.HedgeWins, cs.WrongShard, cs.MapRefresh)
+	fmt.Fprintf(os.Stderr, "loadgen: client retries=%d hedges=%d hedge_wins=%d hedge_canceled=%d wrong_shard=%d map_refresh=%d traces=%d\n",
+		cs.Retries, cs.Hedges, cs.HedgeWins, cs.HedgeCanceled, cs.WrongShard, cs.MapRefresh, cs.TracesSampled)
 	printShardSpread(os.Stderr, shardOps)
 
 	if reg != obs.Nop {
@@ -413,6 +414,9 @@ func runShard(cfg config) error {
 			}
 		}
 		printSummary(os.Stderr, snap)
+	}
+	if ccs := clusterScrape(procs); ccs != nil {
+		res.ClusterMetrics = nonZeroCounters(ccs.Counters)
 	}
 	printLatencyGap(res, cfg.compare)
 

@@ -57,12 +57,22 @@ type Client struct {
 	readLat    obs.Histogram
 	hedgeTick  atomic.Uint64
 	hedgeCache atomic.Int64 // cached hedge delay, ns
+	traceTick  atomic.Uint64
 
-	retries    obs.Counter
-	hedges     obs.Counter
-	hedgeWins  obs.Counter
-	wrongShard obs.Counter
-	mapRefresh obs.Counter
+	retries       obs.Counter
+	hedgeFired    obs.Counter
+	hedgeWon      obs.Counter
+	hedgeCanceled obs.Counter
+	wrongShard    obs.Counter
+	mapRefresh    obs.Counter
+	traceSampled  obs.Counter
+
+	// Tail attribution: which node served each successful read (the hedge
+	// winner when one fired) and the per-shard read-attempt latency
+	// distribution, so a BENCH run's p999 can be pinned to specific
+	// nodes/shards instead of staying an anonymous cluster-wide number.
+	winnerNode obs.CounterVec
+	routeLat   obs.HistogramVec
 }
 
 // ClientConfig parameterizes a Client. Zero values take the documented
@@ -95,13 +105,22 @@ type ClientConfig struct {
 	// HedgeMax caps the hedge delay. Default 100ms.
 	HedgeMax time.Duration
 	// Obs, when set, exposes the client's counters (capi_retry_total,
-	// capi_hedge_total, capi_hedge_win_total, capi_wrong_shard_total,
-	// capi_map_refresh_total) and its read-attempt latency histogram
-	// (capi_read_attempt_ns) through the registry. The client counts
-	// either way.
+	// capi_hedge_fired_total, capi_hedge_won_total,
+	// capi_hedge_canceled_total, capi_wrong_shard_total,
+	// capi_map_refresh_total, capi_trace_sampled_total), its read-attempt
+	// latency histogram (capi_read_attempt_ns), the per-winner-node read
+	// counter vector (capi_read_winner_node_total) and the per-shard
+	// route-latency histogram vector (capi_route_latency_ns) through the
+	// registry. The client counts either way.
 	Obs *obs.Registry
 	// Seed seeds the jitter/rotation RNG; 0 derives one from Self.
 	Seed uint64
+	// TraceSample mints a sampled distributed-trace context for one in
+	// every TraceSample reads/writes (1 = every operation, 0 = tracing
+	// off). Sampled operations tag every wire frame they cause with a
+	// cluster-unique trace ID, so each involved node's flight recorder
+	// captures a correlated span.
+	TraceSample int
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -142,12 +161,37 @@ func NewClient(net transport.Net, cfg ClientConfig) (*Client, error) {
 	c := &Client{net: net, cfg: cfg}
 	c.rng.Store(cfg.Seed)
 	cfg.Obs.AdoptCounter("capi_retry_total", &c.retries)
-	cfg.Obs.AdoptCounter("capi_hedge_total", &c.hedges)
-	cfg.Obs.AdoptCounter("capi_hedge_win_total", &c.hedgeWins)
+	cfg.Obs.AdoptCounter("capi_hedge_fired_total", &c.hedgeFired)
+	cfg.Obs.AdoptCounter("capi_hedge_won_total", &c.hedgeWon)
+	cfg.Obs.AdoptCounter("capi_hedge_canceled_total", &c.hedgeCanceled)
 	cfg.Obs.AdoptCounter("capi_wrong_shard_total", &c.wrongShard)
 	cfg.Obs.AdoptCounter("capi_map_refresh_total", &c.mapRefresh)
+	cfg.Obs.AdoptCounter("capi_trace_sampled_total", &c.traceSampled)
 	cfg.Obs.AdoptHistogram("capi_read_attempt_ns", &c.readLat)
+	cfg.Obs.AdoptCounterVec("capi_read_winner_node_total", &c.winnerNode)
+	cfg.Obs.AdoptHistogramVec("capi_route_latency_ns", &c.routeLat)
 	return c, nil
+}
+
+// mintTrace applies the sampling policy: one in cfg.TraceSample operations
+// gets a fresh sampled trace context attached to its context; the rest run
+// untraced and pay a single flags byte per frame. A caller-supplied trace
+// (already on ctx) always wins, so an operator can force-trace one request
+// end to end.
+func (c *Client) mintTrace(ctx context.Context) context.Context {
+	n := c.cfg.TraceSample
+	if n <= 0 || obs.TraceFrom(ctx).Valid() {
+		return ctx
+	}
+	if n > 1 && c.traceTick.Add(1)%uint64(n) != 0 {
+		return ctx
+	}
+	id := c.rand()
+	if id == 0 {
+		id = 1 // trace ID zero means "untraced" on the wire
+	}
+	c.traceSampled.Inc()
+	return obs.WithTrace(ctx, obs.TraceContext{TraceID: id, SpanID: c.rand(), Sampled: true})
 }
 
 // Map returns the cached shard map, or nil before the first refresh.
@@ -155,21 +199,25 @@ func (c *Client) Map() *placement.Map { return c.pmap.Load() }
 
 // ClientStats is a point-in-time copy of the client's counters.
 type ClientStats struct {
-	Retries    uint64 `json:"retries"`
-	Hedges     uint64 `json:"hedges"`
-	HedgeWins  uint64 `json:"hedge_wins"`
-	WrongShard uint64 `json:"wrong_shard"`
-	MapRefresh uint64 `json:"map_refresh"`
+	Retries       uint64 `json:"retries"`
+	Hedges        uint64 `json:"hedges"`
+	HedgeWins     uint64 `json:"hedge_wins"`
+	HedgeCanceled uint64 `json:"hedge_canceled"`
+	WrongShard    uint64 `json:"wrong_shard"`
+	MapRefresh    uint64 `json:"map_refresh"`
+	TracesSampled uint64 `json:"traces_sampled"`
 }
 
 // Stats snapshots the client's counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Retries:    c.retries.Load(),
-		Hedges:     c.hedges.Load(),
-		HedgeWins:  c.hedgeWins.Load(),
-		WrongShard: c.wrongShard.Load(),
-		MapRefresh: c.mapRefresh.Load(),
+		Retries:       c.retries.Load(),
+		Hedges:        c.hedgeFired.Load(),
+		HedgeWins:     c.hedgeWon.Load(),
+		HedgeCanceled: c.hedgeCanceled.Load(),
+		WrongShard:    c.wrongShard.Load(),
+		MapRefresh:    c.mapRefresh.Load(),
+		TracesSampled: c.traceSampled.Load(),
 	}
 }
 
@@ -222,8 +270,9 @@ func (c *Client) Refresh(ctx context.Context) error {
 // reply within the operation deadline; otherwise the reply's Status
 // carries the disposition (which may be non-OK).
 func (c *Client) Read(ctx context.Context, item string) (ReadReply, error) {
-	opCtx, release := deadline.Bound(ctx, c.cfg.OpTimeout)
+	dctx, release := deadline.Bound(ctx, c.cfg.OpTimeout)
 	defer release()
+	var opCtx context.Context = c.mintTrace(dctx)
 	var (
 		last     ReadReply
 		haveLast bool
@@ -233,13 +282,13 @@ func (c *Client) Read(ctx context.Context, item string) (ReadReply, error) {
 		if err := opCtx.Err(); err != nil {
 			break
 		}
-		members, err := c.route(opCtx, item)
+		members, shard, err := c.route(opCtx, item)
 		if err != nil {
 			lastErr = err
 			c.backoff(opCtx, attempt)
 			continue
 		}
-		reply, err := c.readOnce(opCtx, members, attempt, item)
+		reply, err := c.readOnce(opCtx, members, shard, attempt, item)
 		if err != nil {
 			lastErr = err
 			c.retries.Inc()
@@ -277,14 +326,15 @@ func (c *Client) Read(ctx context.Context, item string) (ReadReply, error) {
 // treat the write as possibly applied; the client never resends a write
 // that may have committed.
 func (c *Client) Write(ctx context.Context, item string, update replica.Update) (WriteReply, error) {
-	opCtx, release := deadline.Bound(ctx, c.cfg.OpTimeout)
+	dctx, release := deadline.Bound(ctx, c.cfg.OpTimeout)
 	defer release()
+	var opCtx context.Context = c.mintTrace(dctx)
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := opCtx.Err(); err != nil {
 			break
 		}
-		members, err := c.route(opCtx, item)
+		members, _, err := c.route(opCtx, item)
 		if err != nil {
 			lastErr = err
 			c.backoff(opCtx, attempt)
@@ -332,7 +382,7 @@ func (c *Client) CheckEpoch(ctx context.Context, item string) (CheckReply, error
 	defer release()
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
-		members, err := c.route(opCtx, item)
+		members, _, err := c.route(opCtx, item)
 		if err != nil {
 			lastErr = err
 			c.backoff(opCtx, attempt)
@@ -374,26 +424,28 @@ func itemAffinity(item string) int {
 	return int(h % uint64(1<<31))
 }
 
-// route resolves the item's shard members, refreshing the map first if
-// the client has none yet. The returned slice is freshly allocated.
-func (c *Client) route(ctx context.Context, item string) ([]nodeset.ID, error) {
+// route resolves the item's shard members and shard index, refreshing the
+// map first if the client has none yet. The returned slice is freshly
+// allocated.
+func (c *Client) route(ctx context.Context, item string) ([]nodeset.ID, int, error) {
 	m := c.pmap.Load()
 	if m == nil {
 		if err := c.Refresh(ctx); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		m = c.pmap.Load()
 	}
-	members := m.MembersOf(item).IDs()
+	shard := int(m.ShardOf(item))
+	members := m.Members(placement.ShardID(shard)).IDs()
 	if len(members) == 0 {
-		return nil, fmt.Errorf("capi: shard map v%d has no members for %q", m.Version(), item)
+		return nil, 0, fmt.Errorf("capi: shard map v%d has no members for %q", m.Version(), item)
 	}
-	return members, nil
+	return members, shard, nil
 }
 
 // readOnce performs one read attempt, hedging to an alternate member if
 // the primary has not answered within the hedge delay.
-func (c *Client) readOnce(ctx context.Context, members []nodeset.ID, attempt int, item string) (ReadReply, error) {
+func (c *Client) readOnce(ctx context.Context, members []nodeset.ID, shard, attempt int, item string) (ReadReply, error) {
 	req := Read{Item: item}
 	// Reads share the write-affine member (rotating across retries): a
 	// read and a write of the same item then serialize through one
@@ -404,7 +456,11 @@ func (c *Client) readOnce(ctx context.Context, members []nodeset.ID, attempt int
 	rot := itemAffinity(item)
 	primary := members[(rot+attempt)%len(members)]
 	if !c.cfg.Hedge || len(members) < 2 {
-		return c.callRead(ctx, primary, req)
+		reply, err := c.callRead(ctx, primary, shard, req)
+		if err == nil && reply.Status == StatusOK {
+			c.winnerNode.At(int(primary)).Inc()
+		}
+		return reply, err
 	}
 	type result struct {
 		reply ReadReply
@@ -416,7 +472,7 @@ func (c *Client) readOnce(ctx context.Context, members []nodeset.ID, attempt int
 	ch := make(chan result, 2)
 	launch := func(n nodeset.ID) {
 		go func() {
-			r, err := c.callRead(cctx, n, req)
+			r, err := c.callRead(cctx, n, shard, req)
 			ch <- result{r, err, n}
 		}()
 	}
@@ -434,9 +490,16 @@ func (c *Client) readOnce(ctx context.Context, members []nodeset.ID, attempt int
 		case r := <-ch:
 			outstanding--
 			if r.err == nil && r.reply.Status == StatusOK {
-				if hedged && r.node != primary {
-					c.hedgeWins.Inc()
+				if hedged {
+					if r.node != primary {
+						c.hedgeWon.Inc()
+					} else {
+						// Primary beat the in-flight hedge; the deferred
+						// cancel releases it unanswered.
+						c.hedgeCanceled.Inc()
+					}
 				}
+				c.winnerNode.At(int(r.node)).Inc()
 				return r.reply, nil
 			}
 			if r.err == nil && !haveFallback {
@@ -454,14 +517,14 @@ func (c *Client) readOnce(ctx context.Context, members []nodeset.ID, attempt int
 				// Primary answered badly before the hedge delay elapsed:
 				// fire the alternate right away rather than waiting.
 				hedged = true
-				c.hedges.Inc()
+				c.hedgeFired.Inc()
 				launch(members[(rot+attempt+1)%len(members)])
 				outstanding++
 			}
 		case <-timer.C:
 			if !hedged {
 				hedged = true
-				c.hedges.Inc()
+				c.hedgeFired.Inc()
 				launch(members[(rot+attempt+1)%len(members)])
 				outstanding++
 			}
@@ -481,7 +544,7 @@ func timerPending(t *time.Timer) bool {
 	}
 }
 
-func (c *Client) callRead(ctx context.Context, node nodeset.ID, req Read) (ReadReply, error) {
+func (c *Client) callRead(ctx context.Context, node nodeset.ID, shard int, req Read) (ReadReply, error) {
 	cctx, release := deadline.Bound(ctx, c.cfg.CallTimeout)
 	defer release()
 	start := time.Now()
@@ -494,7 +557,9 @@ func (c *Client) callRead(ctx context.Context, node nodeset.ID, req Read) (ReadR
 		return ReadReply{}, fmt.Errorf("capi: unexpected Read reply %T", msg)
 	}
 	if reply.Status == StatusOK {
-		c.readLat.RecordDuration(time.Since(start))
+		d := time.Since(start)
+		c.readLat.RecordDuration(d)
+		c.routeLat.At(shard).RecordDuration(d)
 	}
 	return reply, nil
 }

@@ -1,0 +1,333 @@
+package capi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"coterie/internal/obs"
+	"coterie/internal/obs/expose"
+)
+
+// This file is the scrape half of the cluster observability plane: it
+// fetches the expose package's JSON rendering from each daemon's admin
+// endpoint (/metrics?format=json) and merges the per-node registries into
+// one cluster view — summed counters, bucket-wise merged histograms, and a
+// cross-node trace timeline. cmd/cotop and loadgen's -net summary are thin
+// wrappers over these helpers.
+
+// TraceEvent is one flight-recorder event of a scraped span.
+type TraceEvent struct {
+	Kind    string `json:"kind"`
+	Phase   string `json:"phase,omitempty"`
+	WhenNS  int64  `json:"when_ns"`
+	DurNS   int64  `json:"dur_ns,omitempty"`
+	N       int32  `json:"n,omitempty"`
+	A       uint64 `json:"a,omitempty"`
+	B       uint64 `json:"b,omitempty"`
+	Nodes   []int  `json:"nodes,omitempty"`
+	Meaning string `json:"meaning,omitempty"`
+}
+
+// TraceSpan is one scraped flight trace. For coordinator spans (kind
+// read/write/epoch-change) Node is the coordinating node; for server spans
+// (kind serve) it is the replica node that served the rounds, and OpSeq
+// holds the parent span ID. TraceID and ParentSpan are the canonical
+// fixed-width hex strings minted by the expose package.
+type TraceSpan struct {
+	Seq        uint64       `json:"seq"`
+	Kind       string       `json:"kind"`
+	Node       int          `json:"coordinator"`
+	OpSeq      uint64       `json:"op_seq"`
+	Item       string       `json:"item,omitempty"`
+	TraceID    string       `json:"trace_id,omitempty"`
+	ParentSpan string       `json:"parent_span,omitempty"`
+	Start      time.Time    `json:"start"`
+	ElapsedNS  int64        `json:"elapsed_ns"`
+	Outcome    string       `json:"outcome"`
+	Version    uint64       `json:"version"`
+	Events     []TraceEvent `json:"events"`
+
+	// ScrapedFrom is the admin address the span came from (set by the
+	// scraper, not part of the wire JSON).
+	ScrapedFrom string `json:"-"`
+}
+
+// jsonHistIn mirrors the expose package's histogram JSON shape for
+// decoding; only count/sum/buckets matter — quantiles are recomputed from
+// the merged buckets.
+type jsonHistIn struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// jsonSnapshotIn mirrors the expose package's registry JSON shape.
+type jsonSnapshotIn struct {
+	Counters  map[string]int64        `json:"counters"`
+	Gauges    map[string]int64        `json:"gauges"`
+	Vecs      map[string][]uint64     `json:"vectors"`
+	GaugeVecs map[string][]int64      `json:"gauge_vectors"`
+	Hists     map[string]jsonHistIn   `json:"histograms"`
+	HistVecs  map[string][]jsonHistIn `json:"histogram_vectors"`
+	Traces    []TraceSpan             `json:"traces"`
+}
+
+// NodeSnapshot is one daemon's scraped registry.
+type NodeSnapshot struct {
+	Addr      string
+	Counters  map[string]int64
+	Gauges    map[string]int64
+	Vecs      map[string][]uint64
+	GaugeVecs map[string][]int64
+	Hists     map[string]obs.HistogramSnapshot
+	HistVecs  map[string][]obs.HistogramSnapshot
+	Traces    []TraceSpan
+}
+
+// ClusterSnapshot is the merge of every reachable node's registry.
+// Counters, vectors, and histogram buckets are summed across nodes (they
+// are cumulative totals); gauges are summed too — every gauge in this
+// codebase is a count of live things (connections, coordinators, ring
+// depth), for which the cluster-wide total is the meaningful roll-up.
+type ClusterSnapshot struct {
+	Nodes     []NodeSnapshot
+	Errs      []error
+	Counters  map[string]int64
+	Gauges    map[string]int64
+	Vecs      map[string][]uint64
+	GaugeVecs map[string][]int64
+	Hists     map[string]obs.HistogramSnapshot
+	HistVecs  map[string][]obs.HistogramSnapshot
+}
+
+// bucketIndexByUpper maps the expose package's `le_<upper>` bucket keys
+// back onto the fixed power-of-two layout.
+var bucketIndexByUpper = func() map[uint64]int {
+	m := make(map[uint64]int, obs.NumBuckets)
+	for i := 0; i < obs.NumBuckets; i++ {
+		m[obs.BucketUpper(i)] = i
+	}
+	return m
+}()
+
+func histFromJSON(j jsonHistIn) (obs.HistogramSnapshot, error) {
+	h := obs.HistogramSnapshot{Count: j.Count, Sum: j.Sum}
+	for key, n := range j.Buckets {
+		var upper uint64
+		if _, err := fmt.Sscanf(key, "le_%d", &upper); err != nil {
+			return h, fmt.Errorf("capi: bad bucket key %q", key)
+		}
+		i, ok := bucketIndexByUpper[upper]
+		if !ok {
+			return h, fmt.Errorf("capi: bucket upper %d not in the fixed layout", upper)
+		}
+		h.Buckets[i] = n
+	}
+	return h, nil
+}
+
+// ParseSnapshot decodes one daemon's /metrics?format=json body into a
+// NodeSnapshot, reconstructing histogram bucket arrays from the sparse
+// `le_<upper>` keys. Exported for tests and offline analysis of saved
+// scrape bodies.
+func ParseSnapshot(addr string, body []byte) (*NodeSnapshot, error) {
+	var in jsonSnapshotIn
+	if err := json.Unmarshal(body, &in); err != nil {
+		return nil, fmt.Errorf("capi: snapshot from %s: %w", addr, err)
+	}
+	ns := &NodeSnapshot{
+		Addr:      addr,
+		Counters:  in.Counters,
+		Gauges:    in.Gauges,
+		Vecs:      in.Vecs,
+		GaugeVecs: in.GaugeVecs,
+		Hists:     make(map[string]obs.HistogramSnapshot, len(in.Hists)),
+		HistVecs:  make(map[string][]obs.HistogramSnapshot, len(in.HistVecs)),
+		Traces:    in.Traces,
+	}
+	for name, jh := range in.Hists {
+		h, err := histFromJSON(jh)
+		if err != nil {
+			return nil, err
+		}
+		ns.Hists[name] = h
+	}
+	for name, jhs := range in.HistVecs {
+		hs := make([]obs.HistogramSnapshot, len(jhs))
+		for i, jh := range jhs {
+			h, err := histFromJSON(jh)
+			if err != nil {
+				return nil, err
+			}
+			hs[i] = h
+		}
+		ns.HistVecs[name] = hs
+	}
+	for i := range ns.Traces {
+		ns.Traces[i].ScrapedFrom = addr
+	}
+	return ns, nil
+}
+
+// ScrapeNode fetches and parses one daemon's registry from its admin
+// address (host:port, no scheme).
+func ScrapeNode(ctx context.Context, client *http.Client, addr string) (*NodeSnapshot, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/metrics?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("capi: scrape %s: HTTP %d", addr, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	return ParseSnapshot(addr, body)
+}
+
+// ScrapeCluster scrapes every admin address concurrently and merges the
+// results. Unreachable nodes become entries in Errs rather than failing
+// the whole scrape — a cluster view that degrades is worth more than one
+// that disappears with its first crashed daemon.
+func ScrapeCluster(ctx context.Context, client *http.Client, addrs []string) *ClusterSnapshot {
+	snaps := make([]*NodeSnapshot, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			snaps[i], errs[i] = ScrapeNode(ctx, client, addr)
+		}(i, addr)
+	}
+	wg.Wait()
+	cs := &ClusterSnapshot{}
+	for i, err := range errs {
+		if err != nil {
+			cs.Errs = append(cs.Errs, err)
+			continue
+		}
+		cs.Nodes = append(cs.Nodes, *snaps[i])
+	}
+	cs.merge()
+	return cs
+}
+
+// MergeNodes builds a ClusterSnapshot from already-parsed node snapshots
+// (tests, offline analysis).
+func MergeNodes(nodes []NodeSnapshot) *ClusterSnapshot {
+	cs := &ClusterSnapshot{Nodes: nodes}
+	cs.merge()
+	return cs
+}
+
+func (cs *ClusterSnapshot) merge() {
+	cs.Counters = make(map[string]int64)
+	cs.Gauges = make(map[string]int64)
+	cs.Vecs = make(map[string][]uint64)
+	cs.GaugeVecs = make(map[string][]int64)
+	cs.Hists = make(map[string]obs.HistogramSnapshot)
+	cs.HistVecs = make(map[string][]obs.HistogramSnapshot)
+	for _, n := range cs.Nodes {
+		for name, v := range n.Counters {
+			cs.Counters[name] += v
+		}
+		for name, v := range n.Gauges {
+			cs.Gauges[name] += v
+		}
+		for name, vals := range n.Vecs {
+			dst := cs.Vecs[name]
+			for len(dst) < len(vals) {
+				dst = append(dst, 0)
+			}
+			for i, v := range vals {
+				dst[i] += v
+			}
+			cs.Vecs[name] = dst
+		}
+		for name, vals := range n.GaugeVecs {
+			dst := cs.GaugeVecs[name]
+			for len(dst) < len(vals) {
+				dst = append(dst, 0)
+			}
+			for i, v := range vals {
+				dst[i] += v
+			}
+			cs.GaugeVecs[name] = dst
+		}
+		for name, h := range n.Hists {
+			cs.Hists[name] = cs.Hists[name].Merge(h)
+		}
+		for name, hs := range n.HistVecs {
+			dst := cs.HistVecs[name]
+			for len(dst) < len(hs) {
+				dst = append(dst, obs.HistogramSnapshot{})
+			}
+			for i, h := range hs {
+				dst[i] = dst[i].Merge(h)
+			}
+			cs.HistVecs[name] = dst
+		}
+	}
+}
+
+// Timeline assembles the cross-node view of one distributed trace: every
+// span from every scraped node whose trace ID matches, ordered by start
+// time (coordinator span first in practice — it starts before any replica
+// serves its rounds). traceID accepts the canonical hex form with or
+// without a 0x prefix.
+func (cs *ClusterSnapshot) Timeline(traceID string) ([]TraceSpan, error) {
+	id, err := expose.ParseTraceID(traceID)
+	if err != nil {
+		return nil, err
+	}
+	want := expose.FormatTraceID(id)
+	var spans []TraceSpan
+	for _, n := range cs.Nodes {
+		for _, t := range n.Traces {
+			if t.TraceID == want {
+				spans = append(spans, t)
+			}
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return spans, nil
+}
+
+// TraceIDs lists the distinct trace IDs present across all scraped nodes,
+// most recently started first — what cotop shows when asked for traces
+// without a specific ID.
+func (cs *ClusterSnapshot) TraceIDs() []string {
+	latest := make(map[string]time.Time)
+	for _, n := range cs.Nodes {
+		for _, t := range n.Traces {
+			if t.TraceID == "" {
+				continue
+			}
+			if ts, ok := latest[t.TraceID]; !ok || t.Start.After(ts) {
+				latest[t.TraceID] = t.Start
+			}
+		}
+	}
+	ids := make([]string, 0, len(latest))
+	for id := range latest {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return latest[ids[i]].After(latest[ids[j]]) })
+	return ids
+}

@@ -386,7 +386,7 @@ func (c *Coordinator) fireAndForget(ctx context.Context, targets nodeset.Set, ms
 		targets = targets.Diff(nodeset.New(self))
 	}
 	if !targets.Empty() {
-		c.async.SendAsync(self, targets, env)
+		c.async.SendAsync(ctx, self, targets, env)
 	}
 }
 
@@ -438,6 +438,7 @@ func (c *Coordinator) Write(ctx context.Context, u replica.Update) (uint64, erro
 func (c *Coordinator) writeOne(ctx context.Context, u replica.Update) (uint64, error) {
 	op := c.item.NextOp()
 	a := c.obsReg.Flight().Begin(obs.OpWrite, c.item.Self(), uint64(op.Seq), c.item.Name())
+	a.Trace(obs.TraceFrom(ctx))
 	version, err := c.write(ctx, a, op, u)
 	a.End(outcomeOf(err), version)
 	return version, err
@@ -480,7 +481,7 @@ func (c *Coordinator) write(ctx context.Context, a *obs.ActiveOp, op replica.OpI
 				return 0, err
 			}
 			c.applySafetyThreshold(ctx, op, u, specVersion, cl)
-			c.pushThrough(op, u, specVersion, local.Epoch, quorum, quorum)
+			c.pushThrough(ctx, op, u, specVersion, local.Epoch, quorum, quorum)
 			return specVersion, nil
 		}
 		c.metrics.specMisses.Inc()
@@ -567,7 +568,7 @@ func (c *Coordinator) executeWrite(ctx context.Context, a *obs.ActiveOp, op repl
 		return 0, err
 	}
 	c.applySafetyThreshold(ctx, op, u, newVersion, cl)
-	c.pushThrough(op, u, newVersion, cl.maxEpoch.Epoch, cl.responders, goodSet)
+	c.pushThrough(ctx, op, u, newVersion, cl.maxEpoch.Epoch, cl.responders, goodSet)
 	return newVersion, nil
 }
 
@@ -611,7 +612,7 @@ func (c *Coordinator) commitPhase(ctx context.Context, a *obs.ActiveOp, op repli
 // duplicated or late push is harmless; a delivered one keeps the
 // bystander replica current, so future speculative prepares and read
 // snapshots that draw it into a quorum find it good.
-func (c *Coordinator) pushThrough(op replica.OpID, u replica.Update, newVersion uint64, epoch, written nodeset.Set, goodSet nodeset.Set) {
+func (c *Coordinator) pushThrough(ctx context.Context, op replica.OpID, u replica.Update, newVersion uint64, epoch, written nodeset.Set, goodSet nodeset.Set) {
 	if !c.opts.PushUpdates || c.async == nil {
 		return
 	}
@@ -619,7 +620,7 @@ func (c *Coordinator) pushThrough(op replica.OpID, u replica.Update, newVersion 
 	if others.Empty() {
 		return
 	}
-	c.async.SendAsync(c.item.Self(), others, replica.Envelope{
+	c.async.SendAsync(ctx, c.item.Self(), others, replica.Envelope{
 		Item: c.item.Name(),
 		Msg:  replica.ApplyDirect{Op: op, Update: u, NewVersion: newVersion, GoodSet: goodSet},
 	})
@@ -663,6 +664,7 @@ func (c *Coordinator) Read(ctx context.Context) (value []byte, version uint64, e
 	op := c.item.NextOp()
 	c.metrics.reads.Inc()
 	a := c.obsReg.Flight().Begin(obs.OpRead, c.item.Self(), uint64(op.Seq), c.item.Name())
+	a.Trace(obs.TraceFrom(ctx))
 	value, version, err = c.read(ctx, a, op)
 	a.End(outcomeOf(err), version)
 	return value, version, err

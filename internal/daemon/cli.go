@@ -40,6 +40,7 @@ func ParseFlags(args []string) (Config, error) {
 	fs.BoolVar(&cfg.Obs, "obs", true, "attach the observability registry")
 	fs.StringVar(&cfg.MetricsAddr, "metrics", "", "serve live metrics over HTTP on this address")
 	fs.StringVar(&cfg.PprofAddr, "pprof", "", "serve net/http/pprof profiling on this address")
+	fs.StringVar(&cfg.AdminAddr, "admin", "", "serve the admin plane (/metrics /traces /healthz /debug/pprof) on this address")
 	fs.IntVar(&cfg.Shards, "shards", 0, "serve a sharded keyspace of this many coteries (0 = fixed -items list)")
 	fs.IntVar(&cfg.RF, "rf", 0, "replicas per shard in sharded mode (0 = default 3, clamped to cluster size)")
 	fs.Uint64Var(&cfg.MapVersion, "map-version", 0, "shard map version served to clients (0 = default 1)")
@@ -123,7 +124,14 @@ func RunMain(args []string) error {
 		return err
 	}
 	defer d.Close()
-	fmt.Printf("READY %d %s\n", cfg.Self, cfg.Addrs[cfg.Self])
+	// The READY line stays for spawners that cannot reach the admin plane
+	// (it is the fallback when -admin is off); with -admin the bound admin
+	// address follows so a spawner using ":0" learns the real port.
+	if a := d.AdminAddr(); a != "" {
+		fmt.Printf("READY %d %s admin=%s\n", cfg.Self, cfg.Addrs[cfg.Self], a)
+	} else {
+		fmt.Printf("READY %d %s\n", cfg.Self, cfg.Addrs[cfg.Self])
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig

@@ -61,9 +61,9 @@ import (
 	"coterie/internal/capi"
 	"coterie/internal/core"
 	"coterie/internal/nodeset"
-	"coterie/internal/placement"
 	"coterie/internal/obs"
 	"coterie/internal/obs/expose"
+	"coterie/internal/placement"
 	"coterie/internal/replica"
 	"coterie/internal/transport"
 	"coterie/internal/transport/tcpnet"
@@ -107,6 +107,14 @@ type Config struct {
 	// PprofAddr serves net/http/pprof profiling endpoints (CPU, heap,
 	// mutex, block) on this address. Empty disables profiling.
 	PprofAddr string
+	// AdminAddr serves the consolidated admin plane on this address:
+	// /metrics (Prometheus text, ?format=json), /traces (flight traces,
+	// filterable by ?trace=<hex id>), /healthz (readiness + shard
+	// ownership), and /debug/pprof. Empty disables it. Unlike MetricsAddr
+	// it works without Obs (only /healthz and /debug/pprof then carry
+	// data). ":0" picks a free port; see Daemon.AdminAddr for the bound
+	// address.
+	AdminAddr string
 
 	// Shards > 0 enables sharded mode (see the package comment): the
 	// keyspace is partitioned into this many independent coteries and
@@ -152,6 +160,8 @@ type Daemon struct {
 	mln     net.Listener
 	pprof   *http.Server
 	pln     net.Listener
+	admin   *http.Server
+	aln     net.Listener
 }
 
 // coordEntry is one live coordinator in the sharded daemon's LRU table.
@@ -315,6 +325,12 @@ func Start(cfg Config) (*Daemon, error) {
 		d.metrics = &http.Server{Handler: expose.Handler(reg)}
 		go func() { _ = d.metrics.Serve(ln) }()
 	}
+	if cfg.AdminAddr != "" {
+		if err := d.startAdmin(cfg.AdminAddr); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
 	if cfg.PprofAddr != "" {
 		ln, err := net.Listen("tcp", cfg.PprofAddr)
 		if err != nil {
@@ -385,6 +401,10 @@ func (d *Daemon) Close() {
 	if d.pprof != nil {
 		d.pprof.Close()
 		d.pln.Close()
+	}
+	if d.admin != nil {
+		d.admin.Close()
+		d.aln.Close()
 	}
 	d.node.Close()
 	d.Net.Close()

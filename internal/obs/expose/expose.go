@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,37 +57,16 @@ func WritePrometheus(w io.Writer, r *obs.Registry) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
 			return err
 		}
-		cum := uint64(0)
-		for i, n := range h.Hist.Buckets {
-			if n == 0 && i != obs.NumBuckets-1 {
-				continue
-			}
-			cum += n
-			le := "+Inf"
-			if i < obs.NumBuckets-1 {
-				le = fmt.Sprintf("%d", obs.BucketUpper(i))
-			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.Name, le, cum); err != nil {
-				return err
-			}
-		}
-		// The +Inf bucket must equal the total count even if the last
-		// fixed bucket was empty and skipped above.
-		if cum != h.Hist.Count {
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Hist.Count); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.Name, h.Hist.Sum, h.Name, h.Hist.Count); err != nil {
+		if err := writePromHist(w, h.Name, "", h.Hist); err != nil {
 			return err
 		}
-		// Interpolated tail quantiles as a comment line: scrapers ignore
-		// comments (quantile series belong to summaries, not histograms),
-		// but a human reading the text exposition gets the tail at a
-		// glance — p999 included, the bench's first-class tail axis.
-		if h.Hist.Count > 0 {
-			if _, err := fmt.Fprintf(w, "# %s p50=%d p99=%d p999=%d\n",
-				h.Name, h.Hist.Quantile(0.5), h.Hist.Quantile(0.99), h.Hist.Quantile(0.999)); err != nil {
+	}
+	for _, v := range s.HistVecs {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", v.Name); err != nil {
+			return err
+		}
+		for i, hs := range v.Hists {
+			if err := writePromHist(w, v.Name, fmt.Sprintf("index=\"%d\",", i), hs); err != nil {
 				return err
 			}
 		}
@@ -94,13 +74,62 @@ func WritePrometheus(w io.Writer, r *obs.Registry) error {
 	return nil
 }
 
-// jsonTrace is the JSON shape of one flight trace.
+// writePromHist renders one histogram's series; labels is either empty or
+// a `key="value",` prefix merged into each series' label set.
+func writePromHist(w io.Writer, name, labels string, hist obs.HistogramSnapshot) error {
+	cum := uint64(0)
+	for i, n := range hist.Buckets {
+		if n == 0 && i != obs.NumBuckets-1 {
+			continue
+		}
+		cum += n
+		le := "+Inf"
+		if i < obs.NumBuckets-1 {
+			le = fmt.Sprintf("%d", obs.BucketUpper(i))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", name, labels, le, cum); err != nil {
+			return err
+		}
+	}
+	// The +Inf bucket must equal the total count even if the last
+	// fixed bucket was empty and skipped above.
+	if cum != hist.Count {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, hist.Count); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", name, suffix, hist.Sum, name, suffix, hist.Count); err != nil {
+		return err
+	}
+	// Interpolated tail quantiles as a comment line: scrapers ignore
+	// comments (quantile series belong to summaries, not histograms),
+	// but a human reading the text exposition gets the tail at a
+	// glance — p999 included, the bench's first-class tail axis.
+	if hist.Count > 0 {
+		if _, err := fmt.Fprintf(w, "# %s%s p50=%d p99=%d p999=%d\n",
+			name, suffix, hist.Quantile(0.5), hist.Quantile(0.99), hist.Quantile(0.999)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonTrace is the JSON shape of one flight trace. Trace and span IDs are
+// rendered as fixed-width hex strings rather than JSON numbers: they are
+// full 64-bit identifiers, and many JSON consumers silently round integers
+// above 2^53.
 type jsonTrace struct {
 	Seq         uint64      `json:"seq"`
 	Kind        string      `json:"kind"`
 	Coordinator int         `json:"coordinator"`
 	OpSeq       uint64      `json:"op_seq"`
 	Item        string      `json:"item,omitempty"`
+	TraceID     string      `json:"trace_id,omitempty"`
+	ParentSpan  string      `json:"parent_span,omitempty"`
 	Start       time.Time   `json:"start"`
 	ElapsedNS   int64       `json:"elapsed_ns"`
 	Outcome     string      `json:"outcome"`
@@ -124,12 +153,13 @@ type jsonEvent struct {
 
 // jsonSnapshot is the JSON shape of a full registry snapshot.
 type jsonSnapshot struct {
-	Counters   map[string]int64    `json:"counters"`
-	Gauges     map[string]int64    `json:"gauges"`
-	Vecs       map[string][]uint64 `json:"vectors"`
-	GaugeVecs  map[string][]int64  `json:"gauge_vectors,omitempty"`
-	Histograms map[string]jsonHist `json:"histograms"`
-	Traces     []jsonTrace         `json:"traces,omitempty"`
+	Counters   map[string]int64      `json:"counters"`
+	Gauges     map[string]int64      `json:"gauges"`
+	Vecs       map[string][]uint64   `json:"vectors"`
+	GaugeVecs  map[string][]int64    `json:"gauge_vectors,omitempty"`
+	Histograms map[string]jsonHist   `json:"histograms"`
+	HistVecs   map[string][]jsonHist `json:"histogram_vectors,omitempty"`
+	Traces     []jsonTrace           `json:"traces,omitempty"`
 }
 
 type jsonHist struct {
@@ -168,21 +198,17 @@ func WriteJSON(w io.Writer, r *obs.Registry) error {
 		}
 	}
 	for _, h := range s.Histograms {
-		jh := jsonHist{
-			Count:   h.Hist.Count,
-			Sum:     h.Hist.Sum,
-			Mean:    h.Hist.Mean(),
-			P50:     h.Hist.Quantile(0.5),
-			P99:     h.Hist.Quantile(0.99),
-			P999:    h.Hist.Quantile(0.999),
-			Buckets: make(map[string]uint64),
-		}
-		for i, n := range h.Hist.Buckets {
-			if n != 0 {
-				jh.Buckets[fmt.Sprintf("le_%d", obs.BucketUpper(i))] = n
+		out.Histograms[h.Name] = histJSON(h.Hist)
+	}
+	if len(s.HistVecs) > 0 {
+		out.HistVecs = make(map[string][]jsonHist, len(s.HistVecs))
+		for _, v := range s.HistVecs {
+			hists := make([]jsonHist, len(v.Hists))
+			for i, hs := range v.Hists {
+				hists[i] = histJSON(hs)
 			}
+			out.HistVecs[v.Name] = hists
 		}
-		out.Histograms[h.Name] = jh
 	}
 	for i := range s.Traces {
 		out.Traces = append(out.Traces, traceJSON(&s.Traces[i]))
@@ -190,6 +216,27 @@ func WriteJSON(w io.Writer, r *obs.Registry) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// histJSON converts one histogram snapshot to its JSON shape. Bucket keys
+// are `le_<upper>` with zero buckets elided; the aggregator reconstructs
+// the fixed bucket layout from the uppers via obs.BucketUpper.
+func histJSON(h obs.HistogramSnapshot) jsonHist {
+	jh := jsonHist{
+		Count:   h.Count,
+		Sum:     h.Sum,
+		Mean:    h.Mean(),
+		P50:     h.Quantile(0.5),
+		P99:     h.Quantile(0.99),
+		P999:    h.Quantile(0.999),
+		Buckets: make(map[string]uint64),
+	}
+	for i, n := range h.Buckets {
+		if n != 0 {
+			jh.Buckets[fmt.Sprintf("le_%d", obs.BucketUpper(i))] = n
+		}
+	}
+	return jh
 }
 
 func traceJSON(t *obs.Trace) jsonTrace {
@@ -204,6 +251,10 @@ func traceJSON(t *obs.Trace) jsonTrace {
 		Outcome:     OutcomeName(t.Outcome),
 		Version:     t.Version,
 		Dropped:     t.Dropped,
+	}
+	if t.TraceID != 0 {
+		jt.TraceID = FormatTraceID(t.TraceID)
+		jt.ParentSpan = FormatTraceID(t.ParentSpan)
 	}
 	for _, e := range t.EventsSlice() {
 		je := jsonEvent{
@@ -248,6 +299,46 @@ func Handler(r *obs.Registry) http.Handler {
 	})
 }
 
+// TracesHandler returns an HTTP handler serving only the flight traces of
+// r — the daemon's /traces endpoint. Human-readable text by default, JSON
+// array with `?format=json`; `?trace=<hex id>` restricts either format to
+// the spans of one distributed trace.
+func TracesHandler(r *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var want uint64
+		if q := req.URL.Query().Get("trace"); q != "" {
+			id, err := ParseTraceID(q)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			want = id
+		}
+		traces := r.Snapshot().Traces
+		kept := traces[:0:0]
+		for i := range traces {
+			if want == 0 || traces[i].TraceID == want {
+				kept = append(kept, traces[i])
+			}
+		}
+		if req.URL.Query().Get("format") == "json" {
+			out := make([]jsonTrace, 0, len(kept))
+			for i := range kept {
+				out = append(out, traceJSON(&kept[i]))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(out)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for i := range kept {
+			_, _ = io.WriteString(w, FormatTrace(&kept[i]))
+		}
+	})
+}
+
 // FormatTrace renders one flight trace for humans, one event per line:
 //
 //	#42 write item=acct-7 coord=n3 outcome=ok version=9 elapsed=1.2ms
@@ -256,9 +347,13 @@ func Handler(r *obs.Registry) http.Handler {
 //	  +800µs  stale-mark  {2} desired_version=9
 func FormatTrace(t *obs.Trace) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "#%d %s item=%s coord=n%d outcome=%s version=%d elapsed=%s\n",
+	fmt.Fprintf(&b, "#%d %s item=%s coord=n%d outcome=%s version=%d elapsed=%s",
 		t.Seq, kindName(t.Kind), t.Item, int(t.Coordinator), OutcomeName(t.Outcome), t.Version,
 		time.Duration(t.Elapsed).Round(time.Microsecond))
+	if t.TraceID != 0 {
+		fmt.Fprintf(&b, " trace=%s parent=%s", FormatTraceID(t.TraceID), FormatTraceID(t.ParentSpan))
+	}
+	b.WriteByte('\n')
 	for _, e := range t.EventsSlice() {
 		fmt.Fprintf(&b, "  +%-9s %s\n", time.Duration(e.When).Round(time.Microsecond), formatEvent(e))
 	}
@@ -383,9 +478,29 @@ func kindName(k obs.OpKind) string {
 		return "write"
 	case obs.OpEpochChange:
 		return "epoch-change"
+	case obs.OpServe:
+		return "serve"
 	default:
 		return "unknown"
 	}
+}
+
+// FormatTraceID renders a 64-bit trace or span ID in the canonical
+// fixed-width hex form used across JSON output, /traces queries, and cotop.
+func FormatTraceID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseTraceID parses the hex form accepted by /traces?trace= and
+// cotop -trace: up to 16 hex digits, with or without a 0x prefix.
+func ParseTraceID(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	if s == "" || len(s) > 16 {
+		return 0, fmt.Errorf("expose: bad trace ID %q", s)
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("expose: bad trace ID %q", s)
+	}
+	return id, nil
 }
 
 // OutcomeName returns the string form of an outcome (also used by loadgen's

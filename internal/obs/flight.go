@@ -75,6 +75,10 @@ const (
 	OpRead OpKind = iota
 	OpWrite
 	OpEpochChange
+	// OpServe: a replica-side server span — one node's handling of a
+	// protocol message belonging to a sampled distributed trace. OpSeq
+	// holds the parent span ID; Coordinator holds the serving node.
+	OpServe
 )
 
 // Outcome is a traced operation's final disposition.
@@ -167,13 +171,18 @@ type Trace struct {
 	Coordinator nodeset.ID
 	OpSeq       uint64
 	Item        string
-	Start       time.Time
-	Elapsed     time.Duration
-	Outcome     Outcome
-	Version     uint64
-	NumEvents   int32 // stored events (≤ MaxTraceEvents)
-	Dropped     int32 // events beyond the cap, counted but not stored
-	Events      [MaxTraceEvents]Event
+	// TraceID/ParentSpan tie this per-node trace into a cluster-wide
+	// distributed trace (zero when the operation was not sampled).
+	// ParentSpan is the span ID of the client operation that caused it.
+	TraceID    uint64
+	ParentSpan uint64
+	Start      time.Time
+	Elapsed    time.Duration
+	Outcome    Outcome
+	Version    uint64
+	NumEvents  int32 // stored events (≤ MaxTraceEvents)
+	Dropped    int32 // events beyond the cap, counted but not stored
+	Events     [MaxTraceEvents]Event
 }
 
 // EventsSlice returns the stored events.
@@ -268,6 +277,17 @@ func (a *ActiveOp) event(e Event) {
 		return
 	}
 	a.t.Dropped++
+}
+
+// Trace stamps the distributed trace identity onto the record so every
+// node's flight trace for one logical operation shares a trace ID. A
+// zero/invalid tc leaves the record untagged.
+func (a *ActiveOp) Trace(tc TraceContext) {
+	if a == nil || !tc.Valid() {
+		return
+	}
+	a.t.TraceID = tc.TraceID
+	a.t.ParentSpan = tc.SpanID
 }
 
 // Quorum records the selected quorum; rows/cols describe the grid shape it

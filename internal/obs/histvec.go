@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// HistogramVec is a vector of histograms indexed by a small non-negative
+// integer label — per-shard route latencies, per-node response times. Same
+// shape and discipline as CounterVec: At grows copy-on-write under a mutex
+// and is a construction-time operation; hot paths resolve their cell once
+// (or use the lock-free Get) and record through the held *Histogram. The
+// zero value is ready to use; a nil *HistogramVec is a no-op.
+type HistogramVec struct {
+	mu  sync.Mutex
+	arr atomic.Pointer[[]*Histogram]
+}
+
+// At returns the histogram for index i, growing the vector as needed.
+// Returns nil on a nil vector or a negative index.
+func (v *HistogramVec) At(i int) *Histogram {
+	if v == nil || i < 0 {
+		return nil
+	}
+	if arr := v.arr.Load(); arr != nil && i < len(*arr) && (*arr)[i] != nil {
+		return (*arr)[i]
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	old := v.arr.Load()
+	size := i + 1
+	if old != nil && len(*old) > size {
+		size = len(*old)
+	}
+	arr := make([]*Histogram, size)
+	if old != nil {
+		copy(arr, *old)
+	}
+	if arr[i] == nil {
+		arr[i] = new(Histogram)
+	}
+	v.arr.Store(&arr)
+	return arr[i]
+}
+
+// Get returns the histogram for index i if it exists, without growing;
+// nil otherwise. Lock-free.
+func (v *HistogramVec) Get(i int) *Histogram {
+	if v == nil || i < 0 {
+		return nil
+	}
+	arr := v.arr.Load()
+	if arr == nil || i >= len(*arr) {
+		return nil
+	}
+	return (*arr)[i]
+}
+
+// Len returns the current vector length (one past the highest registered
+// index).
+func (v *HistogramVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	arr := v.arr.Load()
+	if arr == nil {
+		return 0
+	}
+	return len(*arr)
+}
+
+// Snapshots copies the current cell states; unregistered cells snapshot
+// empty.
+func (v *HistogramVec) Snapshots() []HistogramSnapshot {
+	if v == nil {
+		return nil
+	}
+	arr := v.arr.Load()
+	if arr == nil {
+		return nil
+	}
+	out := make([]HistogramSnapshot, len(*arr))
+	for i, h := range *arr {
+		out[i] = h.Snapshot() // nil-safe: unregistered cells are empty
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramVecBasics: At grows copy-on-write and returns stable cells,
+// Get never grows, the nil vector is a no-op, and Snapshots reflects every
+// registered cell's records.
+func TestHistogramVecBasics(t *testing.T) {
+	var v HistogramVec
+	if v.Len() != 0 || v.Get(0) != nil {
+		t.Fatal("zero vector not empty")
+	}
+	h3 := v.At(3)
+	if h3 == nil || v.Len() != 4 {
+		t.Fatalf("At(3): h=%v len=%d", h3, v.Len())
+	}
+	if v.At(3) != h3 {
+		t.Fatal("At is not stable")
+	}
+	if v.Get(1) != nil {
+		t.Fatal("Get materialized an unregistered cell")
+	}
+	h3.Record(100)
+	v.At(1).Record(5)
+	snaps := v.Snapshots()
+	if len(snaps) != 4 {
+		t.Fatalf("Snapshots len = %d, want 4", len(snaps))
+	}
+	if snaps[3].Count != 1 || snaps[3].Sum != 100 || snaps[1].Count != 1 || snaps[0].Count != 0 {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+
+	var nilVec *HistogramVec
+	if nilVec.At(0) != nil || nilVec.Get(0) != nil || nilVec.Len() != 0 || nilVec.Snapshots() != nil {
+		t.Fatal("nil vector is not a no-op")
+	}
+	if v.At(-1) != nil {
+		t.Fatal("negative index did not return nil")
+	}
+}
+
+// TestHistogramVecConcurrent: concurrent At-grow and record keep every
+// sample; Snapshots taken during growth never observe torn state.
+func TestHistogramVecConcurrent(t *testing.T) {
+	var v HistogramVec
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v.At(w).Record(uint64(i))
+				_ = v.Snapshots()
+			}
+		}(w)
+	}
+	wg.Wait()
+	snaps := v.Snapshots()
+	if len(snaps) != workers {
+		t.Fatalf("len = %d, want %d", len(snaps), workers)
+	}
+	for w, s := range snaps {
+		if s.Count != per {
+			t.Fatalf("cell %d count = %d, want %d", w, s.Count, per)
+		}
+	}
+}
+
+// TestRegistryHistogramVec: the registry interns histogram vectors by name
+// and snapshots them sorted; AdoptHistogramVec lets a caller keep a direct
+// handle while the registry serves exposition.
+func TestRegistryHistogramVec(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("route_latency_ns")
+	if r.HistogramVec("route_latency_ns") != v {
+		t.Fatal("HistogramVec did not intern by name")
+	}
+	v.At(2).Record(7)
+
+	var own HistogramVec
+	own.At(0).Record(1)
+	r.AdoptHistogramVec("adopted_ns", &own)
+	if r.HistogramVec("adopted_ns") != &own {
+		t.Fatal("AdoptHistogramVec did not register the caller's vector")
+	}
+
+	s := r.Snapshot()
+	if len(s.HistVecs) != 2 {
+		t.Fatalf("snapshot has %d hist vecs, want 2", len(s.HistVecs))
+	}
+	if s.HistVecs[0].Name != "adopted_ns" || s.HistVecs[1].Name != "route_latency_ns" {
+		t.Fatalf("hist vecs not sorted by name: %s, %s", s.HistVecs[0].Name, s.HistVecs[1].Name)
+	}
+	if got := s.HistVecs[1].Hists; len(got) != 3 || got[2].Count != 1 || got[2].Sum != 7 {
+		t.Fatalf("route_latency_ns snapshots = %+v", got)
+	}
+
+	// Nop registry: the returned vector records nowhere but never panics.
+	Nop.HistogramVec("x").At(5).Record(1)
+}

@@ -39,12 +39,13 @@ import (
 // hold the returned pointers, so the hot path never touches the registry's
 // maps. A nil *Registry is the Nop registry.
 type Registry struct {
-	mu       sync.Mutex
+	mu        sync.Mutex
 	counters  map[string]*Counter
 	gauges    map[string]*Gauge
 	hists     map[string]*Histogram
 	vecs      map[string]*CounterVec
 	gaugeVecs map[string]*GaugeVec
+	histVecs  map[string]*HistogramVec
 	flight    atomic.Pointer[FlightRecorder]
 }
 
@@ -60,6 +61,7 @@ func New() *Registry {
 		hists:     make(map[string]*Histogram),
 		vecs:      make(map[string]*CounterVec),
 		gaugeVecs: make(map[string]*GaugeVec),
+		histVecs:  make(map[string]*HistogramVec),
 	}
 }
 
@@ -143,6 +145,22 @@ func (r *Registry) GaugeVec(name string) *GaugeVec {
 	return v
 }
 
+// HistogramVec returns the named histogram vector, creating it on first
+// use. Returns nil on the Nop registry.
+func (r *Registry) HistogramVec(name string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histVecs[name]
+	if !ok {
+		v = new(HistogramVec)
+		r.histVecs[name] = v
+	}
+	return v
+}
+
 // AdoptCounter registers an externally owned counter under name, making it
 // visible to Snapshot and exposition. See AdoptCounterVec for when adoption
 // is the right shape. Adopting an already-registered name replaces the
@@ -185,6 +203,20 @@ func (r *Registry) AdoptCounterVec(name string, v *CounterVec) {
 	}
 	r.mu.Lock()
 	r.vecs[name] = v
+	r.mu.Unlock()
+}
+
+// AdoptHistogramVec registers an externally owned histogram vector under
+// name, making it visible to Snapshot and exposition. Same rationale as
+// AdoptCounterVec: components that must record even when observability is
+// disabled own the real vector and adopt it when a registry is attached.
+// Adopting an already-registered name replaces the previous vector.
+func (r *Registry) AdoptHistogramVec(name string, v *HistogramVec) {
+	if r == nil || v == nil {
+		return
+	}
+	r.mu.Lock()
+	r.histVecs[name] = v
 	r.mu.Unlock()
 }
 
@@ -231,6 +263,13 @@ type NamedGaugeVec struct {
 	Values []int64
 }
 
+// NamedHistVec is one histogram vector in a snapshot; Hists is indexed by
+// the vector's integer label. Unregistered indices are empty.
+type NamedHistVec struct {
+	Name  string
+	Hists []HistogramSnapshot
+}
+
 // Snapshot is a point-in-time copy of every registered metric, sorted by
 // name, plus the completed flight-recorder traces. Taking a snapshot is
 // not allocation-free; it is an exposition-path operation.
@@ -240,6 +279,7 @@ type Snapshot struct {
 	Histograms []NamedHistogram
 	Vecs       []NamedVec
 	GaugeVecs  []NamedGaugeVec
+	HistVecs   []NamedHistVec
 	Traces     []Trace
 }
 
@@ -266,12 +306,16 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, v := range r.gaugeVecs {
 		s.GaugeVecs = append(s.GaugeVecs, NamedGaugeVec{Name: name, Values: v.Values()})
 	}
+	for name, v := range r.histVecs {
+		s.HistVecs = append(s.HistVecs, NamedHistVec{Name: name, Hists: v.Snapshots()})
+	}
 	r.mu.Unlock()
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	sort.Slice(s.Vecs, func(i, j int) bool { return s.Vecs[i].Name < s.Vecs[j].Name })
 	sort.Slice(s.GaugeVecs, func(i, j int) bool { return s.GaugeVecs[i].Name < s.GaugeVecs[j].Name })
+	sort.Slice(s.HistVecs, func(i, j int) bool { return s.HistVecs[i].Name < s.HistVecs[j].Name })
 	if f := r.Flight(); f != nil {
 		s.Traces = f.Traces()
 	}

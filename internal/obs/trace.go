@@ -1,0 +1,42 @@
+package obs
+
+import "context"
+
+// TraceContext is the compact cross-node trace identity that rides every
+// wire frame of one logical client operation: a cluster-unique trace ID,
+// the span ID of the operation that caused the frame (the client op for
+// coordinator-bound frames, reused verbatim for fan-out frames), and the
+// sampling decision made once at mint time. Every flight-recorder trace an
+// op touches — the coordinator's protocol trace and each replica's server
+// span — carries the same TraceID, which is what lets an aggregator
+// reassemble the cluster-wide timeline.
+//
+// A zero TraceID means "no trace": operations below the sampling rate
+// never mint a context, pay no per-frame bytes beyond the single flags
+// byte, and record nothing extra, which is how recorder pressure and
+// hot-path cost stay bounded.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
+}
+
+// Valid reports whether tc identifies a trace. Minters must never issue
+// trace ID zero.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+type traceKey struct{}
+
+// WithTrace tags ctx with tc. Transports encode the tag onto outgoing
+// request frames; servers re-attach it before invoking handlers, so the
+// context chain carries the trace identity across process boundaries.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceKey{}, tc)
+}
+
+// TraceFrom extracts the trace context from ctx; the zero TraceContext
+// (Valid() == false) when none is attached.
+func TraceFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceKey{}).(TraceContext)
+	return tc
+}

@@ -88,17 +88,17 @@ type staged struct {
 	// DecisionQuery.NewVersion).
 	speculative bool
 	preparedAt  time.Time
-	update     Update
-	updates    []Update // stagedBatch: applied in order on commit
-	value      []byte
-	newVersion uint64
-	staleSet   nodeset.Set
-	desired    uint64
-	epoch      nodeset.Set
-	epochNum   uint64
-	good       nodeset.Set
-	goodVer    uint64
-	maxVersion uint64
+	update      Update
+	updates     []Update // stagedBatch: applied in order on commit
+	value       []byte
+	newVersion  uint64
+	staleSet    nodeset.Set
+	desired     uint64
+	epoch       nodeset.Set
+	epochNum    uint64
+	good        nodeset.Set
+	goodVer     uint64
+	maxVersion  uint64
 }
 
 // Item is one replica of one data item living on one node. It owns the

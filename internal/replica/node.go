@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 	"coterie/internal/transport"
 )
 
@@ -167,9 +168,51 @@ func (n *Node) handle(ctx context.Context, from nodeset.ID, req transport.Messag
 				return nil, fmt.Errorf("replica: node %v has no replica of item %q", n.self, m.Item)
 			}
 		}
+		if tc := obs.TraceFrom(ctx); tc.Sampled && tc.Valid() {
+			return n.handleTraced(ctx, from, it, m.Msg, tc)
+		}
 		return it.Handle(ctx, from, m.Msg)
 	default:
 		return nil, fmt.Errorf("replica: node %v: unexpected message %T", n.self, req)
+	}
+}
+
+// handleTraced serves one protocol message under a sampled distributed
+// trace, recording a server span — a minimal flight-recorder trace tagged
+// with the operation's trace ID — so an aggregator can reassemble the
+// cross-node timeline of one client operation from each node's recorder.
+// Only sampled operations reach this path, which is what keeps recorder
+// pressure (ring churn, pooled-ActiveOp traffic) bounded under load.
+func (n *Node) handleTraced(ctx context.Context, from nodeset.ID, it *Item, msg any, tc obs.TraceContext) (transport.Message, error) {
+	a := n.cfg.Obs.Flight().Begin(obs.OpServe, n.self, tc.SpanID, it.Name())
+	a.Trace(tc)
+	began := a.Elapsed()
+	reply, err := it.Handle(ctx, from, msg)
+	a.Phase(spanPhase(msg), began, 1, 0)
+	if err != nil {
+		a.End(obs.OutcomeError, 0)
+	} else {
+		a.End(obs.OutcomeOK, 0)
+	}
+	return reply, err
+}
+
+// spanPhase maps a protocol message to the coordinator phase it belongs
+// to, so a server span names the round it served.
+func spanPhase(msg any) obs.Phase {
+	switch msg.(type) {
+	case StateQuery, DecisionQuery:
+		return obs.PhasePoll
+	case LockRequest, LockPrepare:
+		return obs.PhaseLock
+	case PrepareUpdate, PrepareBatch, PrepareReplace, PrepareStale, PrepareEpoch:
+		return obs.PhasePrepare
+	case Commit, Abort, ApplyDirect:
+		return obs.PhaseCommit
+	case ReadSnap, FetchValue:
+		return obs.PhaseFetch
+	default:
+		return obs.PhaseNone
 	}
 }
 

@@ -48,8 +48,12 @@ type Net interface {
 // calls, even to the same peer. It is only safe for messages that can
 // never race a later message about the same operation — i.e. the
 // operation is finished and its ID is never used again.
+//
+// ctx carries request-scoped routing and observability tags (steering
+// key, distributed-trace context) onto the outgoing frames; its deadline
+// and cancellation are NOT honored — the send is already fire-and-forget.
 type AsyncSender interface {
-	SendAsync(from nodeset.ID, targets nodeset.Set, req Message)
+	SendAsync(ctx context.Context, from nodeset.ID, targets nodeset.Set, req Message)
 }
 
 // The simulated network is the reference Net implementation.

@@ -99,7 +99,7 @@ func TestCoalescedFlushByteEquality(t *testing.T) {
 		}
 		size := binary.BigEndian.Uint32(rest[:lenSize])
 		body := rest[lenSize : lenSize+int(size)]
-		corr, from, timeout, payload, err := parseRequest(body)
+		corr, from, timeout, _, payload, err := parseRequest(body)
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}

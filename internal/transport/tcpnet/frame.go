@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 	"coterie/internal/transport"
 	"coterie/internal/wire"
 )
@@ -20,9 +21,10 @@ import (
 //
 //	frame   = len(u32 BE) body
 //	body    = kind(1) corr(uvarint) rest
-//	request = from(uvarint) timeout_ns(uvarint) payload   (kind=1)
-//	reply   = payload                                      (kind=2)
-//	error   = UTF-8 error text                             (kind=3)
+//	request = from(uvarint) timeout_ns(uvarint) trace payload   (kind=1)
+//	trace   = flags(1) [trace_id(uvarint) span_id(uvarint)]
+//	reply   = payload                                            (kind=2)
+//	error   = UTF-8 error text                                   (kind=3)
 //
 // payload is one wire.Marshal-encoded message. corr is the correlation ID
 // matching a reply or error frame to its request on a pipelined
@@ -30,7 +32,10 @@ import (
 // timeout_ns is the caller's remaining deadline in nanoseconds (0 = no
 // deadline) so the serving side can expire the handler's context — without
 // it, a handler blocked on a lock queue would hold the request goroutine
-// past the point the caller gave up.
+// past the point the caller gave up. trace is the wire.AppendTraceContext
+// distributed-trace field (one zero byte when the operation is untraced);
+// the serving side re-attaches it to the handler context so flight
+// recorders on every node tag their records with the same trace ID.
 const (
 	frameRequest = 1
 	frameReply   = 2
@@ -89,6 +94,8 @@ func appendRequest(f *frameBuf, corr uint64, from nodeset.ID, ctx context.Contex
 		tn = uint64(d)
 	}
 	b = binary.AppendUvarint(b, tn)
+	tc := obs.TraceFrom(ctx)
+	b = wire.AppendTraceContext(b, tc.TraceID, tc.SpanID, tc.Sampled)
 	b, err := wire.AppendMarshal(b, req)
 	if err != nil {
 		return err
@@ -144,26 +151,32 @@ func readFrame(br *bufio.Reader) (*frameBuf, error) {
 	return f, nil
 }
 
-// parseRequest splits a request frame body into its header fields and the
-// payload. The payload slice aliases the frame buffer.
-func parseRequest(body []byte) (corr uint64, from nodeset.ID, timeout time.Duration, payload []byte, err error) {
+// parseRequest splits a request frame body into its header fields, trace
+// context and the payload. The payload slice aliases the frame buffer.
+func parseRequest(body []byte) (corr uint64, from nodeset.ID, timeout time.Duration, tc obs.TraceContext, payload []byte, err error) {
 	if len(body) == 0 || body[0] != frameRequest {
-		return 0, 0, 0, nil, errFrameKind
+		return 0, 0, 0, tc, nil, errFrameKind
 	}
 	rd := body[1:]
 	corr, k := binary.Uvarint(rd)
 	if k <= 0 {
-		return 0, 0, 0, nil, errFrameKind
+		return 0, 0, 0, tc, nil, errFrameKind
 	}
 	rd = rd[k:]
 	fr, k := binary.Uvarint(rd)
 	if k <= 0 || fr > 1<<31 {
-		return 0, 0, 0, nil, errFrameKind
+		return 0, 0, 0, tc, nil, errFrameKind
 	}
 	rd = rd[k:]
 	tn, k := binary.Uvarint(rd)
 	if k <= 0 || tn > uint64(1<<62) {
-		return 0, 0, 0, nil, errFrameKind
+		return 0, 0, 0, tc, nil, errFrameKind
 	}
-	return corr, nodeset.ID(fr), time.Duration(tn), rd[k:], nil
+	rd = rd[k:]
+	traceID, spanID, sampled, k, terr := wire.DecodeTraceContext(rd)
+	if terr != nil {
+		return 0, 0, 0, tc, nil, errFrameKind
+	}
+	tc = obs.TraceContext{TraceID: traceID, SpanID: spanID, Sampled: sampled}
+	return corr, nodeset.ID(fr), time.Duration(tn), tc, rd[k:], nil
 }

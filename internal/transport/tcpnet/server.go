@@ -10,6 +10,7 @@ import (
 
 	"coterie/internal/deadline"
 	"coterie/internal/nodeset"
+	"coterie/internal/obs"
 	"coterie/internal/transport"
 	"coterie/internal/wire"
 )
@@ -127,6 +128,7 @@ type srvReq struct {
 	corr    uint64
 	from    nodeset.ID
 	timeout time.Duration
+	tc      obs.TraceContext
 	msg     transport.Message
 }
 
@@ -149,7 +151,7 @@ func (sc *serverConn) readLoop() {
 		}
 		sc.n.framesRecv.Inc()
 		sc.n.bytesRecv.Add(uint64(len(body)) + lenSize)
-		corr, from, timeout, payload, err := parseRequest(body)
+		corr, from, timeout, tc, payload, err := parseRequest(body)
 		if err != nil {
 			return // protocol violation: tear the connection down
 		}
@@ -167,7 +169,7 @@ func (sc *serverConn) readLoop() {
 			continue
 		}
 		sc.ep.served.Inc()
-		sc.dispatch(srvReq{corr: corr, from: from, timeout: timeout, msg: msg})
+		sc.dispatch(srvReq{corr: corr, from: from, timeout: timeout, tc: tc, msg: msg})
 	}
 }
 
@@ -218,6 +220,12 @@ func (sc *serverConn) serveOne(rq srvReq) {
 		dctx, release := deadline.At(ctx, time.Now().Add(rq.timeout))
 		defer release()
 		ctx = dctx
+	}
+	if rq.tc.Valid() {
+		// Re-attach the propagated trace identity. Only sampled operations
+		// mint a context, so the untraced hot path never pays this
+		// allocation.
+		ctx = obs.WithTrace(ctx, rq.tc)
 	}
 	h := *sc.ep.handler.Load()
 	reply, err := h(ctx, rq.from, rq.msg)

@@ -264,9 +264,23 @@ var (
 // drops the send — it is best-effort by contract, and the writer is
 // behind by a full ring anyway). Per-call mode falls back to a throwaway
 // goroutine running an ordinary call whose reply is discarded.
-func (n *Network) SendAsync(from nodeset.ID, targets nodeset.Set, req transport.Message) {
+//
+// ctx contributes only its steering key and trace context to the outgoing
+// frames (the trace is what lets one-way commits and push-throughs land in
+// the receiving replica's flight recorder under the operation's trace ID);
+// deadlines and cancellation are ignored per the AsyncSender contract.
+func (n *Network) SendAsync(ctx context.Context, from nodeset.ID, targets nodeset.Set, req transport.Message) {
 	if targets.Empty() {
 		return
+	}
+	// One-way sends outlive the operation that issued them, so the caller's
+	// cancellation and deadline must not apply. Untraced sends (the common
+	// case) ride the network's base context exactly as before — zero
+	// per-send allocations; a sampled operation pays one detached-context
+	// allocation to carry its trace tag onto the frames.
+	sendCtx := n.baseCtx
+	if obs.TraceFrom(ctx).Valid() {
+		sendCtx = context.WithoutCancel(ctx)
 	}
 	var buf [16]nodeset.ID
 	local := n.local.Load()
@@ -274,7 +288,7 @@ func (n *Network) SendAsync(from nodeset.ID, targets nodeset.Set, req transport.
 		if ep := local.get(id); ep != nil {
 			ep.served.Inc()
 			h := *ep.handler.Load()
-			h(n.baseCtx, from, req) //nolint:errcheck // one-way: outcome is discarded
+			h(sendCtx, from, req) //nolint:errcheck // one-way: outcome is discarded
 			continue
 		}
 		p := n.peerOf(id)
@@ -284,17 +298,17 @@ func (n *Network) SendAsync(from nodeset.ID, targets nodeset.Set, req transport.
 		p.sent.Inc()
 		if !n.pipeline {
 			go func(to nodeset.ID) {
-				ctx, cancel := context.WithTimeout(n.baseCtx, n.dialTimeout)
+				callCtx, cancel := context.WithTimeout(sendCtx, n.dialTimeout)
 				defer cancel()
-				n.call(ctx, from, to, req) //nolint:errcheck // one-way: outcome is discarded
+				n.call(callCtx, from, to, req) //nolint:errcheck // one-way: outcome is discarded
 			}(id)
 			continue
 		}
-		c, err := p.conn(n.baseCtx, n, from)
+		c, err := p.conn(sendCtx, n, from)
 		if err != nil {
 			continue
 		}
-		c.sendOneWay(n.baseCtx, from, req)
+		c.sendOneWay(sendCtx, from, req)
 	}
 }
 

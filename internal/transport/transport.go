@@ -435,28 +435,32 @@ func (n *Network) call(ctx context.Context, from, to nodeset.ID, req Message) (M
 // moment the send returns (tests rely on it). With latency configured,
 // the fan-out moves to a background goroutine so the transit time stays
 // off the sender's critical path, as a real one-way send would.
-func (n *Network) SendAsync(from nodeset.ID, targets nodeset.Set, req Message) {
+func (n *Network) SendAsync(ctx context.Context, from nodeset.ID, targets nodeset.Set, req Message) {
 	if targets.Empty() {
 		return
 	}
+	// Per the AsyncSender contract the caller's cancellation and deadline
+	// do not apply; only the context's request-scoped values (e.g. trace
+	// tags) travel with the delivery.
+	sendCtx := context.WithoutCancel(ctx)
 	if n.latency == nil {
 		var buf [16]nodeset.ID
 		for _, to := range targets.AppendIDs(buf[:0]) {
-			n.deliverOneWay(from, to, req)
+			n.deliverOneWay(sendCtx, from, to, req)
 		}
 		return
 	}
 	ids := targets.IDs()
 	go func() {
 		for _, to := range ids {
-			n.deliverOneWay(from, to, req)
+			n.deliverOneWay(sendCtx, from, to, req)
 		}
 	}()
 }
 
 // deliverOneWay is one target's leg of SendAsync: the request journey of
 // call, with no reply journey back.
-func (n *Network) deliverOneWay(from, to nodeset.ID, req Message) {
+func (n *Network) deliverOneWay(ctx context.Context, from, to nodeset.ID, req Message) {
 	reg := n.reg.Load()
 	src, dst := reg.get(from), reg.get(to)
 	if src == nil || dst == nil || !src.up.Load() || !dst.up.Load() || !n.reachable(from, to) {
@@ -477,7 +481,7 @@ func (n *Network) deliverOneWay(from, to nodeset.ID, req Message) {
 	n.messages.Inc()
 	dst.served.Inc()
 	handler := *dst.handler.Load()
-	handler(context.Background(), from, req) //nolint:errcheck // one-way: outcome is discarded
+	handler(ctx, from, req) //nolint:errcheck // one-way: outcome is discarded
 }
 
 func (n *Network) fail() (Message, error) {

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Trace context rides every TCP request frame between the from/timeout
+// header and the message payload. The encoding is one flags byte followed,
+// when a trace is present, by two canonical uvarints:
+//
+//	flags(1) [traceID(uvarint) spanID(uvarint)]
+//
+// flags bit 0 (TraceFlagPresent) says the two uvarints follow; bit 1
+// (TraceFlagSampled) carries the mint-time sampling decision. An untraced
+// frame costs exactly one zero byte, so the hot path with sampling off
+// pays one byte per frame and no branches beyond the presence check.
+// Decoding is strict in the codec's style: unknown flag bits, a zero
+// trace ID, and non-minimal varints are rejected.
+
+const (
+	// TraceFlagPresent: trace ID and span ID uvarints follow the flags byte.
+	TraceFlagPresent = 1 << 0
+	// TraceFlagSampled: the trace was selected for flight recording.
+	TraceFlagSampled = 1 << 1
+
+	traceFlagsKnown = TraceFlagPresent | TraceFlagSampled
+)
+
+// ErrBadTrace reports a malformed trace-context field.
+var ErrBadTrace = errors.New("wire: malformed trace context")
+
+// AppendTraceContext appends the trace-context field for (traceID, spanID,
+// sampled) to dst and returns the extended slice. traceID zero encodes the
+// absent context (a single zero byte) regardless of the other arguments.
+// Appending into a buffer with sufficient capacity does not allocate.
+func AppendTraceContext(dst []byte, traceID, spanID uint64, sampled bool) []byte {
+	if traceID == 0 {
+		return append(dst, 0)
+	}
+	flags := byte(TraceFlagPresent)
+	if sampled {
+		flags |= TraceFlagSampled
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, traceID)
+	return binary.AppendUvarint(dst, spanID)
+}
+
+// DecodeTraceContext decodes a trace-context field from the front of b,
+// returning the identity and the number of bytes consumed. An absent
+// context decodes to traceID zero and n == 1.
+func DecodeTraceContext(b []byte) (traceID, spanID uint64, sampled bool, n int, err error) {
+	if len(b) == 0 {
+		return 0, 0, false, 0, ErrBadTrace
+	}
+	flags := b[0]
+	if flags&^byte(traceFlagsKnown) != 0 {
+		return 0, 0, false, 0, ErrBadTrace
+	}
+	if flags&TraceFlagPresent == 0 {
+		if flags != 0 {
+			// Sampled-without-present has no meaning; reject it so encodings
+			// stay canonical.
+			return 0, 0, false, 0, ErrBadTrace
+		}
+		return 0, 0, false, 1, nil
+	}
+	n = 1
+	traceID, k := binary.Uvarint(b[n:])
+	if k <= 0 || traceID == 0 {
+		return 0, 0, false, 0, ErrBadTrace
+	}
+	n += k
+	spanID, k = binary.Uvarint(b[n:])
+	if k <= 0 {
+		return 0, 0, false, 0, ErrBadTrace
+	}
+	n += k
+	return traceID, spanID, flags&TraceFlagSampled != 0, n, nil
+}
