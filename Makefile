@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch bench-net bench-shard bench-shard-smoke bench-trace profile-net check-obs-imports check-allocs check-admin fuzz-smoke ci
+.PHONY: all build test vet race bench bench-smoke bench-loadgen bench-obs bench-batch bench-net bench-shard bench-shard-smoke bench-trace bench-quorum bench-quorum-smoke profile-net check-obs-imports check-allocs check-admin fuzz-smoke ci
 
 all: build
 
@@ -80,6 +80,22 @@ bench-shard-smoke:
 bench-trace:
 	$(GO) run ./scripts/benchtrace -duration 3s -trials 3
 
+# bench-quorum measures the capacity-optimized quorum strategies — a
+# strategy x workload loadgen matrix (uniform / zipf / slow-member /
+# 95%-read) at GOMAXPROCS=4 plus the predicted-vs-measured availability
+# table at the paper's Table 1 operating point — and writes BENCH_9.json.
+# Gates: optimized >= 1.15x load-aware ops/sec under tail injection at
+# equal-or-better read p99; read-dominant read p99 <= 0.8x load-aware's
+# on the 95/5 mix (DESIGN.md §13, EXPERIMENTS.md BENCH_9).
+bench-quorum:
+	$(GO) run ./scripts/benchquorum -duration 3s -trials 3
+
+# bench-quorum-smoke is the CI-sized version: only the two gated
+# scenarios over the strategies the gates compare, with a short
+# availability horizon and no report file; fails on a gate miss.
+bench-quorum-smoke:
+	$(GO) run ./scripts/benchquorum -smoke
+
 # check-admin smokes the admin plane: an in-process 3-daemon cluster with
 # admin endpoints, fully-sampled client traffic, every route on every
 # daemon, and an aggregator timeline that spans more than one node.
@@ -99,9 +115,10 @@ profile-net:
 
 # check-allocs runs the steady-state allocation gates: the combiner's
 # submit/drain machinery, the batched-propagation capture path, the mux
-# dispatch and wire encode hot paths, and the tcpnet frame codec must not
-# allocate per operation (they gate with testing.AllocsPerRun and skip
-# themselves under -race).
+# dispatch and wire encode hot paths, the tcpnet frame codec, and the
+# weighted quorum pick (alias-table sampling in coterie and the
+# coordinator's pick wrapper) must not allocate per operation (they gate
+# with testing.AllocsPerRun and skip themselves under -race).
 check-allocs:
 	$(GO) test -run 'TestCombinerDrainDoesNotAllocate' ./internal/core/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestCaptureDataDoesNotAllocate' ./internal/replica/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
@@ -110,6 +127,8 @@ check-allocs:
 	$(GO) test -run 'TestRequestFrameEncodeDoesNotAllocate|TestReplyFrameEncodeDoesNotAllocate|TestFusedMessageEncodeDoesNotAllocate|TestRingFlushPathDoesNotAllocate|TestTracedRequestFrameEncodeDoesNotAllocate' ./internal/transport/tcpnet/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestZipfNextDoesNotAllocate|TestMixNextDoesNotAllocate' ./internal/workload/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 	$(GO) test -run 'TestShardOfDoesNotAllocate' ./internal/placement/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestAliasPickAllocs' ./internal/coterie/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
+	$(GO) test -run 'TestOptimizedPickAllocs' ./internal/core/ -v -count=1 | grep -E 'PASS|FAIL|allocates' || exit 1
 
 # fuzz-smoke runs the wire-layer fuzzers briefly: every generated input
 # must either fail to decode or round-trip byte-identically (the canonical-
@@ -130,4 +149,4 @@ check-obs-imports:
 	fi; \
 	echo "check-obs-imports: internal/obs is clean"
 
-ci: vet build check-obs-imports check-allocs check-admin fuzz-smoke race bench-smoke bench-loadgen bench-obs bench-batch bench-net bench-shard-smoke
+ci: vet build check-obs-imports check-allocs check-admin fuzz-smoke race bench-smoke bench-loadgen bench-obs bench-batch bench-net bench-shard-smoke bench-quorum-smoke

@@ -8,8 +8,11 @@
 //	cotop -cluster ... -traces                      # list known trace IDs
 //	cotop -cluster ... -json                        # merged snapshot, JSON
 //
-// The default view is one screen: cluster-merged counters, the latency
-// histograms' tails, per-shard route latency, and hedge attribution.
+// The default view is one screen: cluster-merged counters and gauges,
+// the counter/gauge vectors (per-candidate quorum pick counts, per-node
+// capacity and load-EWMA cells from the weighted strategies, per-shard
+// totals), the latency histograms' tails, per-shard route latency, and
+// hedge attribution.
 // Merging rules live in internal/capi (ScrapeCluster); cotop is a thin
 // renderer over them.
 package main
@@ -19,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -74,7 +78,7 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		printSummary(cs)
+		printSummary(os.Stdout, cs)
 	}
 }
 
@@ -120,11 +124,12 @@ func countNodes(spans []capi.TraceSpan) int {
 	return len(seen)
 }
 
-// printSummary is the one-screen cluster view.
-func printSummary(cs *capi.ClusterSnapshot) {
-	fmt.Printf("cluster: %d/%d nodes reachable\n", len(cs.Nodes), len(cs.Nodes)+len(cs.Errs))
+// printSummary is the one-screen cluster view. It takes the writer so the
+// merge round-trip test can capture it.
+func printSummary(w io.Writer, cs *capi.ClusterSnapshot) {
+	fmt.Fprintf(w, "cluster: %d/%d nodes reachable\n", len(cs.Nodes), len(cs.Nodes)+len(cs.Errs))
 	for _, n := range cs.Nodes {
-		fmt.Printf("  %s: %d traces, %d counters\n", n.Addr, len(n.Traces), len(n.Counters))
+		fmt.Fprintf(w, "  %s: %d traces, %d counters\n", n.Addr, len(n.Traces), len(n.Counters))
 	}
 
 	names := make([]string, 0, len(cs.Counters))
@@ -134,9 +139,53 @@ func printSummary(cs *capi.ClusterSnapshot) {
 		}
 	}
 	sort.Strings(names)
-	fmt.Println("counters (cluster sum):")
+	fmt.Fprintln(w, "counters (cluster sum):")
 	for _, name := range names {
-		fmt.Printf("  %-44s %d\n", name, cs.Counters[name])
+		fmt.Fprintf(w, "  %-44s %d\n", name, cs.Counters[name])
+	}
+
+	gnames := make([]string, 0, len(cs.Gauges))
+	for name, v := range cs.Gauges {
+		if v != 0 {
+			gnames = append(gnames, name)
+		}
+	}
+	if len(gnames) > 0 {
+		sort.Strings(gnames)
+		fmt.Fprintln(w, "gauges (cluster sum):")
+		for _, name := range gnames {
+			fmt.Fprintf(w, "  %-44s %d\n", name, cs.Gauges[name])
+		}
+	}
+
+	// Vector metrics — per-candidate quorum pick counts, per-node
+	// capacities and load estimates from the weighted strategies, per-shard
+	// totals — render as index:value pairs over the cluster-summed cells.
+	vnames := make([]string, 0, len(cs.Vecs))
+	for name, vals := range cs.Vecs {
+		if s := fmtVec(vals); s != "" {
+			vnames = append(vnames, name)
+		}
+	}
+	if len(vnames) > 0 {
+		sort.Strings(vnames)
+		fmt.Fprintln(w, "counter vectors (cluster sum, index:value):")
+		for _, name := range vnames {
+			fmt.Fprintf(w, "  %-44s %s\n", name, fmtVec(cs.Vecs[name]))
+		}
+	}
+	gvnames := make([]string, 0, len(cs.GaugeVecs))
+	for name, vals := range cs.GaugeVecs {
+		if s := fmtVec(vals); s != "" {
+			gvnames = append(gvnames, name)
+		}
+	}
+	if len(gvnames) > 0 {
+		sort.Strings(gvnames)
+		fmt.Fprintln(w, "gauge vectors (cluster sum, index:value):")
+		for _, name := range gvnames {
+			fmt.Fprintf(w, "  %-44s %s\n", name, fmtVec(cs.GaugeVecs[name]))
+		}
 	}
 
 	hnames := make([]string, 0, len(cs.Hists))
@@ -144,13 +193,13 @@ func printSummary(cs *capi.ClusterSnapshot) {
 		hnames = append(hnames, name)
 	}
 	sort.Strings(hnames)
-	fmt.Println("latency (cluster merge):")
+	fmt.Fprintln(w, "latency (cluster merge):")
 	for _, name := range hnames {
 		h := cs.Hists[name]
 		if h.Count == 0 {
 			continue
 		}
-		fmt.Printf("  %-44s n=%-8d p50=%-10s p99=%-10s p999=%s\n", name, h.Count,
+		fmt.Fprintf(w, "  %-44s n=%-8d p50=%-10s p99=%-10s p999=%s\n", name, h.Count,
 			time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)), time.Duration(h.Quantile(0.999)))
 	}
 	for name, hs := range cs.HistVecs {
@@ -158,7 +207,7 @@ func printSummary(cs *capi.ClusterSnapshot) {
 			if h.Count == 0 {
 				continue
 			}
-			fmt.Printf("  %s{index=%d}%*s n=%-8d p50=%-10s p99=%-10s p999=%s\n",
+			fmt.Fprintf(w, "  %s{index=%d}%*s n=%-8d p50=%-10s p99=%-10s p999=%s\n",
 				name, i, max(1, 34-len(name)), "", h.Count,
 				time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)), time.Duration(h.Quantile(0.999)))
 		}
@@ -169,11 +218,28 @@ func printSummary(cs *capi.ClusterSnapshot) {
 		if n > 8 {
 			n = 8
 		}
-		fmt.Printf("recent traces (%d known, -trace <id> for a timeline):\n", len(ids))
+		fmt.Fprintf(w, "recent traces (%d known, -trace <id> for a timeline):\n", len(ids))
 		for _, id := range ids[:n] {
-			fmt.Printf("  %s\n", id)
+			fmt.Fprintf(w, "  %s\n", id)
 		}
 	}
+}
+
+// fmtVec renders a vector's non-zero cells as space-separated index:value
+// pairs ("" when every cell is zero, so all-zero vectors stay off the
+// screen like zero counters do).
+func fmtVec[T uint64 | int64](vals []T) string {
+	var b strings.Builder
+	for i, v := range vals {
+		if v == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", i, v)
+	}
+	return b.String()
 }
 
 // clusterJSON shapes the merged snapshot for -json output.

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coterie/internal/capi"
+	"coterie/internal/obs"
+	"coterie/internal/obs/expose"
+)
+
+// nodeSnapshot renders a registry the way a daemon's admin endpoint would
+// and parses it back through the scraper — the exposition half of the
+// round trip, minus the socket.
+func nodeSnapshot(t *testing.T, addr string, r *obs.Registry) capi.NodeSnapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := expose.WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := capi.ParseSnapshot(addr, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return *ns
+}
+
+// TestSummaryRendersMergedStrategyVectors drives the full merge round
+// trip for the weighted-strategy vector metrics: two daemons expose
+// per-candidate pick counters, per-node capacity gauges and load-EWMA
+// cells, the cluster merge sums them element-wise, and the summary view
+// renders the summed cells as index:value pairs.
+func TestSummaryRendersMergedStrategyVectors(t *testing.T) {
+	r1, r2 := obs.New(), obs.New()
+	r1.CounterVec("core_strategy_read_pick_total").At(0).Add(30)
+	r1.CounterVec("core_strategy_read_pick_total").At(2).Add(5)
+	r2.CounterVec("core_strategy_read_pick_total").At(0).Add(12)
+	r1.CounterVec("core_strategy_write_pick_total").At(1).Add(8)
+	// Both daemons publish the same declared capacity map; the merged
+	// cell is the cluster sum (2 nodes x 100 milli).
+	r1.GaugeVec("core_node_capacity_milli").At(4).Set(100)
+	r2.GaugeVec("core_node_capacity_milli").At(4).Set(100)
+	r1.GaugeVec("core_endpoint_load_ewma").At(1).Set(7)
+	r1.GaugeVec("core_strategy_entropy_milli").At(0).Set(2100)
+	r1.Gauge("core_strategy_capacity_milli").Set(5400)
+	r1.Counter("core_reads_total").Add(3)
+
+	cs := capi.MergeNodes([]capi.NodeSnapshot{
+		nodeSnapshot(t, "a:9100", r1),
+		nodeSnapshot(t, "b:9100", r2),
+	})
+
+	var out bytes.Buffer
+	printSummary(&out, cs)
+	got := out.String()
+
+	for _, want := range []string{
+		"counter vectors (cluster sum, index:value):",
+		"gauge vectors (cluster sum, index:value):",
+		"gauges (cluster sum):",
+		"0:42 2:5", // read picks summed across both daemons
+		"1:8",      // write picks from the single daemon that had any
+		"4:200",    // capacity cells summed node-wise
+		"1:7",      // load EWMA passes through
+		"0:2100",   // read-distribution entropy
+		"5400",     // predicted capacity gauge
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	for _, name := range []string{
+		"core_strategy_read_pick_total",
+		"core_strategy_write_pick_total",
+		"core_node_capacity_milli",
+		"core_endpoint_load_ewma",
+		"core_strategy_entropy_milli",
+	} {
+		if !strings.Contains(got, name) {
+			t.Errorf("summary missing vector %q:\n%s", name, got)
+		}
+	}
+}
+
+// TestFmtVec pins the rendering contract: zero cells are skipped, an
+// all-zero vector renders empty (and so stays off the summary screen).
+func TestFmtVec(t *testing.T) {
+	if got := fmtVec([]uint64{0, 3, 0, 9}); got != "1:3 3:9" {
+		t.Fatalf("fmtVec = %q", got)
+	}
+	if got := fmtVec([]int64{-2, 0}); got != "0:-2" {
+		t.Fatalf("fmtVec = %q", got)
+	}
+	if got := fmtVec([]uint64{0, 0}); got != "" {
+		t.Fatalf("fmtVec all-zero = %q", got)
+	}
+}

@@ -58,6 +58,7 @@ import (
 
 	"coterie/internal/capi"
 	"coterie/internal/core"
+	"coterie/internal/coterie"
 	"coterie/internal/daemon"
 	"coterie/internal/nodeset"
 	"coterie/internal/obs"
@@ -88,6 +89,8 @@ type config struct {
 	batchMax    int
 	batchQueue  int
 	strategy    string
+	capacity    string
+	zipfItems   bool
 	rate        float64
 	affinity    bool
 	batchProp   bool
@@ -150,6 +153,8 @@ type result struct {
 	Obs           bool             `json:"obs"`
 	Batch         bool             `json:"batch"`
 	Strategy      string           `json:"strategy"`
+	Capacity      string           `json:"capacity,omitempty"`
+	ZipfItems     bool             `json:"zipf_items,omitempty"`
 	Affinity      bool             `json:"affinity"`
 	BatchProp     bool             `json:"batch_prop"`
 	RateTarget    float64          `json:"rate_target,omitempty"`
@@ -171,6 +176,11 @@ type result struct {
 	ReadOutcomes  outcomes         `json:"read_outcomes"`
 	WriteOutcomes outcomes         `json:"write_outcomes"`
 	Metrics       map[string]int64 `json:"metrics,omitempty"`
+
+	// StrategyOutcomes keys the run's read/write dispositions by the
+	// canonical strategy name, so sweep harnesses can merge reports from
+	// different strategies without re-deriving which run was which.
+	StrategyOutcomes map[string]opOutcomes `json:"strategy_outcomes,omitempty"`
 
 	// Net-mode extras: which data plane ran, whether the TCP transport
 	// pipelined, and the one-copy serializability verdict (nil = history
@@ -239,7 +249,9 @@ func main() {
 	flag.BoolVar(&cfg.batch, "batch", false, "enable the group-commit write combiner")
 	flag.IntVar(&cfg.batchMax, "batch-max", 0, "max writes merged per batched protocol round (0 = core default)")
 	flag.IntVar(&cfg.batchQueue, "batch-queue", 0, "combiner queue depth before writers overflow to the single-write path (0 = core default)")
-	flag.StringVar(&cfg.strategy, "strategy", "hint", "quorum selection strategy: hint (pseudo-random rotation) or load (least-loaded via EWMA)")
+	flag.StringVar(&cfg.strategy, "strategy", "hint", "quorum selection strategy: hint (pseudo-random rotation), load (least-loaded via EWMA), optimized (capacity-weighted quorum distribution) or read-dominant (optimized with a small-read-quorum bias)")
+	flag.StringVar(&cfg.capacity, "capacity", "", "relative node capacities for the weighted strategies: id=weight,... (unlisted nodes are 1.0)")
+	flag.BoolVar(&cfg.zipfItems, "zipf-items", false, "pick items with Zipf(-zipf theta) popularity instead of uniformly (fixed-item modes; ignored with -disjoint)")
 	flag.Float64Var(&cfg.rate, "rate", 0, "open-loop arrival rate in ops/sec across all workers (0 = closed loop)")
 	flag.BoolVar(&cfg.affinity, "affinity", false, "route all writes for an item through one coordinator so group commit can merge them")
 	flag.BoolVar(&cfg.batchProp, "batch-prop", false, "batch stale propagation per target node")
@@ -255,8 +267,8 @@ func main() {
 	flag.IntVar(&cfg.keyspace, "keyspace", 0, "distinct keys in sharded mode (0 = 1,000,000)")
 	flag.Float64Var(&cfg.zipfTheta, "zipf", workload.DefaultZipfTheta, "Zipfian skew theta in (0,1) for sharded-mode key popularity")
 	flag.BoolVar(&cfg.hedge, "hedge", false, "sharded mode: hedge reads to an alternate shard member after a p99-derived delay")
-	flag.IntVar(&cfg.slowNode, "slow-node", -1, "sharded mode: daemon ID to slow down with -slow-read (-1 = none)")
-	flag.DurationVar(&cfg.slowRead, "slow-read", 0, "sharded mode: injected per-read service delay on the -slow-node daemon")
+	flag.IntVar(&cfg.slowNode, "slow-node", -1, "node ID to slow down with -slow-read (-1 = none)")
+	flag.DurationVar(&cfg.slowRead, "slow-read", 0, "injected service delay on the -slow-node node (sim mode: every message it serves; tcp/sharded: every client read)")
 	flag.BoolVar(&cfg.sweep, "sweep", false, "sharded mode: interleave a full deterministic sweep of the keyspace so every key is touched at least once (runs past -duration if needed)")
 	flag.IntVar(&cfg.checkStride, "check-stride", 1, "sharded mode: record one-copy history for every key-th key plus the hottest 1024 (1 = all keys; larger strides bound checker memory on million-key runs)")
 	flag.IntVar(&cfg.maxCoords, "max-coords", 0, "sharded mode: live coordinator cap per daemon (0 = daemon default)")
@@ -327,25 +339,57 @@ func run(cfg config) error {
 	// relation): conflicting operations that wedge each other's quorum
 	// locks resolve on the lease, so a short round timeout keeps the
 	// closed loop moving instead of measuring lease expiries.
-	var strategy core.QuorumStrategy
+	strategy, err := core.ParseStrategy(cfg.strategy)
+	if err != nil {
+		return err
+	}
 	var tracker *core.LoadTracker
-	switch cfg.strategy {
-	case "hint":
-		strategy = core.StrategyHint
-	case "load":
-		strategy = core.StrategyLoadAware
+	if strategy != core.StrategyHint {
 		// One tracker across every coordinator of every item: they all
 		// steer by the same observed per-endpoint load.
 		tracker = core.NewLoadTracker(netw, members, reg)
-	default:
-		return fmt.Errorf("unknown -strategy %q (want hint or load)", cfg.strategy)
+	}
+	capacity, err := capacityFunc(cfg.capacity)
+	if err != nil {
+		return err
+	}
+	copts := core.Options{
+		CallTimeout: cfg.callTimeout,
+		Obs:         reg,
+		Strategy:    strategy,
+		Load:        tracker,
+		Capacity:    capacity,
+		GroupCommit: core.GroupCommitOptions{
+			Enabled:  cfg.batch,
+			MaxBatch: cfg.batchMax,
+			MaxQueue: cfg.batchQueue,
+		},
+	}
+	if strategy.Weighted() {
+		// One engine across every coordinator of every item — the solved
+		// distribution is cluster-wide, and per-coordinator engines would
+		// multiply the background solves by nodes×items.
+		copts.Engine = core.NewStrategyEngine(members, tracker, copts)
 	}
 
 	rcfg := replica.Config{LockLease: 4 * cfg.callTimeout, Obs: reg, PropagationBatch: cfg.batchProp}
+	copts.Replica = rcfg
 	nodes := make([]*replica.Node, cfg.nodes)
 	for i := range nodes {
 		nodes[i] = replica.NewNode(nodeset.ID(i), netw, rcfg)
 		defer nodes[i].Close()
+	}
+	if cfg.slowRead > 0 && cfg.slowNode >= 0 && cfg.slowNode < cfg.nodes {
+		// A weak node: every protocol message it serves takes -slow-read
+		// longer. Registering over the node's own handler keeps the wrap
+		// transparent to the protocol; only service time changes.
+		inner := nodes[cfg.slowNode].Handler()
+		delay := cfg.slowRead
+		netw.Register(nodeset.ID(cfg.slowNode), func(ctx context.Context, from nodeset.ID, req transport.Message) (transport.Message, error) {
+			time.Sleep(delay)
+			return inner(ctx, from, req)
+		})
+		fmt.Fprintf(os.Stderr, "loadgen: node %d serves every message %s slower\n", cfg.slowNode, delay)
 	}
 	coords := make([][]*core.Coordinator, cfg.items) // [item][node]
 	for it := 0; it < cfg.items; it++ {
@@ -356,18 +400,7 @@ func run(cfg config) error {
 			if err != nil {
 				return err
 			}
-			coords[it][i] = core.NewCoordinator(rep, netw, members, core.Options{
-				CallTimeout: cfg.callTimeout,
-				Replica:     rcfg,
-				Obs:         reg,
-				Strategy:    strategy,
-				Load:        tracker,
-				GroupCommit: core.GroupCommitOptions{
-					Enabled:  cfg.batch,
-					MaxBatch: cfg.batchMax,
-					MaxQueue: cfg.batchQueue,
-				},
-			})
+			coords[it][i] = core.NewCoordinator(rep, netw, members, copts)
 		}
 	}
 
@@ -381,6 +414,10 @@ func run(cfg config) error {
 	// One pacer shared by all workers makes the union of their operations a
 	// single fixed-rate arrival stream; nil (rate 0) keeps the closed loop.
 	pacer := workload.NewPacer(cfg.rate, start)
+	zipfStreams, err := zipfItemStreams(cfg)
+	if err != nil {
+		return err
+	}
 
 	if cfg.churn > 0 {
 		wg.Add(1)
@@ -405,10 +442,7 @@ func run(cfg config) error {
 				if !due {
 					return
 				}
-				item := w % cfg.items
-				if !cfg.disjoint {
-					item = rng.Intn(cfg.items)
-				}
+				item := pickItem(cfg, w, rng, zipfStreams)
 				isRead := rng.Float64() < cfg.readFrac
 				node := rng.Intn(cfg.nodes)
 				if cfg.affinity && !isRead {
@@ -460,7 +494,9 @@ func run(cfg config) error {
 		Seed:       cfg.seed,
 		Obs:        cfg.obsOn,
 		Batch:      cfg.batch,
-		Strategy:   cfg.strategy,
+		Strategy:   strategy.String(),
+		Capacity:   cfg.capacity,
+		ZipfItems:  cfg.zipfItems,
 		Affinity:   cfg.affinity,
 		BatchProp:  cfg.batchProp,
 		RateTarget: cfg.rate,
@@ -488,6 +524,10 @@ func run(cfg config) error {
 	res.WriteP99us = percentile(writeLat, 0.99).Microseconds()
 	res.ReadP999us = percentile(readLat, 0.999).Microseconds()
 	res.WriteP999us = percentile(writeLat, 0.999).Microseconds()
+	if cfg.slowRead > 0 && cfg.slowNode >= 0 {
+		res.SlowRead = cfg.slowRead.String()
+	}
+	attachStrategyOutcomes(&res)
 
 	if reg != obs.Nop {
 		snap := reg.Snapshot()
@@ -677,6 +717,66 @@ func sampleTrace(traces []obs.Trace) *obs.Trace {
 		return anyWrite
 	}
 	return any
+}
+
+// opOutcomes pairs the read and write dispositions for one strategy in
+// the report's strategy_outcomes map.
+type opOutcomes struct {
+	Reads  outcomes `json:"reads"`
+	Writes outcomes `json:"writes"`
+}
+
+// attachStrategyOutcomes fills the per-strategy breakdown once the
+// aggregate outcomes are summed. res.Strategy must already hold the
+// canonical strategy name.
+func attachStrategyOutcomes(res *result) {
+	res.StrategyOutcomes = map[string]opOutcomes{
+		res.Strategy: {Reads: res.ReadOutcomes, Writes: res.WriteOutcomes},
+	}
+}
+
+// capacityFunc turns the -capacity flag into a coterie load function, or
+// nil when the cluster is homogeneous.
+func capacityFunc(spec string) (coterie.LoadFunc, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	caps, err := daemon.ParseCapacities(spec)
+	if err != nil {
+		return nil, err
+	}
+	return func(id nodeset.ID) float64 {
+		if c, ok := caps[id]; ok {
+			return c
+		}
+		return 1
+	}, nil
+}
+
+// zipfItemStreams builds one independent Zipfian item stream per worker
+// when -zipf-items is on (nil otherwise), so the hottest items draw most
+// of the traffic while workers stay deterministic and contention-free.
+func zipfItemStreams(cfg config) ([]*workload.Zipf, error) {
+	if !cfg.zipfItems {
+		return nil, nil
+	}
+	z, err := workload.NewZipf(uint64(cfg.items), cfg.zipfTheta, cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	return z.Split(cfg.workers)
+}
+
+// pickItem chooses worker w's next item: pinned under -disjoint, Zipfian
+// under -zipf-items, uniform otherwise.
+func pickItem(cfg config, w int, rng *rand.Rand, zipf []*workload.Zipf) int {
+	if cfg.disjoint {
+		return w % cfg.items
+	}
+	if zipf != nil {
+		return int(zipf[w].Next())
+	}
+	return rng.Intn(cfg.items)
 }
 
 func addOutcomes(dst *outcomes, src outcomes) {

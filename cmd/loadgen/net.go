@@ -104,9 +104,12 @@ func spawnDaemon(exe string, id nodeset.ID, book map[nodeset.ID]string, cfg conf
 		if cfg.maxCoords > 0 {
 			args = append(args, "-max-coords", strconv.Itoa(cfg.maxCoords))
 		}
-		if cfg.slowRead > 0 && int(id) == cfg.slowNode {
-			args = append(args, "-slow-read", cfg.slowRead.String())
-		}
+	}
+	if cfg.slowRead > 0 && int(id) == cfg.slowNode {
+		args = append(args, "-slow-read", cfg.slowRead.String())
+	}
+	if cfg.capacity != "" {
+		args = append(args, "-capacity", cfg.capacity)
 	}
 	if cfg.batch {
 		args = append(args, "-batch")
@@ -298,6 +301,10 @@ func runTCP(cfg config) error {
 	if cfg.latency > 0 {
 		return fmt.Errorf("-latency is simulation-only (real TCP has real latency)")
 	}
+	strategy, err := core.ParseStrategy(cfg.strategy)
+	if err != nil {
+		return err
+	}
 	exe, err := os.Executable()
 	if err != nil {
 		return fmt.Errorf("cannot self-spawn daemons: %w", err)
@@ -459,7 +466,8 @@ func runTCP(cfg config) error {
 		Seed:       cfg.seed,
 		Obs:        cfg.obsOn,
 		Batch:      cfg.batch,
-		Strategy:   cfg.strategy,
+		Strategy:   strategy.String(),
+		Capacity:   cfg.capacity,
 		Affinity:   cfg.affinity,
 		BatchProp:  cfg.batchProp,
 		RateTarget: cfg.rate,
@@ -488,6 +496,10 @@ func runTCP(cfg config) error {
 	res.WriteP99us = percentile(writeLat, 0.99).Microseconds()
 	res.ReadP999us = percentile(readLat, 0.999).Microseconds()
 	res.WriteP999us = percentile(writeLat, 0.999).Microseconds()
+	if cfg.slowRead > 0 && cfg.slowNode >= 0 {
+		res.SlowRead = cfg.slowRead.String()
+	}
+	attachStrategyOutcomes(&res)
 
 	// One-copy serializability check over every item's recorded history.
 	violations := 0

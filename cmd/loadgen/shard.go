@@ -131,6 +131,10 @@ func runShard(cfg config) error {
 	if cfg.checkStride <= 0 {
 		cfg.checkStride = 1
 	}
+	strategy, err := core.ParseStrategy(cfg.strategy)
+	if err != nil {
+		return err
+	}
 	exe, err := os.Executable()
 	if err != nil {
 		return fmt.Errorf("cannot self-spawn daemons: %w", err)
@@ -350,7 +354,8 @@ func runShard(cfg config) error {
 		Seed:       cfg.seed,
 		Obs:        cfg.obsOn,
 		Batch:      cfg.batch,
-		Strategy:   cfg.strategy,
+		Strategy:   strategy.String(),
+		Capacity:   cfg.capacity,
 		Affinity:   cfg.affinity,
 		BatchProp:  cfg.batchProp,
 		RateTarget: cfg.rate,
@@ -386,6 +391,7 @@ func runShard(cfg config) error {
 	res.WriteP50us = percentile(writeLat, 0.50).Microseconds()
 	res.WriteP99us = percentile(writeLat, 0.99).Microseconds()
 	res.WriteP999us = percentile(writeLat, 0.999).Microseconds()
+	attachStrategyOutcomes(&res)
 
 	for _, word := range touched {
 		res.DistinctKeys += bits.OnesCount64(word)

@@ -40,6 +40,11 @@ type Coordinator struct {
 	// Both nil under StrategyHint.
 	load   *LoadTracker
 	loadFn coterie.LoadFunc
+	// strat drives the weighted strategies (StrategyOptimized /
+	// StrategyReadDominant); nil otherwise. Normally the process-shared
+	// engine from Options.Engine. When it has no valid snapshot yet (cold
+	// start, epoch change) picks fall through to the load-aware path above.
+	strat *StrategyEngine
 	// combiner is the group-commit write queue; nil unless enabled.
 	combiner *combiner
 	// async is net's one-way-send capability, resolved once at
@@ -62,12 +67,18 @@ func NewCoordinator(item *replica.Item, net transport.Net, all nodeset.Set, opts
 		metrics: newCoordMetrics(opts.Obs),
 	}
 	c.async, _ = net.(transport.AsyncSender)
-	if opts.Strategy == StrategyLoadAware {
+	if opts.Strategy == StrategyLoadAware || opts.Strategy.Weighted() {
 		c.load = opts.Load
 		if c.load == nil {
 			c.load = NewLoadTracker(net, c.all, opts.Obs)
 		}
 		c.loadFn = c.load.Load
+	}
+	if opts.Strategy.Weighted() {
+		c.strat = opts.Engine
+		if c.strat == nil {
+			c.strat = NewStrategyEngine(c.all, c.load, opts)
+		}
 	}
 	if opts.GroupCommit.Enabled && opts.SafetyThreshold <= 0 {
 		c.combiner = newCombiner(c, opts.GroupCommit)
@@ -119,6 +130,14 @@ func hint(op replica.OpID) int {
 // load refresh at most every loadRefreshInterval), the hint rotation
 // otherwise.
 func (c *Coordinator) pickWriteQuorum(lay *coterie.Layout, avail nodeset.Set, op replica.OpID) (nodeset.Set, bool) {
+	if c.strat != nil {
+		// Weighted strategies sample the solved distribution directly — no
+		// self-preference probe, because reshaping picks toward self would
+		// re-concentrate exactly the load the solver spread out.
+		if q, ok := c.strat.pickWrite(lay, avail, hint(op)); ok {
+			return q, true
+		}
+	}
 	if c.loadFn != nil {
 		c.load.maybeRefresh()
 		return lay.WriteQuorumLoaded(avail, c.loadFn, hint(op))
@@ -153,13 +172,31 @@ func preferSelf(self nodeset.ID, pick func(nodeset.Set, int) (nodeset.Set, bool)
 	return q, ok
 }
 
-// pickReadQuorum is pickWriteQuorum's read analogue.
-func (c *Coordinator) pickReadQuorum(lay *coterie.Layout, avail nodeset.Set, op replica.OpID) (nodeset.Set, bool) {
+// pickReadQuorum is pickWriteQuorum's read analogue. It takes the hint
+// value directly (rather than deriving it from the op) so the fast-read
+// redraw can re-roll the selection with a remixed hint.
+func (c *Coordinator) pickReadQuorum(lay *coterie.Layout, avail nodeset.Set, h int) (nodeset.Set, bool) {
+	if c.strat != nil {
+		if q, ok := c.strat.pickRead(lay, avail, h); ok {
+			return q, true
+		}
+	}
 	if c.loadFn != nil {
 		c.load.maybeRefresh()
-		return lay.ReadQuorumLoaded(avail, c.loadFn, hint(op))
+		return lay.ReadQuorumLoaded(avail, c.loadFn, h)
 	}
-	return preferSelf(c.item.Self(), lay.ReadQuorum, avail, hint(op))
+	return preferSelf(c.item.Self(), lay.ReadQuorum, avail, h)
+}
+
+// remix re-scrambles a hint for a quorum redraw: the same splitmix64
+// finalizer as hint(), so the second draw is decorrelated from the first
+// under every strategy (rotation index, alias-table stream position).
+func remix(h int) int {
+	x := uint64(h) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x >> 1)
 }
 
 // response pairs a replica's state with its node ID.
@@ -670,36 +707,62 @@ func (c *Coordinator) Read(ctx context.Context) (value []byte, version uint64, e
 	return value, version, err
 }
 
+// readRedraws bounds how many times a contended fast read re-rolls its
+// quorum before escalating to the heavy procedure. One redraw squares the
+// (small) collision probability away, while keeping the worst case at
+// three rounds; more attempts trade heavy-path certainty for latency.
+const readRedraws = 1
+
 func (c *Coordinator) read(ctx context.Context, a *obs.ActiveOp, op replica.OpID) (value []byte, version uint64, err error) {
 	local := c.item.State()
 
 	lay := c.layout(local.EpochNum, local.Epoch)
-	quorum, ok := c.pickReadQuorum(lay, local.Epoch, op)
-	if !ok {
-		return c.heavyRead(ctx, a, op, nodeset.Set{})
-	}
-	rows, cols, _ := lay.GridShape()
-	a.Quorum(quorum, rows, cols)
-	began := a.Elapsed()
-	responses, values, busy := c.snapRound(ctx, op, quorum)
-	a.Phase(obs.PhaseLock, began, len(responses), busy.Len())
-	if !busy.Empty() {
-		a.LockBusy(busy)
-	}
-	cl := classify(responses)
-	c.noteRedirect(a, local.EpochNum, cl)
-	if !cl.responders.Empty() && c.layoutAt(lay, local.EpochNum, cl.maxEpoch).IsReadQuorum(cl.responders) && cl.currentReachable() {
-		// Every snapshot released its replica lock before replying, so
-		// there is no fetch round and nothing to release or abort: return
-		// the freshest good snapshot's value.
-		for i, r := range responses {
-			if !r.state.Recovering && !r.state.Stale && r.state.Version == cl.maxVersion {
-				return values[i], cl.maxVersion, nil
+	h := hint(op)
+	for attempt := 0; ; attempt++ {
+		quorum, ok := c.pickReadQuorum(lay, local.Epoch, h)
+		if !ok {
+			break
+		}
+		rows, cols, _ := lay.GridShape()
+		a.Quorum(quorum, rows, cols)
+		began := a.Elapsed()
+		responses, values, busy := c.snapRound(ctx, op, quorum)
+		a.Phase(obs.PhaseLock, began, len(responses), busy.Len())
+		if !busy.Empty() {
+			a.LockBusy(busy)
+		}
+		cl := classify(responses)
+		c.noteRedirect(a, local.EpochNum, cl)
+		formed := !cl.responders.Empty() && c.layoutAt(lay, local.EpochNum, cl.maxEpoch).IsReadQuorum(cl.responders)
+		if formed && cl.currentReachable() {
+			// Every snapshot released its replica lock before replying, so
+			// there is no fetch round and nothing to release or abort: return
+			// the freshest good snapshot's value.
+			for i, r := range responses {
+				if !r.state.Recovering && !r.state.Stale && r.state.Version == cl.maxVersion {
+					return values[i], cl.maxVersion, nil
+				}
 			}
 		}
+		// Two transient failure shapes are worth one cheap retry before
+		// the heavy procedure: a member answered "busy" (a concurrent
+		// write holds its replica lock — and a write stuck on a slow
+		// member holds locks for whole round-trips), or the quorum formed
+		// but saw an in-flight write's stale marks (maxDesired ahead of
+		// every fresh version — the commit lands within about a round
+		// trip). Redraw a very likely different quorum and try once more:
+		// the heavy path polls every replica, so it always pays for the
+		// slowest node, which is exactly what quorum selection was
+		// steering around. Snapshots hold no locks past their reply, so
+		// the retry starts clean. Pure call failures (members down) skip
+		// straight to the heavy path — a redraw over the same epoch
+		// cannot dodge a dead node any faster.
+		if attempt >= readRedraws || (busy.Empty() && !formed) {
+			break
+		}
+		c.metrics.readRedraws.Inc()
+		h = remix(h)
 	}
-	// Snapshots hold no locks past their reply, so the heavy fallback
-	// starts clean — nothing from this round needs releasing.
 	return c.heavyRead(ctx, a, op, nodeset.Set{})
 }
 

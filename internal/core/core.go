@@ -56,7 +56,61 @@ const (
 	// and falling back to it entirely for structures with no load-aware
 	// form.
 	StrategyLoadAware
+	// StrategyOptimized samples quorums from a solved weighted distribution
+	// over the layout's candidate quorums — the capacity-maximizing LP of
+	// Whittaker et al. with WOC-style heterogeneous node capacities
+	// (Options.Capacity) and the live EWMA load folded in. The distribution
+	// is recomputed on a low-frequency tick (Options.OptimizeInterval) and
+	// swapped atomically; the per-operation pick is one splitmix64 draw and
+	// an alias-table lookup, allocation-free. Until the first solve lands
+	// (and whenever the epoch shifts under it) picks fall back to the
+	// load-aware path.
+	StrategyOptimized
+	// StrategyReadDominant is StrategyOptimized with the solver's
+	// read-size bias enabled: read mass skews toward small, cheap quorums
+	// (per Kumar & Agarwal) at some write-side cost — for read-heavy
+	// workloads where read tail latency dominates.
+	StrategyReadDominant
 )
+
+// String returns the flag-syntax name of the strategy ("hint", "load",
+// "optimized", "read-dominant").
+func (s QuorumStrategy) String() string {
+	switch s {
+	case StrategyHint:
+		return "hint"
+	case StrategyLoadAware:
+		return "load"
+	case StrategyOptimized:
+		return "optimized"
+	case StrategyReadDominant:
+		return "read-dominant"
+	}
+	return "unknown"
+}
+
+// ParseStrategy parses a -strategy flag value. It is the inverse of
+// String and the single place flag vocab is defined, shared by coteried
+// and loadgen.
+func ParseStrategy(s string) (QuorumStrategy, error) {
+	switch s {
+	case "", "hint":
+		return StrategyHint, nil
+	case "load":
+		return StrategyLoadAware, nil
+	case "optimized", "opt":
+		return StrategyOptimized, nil
+	case "read-dominant", "readdom":
+		return StrategyReadDominant, nil
+	}
+	return 0, errors.New("core: unknown strategy " + s + " (want hint, load, optimized or read-dominant)")
+}
+
+// Weighted reports whether the strategy samples a solved distribution
+// (and therefore needs the optimizer engine and a load tracker).
+func (s QuorumStrategy) Weighted() bool {
+	return s == StrategyOptimized || s == StrategyReadDominant
+}
 
 // GroupCommitOptions configures the coordinator's write combiner (see
 // combiner.go). Group commit is a liveness/throughput optimization only;
@@ -112,10 +166,27 @@ type Options struct {
 	// Strategy selects how quorums are picked from a layout's candidates.
 	// Default StrategyHint.
 	Strategy QuorumStrategy
-	// Load supplies the load signal for StrategyLoadAware. Coordinators
-	// sharing a network should share one tracker (NewCluster builds one);
-	// when nil and the strategy needs it, each coordinator builds its own.
+	// Load supplies the load signal for StrategyLoadAware and the weighted
+	// strategies. Coordinators sharing a network should share one tracker
+	// (NewCluster builds one); when nil and the strategy needs it, each
+	// coordinator builds its own.
 	Load *LoadTracker
+	// Capacity returns a node's relative service capacity for the weighted
+	// strategies (only ratios matter; nil means homogeneous 1.0). A node
+	// with capacity 0.25 receives roughly a quarter of the quorum mass a
+	// full-capacity peer does.
+	Capacity coterie.LoadFunc
+	// OptimizeInterval is the recompute tick of the weighted strategies:
+	// how often the quorum distribution is re-solved against current load
+	// and read mix. Default 200ms.
+	OptimizeInterval time.Duration
+	// Engine is the weighted-strategy engine coordinators sample from.
+	// Like Load, it should be shared by every coordinator of a process
+	// (NewCluster builds one): the solved distribution is not per-item,
+	// and a private engine per coordinator multiplies the background
+	// Frank-Wolfe solves by the item count. When nil and the strategy is
+	// weighted, each coordinator builds its own.
+	Engine *StrategyEngine
 	// Replica configures the per-node replica behavior.
 	Replica replica.Config
 	// Transport options are applied to the cluster's network — e.g.
@@ -133,6 +204,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CommitRetries == 0 {
 		o.CommitRetries = 3
+	}
+	if o.OptimizeInterval == 0 {
+		o.OptimizeInterval = 200 * time.Millisecond
 	}
 	if o.GroupCommit.Enabled {
 		if o.GroupCommit.MaxBatch <= 0 {

@@ -2,9 +2,11 @@ package core
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
+	"coterie/internal/coterie"
 	"coterie/internal/nodeset"
 	"coterie/internal/obs"
 	"coterie/internal/replica"
@@ -122,5 +124,98 @@ func TestLoadAwareStrategyCluster(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("core_endpoint_load_ewma missing from snapshot")
+	}
+}
+
+// TestLoadAwareUniformTieBreak: the greedy argmin's tie-break contract —
+// under a uniform load signal every loaded pick must equal the splitmix64
+// hint path's pick, for every structure with a load-aware form. The
+// assertion runs from concurrent goroutines over one shared tracker so
+// `go test -race` also proves the selection path is data-race-free.
+func TestLoadAwareUniformTieBreak(t *testing.T) {
+	members := nodeset.Range(0, 9)
+	// A constant sampler never produces a delta, so every EWMA stays 0 —
+	// the all-equal signal the tie-break must reduce under.
+	tr := newLoadTracker(members, func(nodeset.ID) uint64 { return 7 }, obs.New())
+	tr.Refresh()
+
+	avails := []nodeset.Set{
+		members,
+		func() nodeset.Set { s := members.Clone(); s.Remove(4); return s }(),
+		func() nodeset.Set { s := members.Clone(); s.Remove(0); s.Remove(8); return s }(),
+	}
+	rules := []coterie.Rule{coterie.Grid{}, coterie.Grid{Ratio: 2}, coterie.Majority{}, coterie.ROWA{}}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, rule := range rules {
+				lay := coterie.Compile(rule, members)
+				for seq := 0; seq < 400; seq++ {
+					h := hint(replica.OpID{Coordinator: nodeset.ID(g), Seq: uint64(seq)})
+					for _, avail := range avails {
+						got, gotOK := lay.ReadQuorumLoaded(avail, tr.Load, h)
+						want, wantOK := lay.ReadQuorum(avail, h)
+						if gotOK != wantOK || !got.Equal(want) {
+							t.Errorf("%s read h=%d avail=%v: loaded %v != hint %v", rule.Name(), h, avail.IDs(), got.IDs(), want.IDs())
+							return
+						}
+						got, gotOK = lay.WriteQuorumLoaded(avail, tr.Load, h)
+						want, wantOK = lay.WriteQuorum(avail, h)
+						if gotOK != wantOK || !got.Equal(want) {
+							t.Errorf("%s write h=%d avail=%v: loaded %v != hint %v", rule.Name(), h, avail.IDs(), got.IDs(), want.IDs())
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestLoadTrackerRestartClamp models a daemon restart: the transport's
+// served counters restart from zero, which must read as a pause in
+// traffic (clamped delta), never as a negative or wrapped-around rate,
+// and the estimate must track the new counter baseline afterwards.
+func TestLoadTrackerRestartClamp(t *testing.T) {
+	served := uint64(0)
+	tr := newLoadTracker(nodeset.New(0), func(nodeset.ID) uint64 { return served }, obs.New())
+	base := tr.prevT
+	sec := int64(time.Second)
+
+	// Steady state before the restart: 1000 req/s.
+	served = 1000
+	tr.mu.Lock()
+	tr.refreshLocked(base + sec)
+	tr.mu.Unlock()
+	if got := tr.Load(0); got != 300 { // 0.3 * 1000
+		t.Fatalf("pre-restart Load = %v, want 300", got)
+	}
+
+	// Restart: the counter resets to a small value (a few requests served
+	// by the fresh process). An unsigned subtraction would wrap to ~2^64.
+	served = 3
+	tr.mu.Lock()
+	tr.refreshLocked(base + 2*sec)
+	tr.mu.Unlock()
+	got := tr.Load(0)
+	if got < 0 || got > 300 {
+		t.Fatalf("post-restart Load = %v, want decayed value in [0, 300]", got)
+	}
+	if math.Abs(got-210) > 1e-9 { // clamp to zero delta: 0.7 * 300
+		t.Fatalf("post-restart Load = %v, want exactly 210 (clamped decay)", got)
+	}
+
+	// The tracker rebased on the reset counter: new traffic from the fresh
+	// process registers at its true rate, not offset by the old baseline.
+	served = 503 // +500 in one second
+	tr.mu.Lock()
+	tr.refreshLocked(base + 3*sec)
+	tr.mu.Unlock()
+	if got := tr.Load(0); math.Abs(got-(0.3*500+0.7*210)) > 1e-9 {
+		t.Fatalf("recovery Load = %v, want %v", got, 0.3*500+0.7*210)
 	}
 }

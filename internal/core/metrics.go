@@ -29,6 +29,10 @@ type coordMetrics struct {
 	// saved), misses fell back to the classified prepare round.
 	specHits   *obs.Counter // core_spec_prepare_hit_total
 	specMisses *obs.Counter // core_spec_prepare_miss_total
+	// readRedraws counts fast-path reads that hit lock contention and
+	// retried once on a redrawn quorum before escalating to the heavy
+	// procedure (see read()).
+	readRedraws *obs.Counter // core_read_redraws_total
 }
 
 func newCoordMetrics(r *obs.Registry) coordMetrics {
@@ -44,6 +48,7 @@ func newCoordMetrics(r *obs.Registry) coordMetrics {
 		batchSize:     r.Histogram("core_batch_size"),
 		specHits:      r.Counter("core_spec_prepare_hit_total"),
 		specMisses:    r.Counter("core_spec_prepare_miss_total"),
+		readRedraws:   r.Counter("core_read_redraws_total"),
 	}
 }
 

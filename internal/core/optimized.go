@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"coterie/internal/coterie"
+	"coterie/internal/nodeset"
+	"coterie/internal/obs"
+)
+
+// StrategyEngine drives StrategyOptimized / StrategyReadDominant: it
+// keeps an atomically-swapped snapshot of the solved quorum distribution
+// and serves allocation-free weighted picks from it, re-solving on a
+// low-frequency tick in a background goroutine.
+//
+// One engine serves every coordinator that shares a registry and member
+// set — the solved distribution depends only on the layout, capacities
+// and load signal, none of which are per-item, and the Frank-Wolfe solve
+// is far too expensive to run once per item per node (a 9-node, 8-item
+// process would solve ~70× more often than the tick intends, saturating
+// small machines). NewCluster, the daemon and loadgen all build exactly
+// one and share it through Options.Engine; a coordinator constructed
+// without one falls back to a private engine.
+//
+// The hot path (pickRead/pickWrite) is: one atomic pointer load, one
+// epoch-equality check on preallocated sets, one alias-table lookup, one
+// counter increment — no heap allocations (gated by
+// TestOptimizedPickAllocs / `make check-allocs`). Everything expensive —
+// candidate enumeration, the Frank-Wolfe solve, alias-table construction,
+// metric resolution — happens on the recompute goroutine and is published
+// by a single pointer swap.
+type StrategyEngine struct {
+	capacity coterie.LoadFunc
+	load     *LoadTracker
+	interval time.Duration
+	// readBias is the solver's ReadSizeBias: non-zero under
+	// StrategyReadDominant.
+	readBias float64
+	// reads/writes observe the registry-shared operation counters so the
+	// solver can weight the read and write blocks by the measured mix.
+	readsTotal, writesTotal *obs.Counter
+
+	metrics strategyMetrics
+
+	snap        atomic.Pointer[stratSnapshot]
+	recomputing atomic.Bool
+	lastSolve   atomic.Int64 // unix nanos of the last published solve
+}
+
+// stratSnapshot is one published distribution. All fields are immutable
+// after publication; the candidate sets are returned to callers by value
+// (sharing their backing words, as Layout.Epoch does) and must not be
+// modified.
+type stratSnapshot struct {
+	epoch  nodeset.Set
+	reads  []nodeset.Set
+	writes []nodeset.Set
+	rTable *coterie.Alias
+	wTable *coterie.Alias
+	// rPicks/wPicks are the per-candidate pick counters, resolved at
+	// snapshot construction so the pick path never touches registry maps.
+	rPicks []*obs.Counter
+	wPicks []*obs.Counter
+}
+
+// strategyMetrics are the optimizer's observability attachments, resolved
+// once. Nil-safe via the registry's Nop behavior.
+type strategyMetrics struct {
+	recomputes  *obs.Counter    // core_strategy_recomputes_total
+	recomputeNs *obs.Histogram  // core_strategy_recompute_ns
+	entropy     *obs.GaugeVec   // core_strategy_entropy_milli: [0]=read, [1]=write
+	capacity    *obs.Gauge      // core_strategy_capacity_milli (predicted, ×1000)
+	rPickVec    *obs.CounterVec // core_strategy_read_pick_total by candidate slot
+	wPickVec    *obs.CounterVec // core_strategy_write_pick_total by candidate slot
+	nodeCap     *obs.GaugeVec   // core_node_capacity_milli by node ID
+}
+
+func newStrategyMetrics(r *obs.Registry) strategyMetrics {
+	return strategyMetrics{
+		recomputes:  r.Counter("core_strategy_recomputes_total"),
+		recomputeNs: r.Histogram("core_strategy_recompute_ns"),
+		entropy:     r.GaugeVec("core_strategy_entropy_milli"),
+		capacity:    r.Gauge("core_strategy_capacity_milli"),
+		rPickVec:    r.CounterVec("core_strategy_read_pick_total"),
+		wPickVec:    r.CounterVec("core_strategy_write_pick_total"),
+		nodeCap:     r.GaugeVec("core_node_capacity_milli"),
+	}
+}
+
+// NewStrategyEngine builds one weighted-strategy engine for the given
+// member set. load may be nil (capacity-only solves); opts supplies the
+// strategy, capacity function, recompute interval and registry, exactly
+// as they would reach a coordinator.
+func NewStrategyEngine(all nodeset.Set, load *LoadTracker, opts Options) *StrategyEngine {
+	opts = opts.withDefaults()
+	s := &StrategyEngine{
+		capacity:    opts.Capacity,
+		load:        load,
+		interval:    opts.OptimizeInterval,
+		readsTotal:  opts.Obs.Counter("core_reads_total"),
+		writesTotal: opts.Obs.Counter("core_writes_total"),
+		metrics:     newStrategyMetrics(opts.Obs),
+	}
+	if opts.Strategy == StrategyReadDominant {
+		// The bias competes with softmax prices, which sum to 1 across all
+		// nodes; a few hundredths per member is enough to dominate ties
+		// between quorum sizes without overriding a genuine hot spot.
+		s.readBias = 0.02
+	}
+	// Publish configured capacities so capi scrapes and cotop can show the
+	// heterogeneity the solver is working with.
+	for _, id := range all.IDs() {
+		c := 1.0
+		if s.capacity != nil {
+			c = s.capacity(id)
+		}
+		s.metrics.nodeCap.At(int(id)).Set(int64(c * 1000))
+	}
+	return s
+}
+
+// readFrac returns the observed read fraction of the registry's operation
+// counters, or 0.5 before enough samples exist.
+func (s *StrategyEngine) readFrac() float64 {
+	r := float64(s.readsTotal.Load())
+	w := float64(s.writesTotal.Load())
+	if r+w < 64 {
+		return 0.5
+	}
+	return r / (r + w)
+}
+
+// pickRead returns a read quorum sampled from the solved distribution.
+// ok=false means no valid snapshot is available (cold start or epoch
+// change); the caller falls back to the load-aware/hint path, and a
+// recompute has been triggered.
+func (s *StrategyEngine) pickRead(lay *coterie.Layout, avail nodeset.Set, h int) (nodeset.Set, bool) {
+	snap := s.maybeSnapshot(lay, avail)
+	if snap == nil {
+		return nodeset.Set{}, false
+	}
+	k := snap.rTable.Pick(uint64(h))
+	if k < 0 {
+		return nodeset.Set{}, false
+	}
+	snap.rPicks[k].Inc()
+	return snap.reads[k], true
+}
+
+// pickWrite is pickRead's write analogue.
+func (s *StrategyEngine) pickWrite(lay *coterie.Layout, avail nodeset.Set, h int) (nodeset.Set, bool) {
+	snap := s.maybeSnapshot(lay, avail)
+	if snap == nil {
+		return nodeset.Set{}, false
+	}
+	k := snap.wTable.Pick(uint64(h))
+	if k < 0 {
+		return nodeset.Set{}, false
+	}
+	snap.wPicks[k].Inc()
+	return snap.writes[k], true
+}
+
+// maybeSnapshot returns the current snapshot if it matches the epoch the
+// caller is selecting over, triggering an async recompute when the
+// snapshot is missing, stale, or due for its periodic refresh.
+func (s *StrategyEngine) maybeSnapshot(lay *coterie.Layout, avail nodeset.Set) *stratSnapshot {
+	snap := s.snap.Load()
+	valid := snap != nil && snap.epoch.Equal(avail)
+	now := time.Now().UnixNano()
+	if !valid || now-s.lastSolve.Load() >= int64(s.interval) {
+		s.trigger(lay, avail)
+	}
+	if !valid {
+		return nil
+	}
+	return snap
+}
+
+// trigger starts one background recompute unless one is already running.
+func (s *StrategyEngine) trigger(lay *coterie.Layout, avail nodeset.Set) {
+	if !s.recomputing.CompareAndSwap(false, true) {
+		return
+	}
+	epoch := avail.Clone()
+	go func() {
+		defer s.recomputing.Store(false)
+		s.recompute(lay, epoch)
+	}()
+}
+
+// recompute enumerates, solves and publishes one snapshot for the given
+// epoch. lay must be the layout compiled for exactly that epoch (layouts
+// are immutable, so reading it off-thread is safe).
+func (s *StrategyEngine) recompute(lay *coterie.Layout, epoch nodeset.Set) {
+	start := time.Now()
+	reads := lay.EnumerateReadQuorums(0)
+	writes := lay.EnumerateWriteQuorums(0)
+	if len(reads) == 0 || len(writes) == 0 {
+		// Degenerate epoch; leave the fallback path in charge but stamp the
+		// attempt so the tick does not spin.
+		s.lastSolve.Store(time.Now().UnixNano())
+		return
+	}
+	var loadFn coterie.LoadFunc
+	if s.load != nil {
+		s.load.maybeRefresh()
+		loadFn = s.load.Load
+	}
+	dist, err := coterie.Optimize(coterie.OptimizeInput{
+		Reads:        reads,
+		Writes:       writes,
+		Members:      epoch.IDs(),
+		ReadFrac:     s.readFrac(),
+		Capacity:     s.capacity,
+		Load:         loadFn,
+		ReadSizeBias: s.readBias,
+	})
+	if err != nil {
+		s.lastSolve.Store(time.Now().UnixNano())
+		return
+	}
+	snap := &stratSnapshot{
+		epoch:  epoch,
+		reads:  reads,
+		writes: writes,
+		rTable: coterie.NewAlias(dist.ReadWeights),
+		wTable: coterie.NewAlias(dist.WriteWeights),
+		rPicks: make([]*obs.Counter, len(reads)),
+		wPicks: make([]*obs.Counter, len(writes)),
+	}
+	for k := range snap.rPicks {
+		snap.rPicks[k] = s.metrics.rPickVec.At(k)
+	}
+	for k := range snap.wPicks {
+		snap.wPicks[k] = s.metrics.wPickVec.At(k)
+	}
+	s.snap.Store(snap)
+	s.lastSolve.Store(time.Now().UnixNano())
+
+	s.metrics.recomputes.Inc()
+	s.metrics.recomputeNs.Record(uint64(time.Since(start).Nanoseconds()))
+	s.metrics.entropy.At(0).Set(int64(snap.rTable.Entropy() * 1000))
+	s.metrics.entropy.At(1).Set(int64(snap.wTable.Entropy() * 1000))
+	if dist.Capacity > 0 && !math.IsInf(dist.Capacity, 0) {
+		s.metrics.capacity.Set(int64(dist.Capacity * 1000))
+	}
+}
+
+// warm synchronously computes the first snapshot for the given layout —
+// tests and benchmarks call it to skip the cold-start fallback window.
+func (s *StrategyEngine) warm(lay *coterie.Layout) {
+	s.recompute(lay, lay.Epoch().Clone())
+}

@@ -1,0 +1,96 @@
+package coterie
+
+import (
+	"math"
+	"testing"
+)
+
+func aliasMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TestAliasDistribution samples heavily and checks empirical frequencies
+// track the requested weights.
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 3, 0.5, 0, 5.5}
+	a := NewAlias(weights)
+	if a.Len() != len(weights) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(weights))
+	}
+	const draws = 2_000_000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		k := a.Pick(aliasMix(uint64(i)))
+		if k < 0 || k >= len(weights) {
+			t.Fatalf("Pick returned out-of-range slot %d", k)
+		}
+		counts[k]++
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / draws
+		want := w / sum
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("slot %d: frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+	if counts[3] != 0 {
+		t.Errorf("zero-weight slot picked %d times", counts[3])
+	}
+}
+
+// TestAliasDegenerate covers empty and all-zero weight vectors.
+func TestAliasDegenerate(t *testing.T) {
+	if got := NewAlias(nil).Pick(12345); got != -1 {
+		t.Errorf("empty table Pick = %d, want -1", got)
+	}
+	a := NewAlias([]float64{0, 0, 0})
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[a.Pick(aliasMix(uint64(i)))]++
+	}
+	for i, c := range counts {
+		if c < 8000 {
+			t.Errorf("degenerate table slot %d only picked %d/30000 times (want ~uniform)", i, c)
+		}
+	}
+	// Negative and NaN weights are dropped, not propagated.
+	b := NewAlias([]float64{-1, math.NaN(), 2})
+	for i := 0; i < 1000; i++ {
+		if k := b.Pick(aliasMix(uint64(i))); k != 2 {
+			t.Fatalf("Pick = %d, want 2 (only positive slot)", k)
+		}
+	}
+}
+
+// TestAliasEntropy checks the entropy gauge: uniform = log2(n), point = 0.
+func TestAliasEntropy(t *testing.T) {
+	if h := NewAlias([]float64{1, 1, 1, 1}).Entropy(); math.Abs(h-2) > 1e-9 {
+		t.Errorf("uniform-4 entropy = %v, want 2", h)
+	}
+	if h := NewAlias([]float64{0, 7, 0}).Entropy(); h != 0 {
+		t.Errorf("point-mass entropy = %v, want 0", h)
+	}
+	if h := NewAlias([]float64{0, 0}).Entropy(); math.Abs(h-1) > 1e-9 {
+		t.Errorf("degenerate-2 entropy = %v, want 1 (uniform fallback)", h)
+	}
+}
+
+// TestAliasPickAllocs gates the hot path at zero heap allocations. It is
+// wired into `make check-allocs`.
+func TestAliasPickAllocs(t *testing.T) {
+	a := NewAlias([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	var sink int
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += a.Pick(aliasMix(uint64(sink)))
+	})
+	if allocs != 0 {
+		t.Fatalf("Alias.Pick allocates %v times per run, want 0", allocs)
+	}
+}

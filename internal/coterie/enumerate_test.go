@@ -1,0 +1,131 @@
+package coterie
+
+import (
+	"testing"
+
+	"coterie/internal/nodeset"
+)
+
+func seqSet(n int) nodeset.Set {
+	var v nodeset.Set
+	for i := 0; i < n; i++ {
+		v.Add(nodeset.ID(i))
+	}
+	return v
+}
+
+// TestEnumerateQuorumsValid asserts every enumerated candidate really is a
+// quorum of its layout, for every rule family at several sizes.
+func TestEnumerateQuorumsValid(t *testing.T) {
+	rules := []Rule{
+		Grid{}, Grid{Strict: true}, Grid{Ratio: 2},
+		Majority{}, Majority{ReadQuorumSize: 2},
+		Hierarchical{}, Wheel{}, ROWA{},
+	}
+	for _, rule := range rules {
+		for _, n := range []int{1, 2, 3, 5, 7, 9, 12, 16} {
+			lay := Compile(rule, seqSet(n))
+			reads := lay.EnumerateReadQuorums(0)
+			writes := lay.EnumerateWriteQuorums(0)
+			if len(reads) == 0 || len(writes) == 0 {
+				t.Errorf("%s n=%d: empty candidates (reads=%d writes=%d)", rule.Name(), n, len(reads), len(writes))
+				continue
+			}
+			for _, q := range reads {
+				if !lay.IsReadQuorum(q) {
+					t.Errorf("%s n=%d: enumerated read candidate %v is not a read quorum", rule.Name(), n, q.IDs())
+				}
+			}
+			for _, q := range writes {
+				if !lay.IsWriteQuorum(q) {
+					t.Errorf("%s n=%d: enumerated write candidate %v is not a write quorum", rule.Name(), n, q.IDs())
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateDistinct asserts candidates are deduplicated.
+func TestEnumerateDistinct(t *testing.T) {
+	for _, rule := range []Rule{Grid{}, Majority{}, Hierarchical{}, Wheel{}} {
+		lay := Compile(rule, seqSet(9))
+		for _, block := range [][]nodeset.Set{lay.EnumerateReadQuorums(0), lay.EnumerateWriteQuorums(0)} {
+			seen := make(map[string]struct{}, len(block))
+			for _, q := range block {
+				k := setKey(q)
+				if _, dup := seen[k]; dup {
+					t.Errorf("%s: duplicate candidate %v", rule.Name(), q.IDs())
+				}
+				seen[k] = struct{}{}
+			}
+		}
+	}
+}
+
+// TestEnumerateGridExact checks the 3x3 grid enumerates its full candidate
+// spaces: 27 reads (3^3 covers) and writes = full column ∪ cover.
+func TestEnumerateGridExact(t *testing.T) {
+	lay := Compile(Grid{}, seqSet(9))
+	reads := lay.EnumerateReadQuorums(0)
+	if len(reads) != 27 {
+		t.Errorf("3x3 grid read candidates = %d, want 27", len(reads))
+	}
+	writes := lay.EnumerateWriteQuorums(0)
+	// Each of 3 full columns × 9 covers of the other two columns, minus
+	// dedup overlap; at minimum the 3 bare column+cover families exist.
+	if len(writes) < 9 {
+		t.Errorf("3x3 grid write candidates = %d, want >= 9", len(writes))
+	}
+	// Per-node read coverage: every node appears in some read candidate.
+	var cover nodeset.Set
+	for _, q := range reads {
+		cover = cover.Union(q)
+	}
+	if cover.Len() != 9 {
+		t.Errorf("read candidates cover %d/9 nodes", cover.Len())
+	}
+}
+
+// TestEnumerateLimit checks the limit is honored and sampling still
+// produces distinct valid quorums for large structures.
+func TestEnumerateLimit(t *testing.T) {
+	lay := Compile(Majority{}, seqSet(24)) // C(24,13) >> limit
+	reads := lay.EnumerateReadQuorums(64)
+	if len(reads) == 0 || len(reads) > 64 {
+		t.Fatalf("sampled majority candidates = %d, want 1..64", len(reads))
+	}
+	for _, q := range reads {
+		if !lay.IsReadQuorum(q) {
+			t.Errorf("sampled candidate %v not a read quorum", q.IDs())
+		}
+	}
+	lay2 := Compile(Grid{}, seqSet(36)) // 6^6 = 46656 read covers
+	reads2 := lay2.EnumerateReadQuorums(128)
+	if len(reads2) != 128 {
+		t.Fatalf("sampled grid candidates = %d, want 128", len(reads2))
+	}
+	for _, q := range reads2 {
+		if !lay2.IsReadQuorum(q) {
+			t.Errorf("sampled grid candidate %v not a read quorum", q.IDs())
+		}
+	}
+}
+
+// TestEnumerateDeterministic asserts two compilations of the same epoch
+// enumerate identical candidate lists (required for replica agreement on
+// pick-counter labels and distribution comparisons).
+func TestEnumerateDeterministic(t *testing.T) {
+	for _, rule := range []Rule{Grid{}, Majority{}, Hierarchical{}, Wheel{}} {
+		a := Compile(rule, seqSet(13))
+		b := Compile(rule, seqSet(13))
+		ra, rb := a.EnumerateReadQuorums(0), b.EnumerateReadQuorums(0)
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: candidate counts differ: %d vs %d", rule.Name(), len(ra), len(rb))
+		}
+		for i := range ra {
+			if !ra[i].Equal(rb[i]) {
+				t.Errorf("%s: candidate %d differs: %v vs %v", rule.Name(), i, ra[i].IDs(), rb[i].IDs())
+			}
+		}
+	}
+}

@@ -18,10 +18,11 @@ import (
 // the two always accept identical flags.
 func ParseFlags(args []string) (Config, error) {
 	var (
-		cfg     Config
-		nodeID  int
-		cluster string
-		items   int
+		cfg      Config
+		nodeID   int
+		cluster  string
+		items    int
+		capacity string
 	)
 	fs := flag.NewFlagSet("coteried", flag.ContinueOnError)
 	fs.IntVar(&nodeID, "node", 0, "node ID this process hosts")
@@ -30,7 +31,8 @@ func ParseFlags(args []string) (Config, error) {
 	fs.IntVar(&cfg.ItemSize, "item-size", 256, "logical item size in bytes")
 	fs.BoolVar(&cfg.Recovering, "recovering", false, "rejoin as a recovering replica (process restart after crash)")
 	fs.DurationVar(&cfg.CallTimeout, "call-timeout", 250*time.Millisecond, "per-RPC-round timeout (also scales lock leases)")
-	fs.StringVar(&cfg.Strategy, "strategy", "hint", "quorum selection strategy: hint or load")
+	fs.StringVar(&cfg.Strategy, "strategy", "hint", "quorum selection strategy: hint, load, optimized or read-dominant")
+	fs.StringVar(&capacity, "capacity", "", "relative node capacities for weighted strategies: id=weight,... (unlisted nodes are 1.0)")
 	fs.BoolVar(&cfg.GroupCommit.Enabled, "batch", false, "enable the group-commit write combiner")
 	fs.IntVar(&cfg.GroupCommit.MaxBatch, "batch-max", 0, "max writes merged per batched round (0 = default)")
 	fs.IntVar(&cfg.GroupCommit.MaxQueue, "batch-queue", 0, "combiner queue depth (0 = default)")
@@ -59,7 +61,58 @@ func ParseFlags(args []string) (Config, error) {
 	cfg.Self = nodeset.ID(nodeID)
 	cfg.Addrs = addrs
 	cfg.Items = ItemNames(items)
+	if capacity != "" {
+		caps, err := ParseCapacities(capacity)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Capacities = caps
+	}
 	return cfg, nil
+}
+
+// ParseCapacities parses "0=1.0,4=0.25" into a capacity map for the
+// weighted quorum strategies. Weights must be positive; nodes not listed
+// default to 1.0 at use sites.
+func ParseCapacities(s string) (map[nodeset.ID]float64, error) {
+	caps := make(map[nodeset.ID]float64)
+	for _, part := range strings.Split(s, ",") {
+		id, w, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -capacity entry %q (want id=weight)", part)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad node ID %q in -capacity", id)
+		}
+		f, err := strconv.ParseFloat(w, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad capacity %q for node %s (want positive number)", w, id)
+		}
+		caps[nodeset.ID(n)] = f
+	}
+	if len(caps) == 0 {
+		return nil, fmt.Errorf("empty -capacity")
+	}
+	return caps, nil
+}
+
+// FormatCapacities renders a capacity map back into -capacity syntax.
+func FormatCapacities(caps map[nodeset.ID]float64) string {
+	ids := make([]int, 0, len(caps))
+	for id := range caps {
+		ids = append(ids, int(id))
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d=%g", id, caps[nodeset.ID(id)])
+	}
+	return strings.Join(parts, ",")
 }
 
 // ParseCluster parses "0=127.0.0.1:7000,1=127.0.0.1:7001" into an address

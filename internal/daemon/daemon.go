@@ -60,6 +60,7 @@ import (
 
 	"coterie/internal/capi"
 	"coterie/internal/core"
+	"coterie/internal/coterie"
 	"coterie/internal/nodeset"
 	"coterie/internal/obs"
 	"coterie/internal/obs/expose"
@@ -88,9 +89,14 @@ type Config struct {
 	// CallTimeout bounds each protocol RPC round; lock leases follow it
 	// (4x) as in the in-process harness.
 	CallTimeout time.Duration
-	// Strategy is the quorum selection strategy: "hint" (default) or
-	// "load".
+	// Strategy is the quorum selection strategy: "hint" (default),
+	// "load", "optimized" or "read-dominant" (see core.ParseStrategy).
 	Strategy string
+	// Capacities assigns relative service capacities to nodes for the
+	// weighted strategies (missing nodes default to 1.0). Nil means a
+	// homogeneous cluster. All daemons of one deployment should agree so
+	// their solved distributions match.
+	Capacities map[nodeset.ID]float64
 	// GroupCommit enables and sizes the write combiner.
 	GroupCommit core.GroupCommitOptions
 	// BatchProp batches stale propagation per target node.
@@ -227,16 +233,25 @@ func Start(cfg Config) (*Daemon, error) {
 	}
 	tnet := tcpnet.New(cfg.Addrs, topts...)
 
-	var strategy core.QuorumStrategy
+	strategy, err := core.ParseStrategy(cfg.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
 	var tracker *core.LoadTracker
-	switch cfg.Strategy {
-	case "hint":
-		strategy = core.StrategyHint
-	case "load":
-		strategy = core.StrategyLoadAware
+	if strategy != core.StrategyHint {
+		// One tracker for every coordinator this process hosts, so all of
+		// them steer by the same observed per-endpoint load.
 		tracker = core.NewLoadTracker(tnet, cfg.Members, reg)
-	default:
-		return nil, fmt.Errorf("daemon: unknown strategy %q (want hint or load)", cfg.Strategy)
+	}
+	var capacity coterie.LoadFunc
+	if len(cfg.Capacities) > 0 {
+		caps := cfg.Capacities
+		capacity = func(id nodeset.ID) float64 {
+			if c, ok := caps[id]; ok {
+				return c
+			}
+			return 1
+		}
 	}
 
 	rcfg := replica.Config{LockLease: 4 * cfg.CallTimeout, Obs: reg, PropagationBatch: cfg.BatchProp}
@@ -247,11 +262,17 @@ func Start(cfg Config) (*Daemon, error) {
 		Obs:         reg,
 		Strategy:    strategy,
 		Load:        tracker,
+		Capacity:    capacity,
 		GroupCommit: cfg.GroupCommit,
 		// The TCP transport sends one-way frames; write-through committed
 		// updates to bystander replicas so speculative prepares keep
 		// hitting regardless of quorum rotation.
 		PushUpdates: true,
+	}
+	if strategy.Weighted() {
+		// One engine per process: the background solves must not multiply
+		// with the item count this daemon hosts.
+		copts.Engine = core.NewStrategyEngine(cfg.Members, tracker, copts)
 	}
 	d := &Daemon{Net: tnet, Reg: reg, node: node, cfg: cfg, copts: copts,
 		coords: make(map[string]*core.Coordinator, len(cfg.Items))}

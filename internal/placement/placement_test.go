@@ -194,3 +194,84 @@ func TestNewRejectsBadConfig(t *testing.T) {
 		t.Error("zero rf accepted")
 	}
 }
+
+// TestRebalanceMinimalDisruption is the property test for rendezvous
+// hashing's headline guarantee: one node joining or leaving remaps only
+// the shards that node's ranking touches. For a leave, a shard's coterie
+// changes iff the departed node was a member — an exact property — so the
+// remapped fraction is the leaver's ownership fraction, in expectation
+// rf/n. For a join, a shard changes iff the new node ranks in its top rf,
+// in expectation rf/(n+1). Both are asserted exactly (change iff touched)
+// and against a 2x-expectation bound on the fraction, across several
+// universe sizes and every leaving node.
+func TestRebalanceMinimalDisruption(t *testing.T) {
+	const shards = 256
+	for _, tc := range []struct{ n, rf int }{
+		{5, 3}, {9, 3}, {16, 3}, {16, 5}, {24, 3},
+	} {
+		base, err := New(universe(tc.n), shards, tc.rf, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 2 * float64(tc.rf) / float64(tc.n)
+
+		// Leave: every current member departs in turn.
+		for leaver := 0; leaver < tc.n; leaver++ {
+			next := universe(tc.n)
+			next.Remove(nodeset.ID(leaver))
+			reb, err := base.Rebalance(next, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reb.Version() != base.Version()+1 {
+				t.Fatalf("rebalanced version %d, want %d", reb.Version(), base.Version()+1)
+			}
+			remapped := 0
+			for s := 0; s < shards; s++ {
+				before, after := base.Members(ShardID(s)), reb.Members(ShardID(s))
+				owned := before.Contains(nodeset.ID(leaver))
+				if owned != !before.Equal(after) {
+					t.Fatalf("n=%d rf=%d leave %d shard %d: owned=%v but changed=%v (before %v after %v)",
+						tc.n, tc.rf, leaver, s, owned, !before.Equal(after), before.IDs(), after.IDs())
+				}
+				if owned {
+					remapped++
+				}
+			}
+			if frac := float64(remapped) / shards; frac > bound {
+				t.Errorf("n=%d rf=%d leave %d: remapped fraction %.3f exceeds bound %.3f",
+					tc.n, tc.rf, leaver, frac, bound)
+			}
+		}
+
+		// Join: a fresh node enters the universe.
+		joiner := nodeset.ID(tc.n)
+		next := universe(tc.n)
+		next.Add(joiner)
+		reb, err := base.Rebalance(next, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joinBound := 2 * float64(tc.rf) / float64(tc.n+1)
+		remapped := 0
+		for s := 0; s < shards; s++ {
+			before, after := base.Members(ShardID(s)), reb.Members(ShardID(s))
+			changed := !before.Equal(after)
+			if changed != after.Contains(joiner) {
+				t.Fatalf("n=%d rf=%d join shard %d: changed=%v but joiner-member=%v",
+					tc.n, tc.rf, s, changed, after.Contains(joiner))
+			}
+			if changed {
+				// The only membership delta allowed is the joiner displacing
+				// exactly one previous member.
+				if d := before.Diff(after); d.Len() != 1 {
+					t.Fatalf("n=%d rf=%d join shard %d: %d members displaced, want 1", tc.n, tc.rf, s, d.Len())
+				}
+				remapped++
+			}
+		}
+		if frac := float64(remapped) / shards; frac > joinBound {
+			t.Errorf("n=%d rf=%d join: remapped fraction %.3f exceeds bound %.3f", tc.n, tc.rf, frac, joinBound)
+		}
+	}
+}

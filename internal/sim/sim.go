@@ -62,6 +62,15 @@ type Config struct {
 	// members — readmits it. Zero models the paper's perfect stable
 	// storage.
 	AmnesiaFraction float64
+	// Strategy names a quorum-selection strategy whose candidate
+	// distribution the run additionally tracks ("optimized" or
+	// "read-dominant"; empty, "hint" and "load" disable it). ModelProtocol
+	// only. The weighted strategies serve from an enumerated candidate
+	// list and fall back to the full rule when no candidate survives in
+	// the up-set; the Candidate* results measure how much availability
+	// that distribution covers on its own, i.e. how often the fallback is
+	// what keeps the system available.
+	Strategy string
 	// Seed drives the run's randomness.
 	Seed int64
 	// Obs receives the run's counters (sim_events_total,
@@ -82,6 +91,17 @@ type Result struct {
 	MinEpochSize     int
 	WriteUnavailFrac float64 // WriteUnavailable / Time
 	ReadUnavailFrac  float64 // ReadUnavailable / Time
+	// Candidate* mirror the (Read|Write)Unavailable accounting for the
+	// configured weighted strategy's enumerated candidate quorums: time
+	// during which no candidate survived, even if the full rule still had
+	// a quorum (the engine's fallback window). Zero when Strategy is not
+	// a weighted one. Fallbacks counts transitions into a state where the
+	// rule could write but the candidate distribution could not.
+	CandidateWriteUnavailable float64
+	CandidateReadUnavailable  float64
+	CandidateWriteUnavailFrac float64
+	CandidateReadUnavailFrac  float64
+	Fallbacks                 int
 	// DataLost reports that amnesia permanently destroyed the write quorum:
 	// even with every surviving remembering node up, the current epoch can
 	// never re-form (the replicas that witnessed the latest state lost
@@ -112,6 +132,15 @@ func Run(cfg Config) (Result, error) {
 	if cfg.AmnesiaFraction > 0 && cfg.Model != ModelProtocol {
 		return Result{}, fmt.Errorf("sim: amnesia requires ModelProtocol")
 	}
+	weighted := cfg.Strategy == "optimized" || cfg.Strategy == "read-dominant"
+	switch cfg.Strategy {
+	case "", "hint", "load", "optimized", "read-dominant":
+	default:
+		return Result{}, fmt.Errorf("sim: unknown strategy %q", cfg.Strategy)
+	}
+	if weighted && cfg.Model != ModelProtocol {
+		return Result{}, fmt.Errorf("sim: strategy tracking requires ModelProtocol")
+	}
 	rule := cfg.Rule
 	if rule == nil {
 		rule = coterie.Grid{}
@@ -121,6 +150,7 @@ func Run(cfg Config) (Result, error) {
 	mEpochChanges := cfg.Obs.Counter("sim_epoch_changes_total")
 	mBlocks := cfg.Obs.Counter("sim_blocks_total")
 	mDataLosses := cfg.Obs.Counter("sim_data_losses_total")
+	mFallbacks := cfg.Obs.Counter("sim_strategy_fallbacks_total")
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	all := nodeset.Range(0, nodeset.ID(cfg.N))
@@ -163,8 +193,27 @@ func Run(cfg Config) (Result, error) {
 		}
 		return l
 	}
-	if cfg.Model == ModelProtocol {
+	// The weighted strategies' candidate lists follow the layout: each
+	// epoch change re-enumerates the quorums the solved distribution can
+	// draw from (deterministic per layout, like the engine's recompute).
+	var candReads, candWrites []nodeset.Set
+	setLayout := func(epoch nodeset.Set) {
 		layout = compileLayout(epoch)
+		if weighted {
+			candReads = layout.EnumerateReadQuorums(0)
+			candWrites = layout.EnumerateWriteQuorums(0)
+		}
+	}
+	anyCandidate := func(cands []nodeset.Set, avail nodeset.Set) bool {
+		for _, c := range cands {
+			if c.Subset(avail) {
+				return true
+			}
+		}
+		return false
+	}
+	if cfg.Model == ModelProtocol {
+		setLayout(epoch)
 	}
 	writeAvailable := func() bool {
 		if cfg.Model == ModelPaper {
@@ -193,7 +242,7 @@ func Run(cfg Config) (Result, error) {
 		if ok {
 			epoch = up.Clone()
 			if cfg.Model == ModelProtocol {
-				layout = compileLayout(epoch)
+				setLayout(epoch)
 			}
 			// The epoch change readmits recovering members. witnesses is
 			// up ∩ remembering by incremental maintenance, so it only needs
@@ -211,6 +260,7 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	wasWriteAvail := true
+	wasFallback := false
 	for now < cfg.Horizon {
 		nUp := up.Len()
 		nDown := cfg.N - nUp
@@ -235,6 +285,14 @@ func Run(cfg Config) (Result, error) {
 		}
 		if !readAvailable() {
 			res.ReadUnavailable += span
+		}
+		if weighted {
+			if !anyCandidate(candWrites, witnesses) {
+				res.CandidateWriteUnavailable += span
+			}
+			if !anyCandidate(candReads, witnesses) {
+				res.CandidateReadUnavailable += span
+			}
 		}
 		now = eventTime
 		if now >= cfg.Horizon {
@@ -285,6 +343,14 @@ func Run(cfg Config) (Result, error) {
 			mBlocks.Inc()
 		}
 		wasWriteAvail = nowAvail
+		if weighted {
+			fb := nowAvail && !anyCandidate(candWrites, witnesses)
+			if fb && !wasFallback {
+				res.Fallbacks++
+				mFallbacks.Inc()
+			}
+			wasFallback = fb
+		}
 	}
 
 	res.Time = now
@@ -292,6 +358,8 @@ func Run(cfg Config) (Result, error) {
 	if res.Time > 0 {
 		res.WriteUnavailFrac = res.WriteUnavailable / res.Time
 		res.ReadUnavailFrac = res.ReadUnavailable / res.Time
+		res.CandidateWriteUnavailFrac = res.CandidateWriteUnavailable / res.Time
+		res.CandidateReadUnavailFrac = res.CandidateReadUnavailable / res.Time
 	}
 	return res, nil
 }

@@ -1,0 +1,325 @@
+// Command benchquorum measures the capacity-optimized quorum strategies:
+// it sweeps cmd/loadgen (sim data plane, GOMAXPROCS=4) over one scenario
+// matrix — strategy × workload — and pairs the measured throughput/tails
+// with the analytic availability matrix (internal/markov) and the
+// discrete-event simulator's measured availability (internal/sim), then
+// writes everything to BENCH_9.json.
+//
+// Scenarios (9 nodes, 64 items, 8 closed-loop workers — enough items
+// that item-lock collisions stay rare and the matrix measures quorum
+// *routing*, not lock-queue wedging):
+//
+//   - uniform: 50/50 read/write mix, uniform item popularity, homogeneous
+//     nodes — the regime where every strategy should tie.
+//   - zipf: 50/50 mix with Zipfian item popularity — hot-item contention.
+//   - slow: 90/10 mix with node 4 serving every message -slow (default
+//     10ms) late, declared at capacity 0.1 — the tail-injection scenario.
+//     Gate: optimized >= 1.15x load-aware ops/sec at equal-or-better
+//     read p99.
+//   - read95: 95/5 mix with the same degraded member — the regime the
+//     read-dominant mode exists for. Gate: read-dominant read p99 <= 0.8x
+//     load-aware's.
+//
+// The availability half reuses the paper's Table 1 parameters (lambda=1,
+// mu=19, p=0.95): predicted numbers come from the exact site-model
+// enumeration per rule x strategy (including the weighted strategies'
+// candidate-restricted availability, i.e. how much the solved
+// distribution serves without falling back), measured numbers from
+// internal/sim runs with strategy tracking on.
+//
+// Usage: go run ./scripts/benchquorum [-duration 3s] [-trials 3]
+// [-slow 10ms] [-horizon 20000] [-out BENCH_9.json] [-smoke]
+//
+// -smoke is the CI-sized variant: only the two gated scenarios (slow,
+// read95) over the strategies the gates compare, 2 trials, a short
+// availability horizon, no report file — and a non-zero exit if either
+// gate fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"coterie/internal/coterie"
+	"coterie/internal/markov"
+	"coterie/internal/sim"
+)
+
+var strategies = []string{"hint", "load", "optimized", "read-dominant"}
+
+type scenario struct {
+	Name string
+	Args []string // scenario-specific loadgen args
+	Slow bool     // degraded member: pass -slow-node/-slow-read/-capacity
+}
+
+// runResult is one loadgen cell (best of trials).
+type runResult struct {
+	Scenario   string  `json:"scenario"`
+	Strategy   string  `json:"strategy"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Ops        int     `json:"ops"`
+	ReadP99us  int64   `json:"read_p99_us"`
+	WriteP99us int64   `json:"write_p99_us"`
+	Failures   int     `json:"failures"`
+}
+
+// gate is one acceptance comparison between two cells.
+type gate struct {
+	Name        string  `json:"name"`
+	Scenario    string  `json:"scenario"`
+	Ratio       float64 `json:"ratio"`
+	Threshold   float64 `json:"threshold"`
+	Pass        bool    `json:"pass"`
+	Description string  `json:"description"`
+}
+
+// availCell pairs predicted (site-model enumeration) and measured
+// (discrete-event simulation) availability for one rule x strategy.
+type availCell struct {
+	Rule                    string  `json:"rule"`
+	Strategy                string  `json:"strategy"`
+	PredictedRead           float64 `json:"predicted_read"`
+	PredictedWrite          float64 `json:"predicted_write"`
+	PredictedCandidateRead  float64 `json:"predicted_candidate_read"`
+	PredictedCandidateWrite float64 `json:"predicted_candidate_write"`
+	MeasuredRead            float64 `json:"measured_read"`
+	MeasuredWrite           float64 `json:"measured_write"`
+	MeasuredCandidateRead   float64 `json:"measured_candidate_read,omitempty"`
+	MeasuredCandidateWrite  float64 `json:"measured_candidate_write,omitempty"`
+	Fallbacks               int     `json:"fallbacks,omitempty"`
+}
+
+type report struct {
+	Benchmark    string      `json:"benchmark"`
+	Scenarios    []string    `json:"scenarios"`
+	Strategies   []string    `json:"strategies"`
+	Trials       int         `json:"trials"`
+	Duration     string      `json:"duration_per_trial"`
+	SlowDelay    string      `json:"slow_delay"`
+	Results      []runResult `json:"results"`
+	Gates        []gate      `json:"gates"`
+	Availability []availCell `json:"availability"`
+	Note         string      `json:"note"`
+}
+
+// loadgenOut is the subset of cmd/loadgen's JSON report benchquorum reads.
+type loadgenOut struct {
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	ReadP99us int64   `json:"read_p99_us"`
+	WriteP99  int64   `json:"write_p99_us"`
+	Failures  int     `json:"failures"`
+}
+
+func runOnce(sc scenario, strategy string, d, slow time.Duration) (loadgenOut, error) {
+	args := []string{"run", "./cmd/loadgen",
+		"-nodes", "9", "-items", "64", "-workers", "8",
+		"-duration", d.String(), "-seed", "1",
+		"-strategy", strategy,
+	}
+	args = append(args, sc.Args...)
+	if sc.Slow {
+		args = append(args, "-slow-node", "4", "-slow-read", slow.String(), "-capacity", "4=0.1")
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "GOMAXPROCS=4")
+	cmd.Stderr = nil
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return loadgenOut{}, fmt.Errorf("loadgen (%s/%s): %w", sc.Name, strategy, err)
+	}
+	var out loadgenOut
+	if err := json.Unmarshal(outBytes, &out); err != nil {
+		return loadgenOut{}, fmt.Errorf("parsing loadgen output (%s/%s): %w", sc.Name, strategy, err)
+	}
+	return out, nil
+}
+
+// availability computes the predicted-vs-measured matrix over the
+// grid/tree/majority rules at the paper's Table 1 operating point.
+func availability(horizon float64) ([]availCell, error) {
+	params := markov.PaperTable1Params()
+	p := params.P()
+	rules := []markov.NamedRule{
+		{Name: "grid", Rule: coterie.Grid{}},
+		{Name: "tree", Rule: coterie.Hierarchical{}},
+		{Name: "majority", Rule: coterie.Majority{}},
+	}
+	const n = 9
+	cells := make([]availCell, 0, len(rules)*len(strategies))
+	for _, nr := range rules {
+		for _, s := range strategies {
+			pred, err := markov.StrategyAvailability(nr.Rule, n, p, s)
+			if err != nil {
+				return nil, err
+			}
+			simStrategy := ""
+			if markov.StrategyWeighted(s) {
+				simStrategy = s
+			}
+			res, err := sim.Run(sim.Config{
+				N: n, Lambda: params.Lambda, Mu: params.Mu,
+				Model: sim.ModelProtocol, Rule: nr.Rule,
+				Strategy: simStrategy,
+				Horizon:  horizon, Seed: 9,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cell := availCell{
+				Rule: nr.Name, Strategy: s,
+				PredictedRead:           pred.Read,
+				PredictedWrite:          pred.Write,
+				PredictedCandidateRead:  pred.CandidateRead,
+				PredictedCandidateWrite: pred.CandidateWrite,
+				MeasuredRead:            1 - res.ReadUnavailFrac,
+				MeasuredWrite:           1 - res.WriteUnavailFrac,
+			}
+			if simStrategy != "" {
+				cell.MeasuredCandidateRead = 1 - res.CandidateReadUnavailFrac
+				cell.MeasuredCandidateWrite = 1 - res.CandidateWriteUnavailFrac
+				cell.Fallbacks = res.Fallbacks
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+func main() {
+	duration := flag.Duration("duration", 3*time.Second, "measurement interval per trial")
+	trials := flag.Int("trials", 3, "trials per configuration (best kept)")
+	slow := flag.Duration("slow", 10*time.Millisecond, "injected service delay on the degraded node")
+	horizon := flag.Float64("horizon", 20000, "simulated time span for the measured-availability runs")
+	out := flag.String("out", "BENCH_9.json", "output file")
+	smoke := flag.Bool("smoke", false, "CI-sized run: gated scenarios only, fewer trials, short availability horizon, no report file")
+	flag.Parse()
+
+	scenarios := []scenario{
+		{Name: "uniform", Args: []string{"-read-frac", "0.5"}},
+		{Name: "zipf", Args: []string{"-read-frac", "0.5", "-zipf-items"}},
+		{Name: "slow", Args: []string{"-read-frac", "0.9"}, Slow: true},
+		{Name: "read95", Args: []string{"-read-frac", "0.95"}, Slow: true},
+	}
+	if *smoke {
+		// Only the cells the gates compare, and only the strategies that
+		// appear in them; the full matrix stays a `make bench-quorum` job.
+		scenarios = scenarios[2:]
+		strategies = []string{"load", "optimized", "read-dominant"}
+		*trials, *horizon, *out = 2, 2000, ""
+	}
+
+	rep := report{
+		Benchmark:  "quorum-strategies",
+		Strategies: strategies,
+		Trials:     *trials,
+		Duration:   duration.String(),
+		SlowDelay:  slow.String(),
+		Note: "ops_per_sec is best-of-trials closed-loop throughput at GOMAXPROCS=4; p99 comes from the best trial. " +
+			"Gates: slow scenario optimized >= 1.15x load ops/sec at <= load read p99; " +
+			"read95 scenario read-dominant read p99 <= 0.8x load. " +
+			"Availability: site-model prediction vs discrete-event measurement at lambda=1 mu=19 (p=0.95); " +
+			"candidate numbers are the weighted strategies' no-fallback (distribution-only) availability.",
+	}
+	for _, sc := range scenarios {
+		rep.Scenarios = append(rep.Scenarios, sc.Name)
+	}
+
+	best := map[[2]string]runResult{}
+	for _, sc := range scenarios {
+		for _, strategy := range strategies {
+			cell := runResult{Scenario: sc.Name, Strategy: strategy}
+			for t := 0; t < *trials; t++ {
+				r, err := runOnce(sc, strategy, *duration, *slow)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchquorum:", err)
+					os.Exit(1)
+				}
+				if r.OpsPerSec > cell.OpsPerSec {
+					cell.OpsPerSec, cell.Ops = r.OpsPerSec, r.Ops
+					cell.ReadP99us, cell.WriteP99us = r.ReadP99us, r.WriteP99
+					cell.Failures = r.Failures
+				}
+			}
+			best[[2]string{sc.Name, strategy}] = cell
+			rep.Results = append(rep.Results, cell)
+			fmt.Fprintf(os.Stderr, "%-8s %-14s best %8.0f ops/s  read p99 %7dus  write p99 %7dus\n",
+				sc.Name, strategy, cell.OpsPerSec, cell.ReadP99us, cell.WriteP99us)
+		}
+	}
+
+	ratio := func(a, b float64) float64 {
+		if b <= 0 {
+			return 0
+		}
+		return a / b
+	}
+	slowOpt, slowLoad := best[[2]string{"slow", "optimized"}], best[[2]string{"slow", "load"}]
+	g := gate{
+		Name: "optimized-throughput", Scenario: "slow",
+		Ratio: ratio(slowOpt.OpsPerSec, slowLoad.OpsPerSec), Threshold: 1.15,
+		Description: "optimized ops/sec over load-aware under tail injection, requiring read p99 no worse",
+	}
+	g.Pass = g.Ratio >= g.Threshold && slowOpt.ReadP99us <= slowLoad.ReadP99us
+	rep.Gates = append(rep.Gates, g)
+
+	rdDom, rdLoad := best[[2]string{"read95", "read-dominant"}], best[[2]string{"read95", "load"}]
+	g = gate{
+		Name: "read-dominant-tail", Scenario: "read95",
+		Ratio: ratio(float64(rdDom.ReadP99us), float64(rdLoad.ReadP99us)), Threshold: 0.8,
+		Description: "read-dominant read p99 over load-aware's on the 95/5 mix (lower is better)",
+	}
+	g.Pass = g.Ratio > 0 && g.Ratio <= g.Threshold
+	rep.Gates = append(rep.Gates, g)
+
+	allPass := true
+	for _, g := range rep.Gates {
+		status := "PASS"
+		if !g.Pass {
+			status = "WARNING: FAILED"
+			allPass = false
+		}
+		fmt.Fprintf(os.Stderr, "benchquorum: gate %s (%s): ratio %.3f vs %.2f — %s\n",
+			g.Name, g.Scenario, g.Ratio, g.Threshold, status)
+	}
+	if *smoke && !allPass {
+		fmt.Fprintln(os.Stderr, "benchquorum: SMOKE FAIL")
+		os.Exit(1)
+	}
+
+	cells, err := availability(*horizon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchquorum:", err)
+		os.Exit(1)
+	}
+	rep.Availability = cells
+	for _, c := range cells {
+		fmt.Fprintf(os.Stderr, "avail %-8s %-14s predicted r/w %.6f/%.6f  measured r/w %.6f/%.6f\n",
+			c.Rule, c.Strategy, c.PredictedRead, c.PredictedWrite, c.MeasuredRead, c.MeasuredWrite)
+	}
+
+	if *out == "" {
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchquorum:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchquorum:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchquorum:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchquorum: wrote %s\n", *out)
+}
