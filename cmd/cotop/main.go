@@ -9,7 +9,7 @@
 //	cotop -cluster ... -json                        # merged snapshot, JSON
 //
 // The default view is one screen: cluster-merged counters and gauges,
-// the counter/gauge vectors (per-candidate quorum pick counts, per-node
+// the counter/gauge vectors (quorum pick counts by size, per-node
 // capacity and load-EWMA cells from the weighted strategies, per-shard
 // totals), the latency histograms' tails, per-shard route latency, and
 // hedge attribution.
@@ -158,7 +158,7 @@ func printSummary(w io.Writer, cs *capi.ClusterSnapshot) {
 		}
 	}
 
-	// Vector metrics — per-candidate quorum pick counts, per-node
+	// Vector metrics — per-size quorum pick counts, per-node
 	// capacities and load estimates from the weighted strategies, per-shard
 	// totals — render as index:value pairs over the cluster-summed cells.
 	vnames := make([]string, 0, len(cs.Vecs))

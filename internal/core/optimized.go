@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,8 +47,24 @@ type StrategyEngine struct {
 
 	snap        atomic.Pointer[stratSnapshot]
 	recomputing atomic.Bool
-	lastSolve   atomic.Int64 // unix nanos of the last published solve
+	lastSolve   atomic.Int64 // unix nanos of the last solve attempt
+
+	// cache keeps the most recent snapshot per epoch. Items reconfigure
+	// independently, so two items can transiently live in different
+	// epochs; with only the single fast-path pointer their picks would
+	// ping-pong it between epochs and (worse) each mismatch would demand
+	// a fresh Frank-Wolfe solve. The cache lets every recently-solved
+	// epoch keep serving its distribution; the fast-path pointer is just
+	// a lock-free shortcut to whichever epoch picked last.
+	mu        sync.Mutex
+	cache     [snapCacheSlots]*stratSnapshot
+	cacheNext int
 }
+
+// snapCacheSlots bounds the per-epoch snapshot cache. Epochs in flight at
+// once come from staggered per-item reconfiguration, so a handful is
+// plenty; an evicted epoch just falls back until the next solve tick.
+const snapCacheSlots = 4
 
 // stratSnapshot is one published distribution. All fields are immutable
 // after publication; the candidate sets are returned to callers by value
@@ -59,8 +76,13 @@ type stratSnapshot struct {
 	writes []nodeset.Set
 	rTable *coterie.Alias
 	wTable *coterie.Alias
-	// rPicks/wPicks are the per-candidate pick counters, resolved at
-	// snapshot construction so the pick path never touches registry maps.
+	// rPicks/wPicks are the pick counters, resolved at snapshot
+	// construction so the pick path never touches registry maps. They are
+	// keyed by quorum cardinality, not candidate slot: slot k maps to a
+	// different quorum after every re-enumeration or epoch change, so
+	// per-slot series would silently aggregate unrelated quorums, while
+	// size is stable across recomputes and is the "quorum shape" cotop
+	// renders.
 	rPicks []*obs.Counter
 	wPicks []*obs.Counter
 }
@@ -72,8 +94,8 @@ type strategyMetrics struct {
 	recomputeNs *obs.Histogram  // core_strategy_recompute_ns
 	entropy     *obs.GaugeVec   // core_strategy_entropy_milli: [0]=read, [1]=write
 	capacity    *obs.Gauge      // core_strategy_capacity_milli (predicted, ×1000)
-	rPickVec    *obs.CounterVec // core_strategy_read_pick_total by candidate slot
-	wPickVec    *obs.CounterVec // core_strategy_write_pick_total by candidate slot
+	rPickVec    *obs.CounterVec // core_strategy_read_pick_total by quorum size
+	wPickVec    *obs.CounterVec // core_strategy_write_pick_total by quorum size
 	nodeCap     *obs.GaugeVec   // core_node_capacity_milli by node ID
 }
 
@@ -133,9 +155,9 @@ func (s *StrategyEngine) readFrac() float64 {
 }
 
 // pickRead returns a read quorum sampled from the solved distribution.
-// ok=false means no valid snapshot is available (cold start or epoch
-// change); the caller falls back to the load-aware/hint path, and a
-// recompute has been triggered.
+// ok=false means no valid snapshot is available (cold start, or an epoch
+// not solved yet); the caller falls back to the load-aware/hint path, and
+// a recompute fires at the next tick.
 func (s *StrategyEngine) pickRead(lay *coterie.Layout, avail nodeset.Set, h int) (nodeset.Set, bool) {
 	snap := s.maybeSnapshot(lay, avail)
 	if snap == nil {
@@ -163,20 +185,56 @@ func (s *StrategyEngine) pickWrite(lay *coterie.Layout, avail nodeset.Set, h int
 	return snap.writes[k], true
 }
 
-// maybeSnapshot returns the current snapshot if it matches the epoch the
-// caller is selecting over, triggering an async recompute when the
-// snapshot is missing, stale, or due for its periodic refresh.
+// maybeSnapshot returns a snapshot matching the epoch the caller is
+// selecting over — the lock-free fast-path pointer when it matches, else
+// the per-epoch cache. Recomputes are triggered at most once per interval
+// no matter how many epochs are live or how stale the match is: the
+// engine is shared by every coordinator, and letting each epoch mismatch
+// demand its own solve would run Frank-Wolfe back-to-back whenever two
+// items transiently disagree on membership. A not-yet-solved epoch just
+// falls back until its tick.
 func (s *StrategyEngine) maybeSnapshot(lay *coterie.Layout, avail nodeset.Set) *stratSnapshot {
 	snap := s.snap.Load()
-	valid := snap != nil && snap.epoch.Equal(avail)
-	now := time.Now().UnixNano()
-	if !valid || now-s.lastSolve.Load() >= int64(s.interval) {
+	if snap != nil && !snap.epoch.Equal(avail) {
+		snap = nil
+	}
+	if snap == nil {
+		if snap = s.cached(avail); snap != nil {
+			// Promote so subsequent picks for this epoch stay lock-free.
+			s.snap.Store(snap)
+		}
+	}
+	if now := time.Now().UnixNano(); now-s.lastSolve.Load() >= int64(s.interval) {
 		s.trigger(lay, avail)
 	}
-	if !valid {
-		return nil
-	}
 	return snap
+}
+
+// cached returns the cache entry for the given epoch, or nil.
+func (s *StrategyEngine) cached(epoch nodeset.Set) *stratSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.cache {
+		if c != nil && c.epoch.Equal(epoch) {
+			return c
+		}
+	}
+	return nil
+}
+
+// storeCache inserts a freshly-solved snapshot, replacing the entry for
+// the same epoch if one exists, else the oldest slot.
+func (s *StrategyEngine) storeCache(snap *stratSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, c := range s.cache {
+		if c != nil && c.epoch.Equal(snap.epoch) {
+			s.cache[i] = snap
+			return
+		}
+	}
+	s.cache[s.cacheNext] = snap
+	s.cacheNext = (s.cacheNext + 1) % len(s.cache)
 }
 
 // trigger starts one background recompute unless one is already running.
@@ -232,12 +290,13 @@ func (s *StrategyEngine) recompute(lay *coterie.Layout, epoch nodeset.Set) {
 		wPicks: make([]*obs.Counter, len(writes)),
 	}
 	for k := range snap.rPicks {
-		snap.rPicks[k] = s.metrics.rPickVec.At(k)
+		snap.rPicks[k] = s.metrics.rPickVec.At(reads[k].Len())
 	}
 	for k := range snap.wPicks {
-		snap.wPicks[k] = s.metrics.wPickVec.At(k)
+		snap.wPicks[k] = s.metrics.wPickVec.At(writes[k].Len())
 	}
 	s.snap.Store(snap)
+	s.storeCache(snap)
 	s.lastSolve.Store(time.Now().UnixNano())
 
 	s.metrics.recomputes.Inc()

@@ -94,6 +94,36 @@ func TestOptimizedPicksFollowWeights(t *testing.T) {
 	}
 }
 
+// TestOptimizedEpochCacheServesMixedEpochs: items reconfigure
+// independently, so two items can transiently select over different
+// epochs. Each must keep serving from its own cached distribution — the
+// interleaved picks must not ping-pong the snapshot into invalidity or
+// demand a fresh solve per mismatch (recomputes are rate-limited to one
+// per interval, an hour here).
+func TestOptimizedEpochCacheServesMixedEpochs(t *testing.T) {
+	s, layFull := testEngine(t, StrategyOptimized, 9, nil)
+	full := layFull.Epoch()
+	shrunk := full.Clone()
+	shrunk.Remove(8)
+	layShrunk := coterie.Compile(Options{}.withDefaults().Rule, shrunk)
+	s.warm(layFull)
+	s.warm(layShrunk)
+	solves := s.metrics.recomputes.Load()
+	for i := 0; i < 500; i++ {
+		q, ok := s.pickRead(layFull, full, hint(replica.OpID{Coordinator: 1, Seq: uint64(i)}))
+		if !ok || !layFull.IsReadQuorum(q) {
+			t.Fatalf("full-epoch pick i=%d ok=%v q=%v", i, ok, q.IDs())
+		}
+		w, ok := s.pickWrite(layShrunk, shrunk, hint(replica.OpID{Coordinator: 2, Seq: uint64(i)}))
+		if !ok || !layShrunk.IsWriteQuorum(w) {
+			t.Fatalf("shrunk-epoch pick i=%d ok=%v q=%v", i, ok, w.IDs())
+		}
+	}
+	if got := s.metrics.recomputes.Load(); got != solves {
+		t.Fatalf("mixed-epoch picks ran %d extra solves: mismatch triggers not rate-limited", got-solves)
+	}
+}
+
 // TestOptimizedPickAllocs gates the weighted-pick hot path at zero heap
 // allocations (wired into `make check-allocs`).
 func TestOptimizedPickAllocs(t *testing.T) {

@@ -97,14 +97,23 @@ func (a *Alias) Len() int { return a.n }
 // Weight returns the (unnormalized) weight slot i was built with.
 func (a *Alias) Weight(i int) float64 { return a.weight[i] }
 
-// Pick maps one uniform 64-bit draw to a slot index distributed according
-// to the table's weights. It performs no heap allocations. The low 32 bits
-// choose the column, the high 32 bits flip the biased coin, so a single
-// splitmix64 output drives both decisions.
+// Pick maps one 64-bit draw to a slot index distributed according to the
+// table's weights. It performs no heap allocations. The draw is first run
+// through the splitmix64 finalizer — a bijection, so an already-uniform
+// input stays uniform — because callers feed hints that are not uniform
+// over the full word: the core strategy engine's hint() is int(x>>1),
+// whose top bit is always zero, and without the remix the biased coin
+// (high 32 bits) would only ever range over half its space, doubling
+// every keep-probability. After the remix the low 32 bits choose the
+// column and the high 32 bits flip the coin.
 func (a *Alias) Pick(u uint64) int {
 	if a.n == 0 {
 		return -1
 	}
+	u += 0x9e3779b97f4a7c15
+	u = (u ^ (u >> 30)) * 0xbf58476d1ce4e5b9
+	u = (u ^ (u >> 27)) * 0x94d049bb133111eb
+	u ^= u >> 31
 	// Lemire-style range reduction of the low word onto [0, n).
 	i := int(uint64(uint32(u)) * uint64(a.n) >> 32)
 	if uint32(u>>32) <= a.prob[i] {

@@ -12,10 +12,10 @@ func aliasMix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// TestAliasDistribution samples heavily and checks empirical frequencies
-// track the requested weights.
-func TestAliasDistribution(t *testing.T) {
-	weights := []float64{1, 3, 0.5, 0, 5.5}
+// checkAliasFreqs draws from the table through draw(i) and checks the
+// empirical slot frequencies track the requested weights.
+func checkAliasFreqs(t *testing.T, weights []float64, draw func(i int) uint64) []int {
+	t.Helper()
 	a := NewAlias(weights)
 	if a.Len() != len(weights) {
 		t.Fatalf("Len = %d, want %d", a.Len(), len(weights))
@@ -23,7 +23,7 @@ func TestAliasDistribution(t *testing.T) {
 	const draws = 2_000_000
 	counts := make([]int, len(weights))
 	for i := 0; i < draws; i++ {
-		k := a.Pick(aliasMix(uint64(i)))
+		k := a.Pick(draw(i))
 		if k < 0 || k >= len(weights) {
 			t.Fatalf("Pick returned out-of-range slot %d", k)
 		}
@@ -40,9 +40,30 @@ func TestAliasDistribution(t *testing.T) {
 			t.Errorf("slot %d: frequency %.4f, want %.4f", i, got, want)
 		}
 	}
+	return counts
+}
+
+// TestAliasDistribution samples heavily with full-width uniform draws.
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 3, 0.5, 0, 5.5}
+	counts := checkAliasFreqs(t, weights, func(i int) uint64 { return aliasMix(uint64(i)) })
 	if counts[3] != 0 {
 		t.Errorf("zero-weight slot picked %d times", counts[3])
 	}
+}
+
+// TestAliasDistributionHintShaped drives Pick with the input shape the
+// core strategy engine actually produces: hint() returns int(mix64(x)>>1),
+// a 63-bit value whose top bit is always zero. Pick must remix such draws
+// to full width internally — a coin read straight off the high word would
+// only range over half its space, doubling every keep-probability, and
+// slots with residence probability >= 0.5 would never remap to their
+// alias.
+func TestAliasDistributionHintShaped(t *testing.T) {
+	weights := []float64{1, 3, 0.5, 0, 5.5}
+	checkAliasFreqs(t, weights, func(i int) uint64 {
+		return uint64(int(aliasMix(uint64(i)) >> 1))
+	})
 }
 
 // TestAliasDegenerate covers empty and all-zero weight vectors.

@@ -40,7 +40,9 @@ type OptimizeInput struct {
 	// layout epoch's IDs.
 	Members []nodeset.ID
 	// ReadFrac is the expected fraction of operations that are reads, in
-	// [0,1]. Zero-value 0 is replaced by 0.5.
+	// [0,1]. Negative means unset (0.5 is assumed). The boundary values
+	// are genuine workloads — 0 is pure-write, 1 is pure-read — and are
+	// clamped just inside (0,1) so both blocks keep finite prices.
 	ReadFrac float64
 	// Capacity returns node i's relative service capacity (ops/sec scale;
 	// only ratios matter). nil means homogeneous capacity 1.0. Values ≤ 0
@@ -100,9 +102,11 @@ func Optimize(in OptimizeInput) (Distribution, error) {
 	}
 	fr := in.ReadFrac
 	switch {
-	case fr <= 0: // zero-value means unset
+	case fr < 0: // negative sentinel: caller has no measured mix
 		fr = 0.5
-	case fr >= 1: // pure-read workload: clamp inside (0,1) so writes keep finite prices
+	case fr == 0: // pure-write workload: clamp inside (0,1) so reads keep finite prices
+		fr = 1e-3
+	case fr >= 1: // pure-read workload: same clamp on the other side
 		fr = 1 - 1e-3
 	}
 	iters := in.Iters

@@ -12,9 +12,10 @@ func optInput(t *testing.T, rule Rule, n int) OptimizeInput {
 	v := seqSet(n)
 	lay := Compile(rule, v)
 	in := OptimizeInput{
-		Reads:   lay.EnumerateReadQuorums(0),
-		Writes:  lay.EnumerateWriteQuorums(0),
-		Members: v.IDs(),
+		Reads:    lay.EnumerateReadQuorums(0),
+		Writes:   lay.EnumerateWriteQuorums(0),
+		Members:  v.IDs(),
+		ReadFrac: 0.5,
 	}
 	if len(in.Reads) == 0 || len(in.Writes) == 0 {
 		t.Fatalf("%s n=%d: no candidates", rule.Name(), n)
@@ -99,7 +100,7 @@ func TestOptimizeHeterogeneousAvoidsWeakNode(t *testing.T) {
 // same candidates — the baseline the solver must beat under heterogeneity.
 func uniformPeak(in OptimizeInput) float64 {
 	fr := in.ReadFrac
-	if fr <= 0 {
+	if fr < 0 {
 		fr = 0.5
 	}
 	util := make(map[nodeset.ID]float64, len(in.Members))
@@ -237,6 +238,36 @@ func TestOptimizeDeterministic(t *testing.T) {
 	// Convergence quality: beat (or match within 2%) the uniform baseline.
 	if u := uniformPeak(in); first.PeakUtil > u*1.02 {
 		t.Errorf("converged peak %v worse than uniform baseline %v", first.PeakUtil, u)
+	}
+}
+
+// TestOptimizePureWriteMix: ReadFrac 0 is a real workload (all writes),
+// not the unset sentinel — the strategy engine legitimately measures 0.0
+// once enough write-only traffic is observed. The solve must model the
+// full write pressure: on a 3x3 grid a write touches 5 nodes, so the
+// balanced all-write peak is 5/9 — well above the 4/9 a 50/50 solve
+// would report if 0 were silently replaced by 0.5.
+func TestOptimizePureWriteMix(t *testing.T) {
+	pure := optInput(t, Grid{}, 9)
+	pure.ReadFrac = 0
+	dp, err := Optimize(pure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unset := optInput(t, Grid{}, 9)
+	unset.ReadFrac = -1
+	du, err := Optimize(unset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.PeakUtil < 5.0/9.0*0.98 {
+		t.Errorf("pure-write peak %v below the 5/9 all-write lower bound: write pressure under-modeled", dp.PeakUtil)
+	}
+	if du.PeakUtil > 4.0/9.0*1.10 {
+		t.Errorf("unset (negative) ReadFrac peak %v, want ~4/9 (50/50 default)", du.PeakUtil)
+	}
+	if dp.PeakUtil <= du.PeakUtil {
+		t.Errorf("pure-write peak %v not above 50/50 peak %v", dp.PeakUtil, du.PeakUtil)
 	}
 }
 
